@@ -1,0 +1,34 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one paper table/figure (scaled down) and
+records paper-vs-measured lines through the ``report`` fixture; the
+lines are printed in the terminal summary so `pytest benchmarks/
+--benchmark-only` output doubles as the reproduction log.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+_REPORT_LINES: List[str] = []
+
+
+@pytest.fixture
+def report():
+    """Returns a function that records one reproduction-log line."""
+
+    def _record(line: str) -> None:
+        _REPORT_LINES.append(line)
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    del exitstatus, config
+    if not _REPORT_LINES:
+        return
+    terminalreporter.write_sep("=", "paper-vs-measured reproduction log")
+    for line in _REPORT_LINES:
+        terminalreporter.write_line(line)

@@ -1,0 +1,72 @@
+"""Ablation benchmarks for Neu10's design choices (DESIGN.md SectionVI)."""
+
+from repro.experiments.ablations import (
+    ablate_harvesting,
+    ablate_hbm_policy,
+    ablate_reclaim_penalty,
+    ablate_ve_priority,
+)
+
+TARGET = 2
+
+
+def test_ablation_harvesting(benchmark, report):
+    points = benchmark.pedantic(
+        lambda: ablate_harvesting(target_requests=TARGET), rounds=1, iterations=1
+    )
+    on, off = points["harvest-on"], points["harvest-off"]
+    report(
+        f"Ablation: harvesting -- RtNt throughput {off.throughputs[1]:.1f} -> "
+        f"{on.throughputs[1]:.1f} rps ({on.throughputs[1]/off.throughputs[1]:.2f}x), "
+        f"ME util {off.me_utilization*100:.0f}% -> {on.me_utilization*100:.0f}%"
+    )
+    # Harvesting must help the ME-bound tenant and lift utilization.
+    assert on.throughputs[1] > off.throughputs[1] * 1.1
+    assert on.me_utilization > off.me_utilization
+
+
+def test_ablation_reclaim_penalty(benchmark, report):
+    points = benchmark.pedantic(
+        lambda: ablate_reclaim_penalty(target_requests=TARGET),
+        rounds=1, iterations=1,
+    )
+    line = ", ".join(
+        f"{penalty}cyc: DLRM {p.throughputs[0]:.0f} / RtNt "
+        f"{p.throughputs[1]:.1f} rps"
+        for penalty, p in points.items()
+    )
+    report(f"Ablation: reclaim penalty -- {line}")
+    # The design is robust to the penalty value: results stay within a
+    # moderate band across 0..2048 cycles (the paper's 256 is not a
+    # finely tuned constant), and harvesting keeps paying off for the
+    # ME-bound tenant at the highest penalty.
+    rtnt = [p.throughputs[1] for p in points.values()]
+    assert max(rtnt) / min(rtnt) < 1.5
+    assert all(p.preemptions > 0 for p in points.values())
+
+
+def test_ablation_hbm_policy(benchmark, report):
+    points = benchmark.pedantic(
+        lambda: ablate_hbm_policy(target_requests=TARGET), rounds=1, iterations=1
+    )
+    hier, flat = points["hierarchical"], points["flat"]
+    report(
+        f"Ablation: HBM sharing -- DLRM p95 hierarchical "
+        f"{hier.p95s[0]/1e3:.0f}k cyc vs flat {flat.p95s[0]/1e3:.0f}k cyc "
+        f"(hierarchical protects the memory-bound tenant)"
+    )
+    # Per-vNPU fairness must not be worse for the memory-hungry tenant.
+    assert hier.p95s[0] <= flat.p95s[0] * 1.05
+
+
+def test_ablation_ve_priority(benchmark, report):
+    points = benchmark.pedantic(
+        lambda: ablate_ve_priority(target_requests=TARGET), rounds=1, iterations=1
+    )
+    emb, inv = points["embedded-first"], points["ve-utops-first"]
+    report(
+        f"Ablation: VE priority -- RtNt throughput embedded-first "
+        f"{emb.throughputs[1]:.1f} vs ve-utops-first {inv.throughputs[1]:.1f} rps"
+    )
+    # The paper's choice must not hurt the ME-bound tenant.
+    assert emb.throughputs[1] >= inv.throughputs[1] * 0.95

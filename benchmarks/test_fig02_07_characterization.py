@@ -1,0 +1,89 @@
+"""Figs. 2-7: workload characterisation benchmarks."""
+
+from repro.config import DEFAULT_CORE
+from repro.experiments import fig02_demand, fig04_intensity
+from repro.experiments.expected import FIG7_AVG_BANDWIDTH_GBPS
+from repro.experiments.fig05_utilization import run as fig05_run
+from repro.experiments.fig06_ve_idle import run as fig06_run
+from repro.experiments.fig07_hbm import run as fig07_run
+
+
+def test_fig02_03_demand(benchmark, report):
+    def run_all():
+        out = {}
+        for model in fig02_demand.FIG2_MODELS:
+            out[(model, 8)] = fig02_demand.run(model, batch=8)
+        for model in fig02_demand.FIG3_MODELS:
+            out[(model, 32)] = fig02_demand.run(model, batch=32)
+        return out
+
+    traces = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("Fig. 2/3: ME/VE demand over time (paper: demand varies per op)")
+    for (model, batch), trace in traces.items():
+        me_avg, ve_avg = trace.time_weighted_average()
+        n_me, n_ve = trace.demand_variance()
+        report(
+            f"  {trace.model:6s} b{batch:<3d} duration {trace.duration_us:9.0f} us, "
+            f"avg {me_avg:.2f} ME / {ve_avg:.2f} VE, "
+            f"{n_me}/{n_ve} distinct demand levels"
+        )
+        assert n_me >= 2 or n_ve >= 2  # demand is not flat
+
+
+def test_fig04_intensity(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig04_intensity.run(batches=[8, 32]), rounds=1, iterations=1
+    )
+    report("Fig. 4: ME/VE intensity ratio (paper: DLRM/NCF < 1, ResNet >> 1)")
+    for model, per_batch in result.ratios.items():
+        cells = ", ".join(f"b{b}={r:8.3f}" for b, r in per_batch.items())
+        report(f"  {model:14s} {cells}")
+    assert "ResNet" in result.me_intensive(8)
+    assert "DLRM" in result.ve_intensive(8)
+
+
+def test_fig05_solo_utilization(benchmark, report):
+    def run_all():
+        return {m: fig05_run(m, batch=8, num_windows=20)
+                for m in ("BERT", "DLRM", "RsNt")}
+
+    traces = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("Fig. 5: solo ME/VE utilization (paper: neither fully utilised)")
+    for model, tr in traces.items():
+        report(
+            f"  {tr.model:6s} overall ME {tr.overall_me*100:5.1f}% / "
+            f"VE {tr.overall_ve*100:5.1f}%"
+        )
+        assert tr.overall_me < 1.0 and tr.overall_ve < 1.0
+
+
+def test_fig06_ve_idleness(benchmark, report):
+    result = benchmark.pedantic(fig06_run, rounds=1, iterations=1)
+    report(
+        f"Fig. 6: fused MatMul+ReLU VE idleness -- measured "
+        f"{result.vliw_ve_idle_fraction*100:.1f}% (paper: ~87%, pop=8cyc vs relu=1cyc)"
+    )
+    assert result.vliw_ve_idle_fraction > 0.8
+
+
+def test_fig07_hbm_bandwidth(benchmark, report):
+    def run_all():
+        return {
+            (m, b): fig07_run(m, b)
+            for (m, b) in (("BERT", 8), ("BERT", 32), ("DLRM", 8), ("DLRM", 32))
+        }
+
+    traces = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("Fig. 7: HBM bandwidth (GB/s)")
+    limit = DEFAULT_CORE.hbm_bandwidth_bytes_per_s / 1e9
+    for (model, batch), tr in traces.items():
+        paper = FIG7_AVG_BANDWIDTH_GBPS[(model, batch)]
+        report(
+            f"  {tr.model:5s} b{batch:<3d} avg {tr.average_gbps:6.1f} "
+            f"(paper {paper:6.1f}), peak {tr.peak_gbps:6.1f} of {limit:.0f}"
+        )
+        assert tr.peak_gbps <= limit + 1e-6
+    # Shape: BERT's average falls with batch; DLRM's stays flat.
+    assert traces[("BERT", 32)].average_gbps < traces[("BERT", 8)].average_gbps
+    flat = traces[("DLRM", 32)].average_gbps / traces[("DLRM", 8)].average_gbps
+    assert 0.7 < flat < 1.3

@@ -1,0 +1,44 @@
+"""Fig. 12 (allocator cost-effectiveness) and Fig. 16 (NeuISA overhead)."""
+
+from repro.experiments.expected import CLAIMS, FIG12_SELECTED
+from repro.experiments.fig12_allocator import run as fig12_run
+from repro.experiments.fig16_neuisa_overhead import run as fig16_run
+
+
+def test_fig12_allocator(benchmark, report):
+    def run_all():
+        out = {}
+        for model in ("BERT", "RsNt", "ENet", "SMask"):
+            batch = 8 if model == "SMask" else 32
+            out[model] = fig12_run(model, batch=batch, budgets=[4, 8, 12])
+        return out
+
+    sweeps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("Fig. 12: allocator-selected configs (paper labels in parens)")
+    for model, sweep in sweeps.items():
+        for point in sweep.points:
+            paper = FIG12_SELECTED.get(model, {}).get(point.total_eus)
+            paper_s = f"(paper {paper})" if paper else ""
+            report(
+                f"  {sweep.model:6s} EUs={point.total_eus:2d} selected "
+                f"{point.selected} best {point.best} "
+                f"eff {point.efficiency*100:5.1f}% {paper_s}"
+            )
+        # Paper: selected config is (near-)optimal.
+        assert sweep.worst_efficiency() > 0.85
+
+
+def test_fig16_neuisa_overhead(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: fig16_run(batches=[1, 8, 32]), rounds=1, iterations=1
+    )
+    report("Fig. 16: NeuISA overhead vs VLIW ISA")
+    for model, per_batch in result.overhead.items():
+        cells = ", ".join(f"b{b}={o*100:+6.2f}%" for b, o in per_batch.items())
+        report(f"  {model:14s} {cells}")
+    report(
+        f"  average {result.average()*100:+.2f}% (paper < 1%), "
+        f"max {result.maximum()*100:+.2f}% (paper ~6% worst case)"
+    )
+    assert abs(result.average()) < CLAIMS.neuisa_overhead_avg + 0.01
+    assert result.maximum() < CLAIMS.neuisa_overhead_max

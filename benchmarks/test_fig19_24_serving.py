@@ -1,0 +1,156 @@
+"""Figs. 19-24 + Table III: the main multi-tenant serving evaluation.
+
+The first benchmark runs all nine collocation pairs under the four
+schemes (cached); the remaining benchmarks summarise different views of
+the same runs, exactly like the paper derives Figs. 19-23 and Table III
+from one set of experiments.
+"""
+
+import pytest
+
+from repro.experiments import expected
+from repro.experiments.common import geomean, run_pair_cached
+from repro.experiments.fig19_22_serving import ServingComparison
+from repro.experiments.fig23_harvest import run as fig23_run
+from repro.experiments.fig24_assignment import run as fig24_run
+
+#: Requests per tenant for the benchmark-scale runs.
+TARGET = 3
+SCHEMES = ("pmt", "v10", "neu10-nh", "neu10")
+
+
+def _all_runs():
+    return [
+        run_pair_cached(w1, w2, SCHEMES, TARGET) for w1, w2 in expected.ALL_PAIRS
+    ]
+
+
+@pytest.fixture
+def comparison():
+    return ServingComparison(runs=_all_runs())
+
+
+def test_fig19_tail_latency(benchmark, report):
+    runs = benchmark.pedantic(_all_runs, rounds=1, iterations=1)
+    comparison = ServingComparison(runs=runs)
+    report("Fig. 19: normalized p95 tail latency (PMT = 1.00; lower is better)")
+    for label, per_scheme in comparison.latency_rows("p95_latency_cycles"):
+        cells = "  ".join(
+            f"{s}={per_scheme[s][0]:.2f}/{per_scheme[s][1]:.2f}"
+            for s in ("v10", "neu10-nh", "neu10")
+        )
+        report(f"  {label:14s} {cells}")
+    tail_max, tail_geo = comparison.tail_gain_vs_v10()
+    report(
+        f"  tail gain vs V10: max {tail_max:.2f}x avg {tail_geo:.2f}x "
+        f"(paper: up to {expected.CLAIMS.tail_latency_vs_v10_max}x, "
+        f"avg {expected.CLAIMS.tail_latency_vs_v10_avg}x)"
+    )
+    # Shape claim: Neu10 never has meaningfully worse tail than V10 on
+    # average, and wins somewhere.
+    assert tail_geo > 0.95
+    assert tail_max > 1.2
+
+
+def test_fig20_avg_latency(benchmark, report, comparison):
+    gains = benchmark.pedantic(
+        lambda: (comparison.mean_latency_gain("pmt"),
+                 comparison.mean_latency_gain("v10")),
+        rounds=1, iterations=1,
+    )
+    vs_pmt, vs_v10 = gains
+    report(
+        f"Fig. 20: mean latency gain of Neu10 -- vs PMT {vs_pmt:.2f}x "
+        f"(paper {expected.CLAIMS.avg_latency_vs_pmt}x), vs V10 {vs_v10:.2f}x "
+        f"(paper {expected.CLAIMS.avg_latency_vs_v10}x)"
+    )
+    assert vs_pmt > 1.05
+    assert vs_v10 > 0.95
+
+
+def test_fig21_throughput(benchmark, report, comparison):
+    def summarise():
+        return (
+            comparison.throughput_gain_low_contention("neu10"),
+            comparison.throughput_gain_low_contention("v10"),
+            comparison.throughput_gain_vs_v10_max(),
+        )
+
+    neu_low, v10_low, vs_v10_max = benchmark.pedantic(
+        summarise, rounds=1, iterations=1
+    )
+    report("Fig. 21: normalized throughput (PMT = 1.00; higher is better)")
+    for label, per_scheme in comparison.throughput_rows():
+        cells = "  ".join(
+            f"{s}={per_scheme[s][0]:.2f}/{per_scheme[s][1]:.2f}"
+            for s in ("v10", "neu10-nh", "neu10")
+        )
+        report(f"  {label:14s} {cells}")
+    report(
+        f"  low-contention gain vs PMT: neu10 {neu_low:.2f}x / v10 {v10_low:.2f}x "
+        f"(paper {expected.CLAIMS.throughput_vs_pmt_low_contention_neu10}x / "
+        f"{expected.CLAIMS.throughput_vs_pmt_low_contention_v10}x); "
+        f"max gain vs V10 {vs_v10_max:.2f}x "
+        f"(paper up to {expected.CLAIMS.throughput_vs_v10_high_contention_max}x)"
+    )
+    assert neu_low > 1.1
+    assert vs_v10_max > 1.0
+
+
+def test_fig22_utilization(benchmark, report, comparison):
+    me_gain, ve_gain = benchmark.pedantic(
+        comparison.utilization_gain_vs_pmt, rounds=1, iterations=1
+    )
+    report(
+        f"Fig. 22: Neu10 utilization gain vs PMT -- ME {me_gain:.2f}x "
+        f"(paper {expected.CLAIMS.me_utilization_vs_pmt}x), VE {ve_gain:.2f}x "
+        f"(paper {expected.CLAIMS.ve_utilization_vs_pmt}x)"
+    )
+    assert me_gain > 1.0
+
+
+def test_fig23_tab3_harvesting(benchmark, report):
+    def run_all():
+        return [
+            fig23_run(w1, w2, target_requests=TARGET)
+            for w1, w2 in expected.ALL_PAIRS
+        ]
+
+    breakdowns = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("Fig. 23 / Table III: harvesting benefit and blocked-time overhead")
+    harvest_gains = []
+    for b in breakdowns:
+        paper = expected.TABLE3_OVERHEAD[tuple(b.pair.split("+"))]
+        report(
+            f"  {b.pair:14s} med speedup {b.median_speedup(0):5.2f}/"
+            f"{b.median_speedup(1):5.2f}  blocked "
+            f"{b.blocked[0]*100:5.2f}%/{b.blocked[1]*100:5.2f}% "
+            f"(paper {paper[0]*100:5.2f}%/{paper[1]*100:.2f}%)"
+        )
+        harvest_gains.extend([b.median_speedup(0), b.median_speedup(1)])
+        # Table III claim: blocked-time overhead is small (0-11%).
+        assert b.blocked[0] < 0.2 and b.blocked[1] < 0.2
+    # Somewhere the harvesting benefit is visible.
+    assert max(harvest_gains) > 1.0
+
+
+def test_fig24_assignment_traces(benchmark, report):
+    def run_all():
+        return [
+            fig24_run(w1, w2, target_requests=2)
+            for w1, w2 in (("DLRM", "RtNt"), ("ENet", "SMask"))
+        ]
+
+    traces = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("Fig. 24: assigned MEs over time under Neu10 (home = 2)")
+    any_harvest = False
+    for trace in traces:
+        for name in trace.series:
+            lo, hi = trace.me_range(name)
+            frac = trace.harvested_fraction(name, home=2.0)
+            any_harvest = any_harvest or hi > 2.0
+            report(
+                f"  {trace.pair:12s} {name:6s} ME range [{lo:.0f},{hi:.0f}] "
+                f"harvesting {frac*100:5.1f}% of time"
+            )
+    assert any_harvest

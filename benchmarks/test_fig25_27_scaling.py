@@ -1,0 +1,82 @@
+"""Figs. 25-27: engine scaling, bandwidth scaling, LLM collocation."""
+
+from repro.experiments.expected import CLAIMS
+from repro.experiments.fig25_scaling import run as fig25_run
+from repro.experiments.fig26_bandwidth import run as fig26_run
+from repro.experiments.fig27_llm import run as fig27_run
+from repro.serving.server import SCHEME_NEU10, SCHEME_V10
+from repro.sim.hw_cost import scheduler_cost
+from repro.config import DEFAULT_CORE
+
+
+def test_fig25_engine_scaling(benchmark, report):
+    def run_all():
+        return {
+            pair: fig25_run(*pair, configs=[(2, 2), (4, 4), (8, 8)],
+                            target_requests=2)
+            for pair in (("DLRM", "RtNt"), ("ENet", "TFMR"))
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("Fig. 25: throughput vs engine count (normalized to V10 @ 2ME-2VE)")
+    for pair, result in results.items():
+        cells = "  ".join(
+            f"{cfg[0]}x{cfg[1]}: neu10={pt[SCHEME_NEU10]:.2f} v10={pt[SCHEME_V10]:.2f}"
+            for cfg, pt in result.points.items()
+        )
+        report(f"  {result.pair:12s} {cells}")
+        # Shape: more engines -> more absolute throughput for Neu10.
+        values = [pt[SCHEME_NEU10] for pt in result.points.values()]
+        assert values[-1] > values[0]
+        # Paper: the Neu10 advantage does not shrink with more engines.
+        assert result.gap((8, 8)) >= result.gap((2, 2)) * 0.85
+
+
+def test_fig26_bandwidth_scaling(benchmark, report):
+    def run_all():
+        return {
+            pair: fig26_run(*pair, bandwidths_gbps=[900, 1200, 3000],
+                            target_requests=2)
+            for pair in (("DLRM", "NCF"), ("DLRM", "RtNt"))
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("Fig. 26: Neu10 throughput normalized to V10 vs HBM bandwidth")
+    for pair, result in results.items():
+        cells = "  ".join(
+            f"{bw}GB/s={result.speedup[bw]:.2f}x" for bw in sorted(result.speedup)
+        )
+        report(f"  {result.pair:12s} {cells}")
+        # Paper: Neu10 holds its own even at 900 GB/s.
+        assert result.speedup[900] > 0.85
+
+
+def test_fig27_llm_collocation(benchmark, report):
+    def run_all():
+        return {m: fig27_run(m, target_requests=1) for m in ("BERT", "RtNt")}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report("Fig. 27: LLaMA2-13B collocation (V10 vs Neu10)")
+    gains = []
+    for model, result in results.items():
+        gains.append(result.collocated_gain())
+        report(
+            f"  {result.pair:14s} collocated gain {result.collocated_gain():.2f}x "
+            f"(paper: up to {CLAIMS.llm_harvest_throughput_gain}x), "
+            f"LLaMA keeps {min(1.0, result.llm_slowdown())*100:5.1f}% throughput, "
+            f"ME util {result.utilization[SCHEME_V10][0]*100:.0f}% -> "
+            f"{result.utilization[SCHEME_NEU10][0]*100:.0f}%"
+        )
+        # LLaMA must not collapse under Neu10.
+        assert result.llm_slowdown() > 0.8
+    assert max(gains) > 1.1
+
+
+def test_tab2_scheduler_area(benchmark, report):
+    cost = benchmark(scheduler_cost, DEFAULT_CORE)
+    report(
+        f"SectionIII-G: uTOp scheduler storage {cost.total_bytes} B -> "
+        f"{cost.die_percent:.4f}% of a TPUv4-class die "
+        f"(paper: {CLAIMS.scheduler_area_fraction*100:.2f}%)"
+    )
+    assert cost.die_fraction <= CLAIMS.scheduler_area_fraction

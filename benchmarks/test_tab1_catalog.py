@@ -1,0 +1,21 @@
+"""Table I: the DNN model zoo (names, categories, HBM footprints)."""
+
+from repro.config import GiB
+from repro.workloads.catalog import model_info, model_names
+from repro.workloads.traces import build_trace
+
+
+def test_tab1_catalog(benchmark, report):
+    def build_all():
+        return [build_trace(name, 8) for name in model_names()]
+
+    traces = benchmark.pedantic(build_all, rounds=1, iterations=1)
+    report("Table I: model zoo")
+    for trace in traces:
+        info = model_info(trace.name)
+        report(
+            f"  {info.name:14s} [{info.category:14s}] "
+            f"footprint {info.hbm_footprint_bytes / GiB:6.2f} GiB, "
+            f"{len(trace.graph):4d} ops/request"
+        )
+    assert len(traces) == 11

@@ -1,0 +1,68 @@
+"""Neu10: hardware-assisted virtualization of NPUs (MICRO 2024).
+
+A full-stack reproduction of the paper's system:
+
+- ``repro.core``      -- the vNPU abstraction, allocator (Eqs. 1-4),
+                         mapper and manager.
+- ``repro.isa``       -- NeuISA (uTOps, groups, execution table) and the
+                         baseline VLIW ISA, with a functional VM.
+- ``repro.compiler``  -- the ML-compiler substrate: graphs, cost model,
+                         tiling, fusion, VLIW/NeuISA lowering, profiler.
+- ``repro.sim``       -- the cycle-level behavioural NPU simulator with
+                         the Neu10 harvesting scheduler.
+- ``repro.baselines`` -- PMT, V10 and static partitioning (Neu10-NH).
+- ``repro.workloads`` -- the Table I model zoo + LLaMA2-13B.
+- ``repro.runtime``   -- hypervisor/driver/IOMMU/SR-IOV substrate.
+- ``repro.serving``   -- multi-tenant serving harness and metrics.
+- ``repro.experiments`` -- one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import quickstart
+    quickstart()          # collocate two models under all schemes
+"""
+
+from repro.config import (
+    DEFAULT_BOARD,
+    DEFAULT_CORE,
+    NpuBoardConfig,
+    NpuChipConfig,
+    NpuCoreConfig,
+)
+from repro.core import VnpuAllocator, VnpuConfig, VnpuManager
+from repro.serving import ServingConfig, run_collocation, run_solo
+from repro.serving.server import WorkloadSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_BOARD",
+    "DEFAULT_CORE",
+    "NpuBoardConfig",
+    "NpuChipConfig",
+    "NpuCoreConfig",
+    "ServingConfig",
+    "VnpuAllocator",
+    "VnpuConfig",
+    "VnpuManager",
+    "WorkloadSpec",
+    "__version__",
+    "quickstart",
+    "run_collocation",
+    "run_solo",
+]
+
+
+def quickstart() -> None:
+    """Collocate an ME-intensive and a VE-intensive model under every
+    scheme and print the comparison the paper's Figs. 19-21 make."""
+    from repro.serving.server import ALL_SCHEMES
+
+    specs = [WorkloadSpec("DLRM", 32), WorkloadSpec("RetinaNet", 32)]
+    cfg = ServingConfig(target_requests=3)
+    print(f"{'scheme':12s} {'pair':12s} {'p95 (Mcyc)':>22s} {'thr (rps)':>22s}")
+    for scheme in ALL_SCHEMES:
+        pair = run_collocation(specs, scheme, cfg)
+        p95 = "/".join(f"{t.p95_latency_cycles/1e6:8.2f}" for t in pair.tenants)
+        thr = "/".join(f"{t.throughput_rps:8.1f}" for t in pair.tenants)
+        print(f"{scheme:12s} {pair.pair:12s} {p95:>22s} {thr:>22s}")

@@ -1,0 +1,18 @@
+"""Baseline NPU sharing schemes the paper compares against (SectionV-A).
+
+- :class:`repro.baselines.pmt.PmtScheduler` -- PMT (PREMA-like):
+  preemptive temporal sharing of the *entire* NPU core with fair
+  quantum-based switching.
+- :class:`repro.baselines.v10.V10Scheduler` -- V10 (ISCA'23): temporal
+  sharing of all MEs/VEs with priority-based operator preemption; the
+  VLIW ISA couples every ME, so an ME operator blocks the whole ME array
+  even when it cannot fill it.
+- Neu10-NH (static spatial partitioning, MIG-like) lives in
+  :mod:`repro.sim.sched_static` and is re-exported here.
+"""
+
+from repro.baselines.pmt import PmtScheduler
+from repro.baselines.v10 import V10Scheduler
+from repro.sim.sched_static import StaticPartitionScheduler
+
+__all__ = ["PmtScheduler", "StaticPartitionScheduler", "V10Scheduler"]

@@ -1,0 +1,106 @@
+"""PMT: preemptive temporal sharing of the whole NPU core.
+
+Models PREMA-style multi-tasking (paper baseline "PMT [16]"): exactly one
+vNPU owns the entire core at a time; a preemptive fair scheduler rotates
+ownership on a quantum, weighted by priority.  Context switches preempt
+every running engine and pay the ME context-save penalty, and the incoming
+tenant additionally waits for the reclaim window -- the "high preemption
+overhead" the paper attributes to coarse-grained time-sharing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sim.scheduler_base import Decision, ExecUnit, SchedulerBase, UnitState
+from repro.sim.sched_static import allocate_tenant_ve, sort_me_candidates
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator, Tenant
+
+#: Default scheduling quantum in cycles (~48 us at 1.05 GHz).
+DEFAULT_QUANTUM = 50_000.0
+
+
+class PmtScheduler(SchedulerBase):
+    """Whole-core preemptive temporal sharing."""
+
+    name = "pmt"
+
+    def __init__(self, quantum_cycles: float = DEFAULT_QUANTUM) -> None:
+        self.quantum_cycles = quantum_cycles
+        self._current: Optional[int] = None
+        self._quantum_end = 0.0
+
+    # ------------------------------------------------------------------
+    def decide(self, sim: "Simulator") -> Decision:
+        decision = Decision()
+        candidates = [t for t in sim.tenants if self._has_work(t)]
+        if not candidates:
+            return decision
+
+        current = self._tenant_by_id(sim, self._current)
+        switch = (
+            current is None
+            or not self._has_work(current)
+            or (sim.now >= self._quantum_end - 1e-9 and len(candidates) > 1)
+        )
+        if switch:
+            nxt = self._pick_next(candidates, current)
+            if current is not None and nxt is not current:
+                self._preempt_tenant(decision, current, nxt.tenant_id)
+            current = nxt
+            self._current = current.tenant_id
+            self._quantum_end = sim.now + self.quantum_cycles
+
+        penalty = sum(max(1, u.granted_me) for u in decision.preempt)
+        capacity = sim.available_mes - penalty
+
+        granted: List[ExecUnit] = []
+        used = 0
+        for unit in sort_me_candidates(self.ready_me_units(current)):
+            need = unit.me_engines_needed
+            if used + need > capacity:
+                continue
+            decision.running_me[unit] = need
+            granted.append(unit)
+            used += need
+        decision.ve_alloc.update(
+            allocate_tenant_ve(current, granted, float(sim.core.num_ves))
+        )
+        if len(candidates) > 1:
+            decision.next_decision_at = self._quantum_end
+        return decision
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _has_work(tenant: "Tenant") -> bool:
+        return any(not u.done for u in tenant.active_units)
+
+    @staticmethod
+    def _tenant_by_id(sim: "Simulator", tenant_id: Optional[int]) -> Optional["Tenant"]:
+        if tenant_id is None:
+            return None
+        for tenant in sim.tenants:
+            if tenant.tenant_id == tenant_id:
+                return tenant
+        return None
+
+    def _pick_next(
+        self, candidates: List["Tenant"], current: Optional["Tenant"]
+    ) -> "Tenant":
+        """Least-service-first, weighted by priority; avoid re-picking the
+        expiring tenant when someone else is waiting."""
+        pool = [t for t in candidates if t is not current] or candidates
+        return min(
+            pool,
+            key=lambda t: t.active_service_cycles / max(t.priority, 1e-9),
+        )
+
+    def _preempt_tenant(
+        self, decision: Decision, tenant: "Tenant", beneficiary: int
+    ) -> None:
+        for unit in tenant.active_units:
+            if unit.state is UnitState.RUNNING and unit.is_me_unit:
+                decision.preempt.append(unit)
+                decision.reclaim_owners[unit] = beneficiary

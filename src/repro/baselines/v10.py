@@ -1,0 +1,168 @@
+"""V10: temporal sharing of all MEs/VEs with operator-level preemption.
+
+Models the paper's strongest baseline (V10, ISCA'23).  Workloads are
+compiled with the traditional VLIW-style ISA, so an ME operator couples
+the control flow of the whole ME array: while it runs, *no other ME
+operator can execute* -- only VE-only operators from collocated vNPUs
+proceed concurrently on the vector engines (paper SectionV-A).  This
+creates the "false contention" Neu10 eliminates: an operator that cannot
+fill every ME still blocks them all.
+
+Fairness is priority-based and preemptive at operator granularity: when
+a waiting vNPU's service deficit exceeds a threshold, the running ME
+operator is preempted (paying the context-save penalty on each coupled
+engine).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sim.scheduler_base import Decision, ExecUnit, SchedulerBase, UnitKind, UnitState
+from repro.sim.sched_static import allocate_tenant_ve
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator, Tenant
+
+#: Service imbalance (cycles) that triggers an operator preemption.
+#: V10 schedules at *operator* granularity: fairness normally acts when
+#: an operator completes, and a running operator is forcibly preempted
+#: only on a gross imbalance.  This is what makes V10's tail latency
+#: fragile under "complex inter-operator dependencies and imbalanced
+#: operator lengths" (paper SectionV-B).
+DEFAULT_PREEMPT_THRESHOLD = 400_000.0
+#: How often to re-evaluate fairness while the core is contended.
+DEFAULT_CHECK_PERIOD = 25_000.0
+
+
+class V10Scheduler(SchedulerBase):
+    """Operator-level temporal sharing of the ME array."""
+
+    name = "v10"
+
+    def __init__(
+        self,
+        preempt_threshold: float = DEFAULT_PREEMPT_THRESHOLD,
+        check_period: float = DEFAULT_CHECK_PERIOD,
+    ) -> None:
+        self.preempt_threshold = preempt_threshold
+        self.check_period = check_period
+
+    # ------------------------------------------------------------------
+    def decide(self, sim: "Simulator") -> Decision:
+        decision = Decision()
+        running_me = self._running_me_unit(sim)
+        waiting = self._waiting_me_tenants(sim, running_me)
+
+        if running_me is not None and waiting:
+            owner_served = sim.stats.me_busy_per_tenant.get(running_me.owner, 0.0)
+            worst = min(
+                sim.stats.me_busy_per_tenant.get(t.tenant_id, 0.0)
+                / max(t.priority, 1e-9)
+                for t in waiting
+            )
+            if owner_served / max(self._priority_of(sim, running_me.owner), 1e-9) - worst > self.preempt_threshold:
+                decision.preempt.append(running_me)
+                beneficiary = min(
+                    waiting,
+                    key=lambda t: sim.stats.me_busy_per_tenant.get(t.tenant_id, 0.0),
+                )
+                decision.reclaim_owners[running_me] = beneficiary.tenant_id
+                running_me = None
+
+        penalty = sum(max(1, u.granted_me) for u in decision.preempt)
+        capacity = sim.available_mes - penalty
+
+        if running_me is None:
+            running_me = self._pick_me_unit(sim, capacity)
+        if running_me is not None:
+            # The VLIW ISA couples the whole ME array: the operator holds
+            # its compiled engine block and nothing else may use MEs.
+            decision.running_me[running_me] = running_me.me_engines_needed
+
+        self._allocate_ves(sim, decision, running_me)
+
+        contended = bool(self._waiting_me_tenants(sim, running_me))
+        if contended:
+            decision.next_decision_at = sim.now + self.check_period
+        return decision
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _running_me_unit(sim: "Simulator") -> Optional[ExecUnit]:
+        for tenant in sim.tenants:
+            for unit in tenant.active_units:
+                if unit.state is UnitState.RUNNING and unit.is_me_unit:
+                    return unit
+        return None
+
+    @staticmethod
+    def _priority_of(sim: "Simulator", tenant_id: int) -> float:
+        for tenant in sim.tenants:
+            if tenant.tenant_id == tenant_id:
+                return tenant.priority
+        return 1.0
+
+    def _waiting_me_tenants(
+        self, sim: "Simulator", running_me: Optional[ExecUnit]
+    ) -> List["Tenant"]:
+        out = []
+        for tenant in sim.tenants:
+            if running_me is not None and tenant.tenant_id == running_me.owner:
+                continue
+            if any(
+                u.is_me_unit and not u.done and u.state is not UnitState.RUNNING
+                for u in tenant.active_units
+            ):
+                out.append(tenant)
+        return out
+
+    def _pick_me_unit(self, sim: "Simulator", capacity: int) -> Optional[ExecUnit]:
+        """Least-served tenant's pending ME operator, if it fits the
+        engines not frozen by a reclaim window."""
+        best: Optional[ExecUnit] = None
+        best_score = float("inf")
+        for tenant in sim.tenants:
+            for unit in tenant.active_units:
+                if not unit.is_me_unit or unit.done:
+                    continue
+                if unit.me_engines_needed > capacity:
+                    continue
+                score = sim.stats.me_busy_per_tenant.get(
+                    tenant.tenant_id, 0.0
+                ) / max(tenant.priority, 1e-9)
+                if score < best_score:
+                    best, best_score = unit, score
+                break  # operators execute in order within a tenant
+        return best
+
+    def _allocate_ves(
+        self,
+        sim: "Simulator",
+        decision: Decision,
+        running_me: Optional[ExecUnit],
+    ) -> None:
+        """VE-only operators from every tenant share the vector engines;
+        the running ME operator's embedded stream goes first."""
+        remaining = float(sim.core.num_ves)
+        if running_me is not None and running_me.ve_rate > 0:
+            need = running_me.ve_rate * running_me.me_engines_needed
+            got = min(remaining, need)
+            if got > 0:
+                decision.ve_alloc[running_me] = got
+                remaining -= got
+        ve_units: List[ExecUnit] = []
+        for tenant in sim.tenants:
+            for unit in tenant.active_units:
+                if unit.is_me_unit or unit.done:
+                    continue
+                if unit.kind in (UnitKind.VLIW_VE, UnitKind.VE_UTOP):
+                    ve_units.append(unit)
+        ve_units.sort(key=lambda u: u.unit_id)
+        for unit in ve_units:
+            if remaining <= 1e-9:
+                break
+            got = min(remaining, float(unit.parallelism))
+            if got > 0:
+                decision.ve_alloc[unit] = got
+                remaining -= got

@@ -1,0 +1,97 @@
+"""Command-line interface for running reproduction experiments.
+
+Usage::
+
+    python -m repro.cli list                 # enumerate experiments
+    python -m repro.cli fig19                # one experiment
+    python -m repro.cli fig19 fig22          # several
+    python -m repro.cli all                  # everything (minutes)
+    python -m repro.cli quickstart           # the quickstart demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+
+def _experiments() -> Dict[str, Callable[[], None]]:
+    # Imported lazily so `--help` stays instant.
+    from repro.experiments import (
+        fig02_demand,
+        fig04_intensity,
+        fig05_utilization,
+        fig06_ve_idle,
+        fig07_hbm,
+        fig12_allocator,
+        fig16_neuisa_overhead,
+        fig19_22_serving,
+        fig23_harvest,
+        fig24_assignment,
+        fig25_scaling,
+        fig26_bandwidth,
+        fig27_llm,
+        hwcost,
+    )
+    import repro
+
+    return {
+        "fig02": fig02_demand.main,
+        "fig04": fig04_intensity.main,
+        "fig05": fig05_utilization.main,
+        "fig06": fig06_ve_idle.main,
+        "fig07": fig07_hbm.main,
+        "fig12": fig12_allocator.main,
+        "fig16": fig16_neuisa_overhead.main,
+        "fig19": fig19_22_serving.main,
+        "fig23": fig23_harvest.main,
+        "fig24": fig24_assignment.main,
+        "fig25": fig25_scaling.main,
+        "fig26": fig26_bandwidth.main,
+        "fig27": fig27_llm.main,
+        "hwcost": hwcost.main,
+        "quickstart": repro.quickstart,
+    }
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Run Neu10 reproduction experiments (MICRO 2024).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment names (see `list`), or `all`",
+    )
+    args = parser.parse_args(argv)
+    registry = _experiments()
+
+    requested = list(args.experiments)
+    if requested == ["list"] or not requested:
+        print("Available experiments:")
+        for name in registry:
+            print(f"  {name}")
+        print("  all")
+        return 0
+    if requested == ["all"]:
+        requested = [n for n in registry if n != "quickstart"]
+
+    unknown = [n for n in requested if n not in registry]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    for name in requested:
+        start = time.time()
+        print(f"==== {name} " + "=" * max(1, 60 - len(name)))
+        registry[name]()
+        print(f"---- {name} done in {time.time() - start:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

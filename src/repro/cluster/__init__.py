@@ -1,0 +1,35 @@
+"""Cluster-level vNPU orchestration.
+
+The paper scopes itself to one host and notes: "At scale, Neu10 can be
+integrated with a cluster-wise VM/container orchestration framework such
+as KubeVirt/Kubernetes to decide which VM should be placed on what
+machine.  Developing advanced vNPU/VM collocation policies is orthogonal
+to our work" (SectionIII-C).  This package builds that orthogonal layer:
+
+- :mod:`repro.cluster.host` -- a host = one hypervisor over a set of
+  physical cores, with capacity accounting;
+- :mod:`repro.cluster.placement` -- placement policies: first-fit,
+  least-loaded, and a contention-aware policy that uses compile-time
+  m/v profiles to collocate complementary workloads (ME-heavy with
+  VE-heavy), following the paper's SectionII insight;
+- :mod:`repro.cluster.orchestrator` -- admission, placement, release.
+"""
+
+from repro.cluster.host import Host
+from repro.cluster.orchestrator import ClusterOrchestrator, PlacementRequest
+from repro.cluster.placement import (
+    ContentionAwarePolicy,
+    FirstFitPolicy,
+    LeastLoadedPolicy,
+    PlacementPolicy,
+)
+
+__all__ = [
+    "ClusterOrchestrator",
+    "ContentionAwarePolicy",
+    "FirstFitPolicy",
+    "Host",
+    "LeastLoadedPolicy",
+    "PlacementPolicy",
+    "PlacementRequest",
+]

@@ -1,0 +1,115 @@
+"""A cluster host: one machine with NPU cores behind a hypervisor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import NpuCoreConfig
+from repro.core.mapper import MappingMode
+from repro.errors import AllocationError
+from repro.runtime.hypervisor import Hypervisor, VnpuHandle
+
+
+@dataclass
+class HostedVnpu:
+    """Book-keeping for a vNPU placed on this host."""
+
+    handle: VnpuHandle
+    owner: str
+    #: Compile-time ME active ratio of the owner's workload (None when
+    #: the tenant did not provide a profile).
+    m: Optional[float] = None
+    v: Optional[float] = None
+
+
+class Host:
+    """One machine in the cluster."""
+
+    def __init__(
+        self,
+        name: str,
+        cores: List[NpuCoreConfig],
+        mode: MappingMode = MappingMode.SPATIAL,
+    ) -> None:
+        if not cores:
+            raise AllocationError(f"host {name!r} needs at least one core")
+        self.name = name
+        self.cores = list(cores)
+        self.hypervisor = Hypervisor(cores, mode=mode)
+        self.resident: Dict[int, HostedVnpu] = {}
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def total_mes(self) -> int:
+        return sum(c.num_mes for c in self.cores)
+
+    @property
+    def total_ves(self) -> int:
+        return sum(c.num_ves for c in self.cores)
+
+    @property
+    def committed_mes(self) -> int:
+        return sum(
+            h.handle.config.num_mes_per_core * h.handle.config.total_cores
+            for h in self.resident.values()
+        )
+
+    @property
+    def committed_ves(self) -> int:
+        return sum(
+            h.handle.config.num_ves_per_core * h.handle.config.total_cores
+            for h in self.resident.values()
+        )
+
+    @property
+    def load(self) -> float:
+        denom = self.total_mes + self.total_ves
+        if denom == 0:
+            return 1.0
+        return (self.committed_mes + self.committed_ves) / denom
+
+    def fits(self, num_mes: int, num_ves: int) -> bool:
+        return (
+            self.committed_mes + num_mes <= self.total_mes
+            and self.committed_ves + num_ves <= self.total_ves
+        )
+
+    # ------------------------------------------------------------------
+    # Profile mix (for contention-aware placement)
+    # ------------------------------------------------------------------
+    def mean_me_pressure(self) -> float:
+        """Average m of resident workloads (0.5 when unknown/empty)."""
+        values = [h.m for h in self.resident.values() if h.m is not None]
+        if not values:
+            return 0.5
+        return sum(values) / len(values)
+
+    # ------------------------------------------------------------------
+    # Placement plumbing (called by the orchestrator)
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        config,
+        owner: str,
+        m: Optional[float] = None,
+        v: Optional[float] = None,
+        priority: float = 1.0,
+    ) -> VnpuHandle:
+        handle = self.hypervisor.hypercall_create(
+            config, owner=owner, priority=priority
+        )
+        self.resident[handle.vnpu_id] = HostedVnpu(
+            handle=handle, owner=owner, m=m, v=v
+        )
+        return handle
+
+    def release(self, vnpu_id: int) -> None:
+        if vnpu_id not in self.resident:
+            raise AllocationError(
+                f"host {self.name!r} does not host vNPU {vnpu_id}"
+            )
+        self.hypervisor.hypercall_destroy(vnpu_id)
+        del self.resident[vnpu_id]

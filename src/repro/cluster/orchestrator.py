@@ -1,0 +1,150 @@
+"""Cluster orchestrator: admission, placement and release of vNPUs.
+
+Plays the role KubeVirt/Kubernetes plays in the paper's deployment
+story: tenants submit vNPU requests (optionally with a compile-time
+profile and an EU budget for the allocator); the orchestrator picks a
+host via the configured policy and drives that host's hypervisor.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.profiler import WorkloadProfile
+from repro.core.allocator import split_eu_budget
+from repro.core.vnpu import VnpuConfig
+from repro.cluster.host import Host
+from repro.cluster.placement import LeastLoadedPolicy, PlacementPolicy
+from repro.errors import AllocationError
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class PlacementRequest:
+    """One tenant's ask."""
+
+    owner: str
+    num_mes: int = 1
+    num_ves: int = 1
+    sram_bytes: int = 0
+    hbm_bytes: int = 0
+    priority: float = 1.0
+    #: Optional compile-time profile ratios, used by contention-aware
+    #: placement and by the EU-budget path.
+    m: Optional[float] = None
+    v: Optional[float] = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @staticmethod
+    def from_profile(
+        owner: str,
+        profile: WorkloadProfile,
+        total_eus: int,
+        sram_bytes: int = 0,
+        hbm_bytes: int = 0,
+        priority: float = 1.0,
+    ) -> "PlacementRequest":
+        """Pay-as-you-go: size the ME/VE split from the profile (Eq. 4)."""
+        num_mes, num_ves = split_eu_budget(profile.m, profile.v, total_eus)
+        return PlacementRequest(
+            owner=owner,
+            num_mes=num_mes,
+            num_ves=num_ves,
+            sram_bytes=sram_bytes,
+            hbm_bytes=hbm_bytes,
+            priority=priority,
+            m=profile.m,
+            v=profile.v,
+        )
+
+    def as_vnpu_config(self) -> VnpuConfig:
+        return VnpuConfig(
+            num_mes_per_core=self.num_mes,
+            num_ves_per_core=self.num_ves,
+            sram_bytes_per_core=self.sram_bytes,
+            hbm_bytes_per_core=self.hbm_bytes,
+        )
+
+
+@dataclass
+class Placement:
+    request: PlacementRequest
+    host: Host
+    vnpu_id: int
+
+
+class ClusterOrchestrator:
+    """Places vNPU requests onto hosts."""
+
+    def __init__(
+        self,
+        hosts: List[Host],
+        policy: Optional[PlacementPolicy] = None,
+    ) -> None:
+        if not hosts:
+            raise AllocationError("cluster needs at least one host")
+        names = [h.name for h in hosts]
+        if len(set(names)) != len(names):
+            raise AllocationError("host names must be unique")
+        self.hosts = list(hosts)
+        self.policy = policy if policy is not None else LeastLoadedPolicy()
+        self._placements: Dict[int, Placement] = {}
+        self.rejected: List[PlacementRequest] = []
+
+    # ------------------------------------------------------------------
+    def submit(self, request: PlacementRequest) -> Optional[Placement]:
+        """Admit and place; returns None (and records) when rejected."""
+        host = self.policy.choose(self.hosts, request)
+        if host is None:
+            self.rejected.append(request)
+            return None
+        handle = host.place(
+            request.as_vnpu_config(),
+            owner=request.owner,
+            m=request.m,
+            v=request.v,
+            priority=request.priority,
+        )
+        placement = Placement(
+            request=request, host=host, vnpu_id=handle.vnpu_id
+        )
+        self._placements[request.request_id] = placement
+        return placement
+
+    def release(self, request_id: int) -> None:
+        placement = self._placements.pop(request_id, None)
+        if placement is None:
+            raise AllocationError(f"unknown placement {request_id}")
+        placement.host.release(placement.vnpu_id)
+
+    # ------------------------------------------------------------------
+    def placements(self) -> List[Placement]:
+        return list(self._placements.values())
+
+    def utilization(self) -> Dict[str, float]:
+        return {h.name: h.load for h in self.hosts}
+
+    def collocation_map(self) -> Dict[str, List[str]]:
+        """Host name -> owners resident there (for policy studies)."""
+        out: Dict[str, List[str]] = {h.name: [] for h in self.hosts}
+        for placement in self._placements.values():
+            out[placement.host.name].append(placement.request.owner)
+        return out
+
+    def admission_rate(self) -> float:
+        total = len(self._placements) + len(self.rejected)
+        if total == 0:
+            return 1.0
+        return len(self._placements) / total
+
+
+def complementarity_score(pairs: List[Tuple[float, float]]) -> float:
+    """Mean |m1 + m2 - 1| over collocated pairs: 0 is perfectly
+    complementary (one ME-heavy with one VE-heavy), 1 is worst.  Used to
+    compare placement policies in tests and examples."""
+    if not pairs:
+        return 0.0
+    return sum(abs(m1 + m2 - 1.0) for m1, m2 in pairs) / len(pairs)

@@ -1,0 +1,82 @@
+"""Cluster placement policies.
+
+``choose`` returns the host a request should land on, or ``None`` when
+no host can take it.  Policies only *rank*; feasibility (``fits``) is
+checked uniformly here so every policy admits iff some host has room.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.host import Host
+    from repro.cluster.orchestrator import PlacementRequest
+
+
+class PlacementPolicy:
+    """Base class: feasibility filter + policy-specific ranking."""
+
+    name = "base"
+
+    def choose(
+        self, hosts: List["Host"], request: "PlacementRequest"
+    ) -> Optional["Host"]:
+        feasible = [
+            h for h in hosts if h.fits(request.num_mes, request.num_ves)
+        ]
+        if not feasible:
+            return None
+        return self.rank(feasible, request)
+
+    def rank(
+        self, feasible: List["Host"], request: "PlacementRequest"
+    ) -> "Host":
+        raise NotImplementedError
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """Kubernetes-default-like: first host with room (stable ordering).
+
+    Dense packing: frees whole hosts for large future requests, at the
+    cost of more intra-host contention.
+    """
+
+    name = "first-fit"
+
+    def rank(self, feasible, request):
+        return feasible[0]
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Spread load: host with the lowest committed-EU fraction."""
+
+    name = "least-loaded"
+
+    def rank(self, feasible, request):
+        return min(feasible, key=lambda h: (h.load, h.name))
+
+
+class ContentionAwarePolicy(PlacementPolicy):
+    """Collocate complementary workloads using compile-time profiles.
+
+    The paper's SectionII insight: an ME-heavy workload wastes VEs and
+    vice versa, so pairing opposite profiles maximises what harvesting
+    can recover.  Rank hosts by how far the host's mean ME-pressure
+    moves toward 0.5 (balanced) after adding this workload; fall back to
+    least-loaded when the request carries no profile.
+    """
+
+    name = "contention-aware"
+
+    def rank(self, feasible, request):
+        if request.m is None:
+            return min(feasible, key=lambda h: (h.load, h.name))
+
+        def balance_after(host: "Host") -> float:
+            current = host.mean_me_pressure()
+            count = len(host.resident)
+            new_mean = (current * count + request.m) / (count + 1)
+            return abs(new_mean - 0.5)
+
+        return min(feasible, key=lambda h: (balance_after(h), h.load, h.name))

@@ -1,0 +1,67 @@
+"""ML compiler substrate.
+
+The paper relies on an ML compiler (XLA-like) for three things:
+
+1. estimating per-operator ME/VE/HBM demands from tensor shapes
+   (:mod:`repro.compiler.cost_model`) -- this drives the workload
+   characterisation of SectionII-B and the vNPU allocator of SectionIII-B;
+2. partitioning operators into tiles that become uTOps
+   (:mod:`repro.compiler.tiling`, ROLLER-style even partitioning);
+3. lowering DNN graphs to either the conventional VLIW ISA or NeuISA
+   (:mod:`repro.compiler.lowering`), including operator fusion
+   (:mod:`repro.compiler.fusion`) and compile-time m/v profiling
+   (:mod:`repro.compiler.profiler`).
+"""
+
+from repro.compiler.cost_model import CostModel, OpCost
+from repro.compiler.graph import Graph, GraphNode
+from repro.compiler.lowering import (
+    CompiledGraph,
+    CompiledOp,
+    lower_graph_neuisa,
+    lower_graph_vliw,
+)
+from repro.compiler.operators import (
+    Conv2D,
+    DepthwiseConv2D,
+    Elementwise,
+    ElementwiseKind,
+    EmbeddingLookup,
+    LayerNorm,
+    MatMul,
+    Operator,
+    Pooling,
+    Reduction,
+    Softmax,
+)
+from repro.compiler.profiler import WorkloadProfile, profile_graph
+from repro.compiler.tensor import DType, TensorShape
+from repro.compiler.tiling import TilingPlan, tile_operator
+
+__all__ = [
+    "CompiledGraph",
+    "CompiledOp",
+    "Conv2D",
+    "CostModel",
+    "DType",
+    "DepthwiseConv2D",
+    "Elementwise",
+    "ElementwiseKind",
+    "EmbeddingLookup",
+    "Graph",
+    "GraphNode",
+    "LayerNorm",
+    "MatMul",
+    "OpCost",
+    "Operator",
+    "Pooling",
+    "Reduction",
+    "Softmax",
+    "TensorShape",
+    "TilingPlan",
+    "WorkloadProfile",
+    "lower_graph_neuisa",
+    "lower_graph_vliw",
+    "profile_graph",
+    "tile_operator",
+]

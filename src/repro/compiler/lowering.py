@@ -1,0 +1,383 @@
+"""Graph lowering: DNN graphs -> executable descriptors.
+
+Two backends mirror the paper's compilers:
+
+- :func:`lower_graph_vliw` -- the conventional VLIW backend.  Each ME
+  operator is compiled for a *fixed* number of MEs (baked into the
+  binary); the whole set behaves as one indivisible unit at runtime
+  (paper SectionII-C, Fig. 9).
+- :func:`lower_graph_neuisa` -- the NeuISA backend.  Each operator is
+  partitioned into up to ``nx`` uTOps (``nx`` = physical ME count, so a
+  program can scale from one ME to all of them without recompilation),
+  organised in uTOp groups; a reduction split appends a VE-combine group.
+
+Both produce :class:`CompiledGraph` -- the unit the cycle-level simulator
+executes.  For instruction-level studies (Fig. 6 and ISA tests) the
+module also lowers small matmuls to real instruction sequences.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.cost_model import CostModel, OpCost
+from repro.compiler.graph import Graph
+from repro.compiler.operators import ElementwiseKind, MatMul, Operator
+from repro.compiler.tiling import TilingPlan, tile_operator, vliw_me_count
+from repro.config import NpuCoreConfig
+from repro.errors import CompileError
+from repro.isa.control import ControlOp, ControlOpcode
+from repro.isa.program import NeuIsaProgram
+from repro.isa.utop import (
+    ExecutionTable,
+    UTopGroup,
+    UTopInstruction,
+    make_me_utop,
+    make_ve_utop,
+)
+from repro.isa.vliw import (
+    MatrixOp,
+    MatrixOpcode,
+    VectorOp,
+    VectorOpcode,
+    VliwInstruction,
+    VliwProgram,
+)
+
+_snippet_counter = itertools.count(0x1000, 0x40)
+
+
+def _fresh_snippet_addr() -> int:
+    return next(_snippet_counter)
+
+
+@dataclass
+class CompiledOp:
+    """One operator lowered for execution.
+
+    For NeuISA ops, ``groups`` carries the uTOp groups.  For VLIW ops the
+    coupling metadata describes the indivisible engine block the binary
+    demands: ``coupled_me_count`` MEs for ``me_cycles_per_engine`` cycles
+    each, with ``ve_cycles`` of vector work pipelined alongside.
+    """
+
+    name: str
+    op_index: int
+    isa: str  # "vliw" | "neuisa"
+    is_me_op: bool
+    cost: OpCost
+    groups: List[UTopGroup] = field(default_factory=list)
+    coupled_me_count: int = 0
+    me_cycles_per_engine: float = 0.0
+    ve_cycles: float = 0.0
+    hbm_bytes: float = 0.0
+    reduction_split: bool = False
+    ve_parallelism: int = 1
+
+    @property
+    def num_utops(self) -> int:
+        return sum(len(g.utops) for g in self.groups)
+
+    @property
+    def total_me_cycles(self) -> float:
+        if self.isa == "vliw":
+            return self.coupled_me_count * self.me_cycles_per_engine
+        return sum(g.total_me_cycles for g in self.groups)
+
+    @property
+    def total_ve_cycles(self) -> float:
+        if self.isa == "vliw":
+            return self.ve_cycles
+        return sum(g.total_ve_cycles for g in self.groups)
+
+
+@dataclass
+class CompiledGraph:
+    """A fully lowered DNN program, executed per inference request."""
+
+    name: str
+    isa: str
+    ops: List[CompiledOp] = field(default_factory=list)
+    core: Optional[NpuCoreConfig] = None
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def total_me_cycles(self) -> float:
+        return sum(op.total_me_cycles for op in self.ops)
+
+    @property
+    def total_ve_cycles(self) -> float:
+        return sum(op.total_ve_cycles for op in self.ops)
+
+    @property
+    def total_hbm_bytes(self) -> float:
+        return sum(op.hbm_bytes for op in self.ops)
+
+    def solo_lower_bound_cycles(self, num_mes: int, num_ves: int) -> float:
+        """Loose lower bound on one request's runtime: per-op critical
+        path with perfectly parallel engines.  Used for sanity checks."""
+        total = 0.0
+        for op in self.ops:
+            me = op.total_me_cycles / max(1, num_mes)
+            ve = op.total_ve_cycles / max(1, num_ves)
+            total += max(me, ve)
+        return total
+
+
+# ----------------------------------------------------------------------
+# VLIW backend
+# ----------------------------------------------------------------------
+def lower_graph_vliw(
+    graph: Graph,
+    core: NpuCoreConfig,
+    num_mes: int,
+    num_ves: int,
+    batch_hint: int = 1,
+) -> CompiledGraph:
+    """Compile for a fixed ``num_mes`` x ``num_ves`` engine allocation.
+
+    The returned ops are *coupled*: at runtime each ME op needs exactly
+    ``coupled_me_count`` MEs simultaneously -- it can neither shrink nor
+    grow (the VLIW limitation Neu10 removes).
+    """
+    if num_mes < 1 or num_ves < 1:
+        raise CompileError("VLIW lowering needs at least 1 ME and 1 VE")
+    model = CostModel(core)
+    compiled = CompiledGraph(name=graph.name, isa="vliw", core=core)
+    for idx, node in enumerate(graph.topo_order()):
+        cost = model.cost(node.op)
+        if node.op.is_me_op:
+            coupled = vliw_me_count(cost, num_mes)
+            compiled.ops.append(
+                CompiledOp(
+                    name=node.name,
+                    op_index=idx,
+                    isa="vliw",
+                    is_me_op=True,
+                    cost=cost,
+                    coupled_me_count=coupled,
+                    me_cycles_per_engine=cost.me_cycles / max(1, coupled),
+                    ve_cycles=cost.ve_cycles,
+                    hbm_bytes=cost.hbm_bytes,
+                )
+            )
+        else:
+            compiled.ops.append(
+                CompiledOp(
+                    name=node.name,
+                    op_index=idx,
+                    isa="vliw",
+                    is_me_op=False,
+                    cost=cost,
+                    coupled_me_count=0,
+                    me_cycles_per_engine=0.0,
+                    ve_cycles=cost.ve_cycles,
+                    hbm_bytes=cost.hbm_bytes,
+                    ve_parallelism=max(1, min(num_ves, cost.parallel_tiles)),
+                )
+            )
+    return compiled
+
+
+# ----------------------------------------------------------------------
+# NeuISA backend
+# ----------------------------------------------------------------------
+def lower_graph_neuisa(
+    graph: Graph,
+    core: NpuCoreConfig,
+    nx: Optional[int] = None,
+    batch_hint: int = 1,
+) -> CompiledGraph:
+    """Compile to uTOp groups for a core with ``nx`` MEs (defaults to the
+    physical count, letting the program scale to every ME at runtime)."""
+    nx = core.num_mes if nx is None else nx
+    if nx < 1:
+        raise CompileError("NeuISA lowering needs nx >= 1")
+    model = CostModel(core)
+    compiled = CompiledGraph(name=graph.name, isa="neuisa", core=core)
+    for idx, node in enumerate(graph.topo_order()):
+        cost = model.cost(node.op)
+        plan = tile_operator(node.op, cost, nx, core, batch_hint=batch_hint)
+        groups = _plan_to_groups(node.name, node.op, plan, core)
+        compiled.ops.append(
+            CompiledOp(
+                name=node.name,
+                op_index=idx,
+                isa="neuisa",
+                is_me_op=node.op.is_me_op,
+                cost=cost,
+                groups=groups,
+                hbm_bytes=cost.hbm_bytes,
+                ve_cycles=cost.ve_cycles,
+                reduction_split=plan.reduction_split,
+                ve_parallelism=plan.ve_parallelism,
+            )
+        )
+    return compiled
+
+
+def _plan_to_groups(
+    op_name: str, op: Operator, plan: TilingPlan, core: NpuCoreConfig
+) -> List[UTopGroup]:
+    groups: List[UTopGroup] = []
+    if op.is_me_op:
+        # Tiles of the same operator share one code snippet (paper:
+        # "NeuISA minimizes code inflation by sharing the same code
+        # snippet among uTOps").
+        shared_addr = _fresh_snippet_addr()
+        me_utops = [
+            make_me_utop(
+                snippet_addr=shared_addr,
+                me_cycles=tile.me_cycles,
+                ve_cycles=tile.ve_cycles,
+                hbm_bytes=tile.hbm_bytes,
+                sram_bytes=tile.sram_bytes,
+                label=f"{op_name}.tile{i}",
+            )
+            for i, tile in enumerate(plan.tiles)
+        ]
+        groups.append(UTopGroup(me_utops=me_utops, label=op_name))
+        if plan.combine is not None:
+            combine_utop = make_ve_utop(
+                snippet_addr=_fresh_snippet_addr(),
+                ve_cycles=plan.combine.ve_cycles,
+                hbm_bytes=plan.combine.hbm_bytes,
+                sram_bytes=plan.combine.sram_bytes,
+                parallelism=core.num_ves,
+                label=f"{op_name}.combine",
+            )
+            groups.append(UTopGroup(ve_utop=combine_utop, label=f"{op_name}.combine"))
+    else:
+        tile = plan.tiles[0]
+        ve_utop = make_ve_utop(
+            snippet_addr=_fresh_snippet_addr(),
+            ve_cycles=tile.ve_cycles,
+            hbm_bytes=tile.hbm_bytes,
+            sram_bytes=tile.sram_bytes,
+            parallelism=max(1, min(core.num_ves, plan.ve_parallelism)),
+            label=op_name,
+        )
+        groups.append(UTopGroup(ve_utop=ve_utop, label=op_name))
+    return groups
+
+
+# ----------------------------------------------------------------------
+# Instruction-level lowering for small matmuls (Fig. 6 / ISA studies)
+# ----------------------------------------------------------------------
+def lower_matmul_instructions_vliw(
+    matmul: MatMul, num_mes: int, num_ves: int, pops_per_tile: int = 16
+) -> VliwProgram:
+    """Lower a small fused MatMul(+activation) to actual VLIW words.
+
+    The emitted pattern reproduces paper Fig. 6: each instruction pops an
+    8x128 output vector from every coupled ME (8-cycle latency), and the
+    following instruction post-processes the popped vectors on the VEs
+    (1 cycle) -- leaving VEs idle most of the time.
+    """
+    if num_mes < 1 or num_ves < 1:
+        raise CompileError("need at least one ME and one VE")
+    program = VliwProgram(
+        instructions=[], num_mes_used=num_mes, num_ves_used=num_ves,
+        name=f"{matmul.name}-vliw",
+    )
+    activation = (
+        VectorOpcode.RELU
+        if ElementwiseKind.RELU in matmul.epilogue
+        else VectorOpcode.COPY
+    )
+    reg = 0
+    for _ in range(pops_per_tile):
+        pops = tuple(
+            MatrixOp(MatrixOpcode.POP, engine=e, dst=reg + e) for e in range(num_mes)
+        )
+        program.append(
+            VliwInstruction.build(
+                me_ops=pops,
+                num_me_slots=num_mes,
+                num_ve_slots=num_ves,
+            )
+        )
+        post = tuple(
+            VectorOp(activation, engine=v, dst=reg + v, src_a=reg + v)
+            for v in range(min(num_ves, num_mes))
+        )
+        program.append(
+            VliwInstruction.build(
+                ve_ops=post,
+                num_me_slots=num_mes,
+                num_ve_slots=num_ves,
+            )
+        )
+        reg = (reg + num_mes) % 64
+    return program
+
+
+def lower_matmul_instructions_neuisa(
+    matmul: MatMul, nx: int, ny: int, pops_per_tile: int = 16
+) -> NeuIsaProgram:
+    """Lower the same fused MatMul to a NeuISA program: one ME uTOp per
+    tile, all sharing a single code snippet (paper Figs. 8/13)."""
+    if nx < 1 or ny < 1:
+        raise CompileError("need at least one ME and one VE")
+    activation = (
+        VectorOpcode.RELU
+        if ElementwiseKind.RELU in matmul.epilogue
+        else VectorOpcode.COPY
+    )
+    body: List[UTopInstruction] = []
+    for i in range(pops_per_tile):
+        body.append(
+            UTopInstruction(
+                me_slot=MatrixOp(MatrixOpcode.POP, engine=0, dst=i % 64),
+                ve_slots=tuple(
+                    VectorOp(VectorOpcode.NOP) for _ in range(ny)
+                ),
+            )
+        )
+        last = i == pops_per_tile - 1
+        body.append(
+            UTopInstruction(
+                ve_slots=(
+                    VectorOp(activation, engine=0, dst=i % 64, src_a=i % 64),
+                )
+                + tuple(VectorOp(VectorOpcode.NOP) for _ in range(ny - 1)),
+                control=ControlOp(ControlOpcode.FINISH) if last else None,
+            )
+        )
+    addr = _fresh_snippet_addr()
+    me_utops = [
+        make_me_utop(
+            snippet_addr=addr,
+            me_cycles=float(pops_per_tile * 8),
+            ve_cycles=float(pops_per_tile),
+            label=f"{matmul.name}.tile{t}",
+            instructions=body,
+        )
+        for t in range(nx)
+    ]
+    table = ExecutionTable(nx=nx, ny=ny)
+    table.append(UTopGroup(me_utops=me_utops, label=matmul.name))
+    return NeuIsaProgram(
+        table=table, snippets={addr: body}, name=f"{matmul.name}-neuisa"
+    )
+
+
+def vliw_ve_idle_fraction(program: VliwProgram) -> float:
+    """Fraction of issue cycles during which every VE slot is idle --
+    quantifies the VE under-utilisation of paper Fig. 6."""
+    idle = 0
+    total = 0
+    for inst in program.instructions:
+        cycles = inst.issue_cycles
+        total += cycles
+        if not inst.active_ves:
+            idle += cycles
+        else:
+            idle += cycles - 1  # VE ops retire in one cycle
+    if total == 0:
+        return 0.0
+    return idle / total

@@ -1,0 +1,432 @@
+"""Operator taxonomy for the compiler substrate.
+
+Operators carry only the shape parameters the cost model needs.  Two
+families matter to the paper:
+
+- **ME operators** (matrix multiplication, convolution) run on the
+  systolic-array matrix engines, with optional fused VE epilogues
+  (bias add, activation) -- paper Fig. 6/8.
+- **VE operators** (elementwise math, normalisation, softmax, reductions,
+  embedding lookups, pooling) run purely on the vector engines.
+
+Every operator exposes ``flops`` and HBM traffic estimates; the cost
+model (:mod:`repro.compiler.cost_model`) turns these into ME/VE cycles
+for a concrete core configuration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.compiler.tensor import DType, TensorShape
+from repro.errors import CompileError
+
+
+class ElementwiseKind(enum.Enum):
+    """Vector-engine elementwise operations with their per-element
+    cost factor (how many VE lane-ops one element costs)."""
+
+    RELU = ("relu", 1.0)
+    GELU = ("gelu", 4.0)
+    SIGMOID = ("sigmoid", 3.0)
+    TANH = ("tanh", 3.0)
+    ADD = ("add", 1.0)
+    MUL = ("mul", 1.0)
+    SWISH = ("swish", 4.0)
+    COPY = ("copy", 1.0)
+
+    def __init__(self, label: str, cost_factor: float) -> None:
+        self.label = label
+        self.cost_factor = cost_factor
+
+
+@dataclass
+class Operator:
+    """Base class for all operators."""
+
+    name: str
+
+    @property
+    def is_me_op(self) -> bool:
+        """True when the operator's main work runs on matrix engines."""
+        return False
+
+    @property
+    def flops(self) -> float:
+        """Floating-point operations performed by the operator."""
+        raise NotImplementedError
+
+    @property
+    def input_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def output_bytes(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def weight_bytes(self) -> int:
+        return 0
+
+    @property
+    def hbm_bytes(self) -> float:
+        """Unique HBM traffic: inputs + outputs + weights."""
+        return float(self.input_bytes + self.output_bytes + self.weight_bytes)
+
+
+@dataclass
+class MatMul(Operator):
+    """Dense matrix multiplication ``[m, k] @ [k, n] -> [m, n]``.
+
+    ``epilogue`` lists fused VE operations applied to the output (bias
+    add, activation); the compiler fusion pass populates it.
+    """
+
+    m: int = 1
+    k: int = 1
+    n: int = 1
+    dtype: DType = DType.FP32
+    epilogue: List[ElementwiseKind] = field(default_factory=list)
+    #: True when the weight matrix streams from HBM (e.g. MLP layers);
+    #: False when it is resident in SRAM across invocations.
+    weights_streamed: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) < 1:
+            raise CompileError("MatMul dimensions must be positive")
+
+    @property
+    def is_me_op(self) -> bool:
+        return True
+
+    @property
+    def flops(self) -> float:
+        return 2.0 * self.m * self.k * self.n
+
+    @property
+    def input_bytes(self) -> int:
+        return self.m * self.k * self.dtype.nbytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.m * self.n * self.dtype.nbytes
+
+    @property
+    def weight_bytes(self) -> int:
+        if not self.weights_streamed:
+            return 0
+        return self.k * self.n * self.dtype.nbytes
+
+    @property
+    def output_elements(self) -> int:
+        return self.m * self.n
+
+
+@dataclass
+class Conv2D(Operator):
+    """2-D convolution, modelled through its im2col MatMul equivalent."""
+
+    batch: int = 1
+    in_h: int = 1
+    in_w: int = 1
+    in_ch: int = 1
+    out_ch: int = 1
+    kernel: int = 1
+    stride: int = 1
+    dtype: DType = DType.FP32
+    epilogue: List[ElementwiseKind] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if min(self.batch, self.in_h, self.in_w, self.in_ch, self.out_ch) < 1:
+            raise CompileError("Conv2D dimensions must be positive")
+        if self.kernel < 1 or self.stride < 1:
+            raise CompileError("kernel and stride must be positive")
+
+    @property
+    def out_h(self) -> int:
+        return max(1, self.in_h // self.stride)
+
+    @property
+    def out_w(self) -> int:
+        return max(1, self.in_w // self.stride)
+
+    def as_matmul_dims(self) -> Tuple[int, int, int]:
+        """(m, k, n) of the im2col-lowered matrix multiplication."""
+        m = self.batch * self.out_h * self.out_w
+        k = self.kernel * self.kernel * self.in_ch
+        n = self.out_ch
+        return m, k, n
+
+    @property
+    def is_me_op(self) -> bool:
+        return True
+
+    @property
+    def flops(self) -> float:
+        m, k, n = self.as_matmul_dims()
+        return 2.0 * m * k * n
+
+    @property
+    def input_bytes(self) -> int:
+        return self.batch * self.in_h * self.in_w * self.in_ch * self.dtype.nbytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.batch * self.out_h * self.out_w * self.out_ch * self.dtype.nbytes
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.kernel * self.kernel * self.in_ch * self.out_ch * self.dtype.nbytes
+
+    @property
+    def output_elements(self) -> int:
+        return self.batch * self.out_h * self.out_w * self.out_ch
+
+
+@dataclass
+class DepthwiseConv2D(Operator):
+    """Depthwise convolution.
+
+    Its arithmetic intensity is far too low for a 128x128 systolic array
+    (one MAC column per channel), so production compilers map it to the
+    vector engines; we follow that convention, which is what makes
+    EfficientNet comparatively VE-hungry (paper Fig. 4).
+    """
+
+    batch: int = 1
+    in_h: int = 1
+    in_w: int = 1
+    channels: int = 1
+    kernel: int = 3
+    stride: int = 1
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if min(self.batch, self.in_h, self.in_w, self.channels) < 1:
+            raise CompileError("DepthwiseConv2D dimensions must be positive")
+
+    @property
+    def out_h(self) -> int:
+        return max(1, self.in_h // self.stride)
+
+    @property
+    def out_w(self) -> int:
+        return max(1, self.in_w // self.stride)
+
+    @property
+    def flops(self) -> float:
+        return (
+            2.0
+            * self.batch
+            * self.out_h
+            * self.out_w
+            * self.channels
+            * self.kernel
+            * self.kernel
+        )
+
+    @property
+    def input_bytes(self) -> int:
+        return self.batch * self.in_h * self.in_w * self.channels * self.dtype.nbytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.batch * self.out_h * self.out_w * self.channels * self.dtype.nbytes
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.kernel * self.kernel * self.channels * self.dtype.nbytes
+
+
+@dataclass
+class Elementwise(Operator):
+    """Pure elementwise VE operator over ``elements`` values."""
+
+    kind: ElementwiseKind = ElementwiseKind.RELU
+    elements: int = 1
+    dtype: DType = DType.FP32
+    #: Number of distinct input tensors (2 for add/mul, 1 for relu...).
+    arity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.elements < 1:
+            raise CompileError("elementwise needs at least one element")
+        if self.arity < 1:
+            raise CompileError("arity must be positive")
+
+    @property
+    def flops(self) -> float:
+        return self.elements * self.kind.cost_factor
+
+    @property
+    def input_bytes(self) -> int:
+        return self.arity * self.elements * self.dtype.nbytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.dtype.nbytes
+
+
+@dataclass
+class Softmax(Operator):
+    """Row-wise softmax: ~4 VE passes (max, sub+exp, sum, div)."""
+
+    rows: int = 1
+    cols: int = 1
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise CompileError("softmax dimensions must be positive")
+
+    @property
+    def elements(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def flops(self) -> float:
+        return 4.0 * self.elements
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.dtype.nbytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.dtype.nbytes
+
+
+@dataclass
+class LayerNorm(Operator):
+    """Layer normalisation: ~3 VE passes (mean, var, normalise)."""
+
+    rows: int = 1
+    cols: int = 1
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise CompileError("layernorm dimensions must be positive")
+
+    @property
+    def elements(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def flops(self) -> float:
+        return 3.0 * self.elements
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.dtype.nbytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.elements * self.dtype.nbytes
+
+
+@dataclass
+class Reduction(Operator):
+    """Reduce ``elements`` values down to ``outputs`` values on the VEs."""
+
+    elements: int = 1
+    outputs: int = 1
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if self.elements < 1 or self.outputs < 1:
+            raise CompileError("reduction sizes must be positive")
+
+    @property
+    def flops(self) -> float:
+        return float(self.elements)
+
+    @property
+    def input_bytes(self) -> int:
+        return self.elements * self.dtype.nbytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.outputs * self.dtype.nbytes
+
+
+@dataclass
+class EmbeddingLookup(Operator):
+    """Sparse embedding gather: dominated by HBM traffic (DLRM/NCF).
+
+    ``table_bytes`` is informational (HBM footprint); traffic is
+    ``num_lookups * dim`` elements gathered plus pooling output.
+    """
+
+    num_lookups: int = 1
+    dim: int = 1
+    table_bytes: int = 0
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if self.num_lookups < 1 or self.dim < 1:
+            raise CompileError("embedding lookup sizes must be positive")
+
+    @property
+    def flops(self) -> float:
+        # pooling (sum) across gathered rows
+        return float(self.num_lookups * self.dim)
+
+    @property
+    def input_bytes(self) -> int:
+        return self.num_lookups * self.dim * self.dtype.nbytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.dim * self.dtype.nbytes
+
+
+@dataclass
+class Pooling(Operator):
+    """Spatial pooling on the VEs."""
+
+    batch: int = 1
+    in_h: int = 1
+    in_w: int = 1
+    channels: int = 1
+    window: int = 2
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if min(self.batch, self.in_h, self.in_w, self.channels) < 1:
+            raise CompileError("pooling dimensions must be positive")
+        if self.window < 1:
+            raise CompileError("pooling window must be positive")
+
+    @property
+    def out_h(self) -> int:
+        return max(1, self.in_h // self.window)
+
+    @property
+    def out_w(self) -> int:
+        return max(1, self.in_w // self.window)
+
+    @property
+    def flops(self) -> float:
+        return float(
+            self.batch * self.out_h * self.out_w * self.channels * self.window**2
+        )
+
+    @property
+    def input_bytes(self) -> int:
+        return self.batch * self.in_h * self.in_w * self.channels * self.dtype.nbytes
+
+    @property
+    def output_bytes(self) -> int:
+        return self.batch * self.out_h * self.out_w * self.channels * self.dtype.nbytes
+
+
+def me_equivalent_dims(op: Operator) -> Optional[Tuple[int, int, int]]:
+    """(m, k, n) MatMul dimensions of an ME operator, or None."""
+    if isinstance(op, MatMul):
+        return op.m, op.k, op.n
+    if isinstance(op, Conv2D):
+        return op.as_matmul_dims()
+    return None

@@ -1,0 +1,69 @@
+"""Tensor shapes and data types for the compiler substrate."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.errors import CompileError
+
+
+class DType(enum.Enum):
+    """Element data types with their storage size in bytes."""
+
+    FP32 = ("fp32", 4)
+    BF16 = ("bf16", 2)
+    INT8 = ("int8", 1)
+
+    def __init__(self, label: str, nbytes: int) -> None:
+        self.label = label
+        self.nbytes = nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DType.{self.name}"
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """An immutable tensor shape plus dtype."""
+
+    dims: Tuple[int, ...]
+    dtype: DType = DType.FP32
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise CompileError("a tensor needs at least one dimension")
+        for d in self.dims:
+            if d < 1:
+                raise CompileError(f"dimension {d} must be positive")
+
+    @staticmethod
+    def of(*dims: int, dtype: DType = DType.FP32) -> "TensorShape":
+        return TensorShape(tuple(dims), dtype)
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def num_elements(self) -> int:
+        return math.prod(self.dims)
+
+    @property
+    def nbytes(self) -> int:
+        return self.num_elements * self.dtype.nbytes
+
+    def with_dim(self, axis: int, size: int) -> "TensorShape":
+        dims = list(self.dims)
+        dims[axis] = size
+        return TensorShape(tuple(dims), self.dtype)
+
+    def __str__(self) -> str:
+        inner = "x".join(str(d) for d in self.dims)
+        return f"{inner}:{self.dtype.label}"
+
+
+def total_bytes(shapes: Iterable[TensorShape]) -> int:
+    return sum(s.nbytes for s in shapes)

@@ -1,0 +1,187 @@
+"""ROLLER-style operator tiling (paper SectionIII-D, compiler support).
+
+NeuISA asks the compiler to partition each tensor operator into up to
+``nx`` tiles, one per potential ME, so the hardware can pick how many to
+run concurrently.  The partitioning rules follow the paper:
+
+- prefer splitting *parallel* output dimensions (batch / rows / columns):
+  tiles are then fully independent;
+- split the *reduction* dimension only when the parallel dimensions do
+  not provide enough tiles; this requires a separate VE combine step in a
+  following uTOp group, which is the main source of NeuISA overhead
+  (paper Fig. 16) because it breaks ME/VE pipelining;
+- never create more tiles than there is work (tiny operators stay whole).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.compiler.cost_model import OpCost
+from repro.compiler.operators import Operator
+from repro.config import NpuCoreConfig
+from repro.errors import CompileError
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """Costs of one tile (one future uTOp)."""
+
+    me_cycles: float
+    ve_cycles: float
+    hbm_bytes: float
+    sram_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.me_cycles < 0 or self.ve_cycles < 0:
+            raise CompileError("tile cycle costs cannot be negative")
+
+
+@dataclass
+class TilingPlan:
+    """The compiler's partitioning decision for one operator."""
+
+    op_name: str
+    tiles: List[TileSpec] = field(default_factory=list)
+    #: True when the reduction dimension was split across tiles.
+    reduction_split: bool = False
+    #: VE work needed to combine partial sums after a reduction split;
+    #: it must run in a separate uTOp group (cannot pipeline with MEs).
+    combine: Optional[TileSpec] = None
+    #: Parallelism available to a VE operator (chunks the VEs can share).
+    ve_parallelism: int = 1
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def total_me_cycles(self) -> float:
+        total = sum(t.me_cycles for t in self.tiles)
+        if self.combine is not None:
+            total += self.combine.me_cycles
+        return total
+
+    @property
+    def total_ve_cycles(self) -> float:
+        total = sum(t.ve_cycles for t in self.tiles)
+        if self.combine is not None:
+            total += self.combine.ve_cycles
+        return total
+
+
+def tile_operator(
+    op: Operator,
+    cost: OpCost,
+    nx: int,
+    core: NpuCoreConfig,
+    batch_hint: int = 1,
+) -> TilingPlan:
+    """Partition ``op`` into at most ``nx`` tiles.
+
+    ``batch_hint`` tells the tiler how large the batch dimension is; with
+    large batches the parallel dimensions usually already provide ``nx``
+    tiles, so the reduction dimension stays intact and NeuISA overhead
+    vanishes (paper SectionIII-D, "The overhead is smaller for larger
+    batch sizes").
+    """
+    if nx < 1:
+        raise CompileError("cannot tile for fewer than one ME")
+    if not op.is_me_op:
+        return _tile_ve_operator(op, cost)
+
+    parallel_avail = cost.parallel_tiles
+    num_parallel = min(nx, parallel_avail)
+    reduction_splits = 1
+    if num_parallel < nx and cost.reduction_tiles > 1:
+        # Not enough parallel tiles: split the reduction dimension to
+        # reach nx total tiles (bounded by available k-tiles).
+        reduction_splits = min(
+            cost.reduction_tiles, max(1, nx // max(1, num_parallel))
+        )
+    num_tiles = max(1, min(nx, num_parallel * reduction_splits))
+
+    per_me = cost.me_cycles / num_tiles
+    per_ve = cost.ve_cycles / num_tiles
+    per_hbm = cost.hbm_bytes / num_tiles
+    tiles = [
+        TileSpec(
+            me_cycles=per_me,
+            ve_cycles=per_ve,
+            hbm_bytes=per_hbm,
+            sram_bytes=cost.sram_bytes,
+        )
+        for _ in range(num_tiles)
+    ]
+
+    combine: Optional[TileSpec] = None
+    reduction_split = reduction_splits > 1
+    if reduction_split:
+        # Partial sums from each reduction chunk must be added on the VEs
+        # in a separate uTOp group: (splits - 1) elementwise adds over the
+        # output tile, plus traffic to spill/reload the partials.
+        out_bytes = float(op.output_bytes)
+        add_elements = (reduction_splits - 1) * out_bytes / 4.0
+        combine_cycles = max(1.0, add_elements / core.ve_flops_per_cycle)
+        combine = TileSpec(
+            me_cycles=0.0,
+            ve_cycles=combine_cycles,
+            hbm_bytes=0.0,
+            sram_bytes=cost.sram_bytes,
+        )
+
+    return TilingPlan(
+        op_name=op.name,
+        tiles=tiles,
+        reduction_split=reduction_split,
+        combine=combine,
+        ve_parallelism=1,
+    )
+
+
+def _tile_ve_operator(op: Operator, cost: OpCost) -> TilingPlan:
+    """A VE operator stays one uTOp; its parallelism tells the scheduler
+    how many VEs it can productively occupy at once."""
+    tile = TileSpec(
+        me_cycles=0.0,
+        ve_cycles=cost.ve_cycles,
+        hbm_bytes=cost.hbm_bytes,
+        sram_bytes=cost.sram_bytes,
+    )
+    return TilingPlan(
+        op_name=op.name,
+        tiles=[tile],
+        ve_parallelism=max(1, cost.parallel_tiles),
+    )
+
+
+def vliw_me_count(cost: OpCost, available_mes: int) -> int:
+    """How many MEs the VLIW compiler statically targets for an ME op.
+
+    The conventional compiler also tiles, but bakes the ME count into the
+    binary: it picks the count that keeps every targeted ME busy
+    (bounded by available tiles), mirroring "the ML compiler picks the
+    number of compute units for each operator to maximize the overall
+    efficiency" (paper SectionII-B).
+    """
+    if cost.me_cycles <= 0:
+        return 0
+    usable = min(available_mes, cost.parallel_tiles * cost.reduction_tiles)
+    return max(1, usable)
+
+
+def compiler_demanded_engines(
+    cost: OpCost, max_mes: int, max_ves: int
+) -> "tuple[int, int]":
+    """(MEs, VEs) the compiler would demand for an operator, used by the
+    characterisation experiments (paper Figs. 2/3)."""
+    if cost.me_cycles > 0:
+        mes = min(max_mes, cost.parallel_tiles * cost.reduction_tiles)
+        mes = max(1, mes)
+        ve_ratio = cost.ve_cycles / max(cost.me_cycles, 1e-9)
+        ves = min(max_ves, max(1, math.ceil(ve_ratio * mes)))
+        return mes, ves
+    ves = min(max_ves, max(1, cost.parallel_tiles))
+    return 0, ves

@@ -1,0 +1,37 @@
+"""Neu10 core: the vNPU abstraction and its resource management.
+
+- :mod:`repro.core.vnpu` -- the vNPU configuration (paper Fig. 10) and
+  instance lifecycle.
+- :mod:`repro.core.allocator` -- the analytic ME/VE allocator
+  (paper SectionIII-B, Eqs. 1-4).
+- :mod:`repro.core.mapper` -- vNPU -> pNPU placement policies
+  (paper SectionIII-C).
+- :mod:`repro.core.manager` -- the vNPU manager (host kernel module in
+  the paper's KVM integration): resource tracking, create/resize/free.
+"""
+
+from repro.core.allocator import (
+    AllocationResult,
+    VnpuAllocator,
+    optimal_me_ve_ratio,
+    split_eu_budget,
+    utilization,
+)
+from repro.core.manager import VnpuManager
+from repro.core.mapper import MappingMode, PnpuState, VnpuMapper
+from repro.core.vnpu import VnpuConfig, VnpuInstance, VnpuState
+
+__all__ = [
+    "AllocationResult",
+    "MappingMode",
+    "PnpuState",
+    "VnpuAllocator",
+    "VnpuConfig",
+    "VnpuInstance",
+    "VnpuManager",
+    "VnpuMapper",
+    "VnpuState",
+    "optimal_me_ve_ratio",
+    "split_eu_budget",
+    "utilization",
+]

@@ -1,0 +1,177 @@
+"""The vNPU resource allocator (paper SectionIII-B, Eqs. 1-4).
+
+Users specify a total execution-unit (EU) budget; the allocator picks
+the ME:VE split that maximises EU utilisation for the workload, using
+the compile-time profile ratios ``m`` (ME active / total) and ``v`` (VE
+active / total):
+
+- Normalised execution time on ``nm`` MEs and ``nv`` VEs (Eq. 1)::
+
+      T = (1 - v)/nm + (1 - m)/nv + (m + v - 1)/min(nm, nv)
+
+- EU utilisation (Eq. 2) is the ratio of the hypothetical time
+  ``(m + v)/(nm + nv)`` to ``T``.
+
+- The closed-form optimum (Eq. 4)::
+
+      k = nm/nv = sqrt(m / (1 - m))       if m < 0.5
+                = sqrt((1 - v) / v)       if v < 0.5
+                = 1                       if m >= 0.5 and v >= 0.5
+
+Every vNPU gets at least one ME and one VE.  Memory sizing follows the
+paper's defaults: the compiler-estimated HBM footprint, and SRAM
+proportional to the ME count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.compiler.profiler import WorkloadProfile
+from repro.config import NpuCoreConfig, SRAM_SEGMENT_BYTES, HBM_SEGMENT_BYTES
+from repro.core.vnpu import VnpuConfig
+from repro.errors import AllocationError
+
+
+def execution_time(m: float, v: float, nm: int, nv: int) -> float:
+    """Eq. 1: normalised execution time on ``nm`` MEs and ``nv`` VEs."""
+    _check_profile(m, v)
+    if nm < 1 or nv < 1:
+        raise AllocationError("need at least one ME and one VE")
+    return (1.0 - v) / nm + (1.0 - m) / nv + (m + v - 1.0) / min(nm, nv)
+
+
+def utilization(m: float, v: float, nm: int, nv: int) -> float:
+    """Eq. 2: total EU utilisation of the (nm, nv) configuration."""
+    hypothetical = (m + v) / (nm + nv)
+    return hypothetical / execution_time(m, v, nm, nv)
+
+
+def optimal_me_ve_ratio(m: float, v: float) -> float:
+    """Eq. 4: the utilisation-maximising ratio ``k = nm / nv``."""
+    _check_profile(m, v)
+    if m >= 0.5 and v >= 0.5:
+        return 1.0
+    if m < 0.5:
+        return math.sqrt(m / (1.0 - m))
+    if v <= 0.0:
+        # Pure-ME workload: as many MEs as the budget allows.
+        return math.inf
+    return math.sqrt((1.0 - v) / v)
+
+
+def split_eu_budget(m: float, v: float, total_eus: int) -> Tuple[int, int]:
+    """Split ``total_eus`` into (num_MEs, num_VEs) following Eq. 4.
+
+    The continuous optimum is rounded to integers by scanning the two
+    neighbouring splits and keeping the one with higher Eq.-2
+    utilisation; each side gets at least one unit.
+    """
+    if total_eus < 2:
+        raise AllocationError("a vNPU needs at least 2 EUs (1 ME + 1 VE)")
+    k = optimal_me_ve_ratio(m, v)
+    if math.isinf(k):
+        nm_real = float(total_eus - 1)
+    else:
+        nm_real = total_eus * k / (1.0 + k)
+    best: Optional[Tuple[int, int]] = None
+    best_util = -1.0
+    for nm in {
+        max(1, min(total_eus - 1, math.floor(nm_real))),
+        max(1, min(total_eus - 1, math.ceil(nm_real))),
+    }:
+        nv = total_eus - nm
+        util = utilization(m, v, nm, nv)
+        if util > best_util:
+            best, best_util = (nm, nv), util
+    assert best is not None
+    return best
+
+
+def _check_profile(m: float, v: float) -> None:
+    if not 0.0 <= m <= 1.0 or not 0.0 <= v <= 1.0:
+        raise AllocationError(f"profile ratios must lie in [0, 1]: m={m}, v={v}")
+    if m + v < 1.0 - 1e-9:
+        raise AllocationError(
+            "m + v must be >= 1 (at least one engine type is always active); "
+            f"got m={m}, v={v}"
+        )
+
+
+@dataclass(frozen=True)
+class AllocationResult:
+    """Outcome of allocating a vNPU for one workload."""
+
+    num_mes: int
+    num_ves: int
+    sram_bytes: int
+    hbm_bytes: int
+    predicted_utilization: float
+    m: float
+    v: float
+
+    def as_vnpu_config(self) -> VnpuConfig:
+        return VnpuConfig(
+            num_chips=1,
+            num_cores_per_chip=1,
+            num_mes_per_core=self.num_mes,
+            num_ves_per_core=self.num_ves,
+            sram_bytes_per_core=self.sram_bytes,
+            hbm_bytes_per_core=self.hbm_bytes,
+        )
+
+
+class VnpuAllocator:
+    """Compile-time tool that sizes a vNPU for a workload profile."""
+
+    def __init__(self, core: NpuCoreConfig) -> None:
+        self.core = core
+
+    def allocate(
+        self,
+        profile: WorkloadProfile,
+        total_eus: int,
+        hbm_footprint_bytes: Optional[int] = None,
+    ) -> AllocationResult:
+        """Pick the ME/VE split and memory sizes for ``total_eus``.
+
+        ``hbm_footprint_bytes`` defaults to the compiler estimate (the
+        workload's total weight + activation traffic is a proxy here).
+        SRAM is allocated proportionally to the ME share -- "more MEs
+        usually indicate larger tile sizes" (SectionIII-B) -- in whole
+        2 MB protection segments.
+        """
+        m, v = profile.m, profile.v
+        num_mes, num_ves = split_eu_budget(m, v, total_eus)
+        num_mes = min(num_mes, self.core.num_mes)
+        num_ves = min(num_ves, self.core.num_ves)
+
+        me_share = num_mes / self.core.num_mes
+        sram_segments = max(1, int(self.core.num_sram_segments * me_share))
+        sram_bytes = sram_segments * SRAM_SEGMENT_BYTES
+
+        if hbm_footprint_bytes is None:
+            hbm_footprint_bytes = int(
+                min(profile.total_hbm_bytes, self.core.hbm_bytes)
+            )
+        hbm_segments = max(
+            1, math.ceil(hbm_footprint_bytes / HBM_SEGMENT_BYTES)
+        )
+        hbm_segments = min(hbm_segments, self.core.num_hbm_segments)
+        hbm_bytes = hbm_segments * HBM_SEGMENT_BYTES
+
+        return AllocationResult(
+            num_mes=num_mes,
+            num_ves=num_ves,
+            sram_bytes=sram_bytes,
+            hbm_bytes=hbm_bytes,
+            predicted_utilization=utilization(m, v, num_mes, num_ves),
+            m=m,
+            v=v,
+        )
+
+    def sweep(self, profile: WorkloadProfile, max_eus: int) -> "list[AllocationResult]":
+        """Allocation for every EU budget in [2, max_eus] (paper Fig. 12)."""
+        return [self.allocate(profile, eus) for eus in range(2, max_eus + 1)]

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the Neu10 reproduction.
+
+Every error raised by this library derives from :class:`Neu10Error`, so
+callers can catch one type at an API boundary.  Subsystems define narrower
+types below so tests and users can distinguish configuration mistakes from
+runtime faults (for example an IOMMU DMA fault versus an invalid vNPU
+request).
+"""
+
+from __future__ import annotations
+
+
+class Neu10Error(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(Neu10Error):
+    """An invalid hardware or vNPU configuration was supplied."""
+
+
+class AllocationError(Neu10Error):
+    """The vNPU allocator or manager could not satisfy a request."""
+
+
+class MappingError(Neu10Error):
+    """No feasible vNPU-to-pNPU mapping exists for a request."""
+
+
+class IsaError(Neu10Error):
+    """Malformed NeuISA or VLIW program or instruction."""
+
+
+class CompileError(Neu10Error):
+    """The compiler substrate could not lower a graph."""
+
+
+class SimulationError(Neu10Error):
+    """Internal inconsistency detected by the simulator."""
+
+
+class SchedulerError(SimulationError):
+    """A scheduling policy violated one of its invariants."""
+
+
+class VirtualizationError(Neu10Error):
+    """Control-plane failure in the hypervisor/driver substrate."""
+
+
+class HypercallError(VirtualizationError):
+    """A guest hypercall was rejected by the hypervisor."""
+
+
+class DmaFault(VirtualizationError):
+    """The IOMMU rejected a DMA access (invalid segment or bounds)."""
+
+
+class MmioError(VirtualizationError):
+    """An MMIO access hit an unmapped or read-only register."""
+
+
+class SegmentationFault(Neu10Error):
+    """An NPU-side memory access fell outside the vNPU's segments."""
+
+
+class CommandRingError(VirtualizationError):
+    """Command ring misuse (overflow, bad opcode, double completion)."""
+
+
+class LifecycleError(Neu10Error):
+    """A vNPU lifecycle transition was attempted out of order."""

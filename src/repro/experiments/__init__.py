@@ -1,0 +1,31 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver exposes ``run(...)`` returning a result object plus a
+``main()`` that prints the paper-vs-measured comparison.  Benchmarks in
+``benchmarks/`` call the same drivers with reduced request targets, so
+the numbers in CI and the numbers in EXPERIMENTS.md come from one code
+path.
+
+==========  ==========================================================
+Driver      Paper artifact
+==========  ==========================================================
+fig02       Fig. 2/3  -- ME/VE demand over time per workload
+fig04       Fig. 4    -- ME:VE intensity ratio vs batch size
+fig05       Fig. 5    -- solo ME/VE utilization over time
+fig06       Fig. 6    -- VE idleness in a fused MatMul+ReLU (VLIW)
+fig07       Fig. 7    -- HBM bandwidth over time / averages
+fig12       Fig. 12   -- vNPU allocator cost-effectiveness sweep
+fig16       Fig. 16   -- NeuISA overhead vs the VLIW ISA
+fig19_21    Figs. 19/20/21 + 22 -- the main serving comparison
+fig23       Fig. 23 + Table III -- harvesting benefit/overhead
+fig24       Fig. 24   -- assigned MEs/VEs over time
+fig25       Fig. 25   -- scaling with ME/VE count
+fig26       Fig. 26   -- scaling with HBM bandwidth
+fig27       Fig. 27   -- LLM collocation case study
+hwcost      SectionIII-G -- scheduler area overhead (0.04 %)
+==========  ==========================================================
+"""
+
+from repro.experiments import common, expected
+
+__all__ = ["common", "expected"]

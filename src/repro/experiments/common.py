@@ -1,0 +1,143 @@
+"""Shared experiment infrastructure: pair runs, caching, formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_CORE, NpuCoreConfig
+from repro.experiments import expected
+from repro.serving.metrics import PairMetrics
+from repro.serving.server import (
+    ALL_SCHEMES,
+    ServingConfig,
+    WorkloadSpec,
+    run_collocation,
+)
+
+#: Default request target for experiment runs; benchmarks shrink this.
+DEFAULT_TARGET_REQUESTS = 4
+
+
+@dataclass
+class PairRun:
+    """All schemes' results for one collocation pair."""
+
+    w1: str
+    w2: str
+    results: Dict[str, PairMetrics] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return expected.pair_key(self.w1, self.w2)
+
+    def scheme(self, scheme: str) -> PairMetrics:
+        return self.results[scheme]
+
+    def tenant_metric(self, scheme: str, which: int, attr: str) -> float:
+        metrics = self.results[scheme].tenants[which]
+        return getattr(metrics, attr)
+
+    def norm_latency(self, scheme: str, which: int, attr: str,
+                     baseline: str = "pmt") -> float:
+        """Latency normalised to the baseline scheme (paper Figs. 19/20):
+        values < 1 mean lower (better) latency than the baseline."""
+        base = self.tenant_metric(baseline, which, attr)
+        val = self.tenant_metric(scheme, which, attr)
+        return val / base if base > 0 else 0.0
+
+    def norm_throughput(self, scheme: str, which: int,
+                        baseline: str = "pmt") -> float:
+        base = self.tenant_metric(baseline, which, "throughput_rps")
+        val = self.tenant_metric(scheme, which, "throughput_rps")
+        return val / base if base > 0 else 0.0
+
+
+def specs_for_pair(
+    w1: str, w2: str, core: NpuCoreConfig
+) -> List[WorkloadSpec]:
+    """Each workload runs on a vNPU with half the core (SectionV-A:
+    'Each workload runs on a vNPU with 2 MEs and 2 VEs')."""
+    half_mes = max(1, core.num_mes // 2)
+    half_ves = max(1, core.num_ves // 2)
+    return [
+        WorkloadSpec(w1, expected.batch_of(w1), alloc_mes=half_mes, alloc_ves=half_ves),
+        WorkloadSpec(w2, expected.batch_of(w2), alloc_mes=half_mes, alloc_ves=half_ves),
+    ]
+
+
+def run_pair(
+    w1: str,
+    w2: str,
+    schemes: Sequence[str] = ALL_SCHEMES,
+    target_requests: int = DEFAULT_TARGET_REQUESTS,
+    core: Optional[NpuCoreConfig] = None,
+    record_assignment: bool = False,
+) -> PairRun:
+    core = core if core is not None else DEFAULT_CORE
+    cfg = ServingConfig(
+        core=core,
+        target_requests=target_requests,
+        record_assignment=record_assignment,
+    )
+    run = PairRun(w1=w1, w2=w2)
+    specs = specs_for_pair(w1, w2, core)
+    for scheme in schemes:
+        run.results[scheme] = run_collocation(specs, scheme, cfg)
+    return run
+
+
+_pair_cache: Dict[Tuple, PairRun] = {}
+
+
+def run_pair_cached(
+    w1: str,
+    w2: str,
+    schemes: Sequence[str] = ALL_SCHEMES,
+    target_requests: int = DEFAULT_TARGET_REQUESTS,
+    core: Optional[NpuCoreConfig] = None,
+) -> PairRun:
+    """Memoised run_pair -- Figs. 19-23 and Table III share runs."""
+    core = core if core is not None else DEFAULT_CORE
+    key = (w1, w2, tuple(sorted(schemes)), target_requests, core)
+    cached = _pair_cache.get(key)
+    if cached is not None:
+        return cached
+    run = run_pair(w1, w2, schemes, target_requests, core)
+    _pair_cache[key] = run
+    return run
+
+
+def run_all_pairs(
+    schemes: Sequence[str] = ALL_SCHEMES,
+    target_requests: int = DEFAULT_TARGET_REQUESTS,
+    pairs: Optional[Sequence[Tuple[str, str]]] = None,
+) -> List[PairRun]:
+    pairs = pairs if pairs is not None else expected.ALL_PAIRS
+    return [
+        run_pair_cached(w1, w2, schemes, target_requests) for w1, w2 in pairs
+    ]
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    product = 1.0
+    for v in vals:
+        product *= v
+    return product ** (1.0 / len(vals))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

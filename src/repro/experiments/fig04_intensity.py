@@ -1,0 +1,69 @@
+"""Fig. 4: ME/VE intensity ratio per workload and batch size.
+
+The metric is "the execution time of ME / VE" from the compile-time
+profile.  The paper's qualitative structure: ResNet-family and detection
+models sit far above 1 (convolution dominated); DLRM and NCF sit below 1
+(vector/gather dominated); EfficientNet is near 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import DEFAULT_CORE
+from repro.workloads.catalog import model_names
+from repro.workloads.traces import build_trace
+
+FIG4_BATCHES = [1, 8, 32, 64, 128]
+#: Models excluded at large batches for memory reasons in the paper; we
+#: exclude the big detection models to bound experiment runtime.
+LARGE_BATCH_EXCLUDED = {"Mask-RCNN", "ShapeMask"}
+
+
+@dataclass
+class IntensityResult:
+    ratios: Dict[str, Dict[int, float]]
+
+    def ratio(self, model: str, batch: int) -> float:
+        return self.ratios[model][batch]
+
+    def me_intensive(self, batch: int = 8) -> List[str]:
+        return [m for m, r in self.ratios.items() if batch in r and r[batch] > 1.0]
+
+    def ve_intensive(self, batch: int = 8) -> List[str]:
+        return [m for m, r in self.ratios.items() if batch in r and r[batch] < 1.0]
+
+
+def run(batches: List[int] = None, models: List[str] = None) -> IntensityResult:
+    batches = batches if batches is not None else FIG4_BATCHES
+    models = models if models is not None else model_names()
+    ratios: Dict[str, Dict[int, float]] = {}
+    for model in models:
+        ratios[model] = {}
+        for batch in batches:
+            if model in LARGE_BATCH_EXCLUDED and batch > 8:
+                continue
+            trace = build_trace(model, batch, core=DEFAULT_CORE)
+            ratios[model][batch] = trace.profile.me_ve_intensity_ratio
+    return IntensityResult(ratios=ratios)
+
+
+def main() -> None:
+    result = run(batches=[8, 32])
+    print("Fig. 4: ME/VE intensity ratio (execution time of ME / VE)")
+    print(f"  {'model':14s} {'b8':>9s} {'b32':>9s}")
+    for model, per_batch in result.ratios.items():
+        b8 = per_batch.get(8)
+        b32 = per_batch.get(32)
+        print(
+            f"  {model:14s} "
+            f"{b8:9.3f}" if b8 is not None else f"  {model:14s} {'-':>9s}",
+            f"{b32:9.3f}" if b32 is not None else f"{'-':>9s}",
+        )
+    print(f"  ME-intensive at b8: {result.me_intensive(8)}")
+    print(f"  VE-intensive at b8: {result.ve_intensive(8)}")
+
+
+if __name__ == "__main__":
+    main()

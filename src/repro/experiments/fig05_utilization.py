@@ -1,0 +1,100 @@
+"""Fig. 5: ME/VE utilization over time for a solo inference request.
+
+Runs one request of each model alone on the full core and buckets the
+simulator's busy-integral into time windows.  The paper's takeaway:
+even "ME-intensive" models leave VEs mostly idle and vice versa, and
+neither engine class is fully utilised across a request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.config import DEFAULT_CORE, NpuCoreConfig
+from repro.serving.server import ServingConfig, WorkloadSpec, run_solo
+from repro.sim.engine import Simulator, Tenant
+from repro.sim.sched_static import StaticPartitionScheduler
+from repro.workloads.traces import build_trace
+
+FIG5_MODELS = ["BERT", "TFMR", "DLRM", "NCF", "RsNt", "MRCNN"]
+
+
+@dataclass
+class UtilizationTrace:
+    model: str
+    batch: int
+    #: (window_start_us, window_end_us, me_util, ve_util) buckets.
+    windows: List[Tuple[float, float, float, float]]
+    overall_me: float
+    overall_ve: float
+
+
+def run(
+    model: str,
+    batch: int = 8,
+    core: NpuCoreConfig = DEFAULT_CORE,
+    num_windows: int = 40,
+) -> UtilizationTrace:
+    trace = build_trace(model, batch, core=core)
+    tenant = Tenant(
+        tenant_id=0,
+        name=trace.abbrev,
+        graph=trace.neuisa,
+        alloc_mes=core.num_mes,
+        alloc_ves=core.num_ves,
+        target_requests=1,
+    )
+    sim = Simulator(
+        core,
+        StaticPartitionScheduler(),
+        [tenant],
+        record_assignment=True,
+        record_ops=False,
+    )
+    result = sim.run()
+    samples = result.stats.assignment_trace
+    if not samples:
+        return UtilizationTrace(trace.abbrev, batch, [], 0.0, 0.0)
+    end = samples[-1].end_cycle
+    width = end / num_windows
+    windows: List[Tuple[float, float, float, float]] = []
+    for w in range(num_windows):
+        lo, hi = w * width, (w + 1) * width
+        me_integral = ve_integral = 0.0
+        for s in samples:
+            overlap = min(hi, s.end_cycle) - max(lo, s.start_cycle)
+            if overlap <= 0:
+                continue
+            me_integral += overlap * sum(s.mes_per_tenant.values())
+            ve_integral += overlap * sum(s.ves_per_tenant.values())
+        windows.append(
+            (
+                core.cycles_to_us(lo),
+                core.cycles_to_us(hi),
+                me_integral / (width * core.num_mes),
+                ve_integral / (width * core.num_ves),
+            )
+        )
+    return UtilizationTrace(
+        model=trace.abbrev,
+        batch=batch,
+        windows=windows,
+        overall_me=result.stats.me_utilization(),
+        overall_ve=result.stats.ve_utilization(),
+    )
+
+
+def main() -> None:
+    print("Fig. 5: solo ME/VE utilization (one request, full core)")
+    for model in FIG5_MODELS:
+        tr = run(model, batch=8)
+        print(
+            f"  {tr.model:6s} overall ME={tr.overall_me*100:5.1f}%  "
+            f"VE={tr.overall_ve*100:5.1f}%  "
+            f"(neither engine class is fully utilised)"
+        )
+
+
+if __name__ == "__main__":
+    main()

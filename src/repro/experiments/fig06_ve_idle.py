@@ -1,0 +1,59 @@
+"""Fig. 6: VE under-utilisation inside a fused ME-intensive operator.
+
+Lowers a fused MatMul+ReLU to actual VLIW instruction words and counts
+the cycles in which every VE slot is idle.  In the paper's example each
+``pop`` occupies the MEs for 8 cycles while the ReLU post-processing
+needs only 1 VE cycle, leaving the VEs idle ~87% of the time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.lowering import (
+    lower_matmul_instructions_neuisa,
+    lower_matmul_instructions_vliw,
+    vliw_ve_idle_fraction,
+)
+from repro.compiler.operators import ElementwiseKind, MatMul
+from repro.isa.interpreter import NeuIsaInterpreter
+
+
+@dataclass
+class VeIdleResult:
+    vliw_ve_idle_fraction: float
+    vliw_instructions: int
+    neuisa_utops: int
+    neuisa_dynamic_instructions: int
+
+
+def run(num_mes: int = 2, num_ves: int = 2, pops: int = 16) -> VeIdleResult:
+    matmul = MatMul(
+        "fused_matmul_relu", m=256, k=256, n=256,
+        epilogue=[ElementwiseKind.RELU],
+    )
+    vliw = lower_matmul_instructions_vliw(matmul, num_mes, num_ves, pops_per_tile=pops)
+    neuisa = lower_matmul_instructions_neuisa(matmul, num_mes, num_ves, pops_per_tile=pops)
+    interp = NeuIsaInterpreter(neuisa)
+    result = interp.run()
+    return VeIdleResult(
+        vliw_ve_idle_fraction=vliw_ve_idle_fraction(vliw),
+        vliw_instructions=len(vliw),
+        neuisa_utops=neuisa.num_utops,
+        neuisa_dynamic_instructions=result.total_instructions,
+    )
+
+
+def main() -> None:
+    res = run()
+    print("Fig. 6: VE idleness in a fused MatMul+ReLU (VLIW lowering)")
+    print(f"  VE slots idle {res.vliw_ve_idle_fraction*100:.1f}% of issue cycles")
+    print(f"  (paper: pop=8 cycles vs ReLU=1 cycle -> ~87% idle)")
+    print(
+        f"  NeuISA lowering: {res.neuisa_utops} uTOps sharing one snippet, "
+        f"{res.neuisa_dynamic_instructions} dynamic instructions"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Fig. 25: Neu10's benefit as the engine count scales.
+
+The physical core is varied from 2ME-2VE to 8ME-8VE (evenly split
+between the two collocated vNPUs); throughput is normalised to V10 on
+the 2ME-2VE core.  The paper's claim: "With more MEs/VEs, Neu10 brings
+more benefits, since there is more flexibility for dynamic ME/VE
+scheduling" -- the Neu10:V10 gap widens with engine count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_CORE
+from repro.experiments import expected
+from repro.experiments.common import DEFAULT_TARGET_REQUESTS, geomean, specs_for_pair
+from repro.serving.server import (
+    SCHEME_NEU10,
+    SCHEME_V10,
+    ServingConfig,
+    run_collocation,
+)
+
+FIG25_CONFIGS = [(2, 2), (4, 2), (4, 4), (8, 4), (8, 8)]
+
+
+@dataclass
+class ScalingResult:
+    pair: str
+    #: (mes, ves) -> {scheme: geomean normalized throughput}
+    points: Dict[Tuple[int, int], Dict[str, float]]
+
+    def gap(self, config: Tuple[int, int]) -> float:
+        """Neu10 / V10 throughput ratio at one hardware config."""
+        point = self.points[config]
+        if point[SCHEME_V10] <= 0:
+            return 0.0
+        return point[SCHEME_NEU10] / point[SCHEME_V10]
+
+
+def run(
+    w1: str,
+    w2: str,
+    configs: Optional[Sequence[Tuple[int, int]]] = None,
+    target_requests: int = DEFAULT_TARGET_REQUESTS,
+) -> ScalingResult:
+    configs = list(configs) if configs is not None else FIG25_CONFIGS
+    raw: Dict[Tuple[int, int], Dict[str, List[float]]] = {}
+    for mes, ves in configs:
+        core = DEFAULT_CORE.with_engines(mes, ves)
+        cfg = ServingConfig(core=core, target_requests=target_requests)
+        specs = specs_for_pair(w1, w2, core)
+        raw[(mes, ves)] = {}
+        for scheme in (SCHEME_V10, SCHEME_NEU10):
+            pair = run_collocation(specs, scheme, cfg)
+            raw[(mes, ves)][scheme] = [
+                t.throughput_rps for t in pair.tenants
+            ]
+    base = raw[configs[0]][SCHEME_V10]
+    points: Dict[Tuple[int, int], Dict[str, float]] = {}
+    for config, per_scheme in raw.items():
+        points[config] = {}
+        for scheme, throughputs in per_scheme.items():
+            normalized = [
+                t / b if b > 0 else 0.0 for t, b in zip(throughputs, base)
+            ]
+            points[config][scheme] = geomean(normalized)
+    return ScalingResult(pair=expected.pair_key(w1, w2), points=points)
+
+
+def main() -> None:
+    print("Fig. 25: throughput scaling with ME/VE count "
+          "(normalized to V10 @ 2ME-2VE)")
+    for w1, w2 in [("DLRM", "RtNt"), ("ENet", "TFMR"), ("RNRS", "RtNt")]:
+        result = run(w1, w2, configs=[(2, 2), (4, 4), (8, 8)])
+        cells = "  ".join(
+            f"{cfg[0]}ME-{cfg[1]}VE: neu10={pt[SCHEME_NEU10]:.2f} "
+            f"v10={pt[SCHEME_V10]:.2f} gap={result.gap(cfg):.2f}x"
+            for cfg, pt in result.points.items()
+        )
+        print(f"  {result.pair:12s} {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Fig. 26: Neu10's benefit across HBM bandwidth configurations.
+
+Throughput of Neu10 normalised to V10 at the same bandwidth, swept from
+900 GB/s to 3 TB/s.  The paper's claims: (1) for most pairs the gain is
+bandwidth-insensitive (ME/VE contention dominates, not memory); (2) for
+memory-intensive pairs (DLRM+NCF, NCF+TFMR) Neu10 still wins at
+900 GB/s and gains more as bandwidth grows (contention relief).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_CORE
+from repro.experiments import expected
+from repro.experiments.common import DEFAULT_TARGET_REQUESTS, geomean, specs_for_pair
+from repro.serving.server import (
+    SCHEME_NEU10,
+    SCHEME_V10,
+    ServingConfig,
+    run_collocation,
+)
+
+FIG26_BANDWIDTHS_GBPS = [900, 1200, 2000, 3000]
+MEMORY_INTENSIVE_PAIRS = [("DLRM", "NCF"), ("NCF", "TFMR")]
+
+
+@dataclass
+class BandwidthResult:
+    pair: str
+    #: bandwidth (GB/s) -> Neu10 throughput normalised to V10.
+    speedup: Dict[int, float]
+
+    def is_monotone_nondecreasing(self, tolerance: float = 0.05) -> bool:
+        values = [self.speedup[bw] for bw in sorted(self.speedup)]
+        return all(b >= a - tolerance for a, b in zip(values, values[1:]))
+
+
+def run(
+    w1: str,
+    w2: str,
+    bandwidths_gbps: Optional[Sequence[int]] = None,
+    target_requests: int = DEFAULT_TARGET_REQUESTS,
+) -> BandwidthResult:
+    bandwidths = list(bandwidths_gbps) if bandwidths_gbps is not None else FIG26_BANDWIDTHS_GBPS
+    speedup: Dict[int, float] = {}
+    for bw in bandwidths:
+        core = DEFAULT_CORE.with_bandwidth(bw * 1e9)
+        cfg = ServingConfig(core=core, target_requests=target_requests)
+        specs = specs_for_pair(w1, w2, core)
+        ratios: List[float] = []
+        v10 = run_collocation(specs, SCHEME_V10, cfg)
+        neu = run_collocation(specs, SCHEME_NEU10, cfg)
+        for t_v10, t_neu in zip(v10.tenants, neu.tenants):
+            if t_v10.throughput_rps > 0:
+                ratios.append(t_neu.throughput_rps / t_v10.throughput_rps)
+        speedup[bw] = geomean(ratios)
+    return BandwidthResult(pair=expected.pair_key(w1, w2), speedup=speedup)
+
+
+def main() -> None:
+    print("Fig. 26: Neu10 throughput normalized to V10 vs HBM bandwidth")
+    pairs = MEMORY_INTENSIVE_PAIRS + [("DLRM", "RtNt"), ("ENet", "TFMR")]
+    for w1, w2 in pairs:
+        result = run(w1, w2, bandwidths_gbps=[900, 1200, 3000])
+        cells = "  ".join(
+            f"{bw}GB/s: {result.speedup[bw]:.2f}x" for bw in sorted(result.speedup)
+        )
+        print(f"  {result.pair:12s} {cells}")
+
+
+if __name__ == "__main__":
+    main()

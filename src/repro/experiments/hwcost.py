@@ -1,0 +1,29 @@
+"""SectionIII-G: hardware area overhead of the NeuISA scheduler.
+
+The paper synthesises the scheduler with FreePDK-15nm and reports 0.04%
+of a TPUv4 die.  We reproduce the structure-size accounting.
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_CORE, NpuCoreConfig
+from repro.experiments.expected import CLAIMS
+from repro.sim.hw_cost import SchedulerCost, scheduler_cost
+
+
+def run(core: NpuCoreConfig = DEFAULT_CORE) -> SchedulerCost:
+    return scheduler_cost(core)
+
+
+def main() -> None:
+    cost = run()
+    print("SectionIII-G: uTOp scheduler hardware cost")
+    print(f"  contexts: {cost.context_bytes} B, queues: {cost.queue_bytes} B, "
+          f"table: {cost.table_bytes} B")
+    print(f"  total storage: {cost.total_bytes} B -> {cost.area_mm2:.4f} mm^2")
+    print(f"  die fraction: {cost.die_percent:.4f}% "
+          f"(paper: {CLAIMS.scheduler_area_fraction*100:.2f}%)")
+
+
+if __name__ == "__main__":
+    main()

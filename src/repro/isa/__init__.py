@@ -1,0 +1,54 @@
+"""NeuISA and the baseline VLIW-style NPU ISA.
+
+This package models both instruction sets the paper discusses:
+
+- :mod:`repro.isa.vliw` -- the conventional VLIW-style NPU ISA, in which
+  one instruction carries slots for every ME and VE on the core and the
+  compiler statically couples the control flow of all compute units.
+- :mod:`repro.isa.utop` / :mod:`repro.isa.program` -- NeuISA, the paper's
+  extension that reorganises VLIW instructions into independently
+  schedulable micro tensor operators (uTOps) arranged in uTOp groups and
+  indexed by an execution table (paper SectionIII-D, Figs. 13-15).
+- :mod:`repro.isa.control` -- the four uTOp control instructions
+  (``uTop.finish``, ``uTop.nextGroup``, ``uTop.group``, ``uTop.index``).
+- :mod:`repro.isa.interpreter` -- a functional VM used to validate
+  program structure and derive dynamic uTOp sequences for the simulator.
+- :mod:`repro.isa.encoding` -- fixed-width binary encode/decode.
+"""
+
+from repro.isa.control import ControlOp, ControlOpcode
+from repro.isa.program import NeuIsaProgram
+from repro.isa.utop import ExecutionTable, UTop, UTopGroup, UTopInstruction, UTopKind
+from repro.isa.vliw import (
+    MiscOp,
+    MiscOpcode,
+    ScalarOp,
+    ScalarOpcode,
+    VectorOp,
+    VectorOpcode,
+    MatrixOp,
+    MatrixOpcode,
+    VliwInstruction,
+    VliwProgram,
+)
+
+__all__ = [
+    "ControlOp",
+    "ControlOpcode",
+    "ExecutionTable",
+    "MatrixOp",
+    "MatrixOpcode",
+    "MiscOp",
+    "MiscOpcode",
+    "NeuIsaProgram",
+    "ScalarOp",
+    "ScalarOpcode",
+    "UTop",
+    "UTopGroup",
+    "UTopInstruction",
+    "UTopKind",
+    "VectorOp",
+    "VectorOpcode",
+    "VliwInstruction",
+    "VliwProgram",
+]

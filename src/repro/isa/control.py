@@ -1,0 +1,81 @@
+"""NeuISA uTOp control instructions (paper Fig. 14).
+
+Four control operations let uTOps interact with the hardware uTOp
+scheduler:
+
+``uTop.finish``
+    Signal the scheduler that this uTOp is complete; the scheduler may
+    dispatch the next ready uTOp onto the freed engine.
+``uTop.nextGroup %reg``
+    Set the uTOp group to execute after the current group completes.  The
+    target group index is read from scalar register ``%reg``.  Multiple
+    uTOps in one group may execute it, but they must agree on the target
+    -- a mismatch raises an exception (modelled as :class:`IsaError`).
+``uTop.group %reg``
+    Write the group index of the current uTOp into ``%reg``.
+``uTop.index %reg``
+    Write the uTOp's index within its group into ``%reg``.
+
+Scalar register 0 (``%r0``) is read-only and always reads as zero.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import IsaError
+
+#: Number of scalar registers visible to control instructions.
+NUM_SCALAR_REGISTERS = 16
+
+
+class ControlOpcode(enum.Enum):
+    FINISH = "uTop.finish"
+    NEXT_GROUP = "uTop.nextGroup"
+    GROUP = "uTop.group"
+    INDEX = "uTop.index"
+
+
+@dataclass(frozen=True)
+class ControlOp:
+    """One control-slot operation inside a uTOp instruction."""
+
+    opcode: ControlOpcode
+    reg: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.reg < NUM_SCALAR_REGISTERS:
+            raise IsaError(f"scalar register %r{self.reg} out of range")
+        if self.opcode is ControlOpcode.FINISH and self.reg != 0:
+            raise IsaError("uTop.finish takes no register operand")
+
+    def __str__(self) -> str:
+        if self.opcode is ControlOpcode.FINISH:
+            return "uTop.finish;"
+        return f"{self.opcode.value} %r{self.reg};"
+
+
+class ScalarRegisterFile:
+    """Per-uTOp scalar register file; ``%r0`` is hard-wired to zero."""
+
+    def __init__(self) -> None:
+        self._regs: List[int] = [0] * NUM_SCALAR_REGISTERS
+
+    def read(self, reg: int) -> int:
+        if not 0 <= reg < NUM_SCALAR_REGISTERS:
+            raise IsaError(f"scalar register %r{reg} out of range")
+        if reg == 0:
+            return 0
+        return self._regs[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        if not 0 <= reg < NUM_SCALAR_REGISTERS:
+            raise IsaError(f"scalar register %r{reg} out of range")
+        if reg == 0:
+            return  # %r0 is read-only; writes are silently dropped
+        self._regs[reg] = int(value)
+
+    def snapshot(self) -> List[int]:
+        return list(self._regs)

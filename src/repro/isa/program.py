@@ -1,0 +1,136 @@
+"""NeuISA program container (paper Fig. 15).
+
+A NeuISA binary holds:
+
+- *uTOp code snippets*: straight-line VLIW-like assembly fragments,
+  keyed by start address.  Snippets are shared between uTOps to limit
+  code inflation (paper SectionIII-D, "NeuISA minimizes code inflation by
+  sharing the same code snippet among uTOps").
+- the *uTOp execution table*: one row per uTOp group, one cell per
+  potential uTOp (``nx`` ME entries + 1 VE entry), each holding a snippet
+  start address or null.
+- *program metadata*: entry group, scratch-memory initial values (e.g.
+  loop counters held in SRAM), and the engine geometry the table was
+  built for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import IsaError
+from repro.isa.utop import ExecutionTable, UTop, UTopGroup, UTopInstruction
+
+
+@dataclass
+class NeuIsaProgram:
+    """A complete NeuISA binary for one DNN program."""
+
+    table: ExecutionTable
+    snippets: Dict[int, List[UTopInstruction]] = field(default_factory=dict)
+    scratch_init: Dict[int, int] = field(default_factory=dict)
+    name: str = "neuisa-program"
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Static checks: every referenced snippet exists and decoded
+        uTOps are well-formed (a dynamic check catches nextGroup
+        divergence, see :mod:`repro.isa.interpreter`)."""
+        if len(self.table) == 0:
+            raise IsaError("a NeuISA program needs at least one uTOp group")
+        for gidx in range(len(self.table)):
+            group = self.table.group(gidx)
+            for utop in group.utops:
+                if self.snippets and utop.snippet_addr not in self.snippets:
+                    raise IsaError(
+                        f"group {gidx} references missing snippet "
+                        f"0x{utop.snippet_addr:x}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return len(self.table)
+
+    @property
+    def num_utops(self) -> int:
+        return sum(len(self.table.group(g).utops) for g in range(len(self.table)))
+
+    @property
+    def num_me_utops(self) -> int:
+        return sum(self.table.group(g).num_me_utops for g in range(len(self.table)))
+
+    def group(self, index: int) -> UTopGroup:
+        return self.table.group(index)
+
+    def snippet(self, addr: int) -> List[UTopInstruction]:
+        if addr not in self.snippets:
+            raise IsaError(f"no snippet at 0x{addr:x}")
+        return self.snippets[addr]
+
+    # ------------------------------------------------------------------
+    # Cost aggregation (used by the NeuISA-overhead experiment, Fig. 16)
+    # ------------------------------------------------------------------
+    @property
+    def total_me_cycles(self) -> float:
+        return sum(self.group(g).total_me_cycles for g in range(self.num_groups))
+
+    @property
+    def total_ve_cycles(self) -> float:
+        return sum(self.group(g).total_ve_cycles for g in range(self.num_groups))
+
+    @property
+    def total_hbm_bytes(self) -> float:
+        return sum(self.group(g).total_hbm_bytes for g in range(self.num_groups))
+
+    def code_size_instructions(self) -> int:
+        """Static code size in instructions (snippets are shared, so
+        shared snippets count once)."""
+        return sum(len(body) for body in self.snippets.values())
+
+    def code_size_without_sharing(self) -> int:
+        """Code size if every uTOp duplicated its snippet -- used to
+        quantify how much snippet sharing saves."""
+        total = 0
+        for gidx in range(self.num_groups):
+            for utop in self.group(gidx).utops:
+                if utop.snippet_addr in self.snippets:
+                    total += len(self.snippets[utop.snippet_addr])
+        return total
+
+    def sharing_factor(self) -> float:
+        """Ratio of unshared to shared code size (>= 1.0)."""
+        shared = self.code_size_instructions()
+        if shared == 0:
+            return 1.0
+        return self.code_size_without_sharing() / shared
+
+
+def utop_dependencies(program: NeuIsaProgram) -> Dict[int, List[int]]:
+    """Return the group-level dependency structure.
+
+    Groups form a chain by default (group ``i+1`` depends on group ``i``);
+    the result maps each group index to the indices it depends on.  This
+    mirrors how the compiler extracts dependencies from the DNN execution
+    graph (paper SectionIII-D, "Compiler support for NeuISA").
+    """
+    deps: Dict[int, List[int]] = {}
+    for gidx in range(program.num_groups):
+        deps[gidx] = [gidx - 1] if gidx > 0 else []
+    return deps
+
+
+def flatten_utops(program: NeuIsaProgram) -> List[UTop]:
+    """All uTOps of a program in (group, position) order."""
+    out: List[UTop] = []
+    for gidx in range(program.num_groups):
+        out.extend(program.group(gidx).utops)
+    return out

@@ -1,0 +1,39 @@
+"""System support for NPU virtualization (paper SectionIII-F).
+
+A functional model of the control plane the paper builds on KVM:
+
+- :mod:`repro.runtime.hypervisor` -- hypercall dispatch to the vNPU
+  manager; off-critical-path management only.
+- :mod:`repro.runtime.vm` / :mod:`repro.runtime.driver` -- guest VM with
+  a para-virtualized vNPU driver issuing hypercalls and MMIO.
+- :mod:`repro.runtime.mmio` -- the memory-mapped register file and
+  doorbells of a vNPU's PCIe BAR.
+- :mod:`repro.runtime.command` -- the command ring the NPU fetches from
+  host memory without hypervisor intervention.
+- :mod:`repro.runtime.iommu` -- DMA remapping with segment-based
+  SRAM/HBM isolation (2 MB / 1 GB segments) and fault injection.
+- :mod:`repro.runtime.sriov` -- SR-IOV virtual-function registry.
+"""
+
+from repro.runtime.command import Command, CommandOpcode, CommandRing
+from repro.runtime.driver import VnpuDriver
+from repro.runtime.hypervisor import Hypervisor
+from repro.runtime.iommu import Iommu, MemoryKind
+from repro.runtime.mmio import MmioRegisterFile, Register
+from repro.runtime.sriov import SriovRegistry, VirtualFunction
+from repro.runtime.vm import GuestVm
+
+__all__ = [
+    "Command",
+    "CommandOpcode",
+    "CommandRing",
+    "GuestVm",
+    "Hypervisor",
+    "Iommu",
+    "MemoryKind",
+    "MmioRegisterFile",
+    "Register",
+    "SriovRegistry",
+    "VirtualFunction",
+    "VnpuDriver",
+]

@@ -1,0 +1,180 @@
+"""The para-virtualized guest vNPU driver (paper SectionIII-F).
+
+The driver is the guest-side API surface of Neu10:
+
+- issues the three hypercalls for vNPU lifecycle,
+- queries the vNPU hierarchy through the BAR identity registers,
+- allocates a DMA buffer and registers it with the IOMMU,
+- submits memcpy/launch/sync commands through the command ring and
+  rings the doorbell,
+- polls the completion registers (or a completion callback models the
+  interrupt path).
+
+"The vNPU driver greatly resembles a native NPU driver thanks to PCIe
+pass-through" -- the only para-virtualized pieces are the hypercalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.vnpu import VnpuConfig
+from repro.errors import VirtualizationError
+from repro.runtime.command import Command, CommandOpcode, CommandRing
+from repro.runtime.hypervisor import Hypervisor, VnpuHandle
+from repro.runtime.mmio import DeviceStatus, MmioRegisterFile, Register
+from repro.runtime.vm import GuestAllocation, GuestVm
+
+
+@dataclass
+class VnpuHierarchy:
+    """What the guest learns by reading the identity registers."""
+
+    vnpu_id: int
+    num_chips: int
+    num_cores_per_chip: int
+    num_mes_per_core: int
+    num_ves_per_core: int
+    sram_bytes: int
+    hbm_bytes: int
+
+
+class VnpuDriver:
+    """Guest driver bound to one vNPU virtual function."""
+
+    def __init__(
+        self,
+        vm: GuestVm,
+        hypervisor: Hypervisor,
+        dma_buffer_bytes: int = 256 * 2**20,
+    ) -> None:
+        self.vm = vm
+        self.hypervisor = hypervisor
+        self.dma_buffer_bytes = dma_buffer_bytes
+        self.handle: Optional[VnpuHandle] = None
+        self.ring = CommandRing()
+        self.dma_buffer: Optional[GuestAllocation] = None
+        self._bar: Optional[MmioRegisterFile] = None
+        self._submitted: List[Command] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def open(self, config: VnpuConfig, priority: float = 1.0) -> VnpuHandle:
+        """Request a vNPU and set up the data path."""
+        if self.handle is not None:
+            raise VirtualizationError("driver already bound to a vNPU")
+        self.handle = self.hypervisor.hypercall_create(
+            config, owner=self.vm.name, priority=priority
+        )
+        self._bar = self.hypervisor.bar_of(self.handle.vnpu_id)
+        self._bar.doorbell_handler = self._on_doorbell
+        self.dma_buffer = self.vm.alloc(self.dma_buffer_bytes, label="dma")
+        self.hypervisor.iommu.register_dma_buffer(
+            self.handle.vnpu_id, self.dma_buffer.addr, self.dma_buffer.size
+        )
+        self._bar.set_status(DeviceStatus.IDLE)
+        return self.handle
+
+    def close(self) -> None:
+        if self.handle is None:
+            raise VirtualizationError("driver is not bound to a vNPU")
+        self.hypervisor.hypercall_destroy(self.handle.vnpu_id)
+        if self.dma_buffer is not None:
+            self.vm.free(self.dma_buffer)
+        self.handle = None
+        self._bar = None
+        self.dma_buffer = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_hierarchy(self) -> VnpuHierarchy:
+        bar = self._require_bar()
+        return VnpuHierarchy(
+            vnpu_id=bar.read(Register.VNPU_ID),
+            num_chips=bar.read(Register.NUM_CHIPS),
+            num_cores_per_chip=bar.read(Register.NUM_CORES_PER_CHIP),
+            num_mes_per_core=bar.read(Register.NUM_MES_PER_CORE),
+            num_ves_per_core=bar.read(Register.NUM_VES_PER_CORE),
+            sram_bytes=(bar.read(Register.SRAM_BYTES_HI) << 32)
+            | bar.read(Register.SRAM_BYTES_LO),
+            hbm_bytes=(bar.read(Register.HBM_BYTES_HI) << 32)
+            | bar.read(Register.HBM_BYTES_LO),
+        )
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def memcpy_to_device(self, offset_in_dma: int, size: int, device_addr: int) -> Command:
+        return self._submit(
+            Command(
+                opcode=CommandOpcode.MEMCPY_H2D,
+                guest_addr=self._dma_addr(offset_in_dma, size),
+                device_addr=device_addr,
+                size=size,
+            )
+        )
+
+    def memcpy_from_device(self, offset_in_dma: int, size: int, device_addr: int) -> Command:
+        return self._submit(
+            Command(
+                opcode=CommandOpcode.MEMCPY_D2H,
+                guest_addr=self._dma_addr(offset_in_dma, size),
+                device_addr=device_addr,
+                size=size,
+            )
+        )
+
+    def launch(self, program_id: int) -> Command:
+        return self._submit(
+            Command(opcode=CommandOpcode.LAUNCH, program_id=program_id)
+        )
+
+    def sync(self) -> Command:
+        return self._submit(Command(opcode=CommandOpcode.SYNC))
+
+    def poll_completed(self) -> int:
+        """Poll the memory-mapped completion counter."""
+        return self._require_bar().completed_count()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _submit(self, command: Command) -> Command:
+        bar = self._require_bar()
+        self.ring.push(command)
+        self._submitted.append(command)
+        bar.write(Register.DOORBELL, self.ring.pending)
+        return command
+
+    def _on_doorbell(self, _value: int) -> None:
+        """Device-side command fetch, modelled synchronously: the NPU
+        drains the ring, validates DMA targets via the IOMMU, executes
+        and bumps the completion counter."""
+        assert self.handle is not None and self._bar is not None
+        self._bar.set_status(DeviceStatus.RUNNING)
+        while True:
+            command = self.ring.pop()
+            if command is None:
+                break
+            if command.opcode in (CommandOpcode.MEMCPY_H2D, CommandOpcode.MEMCPY_D2H):
+                self.hypervisor.iommu.check_dma(
+                    self.handle.vnpu_id, command.guest_addr, command.size
+                )
+            self.ring.complete(command)
+            self._bar.bump_completed()
+        self._bar.set_status(DeviceStatus.IDLE)
+
+    def _dma_addr(self, offset: int, size: int) -> int:
+        if self.dma_buffer is None:
+            raise VirtualizationError("no DMA buffer allocated")
+        if offset < 0 or offset + size > self.dma_buffer.size:
+            raise VirtualizationError("memcpy outside the DMA buffer")
+        return self.dma_buffer.addr + offset
+
+    def _require_bar(self) -> MmioRegisterFile:
+        if self._bar is None:
+            raise VirtualizationError("driver is not bound to a vNPU")
+        return self._bar

@@ -1,0 +1,123 @@
+"""MMIO register file for a vNPU's PCIe BAR (paper Fig. 11).
+
+The guest driver controls its vNPU through memory-mapped registers:
+doorbells for the command ring, status/completion registers it can poll,
+and read-only identity registers describing the vNPU hierarchy ("the
+guest NPU driver can query the hierarchy of the vNPU").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.errors import MmioError
+
+
+class Register(enum.IntEnum):
+    """Register offsets within the vNPU BAR."""
+
+    # Identity block (read-only).
+    VNPU_ID = 0x00
+    NUM_CHIPS = 0x04
+    NUM_CORES_PER_CHIP = 0x08
+    NUM_MES_PER_CORE = 0x0C
+    NUM_VES_PER_CORE = 0x10
+    SRAM_BYTES_LO = 0x14
+    SRAM_BYTES_HI = 0x18
+    HBM_BYTES_LO = 0x1C
+    HBM_BYTES_HI = 0x20
+    # Control block.
+    DOORBELL = 0x40
+    IRQ_ENABLE = 0x44
+    # Status block (read-only, device-updated).
+    STATUS = 0x80
+    COMPLETED_LO = 0x84
+    COMPLETED_HI = 0x88
+
+
+class DeviceStatus(enum.IntEnum):
+    IDLE = 0
+    RUNNING = 1
+    FAULTED = 2
+
+
+@dataclass
+class MmioRegisterFile:
+    """A vNPU's BAR with access-control semantics."""
+
+    read_only: frozenset = frozenset(
+        {
+            Register.VNPU_ID,
+            Register.NUM_CHIPS,
+            Register.NUM_CORES_PER_CHIP,
+            Register.NUM_MES_PER_CORE,
+            Register.NUM_VES_PER_CORE,
+            Register.SRAM_BYTES_LO,
+            Register.SRAM_BYTES_HI,
+            Register.HBM_BYTES_LO,
+            Register.HBM_BYTES_HI,
+            Register.STATUS,
+            Register.COMPLETED_LO,
+            Register.COMPLETED_HI,
+        }
+    )
+    _values: Dict[int, int] = field(default_factory=dict)
+    #: Invoked on a doorbell write (device-side hook).
+    doorbell_handler: Optional[Callable[[int], None]] = None
+
+    def read(self, offset: int) -> int:
+        if offset not in Register.__members__.values() and offset not in self._values:
+            raise MmioError(f"read from unmapped MMIO offset 0x{offset:x}")
+        return self._values.get(offset, 0)
+
+    def write(self, offset: int, value: int) -> None:
+        try:
+            register = Register(offset)
+        except ValueError as exc:
+            raise MmioError(f"write to unmapped MMIO offset 0x{offset:x}") from exc
+        if register in self.read_only:
+            raise MmioError(f"write to read-only register {register.name}")
+        self._values[offset] = value
+        if register is Register.DOORBELL and self.doorbell_handler is not None:
+            self.doorbell_handler(value)
+
+    # Device-side accessors bypass guest access control.
+    def device_write(self, offset: int, value: int) -> None:
+        self._values[int(offset)] = value
+
+    def set_status(self, status: DeviceStatus) -> None:
+        self.device_write(Register.STATUS, int(status))
+
+    def bump_completed(self) -> None:
+        lo = self._values.get(Register.COMPLETED_LO, 0) + 1
+        self.device_write(Register.COMPLETED_LO, lo & 0xFFFFFFFF)
+        if lo > 0xFFFFFFFF:
+            hi = self._values.get(Register.COMPLETED_HI, 0) + 1
+            self.device_write(Register.COMPLETED_HI, hi)
+
+    def completed_count(self) -> int:
+        lo = self._values.get(Register.COMPLETED_LO, 0)
+        hi = self._values.get(Register.COMPLETED_HI, 0)
+        return (hi << 32) | lo
+
+    def load_identity(
+        self,
+        vnpu_id: int,
+        num_chips: int,
+        num_cores_per_chip: int,
+        num_mes: int,
+        num_ves: int,
+        sram_bytes: int,
+        hbm_bytes: int,
+    ) -> None:
+        self.device_write(Register.VNPU_ID, vnpu_id)
+        self.device_write(Register.NUM_CHIPS, num_chips)
+        self.device_write(Register.NUM_CORES_PER_CHIP, num_cores_per_chip)
+        self.device_write(Register.NUM_MES_PER_CORE, num_mes)
+        self.device_write(Register.NUM_VES_PER_CORE, num_ves)
+        self.device_write(Register.SRAM_BYTES_LO, sram_bytes & 0xFFFFFFFF)
+        self.device_write(Register.SRAM_BYTES_HI, sram_bytes >> 32)
+        self.device_write(Register.HBM_BYTES_LO, hbm_bytes & 0xFFFFFFFF)
+        self.device_write(Register.HBM_BYTES_HI, hbm_bytes >> 32)

@@ -1,0 +1,65 @@
+"""SR-IOV virtual functions (paper SectionIII-F).
+
+"Neu10 uses SR-IOV to expose each vNPU as a PCIe virtual function to the
+VM via PCIe-passthrough."  The registry models a physical function (PF)
+with a bounded pool of virtual functions (VFs); each live vNPU occupies
+one VF, which carries its BAR (the MMIO register file) and its IOMMU
+domain id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import VirtualizationError
+from repro.runtime.mmio import MmioRegisterFile
+
+
+@dataclass
+class VirtualFunction:
+    vf_index: int
+    vnpu_id: int
+    bar: MmioRegisterFile = field(default_factory=MmioRegisterFile)
+
+    @property
+    def bdf(self) -> str:
+        """Synthetic PCI bus:device.function address for the VF."""
+        return f"0000:a0:{self.vf_index // 8:02x}.{self.vf_index % 8}"
+
+
+class SriovRegistry:
+    """Physical function with a pool of SR-IOV virtual functions."""
+
+    def __init__(self, num_vfs: int = 16) -> None:
+        if num_vfs < 1:
+            raise VirtualizationError("need at least one virtual function")
+        self.num_vfs = num_vfs
+        self._vfs: Dict[int, VirtualFunction] = {}
+
+    def assign(self, vnpu_id: int) -> VirtualFunction:
+        if any(vf.vnpu_id == vnpu_id for vf in self._vfs.values()):
+            raise VirtualizationError(f"vNPU {vnpu_id} already has a VF")
+        for index in range(self.num_vfs):
+            if index not in self._vfs:
+                vf = VirtualFunction(vf_index=index, vnpu_id=vnpu_id)
+                self._vfs[index] = vf
+                return vf
+        raise VirtualizationError("out of SR-IOV virtual functions")
+
+    def release(self, vnpu_id: int) -> None:
+        for index, vf in list(self._vfs.items()):
+            if vf.vnpu_id == vnpu_id:
+                del self._vfs[index]
+                return
+        raise VirtualizationError(f"no VF assigned to vNPU {vnpu_id}")
+
+    def vf_of(self, vnpu_id: int) -> Optional[VirtualFunction]:
+        for vf in self._vfs.values():
+            if vf.vnpu_id == vnpu_id:
+                return vf
+        return None
+
+    @property
+    def in_use(self) -> int:
+        return len(self._vfs)

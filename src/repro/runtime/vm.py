@@ -1,0 +1,72 @@
+"""Guest VM container.
+
+Holds guest "physical" memory (a flat byte-addressed space with bounds
+checks), the DMA buffer region the device accesses through the IOMMU,
+and the vNPU drivers the guest loaded.  This is control-plane modelling:
+memory content is tracked as allocation metadata, not bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import VirtualizationError
+
+#: Each VM's memory occupies a disjoint host-physical stride, so DMA
+#: addresses from different tenants never alias in the IOMMU tables.
+_HOST_STRIDE = 64 * 2**30
+_next_host_slot = itertools.count(0)
+
+
+@dataclass
+class GuestAllocation:
+    addr: int
+    size: int
+    label: str
+
+
+class GuestVm:
+    """One tenant VM with guest-physical memory."""
+
+    def __init__(self, name: str, memory_bytes: int = 16 * 2**30) -> None:
+        if memory_bytes <= 0:
+            raise VirtualizationError("guest memory must be positive")
+        if memory_bytes > _HOST_STRIDE:
+            raise VirtualizationError("guest memory exceeds the host stride")
+        self.name = name
+        self.memory_bytes = memory_bytes
+        self.host_base = next(_next_host_slot) * _HOST_STRIDE
+        self._allocations: List[GuestAllocation] = []
+        self._next_addr = self.host_base + 0x1000
+
+    def alloc(self, size: int, label: str = "buffer") -> GuestAllocation:
+        if size <= 0:
+            raise VirtualizationError("allocation size must be positive")
+        addr = self._next_addr
+        if addr + size > self.host_base + self.memory_bytes:
+            raise VirtualizationError(
+                f"guest {self.name}: out of memory allocating {size} bytes"
+            )
+        allocation = GuestAllocation(addr=addr, size=size, label=label)
+        self._allocations.append(allocation)
+        # Keep allocations page aligned.
+        self._next_addr = (addr + size + 0xFFF) & ~0xFFF
+        return allocation
+
+    def free(self, allocation: GuestAllocation) -> None:
+        try:
+            self._allocations.remove(allocation)
+        except ValueError as exc:
+            raise VirtualizationError("double free of guest allocation") from exc
+
+    def owns(self, addr: int, size: int) -> bool:
+        return any(
+            a.addr <= addr and addr + size <= a.addr + a.size
+            for a in self._allocations
+        )
+
+    @property
+    def allocations(self) -> List[GuestAllocation]:
+        return list(self._allocations)

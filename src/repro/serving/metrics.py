@@ -1,0 +1,71 @@
+"""Result containers and summary math for serving experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+def percentile(values: List[float], pct: float) -> float:
+    """Nearest-rank percentile (matches TenantResult.latency_percentile)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, math.ceil(pct / 100.0 * len(ordered)) - 1))
+    return ordered[idx]
+
+
+@dataclass
+class TenantMetrics:
+    """Per-workload outcome of one serving run."""
+
+    name: str
+    scheme: str
+    p95_latency_cycles: float
+    mean_latency_cycles: float
+    throughput_rps: float
+    me_utilization: float
+    ve_utilization: float
+    blocked_fraction: float
+    completed_requests: int
+
+    def normalized_to(self, baseline: "TenantMetrics") -> "TenantMetrics":
+        """Latency/throughput relative to a baseline run (PMT in the
+        paper's figures).  Latencies are ratios (>1 is worse), throughput
+        is a ratio (>1 is better)."""
+        def ratio(a: float, b: float) -> float:
+            return a / b if b > 0 else 0.0
+
+        return TenantMetrics(
+            name=self.name,
+            scheme=self.scheme,
+            p95_latency_cycles=ratio(self.p95_latency_cycles, baseline.p95_latency_cycles),
+            mean_latency_cycles=ratio(self.mean_latency_cycles, baseline.mean_latency_cycles),
+            throughput_rps=ratio(self.throughput_rps, baseline.throughput_rps),
+            me_utilization=self.me_utilization,
+            ve_utilization=self.ve_utilization,
+            blocked_fraction=self.blocked_fraction,
+            completed_requests=self.completed_requests,
+        )
+
+
+@dataclass
+class PairMetrics:
+    """Outcome of one collocation run (both workloads + core totals)."""
+
+    pair: str
+    scheme: str
+    tenants: List[TenantMetrics] = field(default_factory=list)
+    total_me_utilization: float = 0.0
+    total_ve_utilization: float = 0.0
+    preemption_count: int = 0
+    total_cycles: float = 0.0
+    #: Optional per-op duration map used by the Fig. 23 breakdown.
+    op_durations: Optional[Dict[int, Dict[str, List[float]]]] = None
+
+    def tenant(self, name: str) -> TenantMetrics:
+        for t in self.tenants:
+            if t.name == name:
+                return t
+        raise KeyError(f"no tenant {name!r} in pair {self.pair!r}")

@@ -1,0 +1,49 @@
+"""Request-stream generators for serving experiments.
+
+The paper's methodology is closed-loop: "we run inference requests
+continuously for each workload until all collocated workloads have
+completed a certain number of requests".  Open-loop Poisson and steady
+streams are provided for the latency-under-load examples.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import ConfigError
+
+
+def closed_loop() -> None:
+    """Sentinel for closed-loop operation (Tenant arrivals=None)."""
+    return None
+
+
+def poisson_arrivals(
+    rate_rps: float,
+    duration_s: float,
+    frequency_hz: float,
+    seed: Optional[int] = 0,
+) -> List[float]:
+    """Poisson arrival times in cycles over ``duration_s`` seconds."""
+    if rate_rps <= 0 or duration_s <= 0:
+        raise ConfigError("rate and duration must be positive")
+    rng = random.Random(seed)
+    arrivals: List[float] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_rps)
+        if t >= duration_s:
+            break
+        arrivals.append(t * frequency_hz)
+    return arrivals
+
+
+def steady_arrivals(
+    rate_rps: float, count: int, frequency_hz: float
+) -> List[float]:
+    """Evenly spaced arrivals: ``count`` requests at ``rate_rps``."""
+    if rate_rps <= 0 or count < 1:
+        raise ConfigError("rate must be positive and count >= 1")
+    period = frequency_hz / rate_rps
+    return [i * period for i in range(count)]

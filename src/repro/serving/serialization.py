@@ -1,0 +1,182 @@
+"""JSON import/export for profiles, results and experiment records.
+
+Downstream users want to archive runs and diff reproductions, so every
+result container serialises to plain JSON-compatible dicts:
+
+- workload profiles (m, v, per-op breakdown),
+- per-tenant serving metrics and pair results,
+- simulator op-duration records.
+
+Round-trips are property-tested; schema versioning guards stale files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, IO, List, Union
+
+from repro.compiler.profiler import OpProfile, WorkloadProfile
+from repro.errors import ConfigError
+from repro.serving.metrics import PairMetrics, TenantMetrics
+
+#: Bump when the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Profiles
+# ----------------------------------------------------------------------
+def profile_to_dict(profile: WorkloadProfile) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "workload_profile",
+        "name": profile.name,
+        "ops": [
+            {
+                "name": op.name,
+                "is_me_op": op.is_me_op,
+                "me_cycles": op.me_cycles,
+                "ve_cycles": op.ve_cycles,
+                "hbm_bytes": op.hbm_bytes,
+                "duration_cycles": op.duration_cycles,
+            }
+            for op in profile.ops
+        ],
+    }
+
+
+def profile_from_dict(data: Dict[str, Any]) -> WorkloadProfile:
+    _check(data, "workload_profile")
+    profile = WorkloadProfile(name=data["name"])
+    for op in data["ops"]:
+        profile.ops.append(
+            OpProfile(
+                name=op["name"],
+                is_me_op=op["is_me_op"],
+                me_cycles=op["me_cycles"],
+                ve_cycles=op["ve_cycles"],
+                hbm_bytes=op["hbm_bytes"],
+                duration_cycles=op["duration_cycles"],
+            )
+        )
+    return profile
+
+
+# ----------------------------------------------------------------------
+# Serving metrics
+# ----------------------------------------------------------------------
+def tenant_metrics_to_dict(metrics: TenantMetrics) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "tenant_metrics",
+        "name": metrics.name,
+        "scheme": metrics.scheme,
+        "p95_latency_cycles": metrics.p95_latency_cycles,
+        "mean_latency_cycles": metrics.mean_latency_cycles,
+        "throughput_rps": metrics.throughput_rps,
+        "me_utilization": metrics.me_utilization,
+        "ve_utilization": metrics.ve_utilization,
+        "blocked_fraction": metrics.blocked_fraction,
+        "completed_requests": metrics.completed_requests,
+    }
+
+
+def tenant_metrics_from_dict(data: Dict[str, Any]) -> TenantMetrics:
+    _check(data, "tenant_metrics")
+    return TenantMetrics(
+        name=data["name"],
+        scheme=data["scheme"],
+        p95_latency_cycles=data["p95_latency_cycles"],
+        mean_latency_cycles=data["mean_latency_cycles"],
+        throughput_rps=data["throughput_rps"],
+        me_utilization=data["me_utilization"],
+        ve_utilization=data["ve_utilization"],
+        blocked_fraction=data["blocked_fraction"],
+        completed_requests=data["completed_requests"],
+    )
+
+
+def pair_metrics_to_dict(pair: PairMetrics) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "pair_metrics",
+        "pair": pair.pair,
+        "scheme": pair.scheme,
+        "tenants": [tenant_metrics_to_dict(t) for t in pair.tenants],
+        "total_me_utilization": pair.total_me_utilization,
+        "total_ve_utilization": pair.total_ve_utilization,
+        "preemption_count": pair.preemption_count,
+        "total_cycles": pair.total_cycles,
+    }
+
+
+def pair_metrics_from_dict(data: Dict[str, Any]) -> PairMetrics:
+    _check(data, "pair_metrics")
+    return PairMetrics(
+        pair=data["pair"],
+        scheme=data["scheme"],
+        tenants=[tenant_metrics_from_dict(t) for t in data["tenants"]],
+        total_me_utilization=data["total_me_utilization"],
+        total_ve_utilization=data["total_ve_utilization"],
+        preemption_count=data["preemption_count"],
+        total_cycles=data["total_cycles"],
+    )
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+_SERIALIZERS = {
+    WorkloadProfile: profile_to_dict,
+    TenantMetrics: tenant_metrics_to_dict,
+    PairMetrics: pair_metrics_to_dict,
+}
+_DESERIALIZERS = {
+    "workload_profile": profile_from_dict,
+    "tenant_metrics": tenant_metrics_from_dict,
+    "pair_metrics": pair_metrics_from_dict,
+}
+
+Serializable = Union[WorkloadProfile, TenantMetrics, PairMetrics]
+
+
+def dump(obj: Serializable, fp: IO[str]) -> None:
+    serializer = _SERIALIZERS.get(type(obj))
+    if serializer is None:
+        raise ConfigError(f"cannot serialise {type(obj).__name__}")
+    json.dump(serializer(obj), fp, indent=2)
+
+
+def dumps(obj: Serializable) -> str:
+    serializer = _SERIALIZERS.get(type(obj))
+    if serializer is None:
+        raise ConfigError(f"cannot serialise {type(obj).__name__}")
+    return json.dumps(serializer(obj), indent=2)
+
+
+def load(fp: IO[str]) -> Serializable:
+    return _from_data(json.load(fp))
+
+
+def loads(text: str) -> Serializable:
+    return _from_data(json.loads(text))
+
+
+def _from_data(data: Dict[str, Any]) -> Serializable:
+    kind = data.get("kind")
+    deserializer = _DESERIALIZERS.get(kind)
+    if deserializer is None:
+        raise ConfigError(f"unknown serialised kind {kind!r}")
+    return deserializer(data)
+
+
+def _check(data: Dict[str, Any], kind: str) -> None:
+    if data.get("kind") != kind:
+        raise ConfigError(
+            f"expected kind {kind!r}, found {data.get('kind')!r}"
+        )
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ConfigError(
+            f"schema version mismatch: file {data.get('schema')!r}, "
+            f"library {SCHEMA_VERSION}"
+        )

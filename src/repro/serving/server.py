@@ -1,0 +1,188 @@
+"""Serving runners: collocate workloads under a scheme and measure.
+
+``run_collocation`` reproduces the paper's main methodology (SectionV-A):
+two workloads, each on a vNPU with half the core's engines, executed
+under one of {PMT, V10, Neu10-NH, Neu10, Neu10-temporal} until every
+workload completes its request target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.pmt import PmtScheduler
+from repro.baselines.v10 import V10Scheduler
+from repro.config import DEFAULT_CORE, NpuCoreConfig
+from repro.errors import ConfigError
+from repro.serving.metrics import PairMetrics, TenantMetrics
+from repro.sim.engine import SimResult, Simulator, Tenant
+from repro.sim.sched_neu10 import Neu10Scheduler
+from repro.sim.sched_static import StaticPartitionScheduler
+from repro.sim.sched_temporal import TemporalNeu10Scheduler
+from repro.sim.scheduler_base import SchedulerBase
+from repro.workloads.traces import build_trace
+
+SCHEME_PMT = "pmt"
+SCHEME_V10 = "v10"
+SCHEME_NEU10_NH = "neu10-nh"
+SCHEME_NEU10 = "neu10"
+SCHEME_TEMPORAL = "neu10-temporal"
+
+ALL_SCHEMES = (SCHEME_PMT, SCHEME_V10, SCHEME_NEU10_NH, SCHEME_NEU10)
+
+#: Which ISA each scheme's workloads are compiled with.
+SCHEME_ISA = {
+    SCHEME_PMT: "vliw",
+    SCHEME_V10: "vliw",
+    SCHEME_NEU10_NH: "neuisa",
+    SCHEME_NEU10: "neuisa",
+    SCHEME_TEMPORAL: "neuisa",
+}
+
+
+def make_scheduler(scheme: str) -> SchedulerBase:
+    if scheme == SCHEME_PMT:
+        return PmtScheduler()
+    if scheme == SCHEME_V10:
+        return V10Scheduler()
+    if scheme == SCHEME_NEU10_NH:
+        return StaticPartitionScheduler()
+    if scheme == SCHEME_NEU10:
+        return Neu10Scheduler()
+    if scheme == SCHEME_TEMPORAL:
+        return TemporalNeu10Scheduler()
+    raise ConfigError(f"unknown scheme {scheme!r}")
+
+
+@dataclass
+class WorkloadSpec:
+    """One tenant of a serving run."""
+
+    model: str
+    batch: int = 32
+    alloc_mes: Optional[int] = None
+    alloc_ves: Optional[int] = None
+    priority: float = 1.0
+    arrivals: Optional[Sequence[float]] = None
+
+
+@dataclass
+class ServingConfig:
+    """Parameters of one collocation measurement."""
+
+    core: NpuCoreConfig = field(default_factory=lambda: DEFAULT_CORE)
+    target_requests: int = 8
+    record_assignment: bool = False
+    record_ops: bool = True
+    record_bandwidth: bool = False
+    horizon_cycles: float = float("inf")
+
+
+def _build_tenants(
+    specs: Sequence[WorkloadSpec], scheme: str, cfg: ServingConfig
+) -> List[Tenant]:
+    isa = SCHEME_ISA[scheme]
+    tenants: List[Tenant] = []
+    default_mes = max(1, cfg.core.num_mes // max(1, len(specs)))
+    default_ves = max(1, cfg.core.num_ves // max(1, len(specs)))
+    for idx, spec in enumerate(specs):
+        trace = build_trace(spec.model, spec.batch, core=cfg.core)
+        tenants.append(
+            Tenant(
+                tenant_id=idx,
+                name=trace.abbrev,
+                graph=trace.compiled(isa),
+                alloc_mes=spec.alloc_mes if spec.alloc_mes is not None else default_mes,
+                alloc_ves=spec.alloc_ves if spec.alloc_ves is not None else default_ves,
+                target_requests=cfg.target_requests,
+                priority=spec.priority,
+                arrivals=list(spec.arrivals) if spec.arrivals is not None else None,
+            )
+        )
+    return tenants
+
+
+def _to_metrics(result: SimResult, scheme: str, pair_label: str) -> PairMetrics:
+    tenants = [
+        TenantMetrics(
+            name=tr.name,
+            scheme=scheme,
+            p95_latency_cycles=tr.p95_latency,
+            mean_latency_cycles=tr.mean_latency,
+            throughput_rps=tr.throughput_rps,
+            me_utilization=tr.me_utilization,
+            ve_utilization=tr.ve_utilization,
+            blocked_fraction=tr.blocked_fraction,
+            completed_requests=tr.completed_requests,
+        )
+        for tr in result.tenants.values()
+    ]
+    op_durations = {
+        tid: result.stats.op_durations(tid) for tid in result.tenants
+    }
+    return PairMetrics(
+        pair=pair_label,
+        scheme=scheme,
+        tenants=tenants,
+        total_me_utilization=result.stats.me_utilization(),
+        total_ve_utilization=result.stats.ve_utilization(),
+        preemption_count=result.stats.preemption_count,
+        total_cycles=result.total_cycles,
+        op_durations=op_durations,
+    )
+
+
+def run_collocation(
+    specs: Sequence[WorkloadSpec],
+    scheme: str,
+    cfg: Optional[ServingConfig] = None,
+) -> PairMetrics:
+    """Run collocated workloads under ``scheme`` and summarise."""
+    cfg = cfg if cfg is not None else ServingConfig()
+    tenants = _build_tenants(specs, scheme, cfg)
+    sim = Simulator(
+        cfg.core,
+        make_scheduler(scheme),
+        tenants,
+        horizon_cycles=cfg.horizon_cycles,
+        record_assignment=cfg.record_assignment,
+        record_ops=cfg.record_ops,
+        record_bandwidth=cfg.record_bandwidth,
+    )
+    result = sim.run()
+    pair_label = "+".join(t.name for t in tenants)
+    return _to_metrics(result, scheme, pair_label)
+
+
+def run_solo(
+    spec: WorkloadSpec,
+    cfg: Optional[ServingConfig] = None,
+    isa: str = "neuisa",
+    scheme: str = SCHEME_NEU10_NH,
+) -> PairMetrics:
+    """Run a single workload alone (used as the isolation reference and
+    for the characterisation figures)."""
+    cfg = cfg if cfg is not None else ServingConfig()
+    trace = build_trace(spec.model, spec.batch, core=cfg.core)
+    tenant = Tenant(
+        tenant_id=0,
+        name=trace.abbrev,
+        graph=trace.compiled(isa),
+        alloc_mes=spec.alloc_mes if spec.alloc_mes is not None else cfg.core.num_mes,
+        alloc_ves=spec.alloc_ves if spec.alloc_ves is not None else cfg.core.num_ves,
+        target_requests=cfg.target_requests,
+        priority=spec.priority,
+        arrivals=list(spec.arrivals) if spec.arrivals is not None else None,
+    )
+    sim = Simulator(
+        cfg.core,
+        make_scheduler(scheme),
+        [tenant],
+        horizon_cycles=cfg.horizon_cycles,
+        record_assignment=cfg.record_assignment,
+        record_ops=cfg.record_ops,
+        record_bandwidth=cfg.record_bandwidth,
+    )
+    result = sim.run()
+    return _to_metrics(result, scheme, trace.abbrev)

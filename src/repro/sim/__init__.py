@@ -1,0 +1,37 @@
+"""Cycle-level behavioural NPU simulator.
+
+The simulator advances in *epochs* between scheduling events (uTOp
+completion, request arrival, quantum expiry, preemption-reclaim expiry).
+Within an epoch the engine assignment is constant and every running uTOp
+progresses fluidly at a rate set by its compute demand, its share of the
+HBM bandwidth (max-min fair) and -- for ME uTOps -- the VE allocation
+available for its embedded post-processing stream.  This yields
+cycle-resolution timestamps without per-cycle iteration, which is what
+lets whole multi-tenant serving experiments run in seconds.
+
+Public entry points:
+
+- :class:`repro.sim.engine.Simulator` -- the event loop.
+- :class:`repro.sim.engine.Tenant` -- one vNPU + workload + request stream.
+- scheduler implementations under ``repro.sim.sched_*`` and
+  :mod:`repro.baselines`.
+"""
+
+from repro.sim.engine import Simulator, Tenant, TenantResult
+from repro.sim.hbm import maxmin_fair
+from repro.sim.sched_neu10 import Neu10Scheduler
+from repro.sim.sched_static import StaticPartitionScheduler
+from repro.sim.sched_temporal import TemporalNeu10Scheduler
+from repro.sim.scheduler_base import Decision, SchedulerBase
+
+__all__ = [
+    "Decision",
+    "Neu10Scheduler",
+    "SchedulerBase",
+    "Simulator",
+    "StaticPartitionScheduler",
+    "TemporalNeu10Scheduler",
+    "Tenant",
+    "TenantResult",
+    "maxmin_fair",
+]

@@ -1,0 +1,758 @@
+"""The epoch-driven simulation engine.
+
+See :mod:`repro.sim` for the fluid execution model.  The engine owns:
+
+- tenants (vNPU + compiled workload + request stream),
+- the reclaim list (engines paying the ME context-switch penalty after a
+  preemption, paper SectionIII-G: 256 cycles for a 128x128 array),
+- the main loop: ask the scheduler for a :class:`Decision`, validate it
+  against physical capacity, compute progress rates (HBM max-min fair
+  sharing + embedded-VE coupling), advance to the next event, handle
+  completions and request lifecycle.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence
+
+from repro.compiler.lowering import CompiledGraph, CompiledOp
+from repro.config import NpuCoreConfig
+from repro.errors import SimulationError
+from repro.isa.utop import UTopKind
+from repro.sim.hbm import hierarchical_fair_factors, slowdown_factors
+from repro.sim.scheduler_base import Decision, ExecUnit, SchedulerBase, UnitKind, UnitState
+from repro.sim.stats import SimStats
+
+#: Numerical tolerance for completion checks and capacity validation.
+EPS = 1e-6
+#: Lower bound for any epoch to guarantee forward progress.
+MIN_DELTA = 1e-9
+
+
+@dataclass
+class Request:
+    request_id: int
+    issue_cycle: float
+    start_cycle: float = 0.0
+    finish_cycle: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.finish_cycle - self.issue_cycle
+
+    @property
+    def service_time(self) -> float:
+        return self.finish_cycle - self.start_cycle
+
+
+@dataclass
+class ReclaimTimer:
+    """One engine paying the preemption penalty until ``ready_at``."""
+
+    ready_at: float
+    owner: int
+
+
+class Tenant:
+    """One vNPU instance executing a compiled workload.
+
+    ``alloc_mes``/``alloc_ves`` is the vNPU's engine allocation (its
+    *home* capacity under spatial mapping, or its fair share under
+    temporal mapping).  Requests are closed-loop by default: the next
+    request is issued as soon as the previous one finishes, mirroring the
+    paper's steady-state methodology; open-loop arrival times can be
+    supplied instead.
+    """
+
+    def __init__(
+        self,
+        tenant_id: int,
+        name: str,
+        graph: CompiledGraph,
+        alloc_mes: int,
+        alloc_ves: int,
+        target_requests: int = 10,
+        priority: float = 1.0,
+        arrivals: Optional[Sequence[float]] = None,
+    ) -> None:
+        if alloc_mes < 0 or alloc_ves < 0:
+            raise SimulationError("allocations cannot be negative")
+        if len(graph) == 0:
+            raise SimulationError(f"tenant {name!r} has an empty workload")
+        self.tenant_id = tenant_id
+        self.name = name
+        self.graph = graph
+        self.alloc_mes = alloc_mes
+        self.alloc_ves = alloc_ves
+        self.target_requests = target_requests
+        self.priority = priority
+        self.closed_loop = arrivals is None
+        self.pending_arrivals: Deque[float] = deque(arrivals or [])
+        self.queued_requests: Deque[Request] = deque()
+        # runtime cursors
+        self.active_units: List[ExecUnit] = []
+        self.current_request: Optional[Request] = None
+        self.op_cursor = 0
+        self.group_cursor = 0
+        self.completed: List[Request] = []
+        self.active_service_cycles = 0.0
+        self._next_request_id = 0
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+    def bootstrap(self, now: float) -> None:
+        if self.closed_loop:
+            self.queued_requests.append(
+                Request(request_id=self._take_id(), issue_cycle=now)
+            )
+        self.activate_arrivals(now)
+        self._maybe_start_request(now)
+
+    def _take_id(self) -> int:
+        rid = self._next_request_id
+        self._next_request_id += 1
+        return rid
+
+    def activate_arrivals(self, now: float) -> None:
+        while self.pending_arrivals and self.pending_arrivals[0] <= now + EPS:
+            issue = self.pending_arrivals.popleft()
+            self.queued_requests.append(
+                Request(request_id=self._take_id(), issue_cycle=issue)
+            )
+        self._maybe_start_request(now)
+
+    def next_arrival(self) -> Optional[float]:
+        if self.pending_arrivals:
+            return self.pending_arrivals[0]
+        return None
+
+    def _maybe_start_request(self, now: float) -> None:
+        if self.current_request is not None or not self.queued_requests:
+            return
+        request = self.queued_requests.popleft()
+        request.start_cycle = now
+        self.current_request = request
+        self.op_cursor = 0
+        self.group_cursor = 0
+
+    def start_pending_work(self, now: float, stats: SimStats) -> None:
+        """Instantiate units for the current group if none are active."""
+        self._maybe_start_request(now)
+        if self.current_request is None or self.active_units:
+            return
+        self._spawn_group_units(now, stats)
+
+    # ------------------------------------------------------------------
+    # Unit creation
+    # ------------------------------------------------------------------
+    def _spawn_group_units(self, now: float, stats: SimStats) -> None:
+        assert self.current_request is not None
+        op = self.graph.ops[self.op_cursor]
+        if self.group_cursor == 0:
+            stats.op_started(
+                self.tenant_id, op.name, op.op_index,
+                self.current_request.request_id, now,
+            )
+        self.active_units = list(
+            _units_for_op(op, self.tenant_id, self.current_request.request_id,
+                          self.group_cursor)
+        )
+        if not self.active_units:
+            raise SimulationError(f"operator {op.name!r} produced no units")
+
+    def on_unit_done(self, now: float, stats: SimStats, sim: "Simulator") -> None:
+        """Advance cursors when the whole active group completed."""
+        if any(u.state is not UnitState.DONE for u in self.active_units):
+            return
+        assert self.current_request is not None
+        op = self.graph.ops[self.op_cursor]
+        num_groups = _num_groups(op)
+        self.group_cursor += 1
+        self.active_units = []
+        if self.group_cursor < num_groups:
+            self._spawn_group_units(now, stats)
+            return
+        stats.op_finished(
+            self.tenant_id, op.op_index, self.current_request.request_id, now
+        )
+        self.group_cursor = 0
+        self.op_cursor += 1
+        if self.op_cursor < len(self.graph.ops):
+            self._spawn_group_units(now, stats)
+            return
+        # Request complete.
+        request = self.current_request
+        request.finish_cycle = now
+        self.completed.append(request)
+        self.current_request = None
+        self.op_cursor = 0
+        if self.closed_loop:
+            self.queued_requests.append(
+                Request(request_id=self._take_id(), issue_cycle=now)
+            )
+        self.start_pending_work(now, stats)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def reached_target(self) -> bool:
+        return len(self.completed) >= self.target_requests
+
+    def me_engines_wanted(self) -> int:
+        return sum(
+            u.me_engines_needed
+            for u in self.active_units
+            if u.is_me_unit and not u.done
+        )
+
+    def latencies(self) -> List[float]:
+        return [r.latency for r in self.completed]
+
+
+def _num_groups(op: CompiledOp) -> int:
+    if op.isa == "neuisa":
+        return len(op.groups)
+    return 1
+
+
+def _units_for_op(
+    op: CompiledOp, tenant_id: int, request_id: int, group_cursor: int
+) -> List[ExecUnit]:
+    if op.isa == "neuisa":
+        return _units_for_neuisa_group(op, tenant_id, request_id, group_cursor)
+    return _units_for_vliw_op(op, tenant_id, request_id)
+
+
+def _units_for_neuisa_group(
+    op: CompiledOp, tenant_id: int, request_id: int, group_cursor: int
+) -> List[ExecUnit]:
+    group = op.groups[group_cursor]
+    units: List[ExecUnit] = []
+    for utop in group.utops:
+        cost = utop.cost
+        if utop.kind is UTopKind.ME:
+            me_cycles = max(cost.me_cycles, 1.0)
+            units.append(
+                ExecUnit(
+                    kind=UnitKind.ME_UTOP,
+                    owner=tenant_id,
+                    op_index=op.op_index,
+                    op_name=op.name,
+                    request_id=request_id,
+                    me_engines_needed=1,
+                    remaining_me=me_cycles,
+                    remaining_ve=cost.ve_cycles,
+                    ve_rate=cost.ve_cycles / me_cycles,
+                    hbm_rate=cost.hbm_bytes / me_cycles,
+                )
+            )
+        else:
+            ve_cycles = max(cost.ve_cycles, 1.0)
+            units.append(
+                ExecUnit(
+                    kind=UnitKind.VE_UTOP,
+                    owner=tenant_id,
+                    op_index=op.op_index,
+                    op_name=op.name,
+                    request_id=request_id,
+                    me_engines_needed=0,
+                    remaining_me=0.0,
+                    remaining_ve=ve_cycles,
+                    ve_rate=0.0,
+                    hbm_rate=cost.hbm_bytes / ve_cycles,
+                    parallelism=max(1, cost.parallelism),
+                )
+            )
+    return units
+
+
+def _units_for_vliw_op(
+    op: CompiledOp, tenant_id: int, request_id: int
+) -> List[ExecUnit]:
+    if op.is_me_op:
+        per_engine = max(op.me_cycles_per_engine, 1.0)
+        engines = max(1, op.coupled_me_count)
+        return [
+            ExecUnit(
+                kind=UnitKind.VLIW_ME,
+                owner=tenant_id,
+                op_index=op.op_index,
+                op_name=op.name,
+                request_id=request_id,
+                me_engines_needed=engines,
+                remaining_me=per_engine,
+                remaining_ve=op.ve_cycles,
+                # ve_rate is VE demand *per granted engine* so that
+                # `ve_rate * granted_me` is the op's total stream rate.
+                ve_rate=op.ve_cycles / per_engine / engines,
+                # hbm_rate is likewise per engine; the engine multiplies
+                # by the grant when computing bandwidth demand.
+                hbm_rate=op.hbm_bytes / per_engine / engines,
+            )
+        ]
+    ve_cycles = max(op.ve_cycles, 1.0)
+    return [
+        ExecUnit(
+            kind=UnitKind.VLIW_VE,
+            owner=tenant_id,
+            op_index=op.op_index,
+            op_name=op.name,
+            request_id=request_id,
+            me_engines_needed=0,
+            remaining_me=0.0,
+            remaining_ve=ve_cycles,
+            ve_rate=0.0,
+            hbm_rate=op.hbm_bytes / ve_cycles,
+            parallelism=max(1, op.ve_parallelism),
+        )
+    ]
+
+
+@dataclass
+class TenantResult:
+    """Per-tenant outcome of a run."""
+
+    tenant_id: int
+    name: str
+    latencies_cycles: List[float]
+    throughput_rps: float
+    me_utilization: float
+    ve_utilization: float
+    blocked_fraction: float
+    completed_requests: int
+
+    def latency_percentile(self, pct: float) -> float:
+        if not self.latencies_cycles:
+            return 0.0
+        ordered = sorted(self.latencies_cycles)
+        idx = min(len(ordered) - 1, max(0, math.ceil(pct / 100.0 * len(ordered)) - 1))
+        return ordered[idx]
+
+    @property
+    def p95_latency(self) -> float:
+        return self.latency_percentile(95.0)
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies_cycles:
+            return 0.0
+        return sum(self.latencies_cycles) / len(self.latencies_cycles)
+
+
+@dataclass
+class SimResult:
+    tenants: Dict[int, TenantResult]
+    stats: SimStats
+    total_cycles: float
+
+    def tenant(self, tenant_id: int) -> TenantResult:
+        return self.tenants[tenant_id]
+
+
+class Simulator:
+    """Multi-tenant NPU core simulator."""
+
+    def __init__(
+        self,
+        core: NpuCoreConfig,
+        scheduler: SchedulerBase,
+        tenants: Sequence[Tenant],
+        horizon_cycles: float = float("inf"),
+        record_assignment: bool = False,
+        record_ops: bool = True,
+        record_bandwidth: bool = False,
+        max_epochs: int = 5_000_000,
+        hbm_policy: str = "hierarchical",
+    ) -> None:
+        if not tenants:
+            raise SimulationError("simulator needs at least one tenant")
+        ids = [t.tenant_id for t in tenants]
+        if len(set(ids)) != len(ids):
+            raise SimulationError("tenant ids must be unique")
+        if hbm_policy not in ("hierarchical", "flat"):
+            raise SimulationError(f"unknown HBM policy {hbm_policy!r}")
+        self.core = core
+        self.scheduler = scheduler
+        self.tenants = list(tenants)
+        self.horizon = horizon_cycles
+        self.max_epochs = max_epochs
+        #: "hierarchical" = fair per vNPU then per stream (the paper's
+        #: default); "flat" = max-min fair across all streams (ablation).
+        self.hbm_policy = hbm_policy
+        self.now = 0.0
+        self.reclaims: List[ReclaimTimer] = []
+        self.stats = SimStats(
+            num_mes=core.num_mes,
+            num_ves=core.num_ves,
+            record_assignment=record_assignment,
+            record_ops=record_ops,
+            record_bandwidth=record_bandwidth,
+        )
+
+    # ------------------------------------------------------------------
+    # Capacity helpers used by schedulers
+    # ------------------------------------------------------------------
+    @property
+    def available_mes(self) -> int:
+        return self.core.num_mes - len(self.reclaims)
+
+    def reclaiming_for(self, tenant_id: int) -> int:
+        return sum(1 for r in self.reclaims if r.owner == tenant_id)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        for tenant in self.tenants:
+            tenant.bootstrap(self.now)
+            tenant.start_pending_work(self.now, self.stats)
+        epochs = 0
+        while not self._finished() and self.now < self.horizon:
+            epochs += 1
+            if epochs > self.max_epochs:
+                raise SimulationError(
+                    f"exceeded {self.max_epochs} epochs at cycle {self.now:.0f}; "
+                    "likely a scheduling livelock"
+                )
+            self._step()
+        return self._build_result()
+
+    def _finished(self) -> bool:
+        return all(t.reached_target for t in self.tenants)
+
+    def _step(self) -> None:
+        self._expire_reclaims()
+        for tenant in self.tenants:
+            tenant.activate_arrivals(self.now)
+            tenant.start_pending_work(self.now, self.stats)
+
+        decision = self.scheduler.decide(self)
+        prev_running = [
+            u
+            for t in self.tenants
+            for u in t.active_units
+            if u.state is UnitState.RUNNING and u.is_me_unit
+        ]
+        self._apply_preemptions(decision)
+        self._apply_grants(decision)
+        # Continuity contract: a running ME unit cannot silently lose its
+        # engine -- it must either keep running or be preempted (paying
+        # the context-switch penalty).
+        preempted = set(decision.preempt)
+        for unit in prev_running:
+            if unit not in decision.running_me and unit not in preempted:
+                raise SimulationError(
+                    f"scheduler dropped running unit {unit.op_name!r} "
+                    "without preempting it"
+                )
+
+        delta, rates, ve_exec_rates, hbm_rate = self._epoch_length(decision)
+        self._advance(delta, rates, ve_exec_rates, decision, hbm_rate)
+        self.now += delta
+        self._handle_completions()
+
+    # ------------------------------------------------------------------
+    # Decision application
+    # ------------------------------------------------------------------
+    def _expire_reclaims(self) -> None:
+        self.reclaims = [r for r in self.reclaims if r.ready_at > self.now + EPS]
+
+    def _apply_preemptions(self, decision: Decision) -> None:
+        for unit in decision.preempt:
+            if unit.state is not UnitState.RUNNING:
+                continue
+            engines = max(1, unit.granted_me)
+            ready_at = self.now + self.core.me_preemption_cycles
+            # The freed engines belong to whichever tenant the scheduler
+            # is reclaiming them for; harvested engines return home.
+            owner = decision.reclaim_owners.get(unit, unit.owner)
+            for _ in range(engines):
+                self.reclaims.append(ReclaimTimer(ready_at=ready_at, owner=owner))
+            unit.state = UnitState.READY
+            unit.granted_me = 0
+            unit.granted_ve = 0.0
+            unit.harvesting = False
+            self.stats.preemption_count += 1
+            self.stats.reclaim_penalty_cycles += (
+                engines * self.core.me_preemption_cycles
+            )
+            if unit in decision.running_me:
+                raise SimulationError("scheduler both preempted and ran a unit")
+
+    def _apply_grants(self, decision: Decision) -> None:
+        # Clear previous grants on every live unit.
+        for tenant in self.tenants:
+            for unit in tenant.active_units:
+                if unit.state is UnitState.RUNNING:
+                    unit.state = UnitState.READY
+                unit.granted_me = 0
+                unit.granted_ve = 0.0
+                unit.harvesting = False
+
+        total_me = 0
+        for unit, engines in decision.running_me.items():
+            if unit.done:
+                raise SimulationError("scheduler ran a finished unit")
+            if not unit.is_me_unit:
+                raise SimulationError("ME grant to a VE unit")
+            needed = unit.me_engines_needed
+            if engines != needed:
+                raise SimulationError(
+                    f"unit {unit.op_name!r} needs {needed} MEs, granted {engines}"
+                )
+            unit.granted_me = engines
+            unit.state = UnitState.RUNNING
+            total_me += engines
+        if total_me > self.available_mes + EPS:
+            raise SimulationError(
+                f"scheduler over-committed MEs: {total_me} > {self.available_mes}"
+            )
+
+        for unit, engines in decision.harvested_me.items():
+            if engines > unit.granted_me:
+                raise SimulationError("harvested count exceeds grant")
+            unit.harvesting = engines > 0
+
+        total_ve = 0.0
+        for unit, alloc in decision.ve_alloc.items():
+            if alloc < -EPS:
+                raise SimulationError("negative VE allocation")
+            if unit.done:
+                continue
+            unit.granted_ve = max(0.0, alloc)
+            if not unit.is_me_unit and unit.granted_ve > 0:
+                unit.state = UnitState.RUNNING
+            total_ve += unit.granted_ve
+        if total_ve > self.core.num_ves + 1e-3:
+            raise SimulationError(
+                f"scheduler over-committed VEs: {total_ve} > {self.core.num_ves}"
+            )
+
+    # ------------------------------------------------------------------
+    # Rate computation and epoch selection
+    # ------------------------------------------------------------------
+    def _running_units(self) -> List[ExecUnit]:
+        out: List[ExecUnit] = []
+        for tenant in self.tenants:
+            for unit in tenant.active_units:
+                if unit.state is UnitState.RUNNING:
+                    out.append(unit)
+        return out
+
+    def _epoch_length(self, decision: Decision):
+        running = self._running_units()
+        demands: Dict[ExecUnit, float] = {}
+        for unit in running:
+            if unit.is_me_unit:
+                demands[unit] = unit.hbm_rate * unit.granted_me
+            else:
+                demands[unit] = unit.hbm_rate * unit.granted_ve
+        if self.hbm_policy == "hierarchical":
+            owners = {unit: unit.owner for unit in running}
+            factors = hierarchical_fair_factors(
+                demands, owners, self.core.hbm_bytes_per_cycle
+            )
+        else:
+            factors = slowdown_factors(demands, self.core.hbm_bytes_per_cycle)
+        hbm_rate = min(
+            self.core.hbm_bytes_per_cycle,
+            sum(d for d in demands.values()),
+        )
+
+        rates: Dict[ExecUnit, float] = {}
+        ve_exec: Dict[ExecUnit, float] = {}
+        for unit in running:
+            f = factors[unit]
+            if unit.is_me_unit:
+                if unit.ve_rate > EPS:
+                    needed = unit.ve_rate * unit.granted_me
+                    g = min(1.0, unit.granted_ve / needed) if needed > 0 else 1.0
+                else:
+                    g = 1.0
+                rates[unit] = min(f, g)
+            else:
+                ve_exec[unit] = unit.granted_ve * f
+
+        candidates: List[float] = []
+        for unit in running:
+            if unit.is_me_unit:
+                rate = rates[unit]
+                if rate > EPS:
+                    candidates.append(unit.remaining_me / rate)
+            else:
+                rate = ve_exec.get(unit, 0.0)
+                if rate > EPS:
+                    candidates.append(unit.remaining_ve / rate)
+        for timer in self.reclaims:
+            candidates.append(timer.ready_at - self.now)
+        if decision.next_decision_at is not None:
+            gap = decision.next_decision_at - self.now
+            if gap <= EPS:
+                raise SimulationError("scheduler quantum did not advance time")
+            candidates.append(gap)
+        for tenant in self.tenants:
+            arrival = tenant.next_arrival()
+            if arrival is not None:
+                candidates.append(arrival - self.now)
+        if self.horizon != float("inf"):
+            candidates.append(self.horizon - self.now)
+
+        candidates = [c for c in candidates if c > EPS]
+        if not candidates:
+            self._raise_deadlock()
+        delta = max(MIN_DELTA, min(candidates))
+        return delta, rates, ve_exec, hbm_rate
+
+    def _raise_deadlock(self) -> None:
+        detail = []
+        for tenant in self.tenants:
+            detail.append(
+                f"{tenant.name}: units={len(tenant.active_units)} "
+                f"completed={len(tenant.completed)}/{tenant.target_requests}"
+            )
+        raise SimulationError(
+            "no runnable work and no future events at cycle "
+            f"{self.now:.0f} ({'; '.join(detail)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Advancing state
+    # ------------------------------------------------------------------
+    def _advance(
+        self,
+        delta: float,
+        rates: Dict[ExecUnit, float],
+        ve_exec: Dict[ExecUnit, float],
+        decision: Decision,
+        hbm_rate: float,
+    ) -> None:
+        me_busy: Dict[int, float] = {}
+        ve_busy: Dict[int, float] = {}
+        me_assigned: Dict[int, float] = {}
+        ve_assigned: Dict[int, float] = {}
+        harvested: Dict[int, float] = {}
+
+        for unit, rate in rates.items():
+            progress = rate * delta
+            unit.remaining_me = max(0.0, unit.remaining_me - progress)
+            if unit.ve_rate > 0:
+                drained = progress * unit.ve_rate * unit.granted_me
+                unit.remaining_ve = max(0.0, unit.remaining_ve - drained)
+                ve_busy[unit.owner] = ve_busy.get(unit.owner, 0.0) + (
+                    rate * unit.ve_rate * unit.granted_me
+                )
+                ve_assigned[unit.owner] = (
+                    ve_assigned.get(unit.owner, 0.0) + unit.granted_ve
+                )
+            me_busy[unit.owner] = me_busy.get(unit.owner, 0.0) + rate * unit.granted_me
+            me_assigned[unit.owner] = (
+                me_assigned.get(unit.owner, 0.0) + unit.granted_me
+            )
+            if unit.harvesting:
+                harvested_engines = decision.harvested_me.get(unit, 0)
+                harvested[unit.owner] = (
+                    harvested.get(unit.owner, 0.0) + harvested_engines
+                )
+                self.stats.op_harvest_cycles(
+                    unit.owner, unit.op_index, unit.request_id,
+                    harvested_engines * rate * delta,
+                )
+
+        for unit, rate in ve_exec.items():
+            unit.remaining_ve = max(0.0, unit.remaining_ve - rate * delta)
+            ve_busy[unit.owner] = ve_busy.get(unit.owner, 0.0) + rate
+            ve_assigned[unit.owner] = ve_assigned.get(unit.owner, 0.0) + unit.granted_ve
+
+        self._account_blocked(delta)
+        for tenant in self.tenants:
+            if tenant.current_request is not None:
+                tenant.active_service_cycles += delta
+
+        self.stats.record_epoch(
+            self.now,
+            delta,
+            me_busy,
+            ve_busy,
+            me_assigned=me_assigned,
+            ve_assigned=ve_assigned,
+            harvested_mes_per_tenant=harvested,
+            hbm_bytes_per_cycle=hbm_rate,
+        )
+
+    def _account_blocked(self, delta: float) -> None:
+        """Table III metric: a tenant is blocked when it runs fewer home
+        engines than it is entitled to (because a harvester still holds
+        them or the reclaim penalty is being paid)."""
+        for tenant in self.tenants:
+            wanted = tenant.me_engines_wanted()
+            if wanted == 0:
+                continue
+            entitled = min(tenant.alloc_mes, wanted)
+            running = sum(
+                u.granted_me
+                for u in tenant.active_units
+                if u.state is UnitState.RUNNING and u.is_me_unit and not u.harvesting
+            )
+            if running + EPS < entitled:
+                first = next(
+                    (
+                        u
+                        for u in tenant.active_units
+                        if u.is_me_unit and u.state is not UnitState.DONE
+                    ),
+                    None,
+                )
+                if first is not None:
+                    self.stats.op_blocked(
+                        tenant.tenant_id, first.op_index, first.request_id, delta
+                    )
+
+    # ------------------------------------------------------------------
+    # Completion handling
+    # ------------------------------------------------------------------
+    def _handle_completions(self) -> None:
+        for tenant in self.tenants:
+            finished_any = False
+            for unit in tenant.active_units:
+                if unit.done:
+                    continue
+                if unit.is_me_unit and unit.remaining_me <= EPS:
+                    unit.remaining_me = 0.0
+                    unit.remaining_ve = 0.0
+                    unit.state = UnitState.DONE
+                    unit.granted_me = 0
+                    unit.granted_ve = 0.0
+                    finished_any = True
+                elif not unit.is_me_unit and unit.remaining_ve <= EPS:
+                    unit.remaining_ve = 0.0
+                    unit.state = UnitState.DONE
+                    unit.granted_ve = 0.0
+                    finished_any = True
+            if finished_any:
+                tenant.on_unit_done(self.now, self.stats, self)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _build_result(self) -> SimResult:
+        total = max(self.stats.total_cycles, EPS)
+        results: Dict[int, TenantResult] = {}
+        seconds = self.core.cycles_to_seconds(total)
+        for tenant in self.tenants:
+            blocked = self.stats.blocked_cycles_per_tenant.get(tenant.tenant_id, 0.0)
+            results[tenant.tenant_id] = TenantResult(
+                tenant_id=tenant.tenant_id,
+                name=tenant.name,
+                latencies_cycles=tenant.latencies(),
+                throughput_rps=len(tenant.completed) / seconds if seconds > 0 else 0.0,
+                me_utilization=self.stats.tenant_me_utilization(tenant.tenant_id),
+                ve_utilization=self.stats.tenant_ve_utilization(tenant.tenant_id),
+                blocked_fraction=blocked / total,
+                completed_requests=len(tenant.completed),
+            )
+        return SimResult(tenants=results, stats=self.stats, total_cycles=total)

@@ -1,0 +1,144 @@
+"""Neu10 temporal-sharing (software-isolated) mode.
+
+With software-isolated mapping, multiple vNPUs may *oversubscribe* the
+physical core: the sum of their allocations can exceed the engine count.
+The uTOp scheduler then "maintains fair sharing with the best effort
+[using] a priority-based preemptive policy ... it uses a performance
+counter to track the active cycles of each vNPU and balances the
+execution times of vNPUs based on their relative priorities"
+(paper SectionIII-E).
+
+Implementation: every decision, tenants are ranked by consumed
+ME-cycles normalised by priority; engines are granted one at a time to
+the lowest-consumption tenant with ready uTOps.  A periodic quantum
+forces re-evaluation so a tenant with a long uTOp backlog cannot starve
+collocated vNPUs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.sim.scheduler_base import Decision, ExecUnit, SchedulerBase, UnitKind, UnitState
+from repro.sim.sched_static import allocate_tenant_ve, sort_me_candidates, unmet_ve_demand
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator, Tenant
+
+#: Default re-evaluation period (cycles) while the core is contended.
+DEFAULT_QUANTUM = 20_000.0
+
+
+class TemporalNeu10Scheduler(SchedulerBase):
+    """Priority-weighted fair uTOp scheduling with oversubscription."""
+
+    name = "neu10-temporal"
+
+    def __init__(self, quantum_cycles: float = DEFAULT_QUANTUM) -> None:
+        self.quantum_cycles = quantum_cycles
+
+    def decide(self, sim: "Simulator") -> Decision:
+        decision = Decision()
+        avail = sim.available_mes
+
+        scores: Dict[int, float] = {}
+        ready: Dict[int, List[ExecUnit]] = {}
+        for tenant in sim.tenants:
+            consumed = sim.stats.me_busy_per_tenant.get(tenant.tenant_id, 0.0)
+            scores[tenant.tenant_id] = consumed / max(tenant.priority, 1e-9)
+            ready[tenant.tenant_id] = [
+                u
+                for u in sort_me_candidates(self.ready_me_units(tenant))
+                if u.kind is UnitKind.ME_UTOP
+            ]
+
+        # Round-robin grants to the least-served tenant first.
+        grants: Dict[int, List[ExecUnit]] = {t.tenant_id: [] for t in sim.tenants}
+        budget = avail
+        while budget > 0:
+            candidates = [tid for tid, units in ready.items() if units]
+            if not candidates:
+                break
+            tid = min(candidates, key=lambda t: scores[t])
+            unit = ready[tid].pop(0)
+            grants[tid].append(unit)
+            budget -= 1
+            # Virtual accounting so one tenant does not absorb the whole
+            # round when scores are equal.
+            scores[tid] += 1.0
+
+        prev_running = [
+            u
+            for t in sim.tenants
+            for u in t.active_units
+            if u.state is UnitState.RUNNING and u.is_me_unit
+        ]
+        granted_set = {u for units in grants.values() for u in units}
+        preempted = [u for u in prev_running if u not in granted_set]
+        penalty = sum(max(1, u.granted_me) for u in preempted)
+
+        if penalty:
+            # Frozen engines shrink this epoch's budget: drop the newest
+            # READY grants until the set fits.
+            capacity = avail - penalty
+            flat = [u for units in grants.values() for u in units]
+            flat.sort(key=lambda u: (u.state is UnitState.RUNNING, -u.unit_id))
+            total = len(granted_set)
+            for unit in flat:
+                if total <= capacity:
+                    break
+                if unit.state is UnitState.RUNNING:
+                    continue
+                grants[unit.owner].remove(unit)
+                total -= 1
+
+        for units in grants.values():
+            for unit in units:
+                decision.running_me[unit] = 1
+        decision.preempt.extend(preempted)
+
+        # VE allocation: weighted fair per tenant, embedded streams first,
+        # then leftover to anyone needy.
+        self._allocate_ves(sim, decision, grants)
+
+        contended = any(ready[tid] for tid in ready) or len(preempted) > 0
+        if contended:
+            decision.next_decision_at = sim.now + self.quantum_cycles
+        return decision
+
+    def _allocate_ves(
+        self,
+        sim: "Simulator",
+        decision: Decision,
+        grants: Dict[int, List[ExecUnit]],
+    ) -> None:
+        total_cap = float(sim.core.num_ves)
+        weights = sum(t.priority for t in sim.tenants) or 1.0
+        used = 0.0
+        needy: List[ExecUnit] = []
+        for tenant in sim.tenants:
+            share = total_cap * tenant.priority / weights
+            share = min(share, total_cap - used)
+            alloc = allocate_tenant_ve(tenant, grants[tenant.tenant_id], share)
+            for unit, amount in alloc.items():
+                decision.ve_alloc[unit] = decision.ve_alloc.get(unit, 0.0) + amount
+                used += amount
+            needy.extend(
+                unmet_ve_demand(tenant, grants[tenant.tenant_id], decision.ve_alloc)
+            )
+        leftover = total_cap - used
+        needy.sort(key=lambda u: (not u.is_me_unit, u.unit_id))
+        for unit in needy:
+            if leftover <= 1e-9:
+                break
+            want = (
+                unit.ve_rate * max(1, unit.me_engines_needed)
+                if unit.is_me_unit
+                else float(unit.parallelism)
+            )
+            gap = want - decision.ve_alloc.get(unit, 0.0)
+            if gap <= 0:
+                continue
+            got = min(leftover, gap)
+            decision.ve_alloc[unit] = decision.ve_alloc.get(unit, 0.0) + got
+            leftover -= got

@@ -1,0 +1,179 @@
+"""Scheduler interface and schedulable execution units.
+
+A *unit* is the atom the hardware scheduler places onto engines:
+
+- ``ME_UTOP``    -- a NeuISA ME uTOp: exactly one ME, plus an embedded
+  VE post-processing stream (``ve_rate`` VE-cycles per ME-cycle);
+- ``VE_UTOP``    -- a NeuISA VE uTOp: elastic over up to ``parallelism``
+  VEs;
+- ``VLIW_ME``    -- a VLIW-compiled ME operator: an *indivisible block*
+  of ``me_engines_needed`` MEs (the coupling of paper SectionII-C);
+- ``VLIW_VE``    -- a VLIW-compiled VE-only operator.
+
+Every epoch the active scheduler produces a :class:`Decision`: which
+units run, with how many engines, which are harvesting foreign engines,
+which get preempted, and when the next mandatory re-decision happens.
+The engine (:mod:`repro.sim.engine`) validates capacity and advances the
+fluid state.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator, Tenant
+
+_unit_ids = itertools.count()
+
+
+class UnitKind(enum.Enum):
+    ME_UTOP = "me_utop"
+    VE_UTOP = "ve_utop"
+    VLIW_ME = "vliw_me"
+    VLIW_VE = "vliw_ve"
+
+
+class UnitState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass
+class ExecUnit:
+    """Runtime state of one schedulable unit."""
+
+    kind: UnitKind
+    owner: int
+    op_index: int
+    op_name: str
+    request_id: int
+    me_engines_needed: int
+    remaining_me: float
+    remaining_ve: float
+    ve_rate: float
+    hbm_rate: float
+    parallelism: int = 1
+    unit_id: int = field(default_factory=lambda: next(_unit_ids))
+    state: UnitState = UnitState.READY
+    harvesting: bool = False
+    #: Engine-count this unit currently holds (set by the engine).
+    granted_me: int = 0
+    granted_ve: float = 0.0
+
+    #: Cached kind check (hot path) -- set in __post_init__.
+    is_me_unit: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        if self.me_engines_needed < 0:
+            raise SchedulerError("negative engine requirement")
+        if self.remaining_me < 0 or self.remaining_ve < 0:
+            raise SchedulerError("negative remaining work")
+        self.is_me_unit = self.kind in (UnitKind.ME_UTOP, UnitKind.VLIW_ME)
+
+    @property
+    def done(self) -> bool:
+        return self.state is UnitState.DONE
+
+    def granted_me_or(self, default: int) -> int:
+        """Current engine grant, or ``default`` before any grant."""
+        return self.granted_me if self.granted_me > 0 else default
+
+    def __hash__(self) -> int:
+        return self.unit_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ExecUnit) and other.unit_id == self.unit_id
+
+
+@dataclass
+class Decision:
+    """One epoch's scheduling decision.
+
+    ``running_me`` grants engines to ME units (value = engine count; must
+    equal the unit's ``me_engines_needed`` for VLIW units and 1 for ME
+    uTOps).  ``harvested_me`` marks how many of a unit's granted engines
+    are *foreign* (harvested) -- used for accounting and reclaim.
+    ``ve_alloc`` grants fractional VEs: for ME units this feeds the
+    embedded post-processing stream, for VE units it is the execution
+    parallelism.  ``preempt`` lists units to preempt before this epoch
+    starts (they return to READY and their engines pay the reclaim
+    penalty).  ``next_decision_at`` forces a re-decision (quantum expiry).
+    """
+
+    running_me: Dict[ExecUnit, int] = field(default_factory=dict)
+    harvested_me: Dict[ExecUnit, int] = field(default_factory=dict)
+    ve_alloc: Dict[ExecUnit, float] = field(default_factory=dict)
+    preempt: List[ExecUnit] = field(default_factory=list)
+    #: Which tenant each preempted unit's engines are reclaimed for; the
+    #: reclaim penalty reduces that tenant's usable capacity until it
+    #: expires.  Defaults to the preempted unit's owner.
+    reclaim_owners: Dict[ExecUnit, int] = field(default_factory=dict)
+    next_decision_at: Optional[float] = None
+
+
+class SchedulerBase:
+    """Base class for all scheduling policies."""
+
+    #: Human-readable policy name used in experiment tables.
+    name = "base"
+
+    def decide(self, sim: "Simulator") -> Decision:
+        raise NotImplementedError
+
+    # Helpers shared by concrete schedulers ----------------------------
+    @staticmethod
+    def ready_me_units(tenant: "Tenant") -> List[ExecUnit]:
+        return [
+            u
+            for u in tenant.active_units
+            if u.is_me_unit and u.state is not UnitState.DONE
+        ]
+
+    @staticmethod
+    def ready_ve_units(tenant: "Tenant") -> List[ExecUnit]:
+        return [
+            u
+            for u in tenant.active_units
+            if not u.is_me_unit and u.state is not UnitState.DONE
+        ]
+
+    @staticmethod
+    def embedded_ve_demand(unit: ExecUnit) -> float:
+        """VE engines needed to keep an ME unit's embedded stream at full
+        pace (ve_rate is per granted engine for VLIW blocks)."""
+        if unit.kind is UnitKind.VLIW_ME:
+            return unit.ve_rate
+        return unit.ve_rate
+
+    @staticmethod
+    def allocate_ve(
+        me_units: List[ExecUnit],
+        ve_units: List[ExecUnit],
+        capacity: float,
+    ) -> Dict[ExecUnit, float]:
+        """Standard VE split: embedded streams of running ME units first
+        (paper SectionIII-E: "the scheduler prioritizes those from ME
+        uTOps, which allows the occupied MEs to be freed as soon as
+        possible"), then VE units up to their parallelism."""
+        alloc: Dict[ExecUnit, float] = {}
+        remaining = capacity
+        for unit in me_units:
+            want = min(remaining, unit.ve_rate * max(1, unit.me_engines_needed))
+            if want > 0:
+                alloc[unit] = want
+                remaining -= want
+        for unit in ve_units:
+            if remaining <= 1e-12:
+                break
+            want = min(remaining, float(unit.parallelism))
+            if want > 0:
+                alloc[unit] = want
+                remaining -= want
+        return alloc

@@ -1,0 +1,242 @@
+"""Statistics collection for simulation runs.
+
+Tracks everything the paper's evaluation section reports:
+
+- per-engine-class busy integrals -> ME/VE utilization (Figs. 5, 22, 27);
+- per-tenant assigned-engine traces over time (Fig. 24);
+- per-operator execution records -> harvesting speedup breakdown
+  (Fig. 23) and blocked-time overhead (Table III);
+- HBM bandwidth consumption over time (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class OpRecord:
+    """One dynamic operator execution on one tenant."""
+
+    tenant_id: int
+    op_name: str
+    op_index: int
+    request_id: int
+    start_cycle: float
+    end_cycle: float = 0.0
+    #: Cycles this operator's uTOps spent preempted or waiting for a
+    #: reclaimed engine because a harvester held it (Table III metric).
+    blocked_cycles: float = 0.0
+    #: Engine-cycles executed on harvested (non-home) engines.
+    harvested_engine_cycles: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return max(0.0, self.end_cycle - self.start_cycle)
+
+
+@dataclass
+class AssignmentSample:
+    """Engine assignment snapshot for one epoch (Fig. 24 traces)."""
+
+    start_cycle: float
+    end_cycle: float
+    mes_per_tenant: Dict[int, float]
+    ves_per_tenant: Dict[int, float]
+
+
+class SimStats:
+    """Accumulates integrals and traces during a simulation run."""
+
+    def __init__(self, num_mes: int, num_ves: int, record_assignment: bool = True,
+                 record_ops: bool = True, record_bandwidth: bool = False) -> None:
+        self.num_mes = num_mes
+        self.num_ves = num_ves
+        self.record_assignment = record_assignment
+        self.record_ops = record_ops
+        self.record_bandwidth = record_bandwidth
+        self.total_cycles = 0.0
+        self.me_busy_integral = 0.0
+        self.ve_busy_integral = 0.0
+        self.me_busy_per_tenant: Dict[int, float] = defaultdict(float)
+        self.ve_busy_per_tenant: Dict[int, float] = defaultdict(float)
+        self.harvested_me_integral: Dict[int, float] = defaultdict(float)
+        self.blocked_cycles_per_tenant: Dict[int, float] = defaultdict(float)
+        self.preemption_count = 0
+        self.reclaim_penalty_cycles = 0.0
+        self.assignment_trace: List[AssignmentSample] = []
+        self.op_records: List[OpRecord] = []
+        self.bandwidth_trace: List[Tuple[float, float, float]] = []
+        self._open_ops: Dict[Tuple[int, int, int], OpRecord] = {}
+
+    # ------------------------------------------------------------------
+    # Epoch accounting
+    # ------------------------------------------------------------------
+    def record_epoch(
+        self,
+        start: float,
+        delta: float,
+        me_busy: Dict[int, float],
+        ve_busy: Dict[int, float],
+        me_assigned: Optional[Dict[int, float]] = None,
+        ve_assigned: Optional[Dict[int, float]] = None,
+        harvested_mes_per_tenant: Optional[Dict[int, float]] = None,
+        hbm_bytes_per_cycle: float = 0.0,
+    ) -> None:
+        """Accumulate one epoch.
+
+        ``me_busy``/``ve_busy`` are *productive* engine counts (rate
+        weighted: a memory-stalled engine counts fractionally), which is
+        what the paper's utilization figures report.  ``me_assigned`` /
+        ``ve_assigned`` are raw assignment counts for the Fig. 24 traces.
+        """
+        if delta <= 0:
+            return
+        self.total_cycles += delta
+        for tenant, mes in me_busy.items():
+            self.me_busy_integral += mes * delta
+            self.me_busy_per_tenant[tenant] += mes * delta
+        for tenant, ves in ve_busy.items():
+            self.ve_busy_integral += ves * delta
+            self.ve_busy_per_tenant[tenant] += ves * delta
+        if harvested_mes_per_tenant:
+            for tenant, mes in harvested_mes_per_tenant.items():
+                self.harvested_me_integral[tenant] += mes * delta
+        if self.record_assignment:
+            self._append_assignment(
+                start,
+                delta,
+                me_assigned if me_assigned is not None else me_busy,
+                ve_assigned if ve_assigned is not None else ve_busy,
+            )
+        if self.record_bandwidth:
+            self.bandwidth_trace.append((start, start + delta, hbm_bytes_per_cycle))
+
+    def _append_assignment(
+        self,
+        start: float,
+        delta: float,
+        mes: Dict[int, float],
+        ves: Dict[int, float],
+    ) -> None:
+        trace = self.assignment_trace
+        if trace:
+            last = trace[-1]
+            if (
+                last.end_cycle == start
+                and last.mes_per_tenant == mes
+                and last.ves_per_tenant == ves
+            ):
+                last.end_cycle = start + delta
+                return
+        trace.append(
+            AssignmentSample(
+                start_cycle=start,
+                end_cycle=start + delta,
+                mes_per_tenant=dict(mes),
+                ves_per_tenant=dict(ves),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Operator lifecycle
+    # ------------------------------------------------------------------
+    def op_started(
+        self, tenant_id: int, op_name: str, op_index: int, request_id: int, now: float
+    ) -> None:
+        if not self.record_ops:
+            return
+        key = (tenant_id, request_id, op_index)
+        self._open_ops[key] = OpRecord(
+            tenant_id=tenant_id,
+            op_name=op_name,
+            op_index=op_index,
+            request_id=request_id,
+            start_cycle=now,
+        )
+
+    def op_finished(self, tenant_id: int, op_index: int, request_id: int, now: float) -> None:
+        if not self.record_ops:
+            return
+        key = (tenant_id, request_id, op_index)
+        record = self._open_ops.pop(key, None)
+        if record is None:
+            return
+        record.end_cycle = now
+        self.op_records.append(record)
+
+    def op_blocked(
+        self, tenant_id: int, op_index: int, request_id: int, cycles: float
+    ) -> None:
+        self.blocked_cycles_per_tenant[tenant_id] += cycles
+        if not self.record_ops:
+            return
+        record = self._open_ops.get((tenant_id, request_id, op_index))
+        if record is not None:
+            record.blocked_cycles += cycles
+
+    def op_harvest_cycles(
+        self, tenant_id: int, op_index: int, request_id: int, engine_cycles: float
+    ) -> None:
+        if not self.record_ops:
+            return
+        record = self._open_ops.get((tenant_id, request_id, op_index))
+        if record is not None:
+            record.harvested_engine_cycles += engine_cycles
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def me_utilization(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.me_busy_integral / (self.total_cycles * self.num_mes)
+
+    def ve_utilization(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.ve_busy_integral / (self.total_cycles * self.num_ves)
+
+    def tenant_me_utilization(self, tenant_id: int) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.me_busy_per_tenant[tenant_id] / (self.total_cycles * self.num_mes)
+
+    def tenant_ve_utilization(self, tenant_id: int) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.ve_busy_per_tenant[tenant_id] / (self.total_cycles * self.num_ves)
+
+    def op_durations(self, tenant_id: int) -> Dict[str, List[float]]:
+        """Operator name -> list of execution durations for a tenant."""
+        out: Dict[str, List[float]] = defaultdict(list)
+        for record in self.op_records:
+            if record.tenant_id == tenant_id:
+                out[record.op_name].append(record.duration)
+        return out
+
+    def assignment_series(
+        self, tenant_id: int
+    ) -> List[Tuple[float, float, float, float]]:
+        """(start, end, #MEs, #VEs) series for one tenant (Fig. 24)."""
+        return [
+            (
+                s.start_cycle,
+                s.end_cycle,
+                s.mes_per_tenant.get(tenant_id, 0.0),
+                s.ves_per_tenant.get(tenant_id, 0.0),
+            )
+            for s in self.assignment_trace
+        ]
+
+    def average_bandwidth(self) -> float:
+        """Mean HBM bytes/cycle over the run (only when recorded)."""
+        if not self.bandwidth_trace:
+            return 0.0
+        total_bytes = sum((e - s) * bw for s, e, bw in self.bandwidth_trace)
+        span = self.bandwidth_trace[-1][1] - self.bandwidth_trace[0][0]
+        if span <= 0:
+            return 0.0
+        return total_bytes / span

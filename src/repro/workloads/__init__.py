@@ -1,0 +1,29 @@
+"""DNN workload zoo (paper Table I + the LLaMA case study of Fig. 27).
+
+Each model is a function ``batch_size -> Graph`` built from layer-level
+specs.  The graphs are synthetic but calibrated to reproduce the paper's
+characterisation (SectionII-B): per-model ME:VE intensity ratios (Fig. 4),
+demand variation over time (Fig. 2), and HBM bandwidth behaviour
+(Fig. 7).  :mod:`repro.workloads.catalog` is the name->model registry
+with Table I metadata; :mod:`repro.workloads.traces` lowers models into
+the executable traces the simulator replays.
+"""
+
+from repro.workloads.catalog import (
+    CATALOG,
+    ModelInfo,
+    build_model,
+    model_info,
+    model_names,
+)
+from repro.workloads.traces import WorkloadTrace, build_trace
+
+__all__ = [
+    "CATALOG",
+    "ModelInfo",
+    "WorkloadTrace",
+    "build_model",
+    "build_trace",
+    "model_info",
+    "model_names",
+]

@@ -1,0 +1,87 @@
+"""Model registry with paper Table I metadata.
+
+``CATALOG`` maps both full names and the paper's abbreviations to
+:class:`ModelInfo` entries carrying the builder function, the workload
+category and the HBM footprint the paper reports for batch size 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.compiler.graph import Graph
+from repro.config import GiB, MiB
+from repro.errors import ConfigError
+from repro.workloads.llm import build_llama
+from repro.workloads.nlp import build_bert, build_transformer
+from repro.workloads.recsys import build_dlrm, build_ncf
+from repro.workloads.vision import (
+    build_efficientnet,
+    build_mask_rcnn,
+    build_mnist,
+    build_resnet,
+    build_resnet_rs,
+    build_retinanet,
+    build_shapemask,
+)
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Catalog entry for one DNN model."""
+
+    name: str
+    abbrev: str
+    category: str
+    builder: Callable[[int], Graph]
+    #: HBM footprint at batch size 8 as reported in paper Table I.
+    hbm_footprint_bytes: int
+
+    def build(self, batch: int) -> Graph:
+        if batch < 1:
+            raise ConfigError("batch size must be positive")
+        return self.builder(batch)
+
+
+_ENTRIES = [
+    ModelInfo("BERT", "BERT", "nlp", build_bert, int(1.27 * GiB)),
+    ModelInfo("Transformer", "TFMR", "nlp", build_transformer, int(1.54 * GiB)),
+    ModelInfo("DLRM", "DLRM", "recommendation", build_dlrm, int(22.38 * GiB)),
+    ModelInfo("NCF", "NCF", "recommendation", build_ncf, int(11.10 * GiB)),
+    ModelInfo("Mask-RCNN", "MRCNN", "detection", build_mask_rcnn, int(3.21 * GiB)),
+    ModelInfo("RetinaNet", "RtNt", "detection", build_retinanet, int(860.51 * MiB)),
+    ModelInfo("ShapeMask", "SMask", "detection", build_shapemask, int(6.04 * GiB)),
+    ModelInfo("MNIST", "MNIST", "classification", build_mnist, int(10.59 * MiB)),
+    ModelInfo("ResNet", "RsNt", "classification", build_resnet, int(216.02 * MiB)),
+    ModelInfo("ResNet-RS", "RNRS", "classification", build_resnet_rs, int(458.17 * MiB)),
+    ModelInfo("EfficientNet", "ENet", "classification", build_efficientnet, int(99.06 * MiB)),
+    ModelInfo("LLaMA", "LLaMA", "llm", build_llama, int(26.0 * GiB)),
+]
+
+CATALOG: Dict[str, ModelInfo] = {}
+for _info in _ENTRIES:
+    CATALOG[_info.name] = _info
+    CATALOG[_info.abbrev] = _info
+    CATALOG[_info.name.lower()] = _info
+    CATALOG[_info.abbrev.lower()] = _info
+
+
+def model_names(include_llm: bool = False) -> List[str]:
+    """Canonical model names in Table I order."""
+    names = [info.name for info in _ENTRIES if info.category != "llm"]
+    if include_llm:
+        names.append("LLaMA")
+    return names
+
+
+def model_info(name: str) -> ModelInfo:
+    if name not in CATALOG:
+        raise ConfigError(
+            f"unknown model {name!r}; known: {sorted(set(i.name for i in _ENTRIES))}"
+        )
+    return CATALOG[name]
+
+
+def build_model(name: str, batch: int) -> Graph:
+    return model_info(name).build(batch)

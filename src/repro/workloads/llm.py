@@ -1,0 +1,52 @@
+"""LLaMA2-13B decode-phase workload (paper Fig. 27 case study).
+
+The paper collocates "a memory bandwidth-intensive LLM inference
+workload, LLaMA2-13B (batch size 8, input sequence length 512)" with
+compute-intensive models.  Decode-phase token generation multiplies a
+``batch``-row activation against every weight matrix of every layer --
+a GEMV-shaped workload whose systolic-array time is dominated by weight
+loading, making it HBM-bandwidth bound when several MEs stream weights
+concurrently.  That is exactly the behaviour Fig. 27 exploits: under V10
+the memory-stalled LLM holds all MEs hostage; under Neu10 the collocated
+compute-intensive workload harvests them.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.graph import Graph
+from repro.compiler.operators import Elementwise, ElementwiseKind, Softmax
+from repro.workloads.spec import layer_norm, linear
+
+LLAMA_LAYERS = 40
+LLAMA_HIDDEN = 5120
+LLAMA_HEADS = 40
+LLAMA_FFN = 13_824
+LLAMA_CONTEXT = 512
+LLAMA_VOCAB = 32_000
+#: Decode steps simulated per inference request.
+LLAMA_DECODE_STEPS = 4
+
+
+def build_llama(batch: int) -> Graph:
+    """LLaMA2-13B decode steps for one serving request."""
+    graph = Graph(f"llama13b-b{batch}")
+    for step in range(LLAMA_DECODE_STEPS):
+        ctx = LLAMA_CONTEXT + step
+        for layer in range(LLAMA_LAYERS):
+            name = f"s{step}.l{layer}"
+            layer_norm(graph, f"{name}.ln1", batch, LLAMA_HIDDEN)
+            linear(graph, f"{name}.qkv", batch, LLAMA_HIDDEN, 3 * LLAMA_HIDDEN)
+            graph.add(
+                Softmax(f"{name}.attn", rows=batch * LLAMA_HEADS, cols=ctx)
+            )
+            linear(graph, f"{name}.proj", batch, LLAMA_HIDDEN, LLAMA_HIDDEN)
+            layer_norm(graph, f"{name}.ln2", batch, LLAMA_HIDDEN)
+            # SwiGLU FFN: gate+up fused, then down projection.
+            linear(
+                graph, f"{name}.ffn_gate_up", batch, LLAMA_HIDDEN, 2 * LLAMA_FFN,
+                activation=ElementwiseKind.SWISH,
+            )
+            linear(graph, f"{name}.ffn_down", batch, LLAMA_FFN, LLAMA_HIDDEN)
+        linear(graph, f"s{step}.lm_head", batch, LLAMA_HIDDEN, LLAMA_VOCAB)
+        graph.add(Softmax(f"s{step}.sample", rows=batch, cols=LLAMA_VOCAB))
+    return graph

@@ -1,0 +1,104 @@
+"""NLP workloads: BERT and Transformer (paper Table I).
+
+- **BERT** -- BERT-Large style encoder (24 layers, hidden 1024, 16
+  heads, sequence 128).  ME-dominated with periodic VE phases (softmax,
+  layer norm) -- paper Fig. 2 shows its ME/VE demand alternation, and
+  Fig. 4 a moderate-to-high ME:VE intensity ratio that grows with batch.
+- **Transformer** (TFMR) -- an encoder-decoder translation model with an
+  autoregressive decode loop.  Decode steps run matmuls with tiny
+  ``m = batch`` rows, so the model is spikier and less ME-efficient than
+  BERT (its 15 ms trace in Fig. 2 alternates rapidly).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.graph import Graph
+from repro.compiler.operators import Elementwise, ElementwiseKind, Softmax
+from repro.workloads.spec import (
+    GELU,
+    layer_norm,
+    linear,
+    transformer_layer,
+)
+
+BERT_LAYERS = 24
+BERT_HIDDEN = 1024
+BERT_HEADS = 16
+BERT_SEQ = 128
+BERT_FFN = 4096
+
+
+def build_bert(batch: int) -> Graph:
+    """BERT-Large encoder for one inference batch."""
+    graph = Graph(f"bert-b{batch}")
+    rows = batch * BERT_SEQ
+    # Embedding lookup + positional add + input layer norm.
+    linear(graph, "embed.project", rows, BERT_HIDDEN, BERT_HIDDEN)
+    graph.add(
+        Elementwise(
+            "embed.pos_add", kind=ElementwiseKind.ADD,
+            elements=rows * BERT_HIDDEN, arity=2,
+        )
+    )
+    layer_norm(graph, "embed.ln", rows, BERT_HIDDEN)
+    for layer in range(BERT_LAYERS):
+        transformer_layer(
+            graph,
+            f"layer{layer}",
+            batch,
+            BERT_SEQ,
+            BERT_HIDDEN,
+            BERT_HEADS,
+            BERT_FFN,
+            activation=GELU,
+        )
+    # Pooler head.
+    linear(graph, "pooler", batch, BERT_HIDDEN, BERT_HIDDEN, activation=ElementwiseKind.TANH)
+    return graph
+
+
+TFMR_ENC_LAYERS = 6
+TFMR_DEC_LAYERS = 6
+TFMR_HIDDEN = 1024
+TFMR_HEADS = 16
+TFMR_FFN = 4096
+TFMR_SRC_SEQ = 64
+TFMR_DECODE_STEPS = 12
+TFMR_VOCAB = 32_000
+
+
+def build_transformer(batch: int) -> Graph:
+    """Encoder-decoder Transformer with autoregressive decoding."""
+    graph = Graph(f"transformer-b{batch}")
+    enc_rows = batch * TFMR_SRC_SEQ
+    linear(graph, "enc.embed", enc_rows, TFMR_HIDDEN, TFMR_HIDDEN)
+    for layer in range(TFMR_ENC_LAYERS):
+        transformer_layer(
+            graph,
+            f"enc{layer}",
+            batch,
+            TFMR_SRC_SEQ,
+            TFMR_HIDDEN,
+            TFMR_HEADS,
+            TFMR_FFN,
+        )
+    # Autoregressive decode: each step projects a single token per
+    # sequence (m = batch) through every decoder layer -- ME-inefficient
+    # matmuls interleaved with VE softmaxes over the vocabulary.
+    for step in range(TFMR_DECODE_STEPS):
+        ctx = TFMR_SRC_SEQ + step
+        for layer in range(TFMR_DEC_LAYERS):
+            name = f"dec.s{step}.l{layer}"
+            linear(graph, f"{name}.qkv", batch, TFMR_HIDDEN, 3 * TFMR_HIDDEN)
+            graph.add(
+                Softmax(f"{name}.attn_softmax", rows=batch * TFMR_HEADS, cols=ctx)
+            )
+            linear(graph, f"{name}.proj", batch, TFMR_HIDDEN, TFMR_HIDDEN)
+            linear(
+                graph, f"{name}.ffn1", batch, TFMR_HIDDEN, TFMR_FFN, activation=GELU
+            )
+            linear(graph, f"{name}.ffn2", batch, TFMR_FFN, TFMR_HIDDEN)
+            layer_norm(graph, f"{name}.ln", batch, TFMR_HIDDEN)
+        linear(graph, f"dec.s{step}.vocab", batch, TFMR_HIDDEN, TFMR_VOCAB)
+        graph.add(Softmax(f"dec.s{step}.vocab_softmax", rows=batch, cols=TFMR_VOCAB))
+    return graph

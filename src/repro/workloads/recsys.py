@@ -1,0 +1,121 @@
+"""Recommendation workloads: DLRM and NCF (paper Table I).
+
+Both are the paper's canonical VE/HBM-intensive models: Fig. 4 places
+their ME:VE intensity ratio around 0.01-0.1, and Fig. 7 shows DLRM
+consuming ~500 GB/s average HBM bandwidth (embedding gathers).  The ME
+work is confined to small MLPs whose ``m`` dimension is the batch size,
+which cannot fill a 128x128 systolic array.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.graph import Graph
+from repro.compiler.operators import (
+    Elementwise,
+    ElementwiseKind,
+    MatMul,
+    Reduction,
+    Softmax,
+)
+from repro.config import GiB
+from repro.workloads.spec import embedding_bag, linear, mlp_stack
+
+# DLRM: 26 sparse features, multi-hot with ~512 indices pooled per bag
+# (sized so a batch-8 request takes ~100 us like the paper's Fig. 2 trace
+# and the intensity ratio lands in Fig. 4's 0.01-0.1 band).
+DLRM_NUM_TABLES = 26
+DLRM_INDICES_PER_BAG = 512
+DLRM_EMB_DIM = 128
+DLRM_TABLE_BYTES = 22 * GiB // DLRM_NUM_TABLES
+DLRM_DENSE_FEATURES = 13
+
+
+def build_dlrm(batch: int) -> Graph:
+    graph = Graph(f"dlrm-b{batch}")
+    # Bottom MLP over dense features.
+    mlp_stack(graph, "bot", batch, [DLRM_DENSE_FEATURES, 256, 128, DLRM_EMB_DIM])
+    # Sparse embedding bags: the HBM-heavy phase.
+    for table in range(DLRM_NUM_TABLES):
+        embedding_bag(
+            graph,
+            f"emb{table}",
+            lookups=batch * DLRM_INDICES_PER_BAG,
+            dim=DLRM_EMB_DIM,
+            table_bytes=DLRM_TABLE_BYTES,
+        )
+    # Feature interaction: pairwise dots between the 27 feature vectors.
+    features = DLRM_NUM_TABLES + 1
+    graph.add(
+        MatMul(
+            "interact",
+            m=batch * features,
+            k=DLRM_EMB_DIM,
+            n=features,
+            weights_streamed=False,
+        )
+    )
+    graph.add(
+        Elementwise(
+            "interact.concat",
+            kind=ElementwiseKind.COPY,
+            elements=batch * (features * features // 2 + DLRM_EMB_DIM),
+        )
+    )
+    # Top MLP + final sigmoid.
+    interact_width = features * features // 2 + DLRM_EMB_DIM
+    mlp_stack(graph, "top", batch, [interact_width, 256, 64, 1])
+    graph.add(Elementwise("sigmoid", kind=ElementwiseKind.SIGMOID, elements=batch))
+    return graph
+
+
+# NCF: neural collaborative filtering scoring `CANDIDATES` items per
+# user, with the user's interaction history (multi-hot) pooled into the
+# user representation -- the embedding-gather-dominated phase.
+NCF_CANDIDATES = 512
+NCF_HISTORY = 4096
+NCF_EMB_DIM = 256
+NCF_TABLE_BYTES = 5 * GiB
+
+
+def build_ncf(batch: int) -> Graph:
+    graph = Graph(f"ncf-b{batch}")
+    rows = batch * NCF_CANDIDATES
+    # GMF and MLP towers: pooled user-history embedding + per-candidate
+    # item embeddings.
+    for tower in ("gmf", "mlp"):
+        embedding_bag(
+            graph,
+            f"{tower}.user_emb",
+            lookups=batch * NCF_HISTORY,
+            dim=NCF_EMB_DIM,
+            table_bytes=NCF_TABLE_BYTES,
+        )
+        embedding_bag(
+            graph,
+            f"{tower}.item_emb",
+            lookups=batch * NCF_CANDIDATES,
+            dim=NCF_EMB_DIM,
+            table_bytes=NCF_TABLE_BYTES,
+        )
+    # GMF: elementwise product of user/item vectors.
+    graph.add(
+        Elementwise(
+            "gmf.mul", kind=ElementwiseKind.MUL,
+            elements=rows * NCF_EMB_DIM, arity=2,
+        )
+    )
+    # MLP tower over concatenated embeddings.
+    mlp_stack(graph, "mlp", rows, [2 * NCF_EMB_DIM, 64, 32, 16])
+    # Fuse GMF + MLP and score.
+    graph.add(
+        Elementwise(
+            "fuse.concat", kind=ElementwiseKind.COPY,
+            elements=rows * (NCF_EMB_DIM + 16),
+        )
+    )
+    linear(graph, "predict", rows, NCF_EMB_DIM + 16, 1)
+    graph.add(Elementwise("sigmoid", kind=ElementwiseKind.SIGMOID, elements=rows))
+    # Rank the candidates per user.
+    graph.add(Reduction("rank.topk", elements=rows, outputs=batch * 10))
+    graph.add(Softmax("rank.norm", rows=batch, cols=NCF_CANDIDATES))
+    return graph

@@ -1,0 +1,233 @@
+"""Layer-spec helpers shared by all model definitions.
+
+Models are defined by composing these block builders onto a
+:class:`~repro.compiler.graph.Graph`.  Conventions:
+
+- Batch-norm is folded into the preceding convolution (standard
+  inference-time optimisation), so conv blocks carry their activation as
+  a fused epilogue directly.
+- Attention is expressed through its matmul-equivalent shapes, with the
+  softmax as an explicit VE operator.
+- Residual adds and normalisations appear as explicit VE operators --
+  they are what makes "ME-intensive" models still spend >0 time on VEs
+  (paper Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.compiler.graph import Graph
+from repro.compiler.operators import (
+    Conv2D,
+    DepthwiseConv2D,
+    Elementwise,
+    ElementwiseKind,
+    EmbeddingLookup,
+    LayerNorm,
+    MatMul,
+    Pooling,
+    Softmax,
+)
+
+RELU = ElementwiseKind.RELU
+GELU = ElementwiseKind.GELU
+SWISH = ElementwiseKind.SWISH
+
+
+def conv_block(
+    graph: Graph,
+    name: str,
+    batch: int,
+    hw: int,
+    in_ch: int,
+    out_ch: int,
+    kernel: int = 3,
+    stride: int = 1,
+    activation: Optional[ElementwiseKind] = RELU,
+) -> int:
+    """Conv (+ folded BN) with fused activation; returns out spatial."""
+    epilogue: List[ElementwiseKind] = [activation] if activation else []
+    graph.add(
+        Conv2D(
+            name,
+            batch=batch,
+            in_h=hw,
+            in_w=hw,
+            in_ch=in_ch,
+            out_ch=out_ch,
+            kernel=kernel,
+            stride=stride,
+            epilogue=epilogue,
+        )
+    )
+    return max(1, hw // stride)
+
+
+def residual_add(graph: Graph, name: str, batch: int, hw: int, ch: int) -> None:
+    graph.add(
+        Elementwise(
+            name, kind=ElementwiseKind.ADD, elements=batch * hw * hw * ch, arity=2
+        )
+    )
+
+
+def dwconv_block(
+    graph: Graph,
+    name: str,
+    batch: int,
+    hw: int,
+    ch: int,
+    kernel: int = 3,
+    stride: int = 1,
+) -> int:
+    graph.add(
+        DepthwiseConv2D(
+            name,
+            batch=batch,
+            in_h=hw,
+            in_w=hw,
+            channels=ch,
+            kernel=kernel,
+            stride=stride,
+        )
+    )
+    return max(1, hw // stride)
+
+
+def linear(
+    graph: Graph,
+    name: str,
+    rows: int,
+    in_features: int,
+    out_features: int,
+    activation: Optional[ElementwiseKind] = None,
+    weights_streamed: bool = True,
+) -> None:
+    epilogue: List[ElementwiseKind] = [activation] if activation else []
+    graph.add(
+        MatMul(
+            name,
+            m=rows,
+            k=in_features,
+            n=out_features,
+            epilogue=epilogue,
+            weights_streamed=weights_streamed,
+        )
+    )
+
+
+def layer_norm(graph: Graph, name: str, rows: int, cols: int) -> None:
+    graph.add(LayerNorm(name, rows=rows, cols=cols))
+
+
+def attention_block(
+    graph: Graph,
+    name: str,
+    batch: int,
+    seq: int,
+    hidden: int,
+    heads: int,
+) -> None:
+    """Multi-head self-attention: QKV projection, scores+softmax,
+    context matmul, output projection, residual add, layer norm."""
+    rows = batch * seq
+    head_dim = hidden // heads
+    linear(graph, f"{name}.qkv", rows, hidden, 3 * hidden)
+    # scores: per head (seq x head_dim) @ (head_dim x seq)
+    graph.add(
+        MatMul(
+            f"{name}.scores",
+            m=batch * heads * seq,
+            k=head_dim,
+            n=seq,
+            weights_streamed=False,
+        )
+    )
+    graph.add(Softmax(f"{name}.softmax", rows=batch * heads * seq, cols=seq))
+    graph.add(
+        MatMul(
+            f"{name}.context",
+            m=batch * heads * seq,
+            k=seq,
+            n=head_dim,
+            weights_streamed=False,
+        )
+    )
+    linear(graph, f"{name}.proj", rows, hidden, hidden)
+    residual_add_rows(graph, f"{name}.residual", rows, hidden)
+    layer_norm(graph, f"{name}.ln", rows, hidden)
+
+
+def residual_add_rows(graph: Graph, name: str, rows: int, cols: int) -> None:
+    graph.add(
+        Elementwise(name, kind=ElementwiseKind.ADD, elements=rows * cols, arity=2)
+    )
+
+
+def ffn_block(
+    graph: Graph,
+    name: str,
+    rows: int,
+    hidden: int,
+    inner: int,
+    activation: ElementwiseKind = GELU,
+) -> None:
+    linear(graph, f"{name}.fc1", rows, hidden, inner, activation=activation)
+    linear(graph, f"{name}.fc2", rows, inner, hidden)
+    residual_add_rows(graph, f"{name}.residual", rows, hidden)
+    layer_norm(graph, f"{name}.ln", rows, hidden)
+
+
+def transformer_layer(
+    graph: Graph,
+    name: str,
+    batch: int,
+    seq: int,
+    hidden: int,
+    heads: int,
+    ffn_inner: int,
+    activation: ElementwiseKind = GELU,
+) -> None:
+    attention_block(graph, f"{name}.attn", batch, seq, hidden, heads)
+    ffn_block(graph, f"{name}.ffn", batch * seq, hidden, ffn_inner, activation)
+
+
+def embedding_bag(
+    graph: Graph,
+    name: str,
+    lookups: int,
+    dim: int,
+    table_bytes: int,
+) -> None:
+    graph.add(
+        EmbeddingLookup(
+            name, num_lookups=lookups, dim=dim, table_bytes=table_bytes
+        )
+    )
+
+
+def mlp_stack(
+    graph: Graph,
+    name: str,
+    rows: int,
+    layer_sizes: List[int],
+    activation: ElementwiseKind = RELU,
+) -> None:
+    """Sequential dense layers: layer_sizes = [in, h1, h2, ..., out]."""
+    for i in range(len(layer_sizes) - 1):
+        last = i == len(layer_sizes) - 2
+        linear(
+            graph,
+            f"{name}.fc{i}",
+            rows,
+            layer_sizes[i],
+            layer_sizes[i + 1],
+            activation=None if last else activation,
+        )
+
+
+def global_pool(graph: Graph, name: str, batch: int, hw: int, ch: int) -> None:
+    graph.add(
+        Pooling(name, batch=batch, in_h=hw, in_w=hw, channels=ch, window=hw)
+    )

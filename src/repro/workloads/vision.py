@@ -1,0 +1,306 @@
+"""Vision workloads (paper Table I).
+
+Image classification: MNIST, ResNet, ResNet-RS, EfficientNet.
+Detection & segmentation: RetinaNet, ShapeMask, Mask-RCNN.
+
+Calibration targets (paper Fig. 4, batch 32): ResNet-family models are
+strongly ME-dominated (conv-heavy, intensity ratio 10-100); EfficientNet
+is nearly balanced (depthwise convs and squeeze-excite run on the VEs);
+detection models are ME-leaning but carry meaningful VE post-processing
+(anchor decode, NMS, ROI align, mask resampling).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.compiler.graph import Graph
+from repro.compiler.operators import (
+    Conv2D,
+    Elementwise,
+    ElementwiseKind,
+    Pooling,
+    Reduction,
+    Softmax,
+)
+from repro.workloads.spec import (
+    RELU,
+    SWISH,
+    conv_block,
+    dwconv_block,
+    global_pool,
+    linear,
+    mlp_stack,
+    residual_add,
+)
+
+
+# ----------------------------------------------------------------------
+# MNIST: a tiny LeNet-style CNN.
+# ----------------------------------------------------------------------
+def build_mnist(batch: int) -> Graph:
+    graph = Graph(f"mnist-b{batch}")
+    hw = conv_block(graph, "conv1", batch, 28, 1, 32, kernel=5)
+    graph.add(Pooling("pool1", batch=batch, in_h=hw, in_w=hw, channels=32, window=2))
+    hw //= 2
+    hw = conv_block(graph, "conv2", batch, hw, 32, 64, kernel=5)
+    graph.add(Pooling("pool2", batch=batch, in_h=hw, in_w=hw, channels=64, window=2))
+    hw //= 2
+    mlp_stack(graph, "fc", batch, [hw * hw * 64, 256, 10])
+    graph.add(Softmax("softmax", rows=batch, cols=10))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# ResNet family.
+# ----------------------------------------------------------------------
+def _bottleneck(
+    graph: Graph, name: str, batch: int, hw: int, in_ch: int, mid_ch: int,
+    stride: int = 1,
+) -> Tuple[int, int]:
+    """ResNet bottleneck: 1x1 reduce, 3x3, 1x1 expand with the residual
+    add + ReLU *fused* into the expand conv's epilogue (the standard
+    compiler optimisation -- the skip tensor never round-trips HBM)."""
+    out_ch = mid_ch * 4
+    conv_block(graph, f"{name}.reduce", batch, hw, in_ch, mid_ch, kernel=1)
+    hw = conv_block(graph, f"{name}.conv3x3", batch, hw, mid_ch, mid_ch,
+                    kernel=3, stride=stride)
+    graph.add(
+        Conv2D(
+            f"{name}.expand",
+            batch=batch,
+            in_h=hw,
+            in_w=hw,
+            in_ch=mid_ch,
+            out_ch=out_ch,
+            kernel=1,
+            epilogue=[ElementwiseKind.ADD, ElementwiseKind.RELU],
+        )
+    )
+    return hw, out_ch
+
+
+def _resnet(graph: Graph, batch: int, stage_blocks: List[int],
+            input_hw: int = 224) -> Tuple[int, int]:
+    hw = conv_block(graph, "stem", batch, input_hw, 3, 64, kernel=7, stride=2)
+    graph.add(Pooling("stem.pool", batch=batch, in_h=hw, in_w=hw,
+                      channels=64, window=2))
+    hw //= 2
+    ch = 64
+    for stage, blocks in enumerate(stage_blocks):
+        mid = 64 * (2 ** stage)
+        for block in range(blocks):
+            stride = 2 if (block == 0 and stage > 0) else 1
+            hw, ch = _bottleneck(
+                graph, f"s{stage}.b{block}", batch, hw, ch, mid, stride
+            )
+    return hw, ch
+
+
+def build_resnet(batch: int) -> Graph:
+    """ResNet-50."""
+    graph = Graph(f"resnet-b{batch}")
+    hw, ch = _resnet(graph, batch, [3, 4, 6, 3])
+    global_pool(graph, "avgpool", batch, hw, ch)
+    linear(graph, "fc", batch, ch, 1000)
+    graph.add(Softmax("softmax", rows=batch, cols=1000))
+    return graph
+
+
+def build_resnet_rs(batch: int) -> Graph:
+    """ResNet-RS-101: deeper, with a squeeze-excite block per stage."""
+    graph = Graph(f"resnet-rs-b{batch}")
+    hw, ch = _resnet(graph, batch, [3, 4, 23, 3])
+    # Squeeze-excite tail (ResNet-RS adds SE; modelled once per stage
+    # would bloat op counts, one global SE captures the VE flavour).
+    global_pool(graph, "se.pool", batch, hw, ch)
+    linear(graph, "se.fc1", batch, ch, ch // 4, activation=RELU)
+    linear(graph, "se.fc2", batch, ch // 4, ch, activation=ElementwiseKind.SIGMOID)
+    graph.add(
+        Elementwise("se.scale", kind=ElementwiseKind.MUL,
+                    elements=batch * hw * hw * ch, arity=2)
+    )
+    global_pool(graph, "avgpool", batch, hw, ch)
+    linear(graph, "fc", batch, ch, 1000)
+    graph.add(Softmax("softmax", rows=batch, cols=1000))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# EfficientNet (B4-style): MBConv blocks with depthwise convs + SE.
+# ----------------------------------------------------------------------
+_ENET_STAGES = [
+    # (blocks, in_ch, out_ch, expand, kernel, stride)
+    (2, 48, 24, 1, 3, 1),
+    (4, 24, 32, 6, 3, 2),
+    (4, 32, 56, 6, 5, 2),
+    (6, 56, 112, 6, 3, 2),
+    (6, 112, 160, 6, 5, 1),
+    (8, 160, 272, 6, 5, 2),
+    (2, 272, 448, 6, 3, 1),
+]
+
+
+def _mbconv(graph: Graph, name: str, batch: int, hw: int, in_ch: int,
+            out_ch: int, expand: int, kernel: int, stride: int) -> int:
+    mid = in_ch * expand
+    if expand != 1:
+        conv_block(graph, f"{name}.expand", batch, hw, in_ch, mid,
+                   kernel=1, activation=SWISH)
+    hw = dwconv_block(graph, f"{name}.dw", batch, hw, mid, kernel=kernel,
+                      stride=stride)
+    # Squeeze-excite: global pool + two tiny FCs + channel scale.
+    global_pool(graph, f"{name}.se.pool", batch, hw, mid)
+    linear(graph, f"{name}.se.fc1", batch, mid, max(8, in_ch // 4),
+           activation=SWISH)
+    linear(graph, f"{name}.se.fc2", batch, max(8, in_ch // 4), mid,
+           activation=ElementwiseKind.SIGMOID)
+    graph.add(
+        Elementwise(f"{name}.se.scale", kind=ElementwiseKind.MUL,
+                    elements=batch * hw * hw * mid, arity=2)
+    )
+    conv_block(graph, f"{name}.project", batch, hw, mid, out_ch,
+               kernel=1, activation=None)
+    if stride == 1 and in_ch == out_ch:
+        residual_add(graph, f"{name}.residual", batch, hw, out_ch)
+    return hw
+
+
+def build_efficientnet(batch: int) -> Graph:
+    graph = Graph(f"efficientnet-b{batch}")
+    hw = conv_block(graph, "stem", batch, 192, 3, 48, kernel=3, stride=2,
+                    activation=SWISH)
+    for stage, (blocks, in_ch, out_ch, expand, kernel, stride) in enumerate(
+        _ENET_STAGES
+    ):
+        ch = in_ch
+        for block in range(blocks):
+            s = stride if block == 0 else 1
+            hw = _mbconv(graph, f"s{stage}.b{block}", batch, hw, ch,
+                         out_ch, expand, kernel, s)
+            ch = out_ch
+    conv_block(graph, "head", batch, hw, 448, 1792, kernel=1, activation=SWISH)
+    global_pool(graph, "avgpool", batch, hw, 1792)
+    linear(graph, "fc", batch, 1792, 1000)
+    graph.add(Softmax("softmax", rows=batch, cols=1000))
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Detection & segmentation.
+# ----------------------------------------------------------------------
+def _fpn(graph: Graph, batch: int, levels: List[Tuple[int, int]]) -> None:
+    """Feature pyramid: lateral 1x1 convs + top-down merge adds +
+    smoothing 3x3 convs at each level."""
+    for i, (hw, ch) in enumerate(levels):
+        conv_block(graph, f"fpn.lateral{i}", batch, hw, ch, 256, kernel=1)
+        if i > 0:
+            residual_add(graph, f"fpn.merge{i}", batch, hw, 256)
+        conv_block(graph, f"fpn.out{i}", batch, hw, 256, 256, kernel=3)
+
+
+def _detection_backbone(graph: Graph, batch: int, input_hw: int) -> List[Tuple[int, int]]:
+    hw, _ch = _resnet(graph, batch, [3, 4, 6, 3], input_hw=input_hw)
+    # ResNet C3..C5 output sizes for the FPN.
+    return [
+        (input_hw // 8, 512),
+        (input_hw // 16, 1024),
+        (input_hw // 32, 2048),
+    ]
+
+
+def _retina_head(graph: Graph, batch: int, levels: List[Tuple[int, int]],
+                 anchors: int = 9, classes: int = 90) -> None:
+    for i, (hw, _ch) in enumerate(levels):
+        for conv in range(4):
+            conv_block(graph, f"head.l{i}.cls{conv}", batch, hw, 256, 256)
+        conv_block(graph, f"head.l{i}.cls_out", batch, hw, 256,
+                   anchors * classes, activation=None)
+        for conv in range(4):
+            conv_block(graph, f"head.l{i}.box{conv}", batch, hw, 256, 256)
+        conv_block(graph, f"head.l{i}.box_out", batch, hw, 256, anchors * 4,
+                   activation=None)
+        # Score thresholding keeps the top ~1k candidates per level;
+        # only those go through sigmoid + box decode on the VEs.
+        graph.add(
+            Reduction(
+                f"head.l{i}.filter",
+                elements=batch * hw * hw * anchors,
+                outputs=batch * 1000,
+            )
+        )
+        graph.add(
+            Elementwise(
+                f"head.l{i}.decode", kind=ElementwiseKind.SIGMOID,
+                elements=batch * 1000 * (4 + classes),
+            )
+        )
+    # Top-k + NMS: sorting-like reduction work on the VEs.
+    graph.add(Reduction("nms.topk", elements=batch * 100_000, outputs=batch * 1000))
+    graph.add(Reduction("nms.suppress", elements=batch * 200_000,
+                        outputs=batch * 100))
+
+
+def build_retinanet(batch: int) -> Graph:
+    graph = Graph(f"retinanet-b{batch}")
+    levels = _detection_backbone(graph, batch, input_hw=448)
+    _fpn(graph, batch, levels)
+    _retina_head(graph, batch, [(hw, 256) for hw, _c in levels])
+    return graph
+
+
+def build_shapemask(batch: int) -> Graph:
+    """ShapeMask: RetinaNet-style detector + shape-prior mask branch."""
+    graph = Graph(f"shapemask-b{batch}")
+    levels = _detection_backbone(graph, batch, input_hw=448)
+    _fpn(graph, batch, levels)
+    _retina_head(graph, batch, [(hw, 256) for hw, _c in levels])
+    # Mask branch: per-RoI convs on pooled features + shape refinement.
+    rois = 32
+    for conv in range(4):
+        conv_block(graph, f"mask.conv{conv}", batch * rois, 16, 256, 256)
+    conv_block(graph, "mask.out", batch * rois, 16, 256, 1, activation=None)
+    graph.add(
+        Elementwise("mask.refine", kind=ElementwiseKind.SIGMOID,
+                    elements=batch * rois * 32 * 32)
+    )
+    return graph
+
+
+def build_mask_rcnn(batch: int) -> Graph:
+    """Mask-RCNN: two-stage detector with RoI heads and mask branch."""
+    graph = Graph(f"mask-rcnn-b{batch}")
+    levels = _detection_backbone(graph, batch, input_hw=512)
+    _fpn(graph, batch, levels)
+    # RPN at each level.
+    for i, (hw, _ch) in enumerate(levels):
+        conv_block(graph, f"rpn.l{i}.conv", batch, hw, 256, 256)
+        conv_block(graph, f"rpn.l{i}.obj", batch, hw, 256, 3, activation=None)
+        conv_block(graph, f"rpn.l{i}.box", batch, hw, 256, 12, activation=None)
+    graph.add(Reduction("rpn.topk", elements=batch * 200_000,
+                        outputs=batch * 1000))
+    # RoI align: gather + bilinear resampling on VEs.
+    rois = 128
+    graph.add(
+        Elementwise("roi.align", kind=ElementwiseKind.COPY,
+                    elements=batch * rois * 7 * 7 * 256 * 4)
+    )
+    # Box head: two FC layers over RoI features.
+    mlp_stack(graph, "box_head", batch * rois, [7 * 7 * 256, 1024, 1024])
+    linear(graph, "box_head.cls", batch * rois, 1024, 91)
+    linear(graph, "box_head.reg", batch * rois, 1024, 364)
+    graph.add(Softmax("box_head.softmax", rows=batch * rois, cols=91))
+    graph.add(Reduction("detection.nms", elements=batch * 100_000,
+                        outputs=batch * 100))
+    # Mask head: 4 convs + deconv + per-class masks on kept RoIs.
+    kept = 32
+    for conv in range(4):
+        conv_block(graph, f"mask.conv{conv}", batch * kept, 14, 256, 256)
+    conv_block(graph, "mask.deconv", batch * kept, 28, 256, 256)
+    conv_block(graph, "mask.out", batch * kept, 28, 256, 91, kernel=1,
+               activation=None)
+    graph.add(
+        Elementwise("mask.sigmoid", kind=ElementwiseKind.SIGMOID,
+                    elements=batch * kept * 28 * 28 * 91)
+    )
+    return graph

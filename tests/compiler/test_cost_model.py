@@ -1,0 +1,115 @@
+"""Tests for the per-operator cost model, including property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.cost_model import CostModel, me_utilization_efficiency
+from repro.compiler.operators import (
+    Conv2D,
+    Elementwise,
+    ElementwiseKind,
+    EmbeddingLookup,
+    MatMul,
+    Softmax,
+)
+from repro.config import NpuCoreConfig
+
+CORE = NpuCoreConfig()
+MODEL = CostModel(CORE)
+
+
+def test_matmul_cost_scales_with_flops():
+    small = MODEL.cost(MatMul("s", m=128, k=128, n=128))
+    big = MODEL.cost(MatMul("b", m=512, k=512, n=512))
+    assert big.me_cycles > small.me_cycles * 8
+
+
+def test_large_matmul_approaches_peak():
+    """For big square matmuls the dominant term is flops / (2 * MACs)."""
+    mm = MatMul("big", m=2048, k=2048, n=2048)
+    cost = MODEL.cost(mm)
+    ideal = mm.flops / (2 * CORE.me_macs_per_cycle)
+    assert ideal <= cost.me_cycles <= ideal * 1.3
+
+
+def test_gemv_is_weight_load_bound():
+    """m=8 rows: the array spends its time loading weights, so cycles
+    vastly exceed flops/(2*MACs) -- the LLM decode regime."""
+    mm = MatMul("gemv", m=8, k=4096, n=4096)
+    cost = MODEL.cost(mm)
+    ideal = mm.flops / (2 * CORE.me_macs_per_cycle)
+    assert cost.me_cycles > 5 * ideal
+
+
+def test_epilogue_adds_ve_cycles():
+    plain = MODEL.cost(MatMul("p", m=256, k=256, n=256))
+    fused = MODEL.cost(
+        MatMul("f", m=256, k=256, n=256, epilogue=[ElementwiseKind.GELU])
+    )
+    assert fused.ve_cycles > plain.ve_cycles
+    assert fused.me_cycles == plain.me_cycles
+
+
+def test_conv_costed_through_im2col():
+    conv = Conv2D("c", batch=8, in_h=28, in_w=28, in_ch=64, out_ch=64, kernel=3)
+    m, k, n = conv.as_matmul_dims()
+    conv_cost = MODEL.cost(conv)
+    mm_cost = MODEL.cost(MatMul("m", m=m, k=k, n=n))
+    assert conv_cost.me_cycles == mm_cost.me_cycles
+
+
+def test_ve_op_has_no_me_cycles():
+    cost = MODEL.cost(Softmax("sm", rows=128, cols=128))
+    assert cost.me_cycles == 0
+    assert cost.ve_cycles > 0
+    assert not cost.is_me_bound
+
+
+def test_embedding_is_memory_bound_ve_time():
+    from repro.compiler.cost_model import GATHER_BANDWIDTH_EFFICIENCY
+
+    emb = EmbeddingLookup("e", num_lookups=4096, dim=64, table_bytes=10**9)
+    cost = MODEL.cost(emb)
+    gather_rate = CORE.hbm_bytes_per_cycle * GATHER_BANDWIDTH_EFFICIENCY
+    assert cost.ve_cycles == pytest.approx(cost.hbm_bytes / gather_rate)
+
+
+def test_parallel_and_reduction_tiles():
+    cost = MODEL.cost(MatMul("t", m=512, k=512, n=256))
+    assert cost.parallel_tiles == 4 * 2
+    assert cost.reduction_tiles == 4
+
+
+def test_me_utilization_efficiency_bounds():
+    perfect = me_utilization_efficiency(MatMul("p", m=128, k=128, n=128), CORE)
+    ragged = me_utilization_efficiency(MatMul("r", m=8, k=129, n=130), CORE)
+    assert perfect == pytest.approx(1.0)
+    assert 0 < ragged < 0.1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    m=st.integers(1, 2048),
+    k=st.integers(1, 2048),
+    n=st.integers(1, 2048),
+)
+def test_matmul_cost_properties(m, k, n):
+    """Costs are positive, and padded-peak bounds hold from below."""
+    cost = MODEL.cost(MatMul("mm", m=m, k=k, n=n))
+    assert cost.me_cycles > 0
+    assert cost.ve_cycles > 0
+    assert cost.hbm_bytes > 0
+    # The array cannot beat perfect streaming of m rows per (n,k) tile.
+    import math
+    tn, tk = math.ceil(n / 128), math.ceil(k / 128)
+    assert cost.me_cycles >= tn * tk * m
+
+
+@settings(max_examples=30, deadline=None)
+@given(elements=st.integers(1, 10**7))
+def test_elementwise_cost_monotone(elements):
+    cost = MODEL.cost(
+        Elementwise("e", kind=ElementwiseKind.RELU, elements=elements)
+    )
+    assert cost.ve_cycles >= 1.0
+    assert cost.ve_cycles >= elements / CORE.ve_flops_per_cycle * 0.99

@@ -1,0 +1,77 @@
+"""Tests for the dataflow graph."""
+
+import pytest
+
+from repro.compiler.graph import Graph
+from repro.compiler.operators import Elementwise, ElementwiseKind, MatMul
+from repro.errors import CompileError
+
+
+def _mm(name):
+    return MatMul(name, m=8, k=8, n=8)
+
+
+def test_chain_construction():
+    g = Graph("g")
+    a = g.add(_mm("a"))
+    b = g.add(_mm("b"))
+    assert g.node(b).inputs == [a]
+
+
+def test_explicit_inputs_and_fanin():
+    g = Graph("g")
+    a = g.add(_mm("a"), inputs=[])
+    b = g.add(_mm("b"), inputs=[])
+    c = g.add(
+        Elementwise("c", kind=ElementwiseKind.ADD, elements=64, arity=2),
+        inputs=[a, b],
+    )
+    assert set(g.node(c).inputs) == {a, b}
+    assert g.consumers(a) == [c]
+
+
+def test_unknown_input_rejected():
+    g = Graph("g")
+    with pytest.raises(CompileError):
+        g.add(_mm("a"), inputs=[99])
+
+
+def test_topo_order_respects_dependencies():
+    g = Graph("g")
+    a = g.add(_mm("a"), inputs=[])
+    b = g.add(_mm("b"), inputs=[])
+    c = g.add(_mm("c"), inputs=[a, b])
+    d = g.add(_mm("d"), inputs=[c])
+    order = [n.node_id for n in g.topo_order()]
+    assert order.index(a) < order.index(c) < order.index(d)
+    assert order.index(b) < order.index(c)
+
+
+def test_cycle_detection():
+    g = Graph("g")
+    a = g.add(_mm("a"), inputs=[])
+    b = g.add(_mm("b"), inputs=[a])
+    g.rewire(a, [b])
+    with pytest.raises(CompileError):
+        g.topo_order()
+
+
+def test_remove_requires_no_consumers():
+    g = Graph("g")
+    a = g.add(_mm("a"))
+    b = g.add(_mm("b"))
+    with pytest.raises(CompileError):
+        g.remove(a)
+    g.remove(b)
+    g.remove(a)
+    assert len(g) == 0
+
+
+def test_aggregates():
+    g = Graph("g")
+    g.add(_mm("a"))
+    g.add(Elementwise("e", kind=ElementwiseKind.RELU, elements=64))
+    assert g.count_me_ops() == 1
+    assert g.count_ve_ops() == 1
+    assert g.total_flops > 0
+    assert g.total_hbm_bytes > 0

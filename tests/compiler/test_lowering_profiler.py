@@ -1,0 +1,135 @@
+"""Tests for graph lowering (VLIW + NeuISA) and the m/v profiler."""
+
+import pytest
+
+from repro.compiler.lowering import (
+    lower_graph_neuisa,
+    lower_graph_vliw,
+    lower_matmul_instructions_neuisa,
+    lower_matmul_instructions_vliw,
+    vliw_ve_idle_fraction,
+)
+from repro.compiler.operators import ElementwiseKind, MatMul
+from repro.compiler.profiler import profile_graph
+from repro.config import NpuCoreConfig
+from repro.errors import CompileError
+from repro.isa.interpreter import run_program
+
+from tests.conftest import make_me_graph, make_ve_graph
+
+CORE = NpuCoreConfig()
+
+
+# ----------------------------------------------------------------------
+# Descriptor lowering
+# ----------------------------------------------------------------------
+def test_neuisa_lowering_creates_utop_groups():
+    g = make_me_graph(layers=2)
+    compiled = lower_graph_neuisa(g, CORE)
+    assert compiled.isa == "neuisa"
+    me_ops = [op for op in compiled.ops if op.is_me_op]
+    assert me_ops
+    for op in me_ops:
+        assert op.groups
+        assert all(g.num_me_utops <= CORE.num_mes for g in op.groups)
+
+
+def test_neuisa_cost_conservation():
+    g = make_me_graph(layers=2)
+    compiled = lower_graph_neuisa(g, CORE)
+    for op in compiled.ops:
+        if op.is_me_op and not op.reduction_split:
+            assert op.total_me_cycles == pytest.approx(op.cost.me_cycles)
+
+
+def test_vliw_lowering_bakes_in_coupling():
+    g = make_me_graph(layers=2)
+    compiled = lower_graph_vliw(g, CORE, num_mes=4, num_ves=4)
+    me_ops = [op for op in compiled.ops if op.is_me_op]
+    assert all(op.coupled_me_count >= 1 for op in me_ops)
+    assert all(not op.groups for op in me_ops)
+
+
+def test_vliw_lowering_rejects_zero_engines():
+    g = make_me_graph(layers=1)
+    with pytest.raises(CompileError):
+        lower_graph_vliw(g, CORE, num_mes=0, num_ves=1)
+
+
+def test_lowering_preserves_topo_order():
+    g = make_ve_graph(layers=2)
+    compiled = lower_graph_neuisa(g, CORE)
+    names = [op.name for op in compiled.ops]
+    assert names.index("ve-toy.emb0") < names.index("ve-toy.sm0")
+    assert names.index("ve-toy.sm0") < names.index("ve-toy.emb1")
+
+
+def test_solo_lower_bound_is_a_lower_bound():
+    g = make_me_graph(layers=2)
+    compiled = lower_graph_neuisa(g, CORE)
+    lb4 = compiled.solo_lower_bound_cycles(4, 4)
+    lb1 = compiled.solo_lower_bound_cycles(1, 1)
+    assert lb4 < lb1
+
+
+# ----------------------------------------------------------------------
+# Instruction-level lowering (Fig. 6 / Fig. 8)
+# ----------------------------------------------------------------------
+def _fused_matmul():
+    return MatMul("fmm", m=128, k=128, n=128, epilogue=[ElementwiseKind.RELU])
+
+
+def test_instruction_vliw_ve_mostly_idle():
+    program = lower_matmul_instructions_vliw(_fused_matmul(), 2, 2)
+    idle = vliw_ve_idle_fraction(program)
+    assert idle > 0.8  # paper: VE idle most of the time
+
+
+def test_instruction_neuisa_shares_snippets():
+    program = lower_matmul_instructions_neuisa(_fused_matmul(), 4, 2)
+    assert program.num_me_utops == 4
+    assert len(program.snippets) == 1  # one shared snippet
+    assert program.sharing_factor() == pytest.approx(4.0)
+
+
+def test_instruction_neuisa_runs_on_interpreter():
+    program = lower_matmul_instructions_neuisa(_fused_matmul(), 2, 2, pops_per_tile=4)
+    result = run_program(program)
+    assert len(result.groups) == 1
+    assert len(result.groups[0].utop_runs) == 2
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+def test_profile_m_plus_v_at_least_one():
+    """Paper SectionIII-B: at least one engine type is always active."""
+    for graph in (make_me_graph(), make_ve_graph()):
+        profile = profile_graph(graph, CORE)
+        assert profile.m + profile.v >= 1.0 - 1e-9
+
+
+def test_me_graph_profiles_me_heavy():
+    profile = profile_graph(make_me_graph(), CORE)
+    assert profile.m > 0.8
+    assert profile.me_ve_intensity_ratio > 1.0
+
+
+def test_ve_graph_profiles_ve_heavy():
+    profile = profile_graph(make_ve_graph(), CORE)
+    assert profile.v > 0.5
+    assert profile.me_ve_intensity_ratio < 1.0
+
+
+def test_profile_timeline_is_contiguous():
+    profile = profile_graph(make_me_graph(), CORE)
+    timeline = profile.timeline()
+    assert timeline[0][0] == 0.0
+    for (s0, e0, _), (s1, _e1, _) in zip(timeline, timeline[1:]):
+        assert e0 == pytest.approx(s1)
+    assert timeline[-1][1] == pytest.approx(profile.total_cycles)
+
+
+def test_profile_average_bandwidth_positive():
+    profile = profile_graph(make_ve_graph(), CORE)
+    assert profile.average_hbm_bandwidth(CORE) > 0

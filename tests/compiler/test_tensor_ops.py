@@ -1,0 +1,127 @@
+"""Tests for tensor shapes and the operator taxonomy."""
+
+import pytest
+
+from repro.compiler.operators import (
+    Conv2D,
+    DepthwiseConv2D,
+    Elementwise,
+    ElementwiseKind,
+    EmbeddingLookup,
+    LayerNorm,
+    MatMul,
+    Pooling,
+    Reduction,
+    Softmax,
+    me_equivalent_dims,
+)
+from repro.compiler.tensor import DType, TensorShape, total_bytes
+from repro.errors import CompileError
+
+
+# ----------------------------------------------------------------------
+# TensorShape
+# ----------------------------------------------------------------------
+def test_shape_basics():
+    shape = TensorShape.of(8, 128, 64)
+    assert shape.rank == 3
+    assert shape.num_elements == 8 * 128 * 64
+    assert shape.nbytes == shape.num_elements * 4
+
+
+def test_shape_dtype_sizes():
+    assert TensorShape.of(4, dtype=DType.BF16).nbytes == 8
+    assert TensorShape.of(4, dtype=DType.INT8).nbytes == 4
+
+
+def test_shape_rejects_bad_dims():
+    with pytest.raises(CompileError):
+        TensorShape.of(0, 4)
+    with pytest.raises(CompileError):
+        TensorShape(())
+
+
+def test_with_dim_and_total_bytes():
+    shape = TensorShape.of(2, 3)
+    grown = shape.with_dim(0, 10)
+    assert grown.dims == (10, 3)
+    assert total_bytes([shape, grown]) == shape.nbytes + grown.nbytes
+
+
+# ----------------------------------------------------------------------
+# Operators
+# ----------------------------------------------------------------------
+def test_matmul_flops_and_bytes():
+    mm = MatMul("mm", m=4, k=8, n=16)
+    assert mm.flops == 2 * 4 * 8 * 16
+    assert mm.input_bytes == 4 * 8 * 4
+    assert mm.output_bytes == 4 * 16 * 4
+    assert mm.weight_bytes == 8 * 16 * 4
+    assert mm.is_me_op
+
+
+def test_matmul_resident_weights():
+    mm = MatMul("mm", m=4, k=8, n=16, weights_streamed=False)
+    assert mm.weight_bytes == 0
+
+
+def test_conv_as_matmul_dims():
+    conv = Conv2D("c", batch=2, in_h=8, in_w=8, in_ch=3, out_ch=16,
+                  kernel=3, stride=2)
+    m, k, n = conv.as_matmul_dims()
+    assert (m, k, n) == (2 * 4 * 4, 3 * 3 * 3, 16)
+    assert me_equivalent_dims(conv) == (m, k, n)
+
+
+def test_depthwise_is_ve_op():
+    dw = DepthwiseConv2D("dw", batch=1, in_h=8, in_w=8, channels=32)
+    assert not dw.is_me_op
+    assert dw.flops > 0
+    assert me_equivalent_dims(dw) is None
+
+
+def test_elementwise_arity_scales_input_bytes():
+    add = Elementwise("add", kind=ElementwiseKind.ADD, elements=100, arity=2)
+    relu = Elementwise("relu", kind=ElementwiseKind.RELU, elements=100)
+    assert add.input_bytes == 2 * relu.input_bytes
+
+
+def test_elementwise_cost_factors():
+    assert ElementwiseKind.GELU.cost_factor > ElementwiseKind.RELU.cost_factor
+
+
+def test_softmax_and_layernorm_pass_counts():
+    sm = Softmax("sm", rows=10, cols=10)
+    ln = LayerNorm("ln", rows=10, cols=10)
+    assert sm.flops == 4 * 100
+    assert ln.flops == 3 * 100
+
+
+def test_reduction_shapes():
+    red = Reduction("r", elements=1000, outputs=10)
+    assert red.input_bytes == 4000
+    assert red.output_bytes == 40
+
+
+def test_embedding_traffic():
+    emb = EmbeddingLookup("e", num_lookups=100, dim=64, table_bytes=10**9)
+    assert emb.input_bytes == 100 * 64 * 4
+    assert not emb.is_me_op
+
+
+def test_pooling_output_dims():
+    pool = Pooling("p", batch=1, in_h=8, in_w=8, channels=4, window=2)
+    assert pool.out_h == 4 and pool.out_w == 4
+
+
+def test_operator_validation_errors():
+    with pytest.raises(CompileError):
+        MatMul("bad", m=0, k=1, n=1)
+    with pytest.raises(CompileError):
+        Conv2D("bad", batch=1, in_h=1, in_w=1, in_ch=1, out_ch=1, kernel=0)
+    with pytest.raises(CompileError):
+        Elementwise("bad", elements=0)
+    with pytest.raises(CompileError):
+        Softmax("bad", rows=0, cols=1)
+    with pytest.raises(CompileError):
+        EmbeddingLookup("bad", num_lookups=0, dim=1)

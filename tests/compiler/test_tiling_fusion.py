@@ -1,0 +1,169 @@
+"""Tests for operator tiling and the fusion pass."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.cost_model import CostModel
+from repro.compiler.fusion import MAX_EPILOGUE_OPS, fuse_graph
+from repro.compiler.graph import Graph
+from repro.compiler.operators import (
+    Elementwise,
+    ElementwiseKind,
+    MatMul,
+    Softmax,
+)
+from repro.compiler.tiling import compiler_demanded_engines, tile_operator, vliw_me_count
+from repro.config import NpuCoreConfig
+
+CORE = NpuCoreConfig()
+MODEL = CostModel(CORE)
+
+
+# ----------------------------------------------------------------------
+# Tiling
+# ----------------------------------------------------------------------
+def test_parallel_dims_preferred():
+    mm = MatMul("mm", m=1024, k=256, n=512)  # 8x4 = 32 parallel tiles
+    cost = MODEL.cost(mm)
+    plan = tile_operator(mm, cost, nx=4, core=CORE)
+    assert plan.num_tiles == 4
+    assert not plan.reduction_split
+    assert plan.combine is None
+
+
+def test_reduction_split_when_parallel_insufficient():
+    """m=n=128 gives one parallel tile; reaching 4 uTOps needs a
+    reduction split, which appends a VE combine step (Fig. 16's
+    overhead source)."""
+    mm = MatMul("mm", m=128, k=2048, n=128)
+    cost = MODEL.cost(mm)
+    plan = tile_operator(mm, cost, nx=4, core=CORE)
+    assert plan.reduction_split
+    assert plan.num_tiles > 1
+    assert plan.combine is not None
+    assert plan.combine.ve_cycles > 0
+    assert plan.combine.me_cycles == 0
+
+
+def test_tiny_op_stays_whole():
+    mm = MatMul("mm", m=8, k=8, n=8)
+    cost = MODEL.cost(mm)
+    plan = tile_operator(mm, cost, nx=4, core=CORE)
+    assert plan.num_tiles == 1
+
+
+def test_tile_cost_conservation():
+    mm = MatMul("mm", m=1024, k=512, n=1024)
+    cost = MODEL.cost(mm)
+    plan = tile_operator(mm, cost, nx=4, core=CORE)
+    assert sum(t.me_cycles for t in plan.tiles) == pytest.approx(cost.me_cycles)
+    assert sum(t.hbm_bytes for t in plan.tiles) == pytest.approx(cost.hbm_bytes)
+
+
+def test_ve_op_single_utop_with_parallelism():
+    sm = Softmax("sm", rows=4096, cols=512)
+    cost = MODEL.cost(sm)
+    plan = tile_operator(sm, cost, nx=4, core=CORE)
+    assert plan.num_tiles == 1
+    assert plan.ve_parallelism >= 1
+
+
+def test_vliw_me_count_caps():
+    cost = MODEL.cost(MatMul("mm", m=1024, k=512, n=1024))
+    assert vliw_me_count(cost, 4) == 4
+    assert vliw_me_count(cost, 128) <= cost.parallel_tiles * cost.reduction_tiles
+    ve_cost = MODEL.cost(Softmax("sm", rows=8, cols=8))
+    assert vliw_me_count(ve_cost, 4) == 0
+
+
+def test_compiler_demanded_engines():
+    me_cost = MODEL.cost(MatMul("mm", m=1024, k=512, n=1024))
+    mes, ves = compiler_demanded_engines(me_cost, 4, 2)
+    assert mes == 4 and 1 <= ves <= 2
+    ve_cost = MODEL.cost(Softmax("sm", rows=4096, cols=512))
+    mes, ves = compiler_demanded_engines(ve_cost, 4, 2)
+    assert mes == 0 and ves >= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    m=st.integers(1, 1024),
+    k=st.integers(1, 1024),
+    n=st.integers(1, 1024),
+    nx=st.integers(1, 8),
+)
+def test_tiling_invariants(m, k, n, nx):
+    mm = MatMul("mm", m=m, k=k, n=n)
+    cost = MODEL.cost(mm)
+    plan = tile_operator(mm, cost, nx, CORE)
+    assert 1 <= plan.num_tiles <= nx
+    assert sum(t.me_cycles for t in plan.tiles) == pytest.approx(cost.me_cycles)
+
+
+# ----------------------------------------------------------------------
+# Fusion
+# ----------------------------------------------------------------------
+def _relu(elements):
+    return Elementwise("relu", kind=ElementwiseKind.RELU, elements=elements)
+
+
+def test_fuse_matmul_relu():
+    g = Graph("g")
+    mm = g.add(MatMul("mm", m=16, k=16, n=16))
+    g.add(_relu(256))
+    tail = g.add(Softmax("sm", rows=16, cols=16))
+    fused = fuse_graph(g)
+    assert fused == 1
+    assert len(g) == 2
+    assert g.node(mm).op.epilogue == [ElementwiseKind.RELU]
+    # The softmax was re-wired onto the matmul.
+    assert g.node(tail).inputs == [mm]
+
+
+def test_no_fusion_across_size_mismatch():
+    g = Graph("g")
+    g.add(MatMul("mm", m=16, k=16, n=16))
+    g.add(_relu(999))
+    assert fuse_graph(g) == 0
+
+
+def test_no_fusion_when_preactivation_needed_elsewhere():
+    """A MatMul with a second consumer cannot absorb the activation:
+    the pre-activation tensor is still needed."""
+    g = Graph("g")
+    mm = g.add(MatMul("mm", m=16, k=16, n=16))
+    g.add(_relu(256), inputs=[mm])
+    g.add(Softmax("other", rows=16, cols=16), inputs=[mm])
+    assert fuse_graph(g) == 0
+
+
+def test_fusion_rewires_all_consumers_of_the_activation():
+    """An activation with several consumers may fuse; every consumer is
+    re-pointed at the fused MatMul."""
+    g = Graph("g")
+    mm = g.add(MatMul("mm", m=16, k=16, n=16))
+    r = g.add(_relu(256), inputs=[mm])
+    a = g.add(Softmax("a", rows=16, cols=16), inputs=[r])
+    b = g.add(Softmax("b", rows=16, cols=16), inputs=[r])
+    assert fuse_graph(g) == 1
+    assert g.node(a).inputs == [mm]
+    assert g.node(b).inputs == [mm]
+
+
+def test_no_fusion_of_binary_elementwise():
+    g = Graph("g")
+    mm = g.add(MatMul("mm", m=16, k=16, n=16))
+    g.add(
+        Elementwise("add", kind=ElementwiseKind.ADD, elements=256, arity=2),
+        inputs=[mm],
+    )
+    assert fuse_graph(g) == 0
+
+
+def test_epilogue_depth_limited():
+    g = Graph("g")
+    g.add(MatMul("mm", m=16, k=16, n=16))
+    for i in range(MAX_EPILOGUE_OPS + 2):
+        g.add(Elementwise(f"e{i}", kind=ElementwiseKind.RELU, elements=256))
+    fused = fuse_graph(g)
+    assert fused == MAX_EPILOGUE_OPS

@@ -1,0 +1,164 @@
+"""Tests for the Eq. 1-4 allocator, incl. brute-force optimality checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.profiler import profile_graph
+from repro.config import NpuCoreConfig
+from repro.core.allocator import (
+    VnpuAllocator,
+    execution_time,
+    optimal_me_ve_ratio,
+    split_eu_budget,
+    utilization,
+)
+from repro.errors import AllocationError
+
+from tests.conftest import make_me_graph, make_ve_graph
+
+CORE = NpuCoreConfig(num_mes=8, num_ves=8)
+
+
+# ----------------------------------------------------------------------
+# Closed forms (Eqs. 1-4)
+# ----------------------------------------------------------------------
+def test_eq1_single_engine_baseline():
+    """On 1 ME + 1 VE the normalised time is 1 by construction."""
+    for m, v in [(0.9, 0.2), (0.3, 0.8), (0.6, 0.6)]:
+        assert execution_time(m, v, 1, 1) == pytest.approx(1.0)
+
+
+def test_eq1_monotone_in_engines():
+    t1 = execution_time(0.9, 0.3, 1, 1)
+    t2 = execution_time(0.9, 0.3, 2, 1)
+    t4 = execution_time(0.9, 0.3, 4, 2)
+    assert t4 < t2 < t1
+
+
+def test_eq4_balanced_case():
+    assert optimal_me_ve_ratio(0.6, 0.7) == 1.0
+    assert optimal_me_ve_ratio(0.5, 0.5) == 1.0
+
+
+def test_eq4_me_light_case():
+    """m < 0.5 -> k = sqrt(m / (1 - m)) < 1 (fewer MEs than VEs)."""
+    k = optimal_me_ve_ratio(0.2, 0.9)
+    assert k == pytest.approx(math.sqrt(0.2 / 0.8))
+    assert k < 1.0
+
+
+def test_eq4_ve_light_case():
+    """v < 0.5 -> k = sqrt((1 - v) / v) > 1 (more MEs than VEs)."""
+    k = optimal_me_ve_ratio(0.95, 0.1)
+    assert k == pytest.approx(math.sqrt(0.9 / 0.1))
+    assert k > 1.0
+
+
+def test_profile_validation():
+    with pytest.raises(AllocationError):
+        optimal_me_ve_ratio(0.2, 0.3)  # m + v < 1
+    with pytest.raises(AllocationError):
+        optimal_me_ve_ratio(1.5, 0.2)
+    with pytest.raises(AllocationError):
+        execution_time(0.9, 0.3, 0, 1)
+
+
+def test_split_requires_two_eus():
+    with pytest.raises(AllocationError):
+        split_eu_budget(0.9, 0.2, 1)
+
+
+def test_split_always_gives_both_types():
+    """Every vNPU gets at least one ME and one VE (SectionIII-B)."""
+    for m, v in [(0.99, 0.02), (0.02, 0.99)]:
+        for total in range(2, 17):
+            nm, nv = split_eu_budget(m, v, total)
+            assert nm >= 1 and nv >= 1
+            assert nm + nv == total
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    m=st.floats(0.0, 1.0),
+    v=st.floats(0.0, 1.0),
+    total=st.integers(2, 16),
+)
+def test_split_matches_brute_force(m, v, total):
+    """Eq. 4's closed form must (near-)maximise Eq. 2 utilisation over
+    all integer splits of the same budget."""
+    if m + v < 1.0:
+        v = 1.0 - m  # make the profile feasible
+    nm, nv = split_eu_budget(m, v, total)
+    chosen = utilization(m, v, nm, nv)
+    best = max(
+        utilization(m, v, cm, total - cm) for cm in range(1, total)
+    )
+    assert chosen >= best - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(m=st.floats(0.0, 1.0), v=st.floats(0.0, 1.0))
+def test_utilization_bounded(m, v):
+    if m + v < 1.0:
+        v = 1.0 - m
+    for nm, nv in [(1, 1), (2, 2), (4, 2), (3, 5)]:
+        u = utilization(m, v, nm, nv)
+        assert 0.0 < u <= 1.0 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# VnpuAllocator
+# ----------------------------------------------------------------------
+def test_allocate_me_heavy_workload():
+    profile = profile_graph(make_me_graph(), CORE)
+    allocator = VnpuAllocator(CORE)
+    result = allocator.allocate(profile, total_eus=8)
+    assert result.num_mes > result.num_ves
+
+
+def test_allocate_ve_heavy_workload():
+    profile = profile_graph(make_ve_graph(), CORE)
+    allocator = VnpuAllocator(CORE)
+    result = allocator.allocate(profile, total_eus=8)
+    assert result.num_ves >= result.num_mes
+
+
+def test_allocate_caps_at_physical_core():
+    profile = profile_graph(make_me_graph(), CORE)
+    allocator = VnpuAllocator(CORE)
+    result = allocator.allocate(profile, total_eus=100)
+    assert result.num_mes <= CORE.num_mes
+    assert result.num_ves <= CORE.num_ves
+
+
+def test_sram_proportional_to_mes():
+    profile = profile_graph(make_me_graph(), CORE)
+    allocator = VnpuAllocator(CORE)
+    small = allocator.allocate(profile, total_eus=2)
+    large = allocator.allocate(profile, total_eus=10)
+    assert large.sram_bytes > small.sram_bytes
+
+
+def test_hbm_respects_footprint_override():
+    profile = profile_graph(make_me_graph(), CORE)
+    allocator = VnpuAllocator(CORE)
+    result = allocator.allocate(
+        profile, total_eus=4, hbm_footprint_bytes=5 * 2**30
+    )
+    assert result.hbm_bytes >= 5 * 2**30
+
+
+def test_as_vnpu_config_round_trip():
+    profile = profile_graph(make_me_graph(), CORE)
+    result = VnpuAllocator(CORE).allocate(profile, total_eus=6)
+    config = result.as_vnpu_config()
+    assert config.num_mes_per_core == result.num_mes
+    assert config.num_ves_per_core == result.num_ves
+
+
+def test_sweep_covers_budgets():
+    profile = profile_graph(make_me_graph(), CORE)
+    sweep = VnpuAllocator(CORE).sweep(profile, max_eus=10)
+    assert len(sweep) == 9

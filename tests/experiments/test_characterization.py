@@ -1,0 +1,106 @@
+"""Tests for the characterisation experiments (Figs. 2-7, hw cost)."""
+
+import pytest
+
+from repro.config import DEFAULT_CORE
+from repro.experiments import expected, fig02_demand, fig04_intensity
+from repro.experiments.fig06_ve_idle import run as fig06_run
+from repro.experiments.fig07_hbm import run as fig07_run
+from repro.experiments.fig05_utilization import run as fig05_run
+from repro.experiments.hwcost import run as hwcost_run
+
+
+# ----------------------------------------------------------------------
+# Fig. 2/3: demand over time
+# ----------------------------------------------------------------------
+def test_fig02_demand_varies_over_time():
+    trace = fig02_demand.run("BERT", batch=8)
+    n_me_levels, n_ve_levels = trace.demand_variance()
+    assert n_me_levels >= 2  # demand is not flat
+    assert trace.duration_us > 0
+    assert all(
+        0 <= p.demanded_mes <= fig02_demand.FIG2_MAX_MES for p in trace.points
+    )
+    assert all(
+        0 <= p.demanded_ves <= fig02_demand.FIG2_MAX_VES for p in trace.points
+    )
+
+
+def test_fig02_dlrm_is_ve_leaning():
+    trace = fig02_demand.run("DLRM", batch=8)
+    me_avg, ve_avg = trace.time_weighted_average()
+    assert ve_avg > me_avg
+
+
+def test_fig02_resnet_is_me_leaning():
+    trace = fig02_demand.run("RsNt", batch=8)
+    me_avg, ve_avg = trace.time_weighted_average()
+    assert me_avg > ve_avg
+
+
+# ----------------------------------------------------------------------
+# Fig. 4: intensity ratios
+# ----------------------------------------------------------------------
+def test_fig04_structure():
+    result = fig04_intensity.run(batches=[8], models=["DLRM", "ResNet", "NCF",
+                                                      "EfficientNet"])
+    assert "ResNet" in result.me_intensive(8)
+    assert "DLRM" in result.ve_intensive(8)
+    assert "NCF" in result.ve_intensive(8)
+
+
+def test_fig04_excludes_large_batches_for_detection():
+    result = fig04_intensity.run(batches=[8, 32], models=["Mask-RCNN"])
+    assert 8 in result.ratios["Mask-RCNN"]
+    assert 32 not in result.ratios["Mask-RCNN"]
+
+
+# ----------------------------------------------------------------------
+# Fig. 5: utilization over time
+# ----------------------------------------------------------------------
+def test_fig05_neither_engine_fully_utilised():
+    trace = fig05_run("MNIST", batch=8, num_windows=10)
+    assert 0 < trace.overall_me < 1.0
+    assert 0 < trace.overall_ve < 1.0
+    assert len(trace.windows) == 10
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: VE idleness
+# ----------------------------------------------------------------------
+def test_fig06_ve_mostly_idle_under_vliw():
+    result = fig06_run()
+    assert result.vliw_ve_idle_fraction > 0.8
+    assert result.neuisa_utops == 2
+
+
+# ----------------------------------------------------------------------
+# Fig. 7: HBM bandwidth
+# ----------------------------------------------------------------------
+def test_fig07_bandwidth_below_hardware_limit():
+    trace = fig07_run("DLRM", 8)
+    limit = DEFAULT_CORE.hbm_bandwidth_bytes_per_s / 1e9
+    assert 0 < trace.average_gbps <= limit + 1e-6
+    assert trace.peak_gbps <= limit + 1e-6
+
+
+def test_fig07_bert_average_drops_with_batch():
+    """Paper: BERT becomes more compute-intensive with batch, so its
+    average bandwidth falls."""
+    b8 = fig07_run("BERT", 8)
+    b32 = fig07_run("BERT", 32)
+    assert b32.average_gbps < b8.average_gbps
+
+
+def test_fig07_dlrm_peaks_near_limit():
+    trace = fig07_run("DLRM", 8)
+    limit = DEFAULT_CORE.hbm_bandwidth_bytes_per_s / 1e9
+    assert trace.peak_gbps > 0.8 * limit
+
+
+# ----------------------------------------------------------------------
+# Hardware cost (SectionIII-G)
+# ----------------------------------------------------------------------
+def test_hwcost_within_paper_bound():
+    cost = hwcost_run()
+    assert cost.die_fraction <= expected.CLAIMS.scheduler_area_fraction

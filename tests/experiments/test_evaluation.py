@@ -1,0 +1,131 @@
+"""Integration tests for the evaluation experiments (Figs. 12-27).
+
+These run scaled-down versions (small request targets, subset pairs) and
+assert the *shape* claims the paper makes, not absolute numbers.
+"""
+
+import pytest
+
+from repro.experiments import expected
+from repro.experiments.common import run_pair_cached
+from repro.experiments.fig12_allocator import run as fig12_run
+from repro.experiments.fig16_neuisa_overhead import run as fig16_run
+from repro.experiments.fig23_harvest import run as fig23_run
+from repro.experiments.fig24_assignment import run as fig24_run
+from repro.experiments.fig27_llm import run as fig27_run
+from repro.serving.server import SCHEME_NEU10, SCHEME_V10
+
+TARGET = 2  # requests per tenant; keeps tests quick
+
+
+@pytest.fixture(scope="module")
+def dlrm_rtnt():
+    return run_pair_cached("DLRM", "RtNt", target_requests=TARGET)
+
+
+@pytest.fixture(scope="module")
+def enet_tfmr():
+    return run_pair_cached("ENet", "TFMR", target_requests=TARGET)
+
+
+# ----------------------------------------------------------------------
+# Fig. 12: allocator cost-effectiveness
+# ----------------------------------------------------------------------
+def test_fig12_allocator_near_optimal():
+    sweep = fig12_run("BERT", batch=32, budgets=[4, 8])
+    assert sweep.worst_efficiency() > 0.9
+    # BERT is ME-heavy: the pick must lean ME.
+    for point in sweep.points:
+        assert point.selected[0] > point.selected[1]
+
+
+def test_fig12_balanced_model_gets_balanced_split():
+    sweep = fig12_run("ENet", batch=32, budgets=[8])
+    (point,) = sweep.points
+    assert abs(point.selected[0] - point.selected[1]) <= 2
+
+
+# ----------------------------------------------------------------------
+# Fig. 16: NeuISA overhead
+# ----------------------------------------------------------------------
+def test_fig16_overhead_small():
+    result = fig16_run(models=["ResNet", "MNIST", "DLRM"], batches=[1, 32])
+    assert abs(result.average()) < expected.CLAIMS.neuisa_overhead_avg + 0.01
+    assert result.maximum() < expected.CLAIMS.neuisa_overhead_max
+
+
+def test_fig16_overhead_shrinks_with_batch():
+    result = fig16_run(models=["MNIST"], batches=[1, 32])
+    per = result.overhead["MNIST"]
+    assert per[32] <= per[1] + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Figs. 19-21 shape claims (single low-contention pair)
+# ----------------------------------------------------------------------
+def test_fig19_neu10_beats_pmt_tail_latency(dlrm_rtnt):
+    for which in (0, 1):
+        assert dlrm_rtnt.norm_latency("neu10", which, "p95_latency_cycles") <= 1.05
+
+
+def test_fig21_throughput_ordering(dlrm_rtnt):
+    """Low contention: both V10 and Neu10 beat PMT significantly for the
+    ME-intensive workload (overlap of ME and VE phases)."""
+    for scheme in ("v10", "neu10"):
+        assert dlrm_rtnt.norm_throughput(scheme, 1) > 1.3
+
+
+def test_fig21_neu10_beats_v10_high_contention(enet_tfmr):
+    """High contention: uTOp-level scheduling resolves the false ME
+    contention of the VLIW ISA."""
+    geo_v10 = (
+        enet_tfmr.norm_throughput("v10", 0) * enet_tfmr.norm_throughput("v10", 1)
+    ) ** 0.5
+    geo_neu = (
+        enet_tfmr.norm_throughput("neu10", 0)
+        * enet_tfmr.norm_throughput("neu10", 1)
+    ) ** 0.5
+    assert geo_neu > geo_v10
+
+
+def test_fig22_neu10_utilization_over_pmt(dlrm_rtnt):
+    pmt = dlrm_rtnt.results["pmt"]
+    neu = dlrm_rtnt.results["neu10"]
+    assert neu.total_me_utilization > pmt.total_me_utilization
+
+
+# ----------------------------------------------------------------------
+# Fig. 23 / Table III: harvesting
+# ----------------------------------------------------------------------
+def test_fig23_harvest_benefit(dlrm_rtnt):
+    breakdown = fig23_run("DLRM", "RtNt", target_requests=TARGET)
+    # The ME-intensive workload (tenant 1) speeds up from harvesting.
+    assert breakdown.median_speedup(1) > 1.0
+    # Table III: blocked-time overhead stays small.
+    assert breakdown.blocked[0] < 0.15
+    assert breakdown.blocked[1] < 0.15
+
+
+# ----------------------------------------------------------------------
+# Fig. 24: assignment dynamics
+# ----------------------------------------------------------------------
+def test_fig24_me_assignment_fluctuates():
+    trace = fig24_run("DLRM", "RtNt", target_requests=TARGET)
+    rtnt = [n for n in trace.series if n == "RtNt"][0]
+    lo, hi = trace.me_range(rtnt)
+    assert hi > 2.0  # harvested beyond its home allocation
+    assert trace.harvested_fraction(rtnt, home=2.0) > 0.1
+
+
+# ----------------------------------------------------------------------
+# Fig. 27: LLM collocation
+# ----------------------------------------------------------------------
+def test_fig27_llm_collocation_gain():
+    result = fig27_run("BERT", target_requests=1)
+    assert result.collocated_gain() > 1.1
+    assert result.llm_slowdown() > 0.85
+    # Neu10 lifts total ME utilization (paper Fig. 27 right side).
+    assert (
+        result.utilization[SCHEME_NEU10][0]
+        >= result.utilization[SCHEME_V10][0] * 0.95
+    )

@@ -1,0 +1,45 @@
+"""Tests for control-op definitions and the scalar register file."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.control import (
+    ControlOp,
+    ControlOpcode,
+    NUM_SCALAR_REGISTERS,
+    ScalarRegisterFile,
+)
+
+
+def test_r0_reads_zero_and_ignores_writes():
+    regs = ScalarRegisterFile()
+    regs.write(0, 42)
+    assert regs.read(0) == 0
+
+
+def test_register_write_read():
+    regs = ScalarRegisterFile()
+    regs.write(3, 7)
+    assert regs.read(3) == 7
+    assert regs.snapshot()[3] == 7
+
+
+def test_out_of_range_register_rejected():
+    regs = ScalarRegisterFile()
+    with pytest.raises(IsaError):
+        regs.read(NUM_SCALAR_REGISTERS)
+    with pytest.raises(IsaError):
+        regs.write(-1, 0)
+
+
+def test_finish_takes_no_operand():
+    with pytest.raises(IsaError):
+        ControlOp(ControlOpcode.FINISH, reg=1)
+    assert str(ControlOp(ControlOpcode.FINISH)) == "uTop.finish;"
+
+
+def test_control_op_register_validation():
+    with pytest.raises(IsaError):
+        ControlOp(ControlOpcode.NEXT_GROUP, reg=NUM_SCALAR_REGISTERS)
+    op = ControlOp(ControlOpcode.NEXT_GROUP, reg=2)
+    assert str(op) == "uTop.nextGroup %r2;"

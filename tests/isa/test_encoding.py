@@ -1,0 +1,155 @@
+"""Round-trip tests for the binary encoding, including property tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.isa.control import ControlOp, ControlOpcode, NUM_SCALAR_REGISTERS
+from repro.isa.encoding import (
+    decode_control_op,
+    decode_matrix_op,
+    decode_scalar_op,
+    decode_snippet,
+    decode_utop_instruction,
+    decode_vector_op,
+    decode_vliw_instruction,
+    encode_control_op,
+    encode_matrix_op,
+    encode_scalar_op,
+    encode_snippet,
+    encode_utop_instruction,
+    encode_vector_op,
+    encode_vliw_instruction,
+    utop_instruction_size_bytes,
+)
+from repro.isa.utop import UTopInstruction
+from repro.isa.vliw import (
+    MatrixOp,
+    MatrixOpcode,
+    MiscOp,
+    MiscOpcode,
+    ScalarOp,
+    ScalarOpcode,
+    VectorOp,
+    VectorOpcode,
+    VliwInstruction,
+)
+
+matrix_ops = st.builds(
+    MatrixOp,
+    opcode=st.sampled_from(list(MatrixOpcode)),
+    engine=st.integers(0, 255),
+    dst=st.integers(0, 65535),
+    src=st.integers(0, 65535),
+)
+vector_ops = st.builds(
+    VectorOp,
+    opcode=st.sampled_from(list(VectorOpcode)),
+    engine=st.integers(0, 255),
+    dst=st.integers(0, 65535),
+    src_a=st.integers(0, 65535),
+    src_b=st.integers(0, 65535),
+)
+scalar_ops = st.builds(
+    ScalarOp,
+    opcode=st.sampled_from(list(ScalarOpcode)),
+    dst=st.integers(0, 255),
+    src=st.integers(0, 255),
+    imm=st.integers(-(2**31), 2**31 - 1),
+)
+misc_ops = st.builds(
+    MiscOp,
+    opcode=st.sampled_from(list(MiscOpcode)),
+    addr=st.integers(0, 2**32 - 1),
+    size=st.integers(0, 2**32 - 1),
+)
+
+
+def control_ops():
+    finish = st.just(ControlOp(ControlOpcode.FINISH))
+    with_reg = st.builds(
+        ControlOp,
+        opcode=st.sampled_from(
+            [ControlOpcode.NEXT_GROUP, ControlOpcode.GROUP, ControlOpcode.INDEX]
+        ),
+        reg=st.integers(0, NUM_SCALAR_REGISTERS - 1),
+    )
+    return st.one_of(finish, with_reg)
+
+
+utop_instructions = st.builds(
+    UTopInstruction,
+    me_slot=st.one_of(st.none(), matrix_ops),
+    ve_slots=st.lists(vector_ops, max_size=4).map(tuple),
+    scalar_slot=st.one_of(st.none(), scalar_ops),
+    misc_slot=misc_ops,
+    control=st.one_of(st.none(), control_ops()),
+)
+
+
+@given(matrix_ops)
+def test_matrix_op_round_trip(op):
+    decoded, _ = decode_matrix_op(encode_matrix_op(op))
+    assert decoded == op
+
+
+@given(vector_ops)
+def test_vector_op_round_trip(op):
+    decoded, _ = decode_vector_op(encode_vector_op(op))
+    assert decoded == op
+
+
+@given(scalar_ops)
+def test_scalar_op_round_trip(op):
+    decoded, _ = decode_scalar_op(encode_scalar_op(op))
+    assert decoded == op
+
+
+@given(control_ops())
+def test_control_op_round_trip(op):
+    decoded, _ = decode_control_op(encode_control_op(op))
+    assert decoded == op
+
+
+@given(utop_instructions)
+def test_utop_instruction_round_trip(inst):
+    data = encode_utop_instruction(inst)
+    decoded, consumed = decode_utop_instruction(data)
+    assert consumed == len(data)
+    assert decoded.me_slot == inst.me_slot
+    assert decoded.ve_slots == inst.ve_slots
+    assert decoded.scalar_slot == inst.scalar_slot
+    assert decoded.control == inst.control
+    # NOP misc slots are normalised away by the presence bitmap.
+    if not inst.misc_slot.is_nop:
+        assert decoded.misc_slot == inst.misc_slot
+
+
+@given(st.lists(utop_instructions, max_size=8))
+def test_snippet_round_trip(body):
+    data = encode_snippet(body)
+    decoded, consumed = decode_snippet(data)
+    assert consumed == len(data)
+    assert len(decoded) == len(body)
+
+
+@given(
+    st.lists(matrix_ops, min_size=1, max_size=4),
+    st.lists(vector_ops, min_size=1, max_size=4),
+)
+def test_vliw_instruction_round_trip(me_ops, ve_ops):
+    inst = VliwInstruction(
+        me_slots=tuple(me_ops), ve_slots=tuple(ve_ops), ls_slots=(ScalarOp(),)
+    )
+    decoded, consumed = decode_vliw_instruction(encode_vliw_instruction(inst))
+    assert decoded == inst
+
+
+def test_utop_instruction_is_compact():
+    """Optional slots must not consume bytes when absent."""
+    empty = UTopInstruction()
+    full = UTopInstruction(
+        me_slot=MatrixOp(MatrixOpcode.POP),
+        ve_slots=(VectorOp(VectorOpcode.RELU),),
+        scalar_slot=ScalarOp(ScalarOpcode.ADDI),
+        control=ControlOp(ControlOpcode.FINISH),
+    )
+    assert utop_instruction_size_bytes(empty) < utop_instruction_size_bytes(full)

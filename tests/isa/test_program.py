@@ -1,0 +1,79 @@
+"""Tests for the NeuISA program container."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.control import ControlOp, ControlOpcode
+from repro.isa.program import NeuIsaProgram, flatten_utops, utop_dependencies
+from repro.isa.utop import (
+    ExecutionTable,
+    UTopGroup,
+    UTopInstruction,
+    make_me_utop,
+    make_ve_utop,
+)
+
+
+def _finish_snippet():
+    return [UTopInstruction(control=ControlOp(ControlOpcode.FINISH))]
+
+
+def _program(num_groups=3, share_snippet=True):
+    table = ExecutionTable(nx=4, ny=4)
+    snippets = {}
+    for g in range(num_groups):
+        addr = 0x100 if share_snippet else 0x100 + g * 0x40
+        snippets[addr] = _finish_snippet()
+        table.append(
+            UTopGroup(
+                me_utops=[make_me_utop(addr, me_cycles=g + 1) for _ in range(2)],
+                ve_utop=make_ve_utop(addr, ve_cycles=1.0),
+            )
+        )
+    return NeuIsaProgram(table=table, snippets=snippets)
+
+
+def test_empty_program_rejected():
+    with pytest.raises(IsaError):
+        NeuIsaProgram(table=ExecutionTable(nx=1, ny=1), snippets={})
+
+
+def test_missing_snippet_detected():
+    table = ExecutionTable(nx=1, ny=1)
+    table.append(UTopGroup(me_utops=[make_me_utop(0xBAD, me_cycles=1)]))
+    with pytest.raises(IsaError):
+        NeuIsaProgram(table=table, snippets={0x100: _finish_snippet()})
+
+
+def test_counts():
+    program = _program(3)
+    assert program.num_groups == 3
+    assert program.num_utops == 9
+    assert program.num_me_utops == 6
+
+
+def test_cost_aggregation():
+    program = _program(2)
+    assert program.total_me_cycles == 2 * 1 + 2 * 2
+    assert program.total_ve_cycles == 2.0
+
+
+def test_snippet_sharing_reduces_code_size():
+    shared = _program(3, share_snippet=True)
+    assert shared.sharing_factor() == pytest.approx(9.0)
+    unshared = _program(3, share_snippet=False)
+    assert unshared.sharing_factor() == pytest.approx(3.0)
+
+
+def test_dependencies_form_a_chain():
+    program = _program(3)
+    deps = utop_dependencies(program)
+    assert deps == {0: [], 1: [0], 2: [1]}
+
+
+def test_flatten_order():
+    program = _program(2)
+    flat = flatten_utops(program)
+    assert len(flat) == 6
+    # ME uTOps come before the group's VE uTOp.
+    assert flat[0].occupies_me and not flat[2].occupies_me

@@ -1,0 +1,89 @@
+"""Unit tests for uTOps, uTOp groups and the execution table."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.utop import (
+    ExecutionTable,
+    UTop,
+    UTopCost,
+    UTopGroup,
+    UTopKind,
+    make_me_utop,
+    make_ve_utop,
+)
+
+
+def test_me_utop_requires_me():
+    utop = make_me_utop(snippet_addr=0x100, me_cycles=64.0, ve_cycles=8.0)
+    assert utop.occupies_me
+    assert utop.cost.total_cycles == 64.0
+
+
+def test_ve_utop_cannot_carry_me_work():
+    with pytest.raises(IsaError):
+        UTop(kind=UTopKind.VE, snippet_addr=0x10, cost=UTopCost(me_cycles=1.0))
+
+
+def test_negative_costs_rejected():
+    with pytest.raises(IsaError):
+        UTopCost(me_cycles=-1.0)
+    with pytest.raises(IsaError):
+        UTopCost(parallelism=0)
+
+
+def test_group_shape_constraints():
+    me = make_me_utop(0x100, me_cycles=10)
+    ve = make_ve_utop(0x200, ve_cycles=10)
+    group = UTopGroup(me_utops=[me], ve_utop=ve)
+    assert group.num_me_utops == 1
+    assert len(group.utops) == 2
+    with pytest.raises(IsaError):
+        UTopGroup(me_utops=[], ve_utop=None)
+    with pytest.raises(IsaError):
+        UTopGroup(me_utops=[ve])  # VE uTOp in the ME list
+    with pytest.raises(IsaError):
+        UTopGroup(me_utops=[me], ve_utop=me)  # ME uTOp in the VE slot
+
+
+def test_execution_table_row_width():
+    """A row has nx ME entries + 1 VE entry (paper Fig. 15)."""
+    table = ExecutionTable(nx=4, ny=4)
+    me_utops = [make_me_utop(0x100, me_cycles=1) for _ in range(2)]
+    idx = table.append(UTopGroup(me_utops=me_utops))
+    cells = table.row_cells(idx)
+    assert len(cells) == 5
+    assert cells[:2] == [0x100, 0x100]
+    assert cells[2:] == [None, None, None]  # null entries
+
+
+def test_execution_table_rejects_oversized_group():
+    table = ExecutionTable(nx=2, ny=2)
+    me_utops = [make_me_utop(0x100, me_cycles=1) for _ in range(3)]
+    with pytest.raises(IsaError):
+        table.append(UTopGroup(me_utops=me_utops))
+
+
+def test_execution_table_group_lookup_bounds():
+    table = ExecutionTable(nx=2, ny=2)
+    table.append(UTopGroup(me_utops=[make_me_utop(0x1, me_cycles=1)]))
+    with pytest.raises(IsaError):
+        table.group(5)
+
+
+def test_snippet_sharing_is_visible():
+    """Tiles of one operator share a snippet (code-size control)."""
+    table = ExecutionTable(nx=4, ny=4)
+    shared = [make_me_utop(0x400, me_cycles=1) for _ in range(4)]
+    table.append(UTopGroup(me_utops=shared))
+    refs = table.snippet_addresses()
+    assert refs == {0x400: 4}
+
+
+def test_group_cost_aggregation():
+    me = make_me_utop(0x1, me_cycles=10, ve_cycles=2, hbm_bytes=100)
+    ve = make_ve_utop(0x2, ve_cycles=5, hbm_bytes=50)
+    group = UTopGroup(me_utops=[me, me], ve_utop=ve)
+    assert group.total_me_cycles == 20
+    assert group.total_ve_cycles == 9
+    assert group.total_hbm_bytes == 250

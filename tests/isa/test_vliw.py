@@ -1,0 +1,101 @@
+"""Unit tests for the baseline VLIW ISA model."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.vliw import (
+    MatrixOp,
+    MatrixOpcode,
+    ScalarOp,
+    VectorOp,
+    VectorOpcode,
+    VliwInstruction,
+    VliwProgram,
+)
+
+
+def test_nop_instruction_is_nop():
+    inst = VliwInstruction.build(num_me_slots=2, num_ve_slots=2)
+    assert inst.is_nop
+    assert inst.active_mes == ()
+    assert inst.active_ves == ()
+
+
+def test_slot_padding_fills_with_nops():
+    inst = VliwInstruction.build(
+        me_ops=[MatrixOp(MatrixOpcode.POP, engine=0)],
+        num_me_slots=4,
+        num_ve_slots=2,
+    )
+    assert inst.num_me_slots == 4
+    assert inst.active_mes == (0,)
+    assert all(op.is_nop for op in inst.me_slots[1:])
+
+
+def test_slot_overflow_rejected():
+    with pytest.raises(IsaError):
+        VliwInstruction.build(
+            me_ops=[MatrixOp(MatrixOpcode.POP)] * 3,
+            num_me_slots=2,
+            num_ve_slots=1,
+        )
+
+
+def test_pop_latency_is_eight_cycles():
+    """Paper Fig. 6: each pop takes 8 cycles for an 8x128 vector."""
+    pop = MatrixOp(MatrixOpcode.POP)
+    assert pop.latency_cycles == 8
+    inst = VliwInstruction.build(
+        me_ops=[pop], num_me_slots=1, num_ve_slots=1
+    )
+    assert inst.issue_cycles == 8
+
+
+def test_ve_op_single_cycle():
+    inst = VliwInstruction.build(
+        ve_ops=[VectorOp(VectorOpcode.RELU)], num_me_slots=1, num_ve_slots=1
+    )
+    assert inst.issue_cycles == 1
+    assert inst.active_ves == (0,)
+
+
+def test_program_validates_slot_widths():
+    good = VliwInstruction.build(num_me_slots=2, num_ve_slots=2)
+    program = VliwProgram(instructions=[good], num_mes_used=2, num_ves_used=2)
+    assert len(program) == 1
+    bad = VliwInstruction.build(num_me_slots=3, num_ve_slots=2)
+    with pytest.raises(IsaError):
+        program.append(bad)
+
+
+def test_program_rejects_mismatched_construction():
+    inst = VliwInstruction.build(num_me_slots=1, num_ve_slots=1)
+    with pytest.raises(IsaError):
+        VliwProgram(instructions=[inst], num_mes_used=2, num_ves_used=1)
+
+
+def test_total_issue_cycles_sums_per_instruction():
+    pop = VliwInstruction.build(
+        me_ops=[MatrixOp(MatrixOpcode.POP)], num_me_slots=1, num_ve_slots=1
+    )
+    relu = VliwInstruction.build(
+        ve_ops=[VectorOp(VectorOpcode.RELU)], num_me_slots=1, num_ve_slots=1
+    )
+    program = VliwProgram(
+        instructions=[pop, relu], num_mes_used=1, num_ves_used=1
+    )
+    assert program.total_issue_cycles == 9
+
+
+def test_engine_busy_accounting():
+    pop0 = MatrixOp(MatrixOpcode.POP, engine=0)
+    inst = VliwInstruction.build(
+        me_ops=[pop0], num_me_slots=2, num_ve_slots=1
+    )
+    program = VliwProgram(instructions=[inst] * 4, num_mes_used=2, num_ves_used=1)
+    assert program.me_busy_cycles(0) == 4 * 8
+    assert program.me_busy_cycles(1) == 0  # the coupled slot idles
+
+
+def test_scalar_op_default_is_nop():
+    assert ScalarOp().is_nop

@@ -1,0 +1,193 @@
+"""Tests for the command ring, SR-IOV, hypervisor and guest driver."""
+
+import pytest
+
+from repro.config import GiB, MiB, NpuCoreConfig
+from repro.core.mapper import MappingMode
+from repro.core.vnpu import VnpuConfig
+from repro.errors import (
+    CommandRingError,
+    HypercallError,
+    VirtualizationError,
+)
+from repro.runtime.command import Command, CommandOpcode, CommandRing
+from repro.runtime.driver import VnpuDriver
+from repro.runtime.hypervisor import Hypervisor
+from repro.runtime.sriov import SriovRegistry
+from repro.runtime.vm import GuestVm
+
+CORE = NpuCoreConfig()
+
+
+def _cfg(mes=2, ves=2):
+    return VnpuConfig(
+        num_mes_per_core=mes,
+        num_ves_per_core=ves,
+        sram_bytes_per_core=32 * MiB,
+        hbm_bytes_per_core=8 * GiB,
+    )
+
+
+# ----------------------------------------------------------------------
+# Command ring
+# ----------------------------------------------------------------------
+def test_ring_fifo_order():
+    ring = CommandRing(capacity=4)
+    a = Command(CommandOpcode.LAUNCH, program_id=1)
+    b = Command(CommandOpcode.SYNC)
+    ring.push(a)
+    ring.push(b)
+    assert ring.pop() is a
+    assert ring.pop() is b
+    assert ring.pop() is None
+
+
+def test_ring_wraps_around():
+    ring = CommandRing(capacity=2)
+    for i in range(5):
+        ring.push(Command(CommandOpcode.LAUNCH, program_id=i))
+        cmd = ring.pop()
+        assert cmd is not None and cmd.program_id == i
+
+
+def test_ring_overflow():
+    ring = CommandRing(capacity=2)
+    ring.push(Command(CommandOpcode.SYNC))
+    ring.push(Command(CommandOpcode.SYNC))
+    assert ring.is_full
+    with pytest.raises(CommandRingError):
+        ring.push(Command(CommandOpcode.SYNC))
+
+
+def test_double_completion_rejected():
+    ring = CommandRing()
+    cmd = Command(CommandOpcode.SYNC)
+    ring.push(cmd)
+    popped = ring.pop()
+    ring.complete(popped)
+    with pytest.raises(CommandRingError):
+        ring.complete(popped)
+
+
+# ----------------------------------------------------------------------
+# SR-IOV
+# ----------------------------------------------------------------------
+def test_vf_assignment_and_release():
+    sriov = SriovRegistry(num_vfs=2)
+    vf1 = sriov.assign(10)
+    vf2 = sriov.assign(11)
+    assert vf1.bdf != vf2.bdf
+    with pytest.raises(VirtualizationError):
+        sriov.assign(12)  # pool exhausted
+    sriov.release(10)
+    sriov.assign(12)
+
+
+def test_vf_double_assignment_rejected():
+    sriov = SriovRegistry()
+    sriov.assign(10)
+    with pytest.raises(VirtualizationError):
+        sriov.assign(10)
+
+
+# ----------------------------------------------------------------------
+# Hypervisor + driver
+# ----------------------------------------------------------------------
+def test_driver_full_lifecycle():
+    hv = Hypervisor([CORE], mode=MappingMode.SPATIAL)
+    vm = GuestVm("tenant")
+    driver = VnpuDriver(vm, hv)
+    handle = driver.open(_cfg())
+    hierarchy = driver.query_hierarchy()
+    assert hierarchy.num_mes_per_core == 2
+    assert hierarchy.hbm_bytes == 8 * GiB
+    driver.memcpy_to_device(0, 4096, 0)
+    driver.launch(program_id=7)
+    driver.sync()
+    assert driver.poll_completed() == 3
+    driver.close()
+    assert hv.sriov.vf_of(handle.vnpu_id) is None
+
+
+def test_driver_rejects_double_open():
+    hv = Hypervisor([CORE])
+    driver = VnpuDriver(GuestVm("t"), hv)
+    driver.open(_cfg())
+    with pytest.raises(VirtualizationError):
+        driver.open(_cfg())
+
+
+def test_driver_memcpy_bounds_checked():
+    hv = Hypervisor([CORE])
+    driver = VnpuDriver(GuestVm("t"), hv, dma_buffer_bytes=4096)
+    driver.open(_cfg())
+    with pytest.raises(VirtualizationError):
+        driver.memcpy_to_device(4000, 200, 0)
+
+
+def test_hypercall_create_rejects_infeasible():
+    hv = Hypervisor([CORE])
+    with pytest.raises(HypercallError):
+        hv.hypercall_create(_cfg(mes=CORE.num_mes + 1))
+
+
+def test_hypercall_reconfigure_rewires_iommu():
+    hv = Hypervisor([CORE])
+    handle = hv.hypercall_create(_cfg())
+    new = hv.hypercall_reconfigure(
+        handle.vnpu_id,
+        VnpuConfig(
+            num_mes_per_core=1,
+            num_ves_per_core=1,
+            sram_bytes_per_core=2 * MiB,
+            hbm_bytes_per_core=1 * GiB,
+        ),
+    )
+    assert new.vnpu_id == handle.vnpu_id
+    bar = hv.bar_of(new.vnpu_id)
+    from repro.runtime.mmio import Register
+
+    assert bar.read(Register.NUM_MES_PER_CORE) == 1
+
+
+def test_hypercall_destroy_cleans_up():
+    hv = Hypervisor([CORE])
+    handle = hv.hypercall_create(_cfg())
+    hv.hypercall_destroy(handle.vnpu_id)
+    with pytest.raises(HypercallError):
+        hv.bar_of(handle.vnpu_id)
+    with pytest.raises(HypercallError):
+        hv.hypercall_destroy(handle.vnpu_id)
+
+
+def test_two_tenants_isolated_dma():
+    hv = Hypervisor([CORE])
+    d1 = VnpuDriver(GuestVm("a"), hv)
+    d2 = VnpuDriver(GuestVm("b"), hv)
+    h1 = d1.open(_cfg())
+    d2.open(_cfg())
+    # Tenant 2's DMA buffer is invisible to tenant 1's vNPU.
+    from repro.errors import DmaFault
+
+    assert d2.dma_buffer is not None
+    with pytest.raises(DmaFault):
+        hv.iommu.check_dma(h1.vnpu_id, d2.dma_buffer.addr, 64)
+
+
+# ----------------------------------------------------------------------
+# Guest VM memory
+# ----------------------------------------------------------------------
+def test_guest_vm_allocation():
+    vm = GuestVm("t", memory_bytes=1 << 20)
+    a = vm.alloc(4096)
+    assert vm.owns(a.addr, 4096)
+    assert not vm.owns(a.addr + 4096, 1)
+    vm.free(a)
+    with pytest.raises(VirtualizationError):
+        vm.free(a)
+
+
+def test_guest_vm_out_of_memory():
+    vm = GuestVm("t", memory_bytes=8192)
+    with pytest.raises(VirtualizationError):
+        vm.alloc(1 << 20)

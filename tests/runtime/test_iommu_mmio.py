@@ -1,0 +1,146 @@
+"""Tests for the IOMMU (segmentation + DMA remapping) and MMIO."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import HBM_SEGMENT_BYTES, SRAM_SEGMENT_BYTES
+from repro.errors import DmaFault, MmioError, SegmentationFault
+from repro.runtime.iommu import Iommu, MemoryKind
+from repro.runtime.mmio import DeviceStatus, MmioRegisterFile, Register
+
+
+# ----------------------------------------------------------------------
+# Segmentation
+# ----------------------------------------------------------------------
+def test_translate_adds_segment_base():
+    iommu = Iommu()
+    iommu.attach_window(1, MemoryKind.HBM, base_segment=4, num_segments=2)
+    phys = iommu.translate(1, MemoryKind.HBM, 100)
+    assert phys == 4 * HBM_SEGMENT_BYTES + 100
+
+
+def test_translate_rejects_out_of_window():
+    iommu = Iommu()
+    iommu.attach_window(1, MemoryKind.SRAM, base_segment=0, num_segments=2)
+    limit = 2 * SRAM_SEGMENT_BYTES
+    iommu.translate(1, MemoryKind.SRAM, limit - 1)
+    with pytest.raises(SegmentationFault):
+        iommu.translate(1, MemoryKind.SRAM, limit)
+    assert iommu.fault_count == 1
+
+
+def test_translate_requires_window():
+    iommu = Iommu()
+    with pytest.raises(SegmentationFault):
+        iommu.translate(9, MemoryKind.HBM, 0)
+
+
+def test_windows_are_per_vnpu():
+    iommu = Iommu()
+    iommu.attach_window(1, MemoryKind.HBM, 0, 1)
+    iommu.attach_window(2, MemoryKind.HBM, 1, 1)
+    a = iommu.translate(1, MemoryKind.HBM, 0)
+    b = iommu.translate(2, MemoryKind.HBM, 0)
+    assert a != b
+
+
+def test_detach_removes_windows():
+    iommu = Iommu()
+    iommu.attach_window(1, MemoryKind.HBM, 0, 1)
+    iommu.detach(1)
+    with pytest.raises(SegmentationFault):
+        iommu.translate(1, MemoryKind.HBM, 0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    base=st.integers(0, 32),
+    num=st.integers(1, 8),
+    offset=st.integers(0, 2**34),
+)
+def test_translation_round_trip_property(base, num, offset):
+    """Inside the window, translation is exactly base + offset and
+    stays within the window's physical range."""
+    iommu = Iommu()
+    window = iommu.attach_window(7, MemoryKind.HBM, base, num)
+    if offset < window.size_bytes:
+        phys = iommu.translate(7, MemoryKind.HBM, offset)
+        assert phys == window.base_bytes + offset
+        assert window.base_bytes <= phys < window.base_bytes + window.size_bytes
+    else:
+        with pytest.raises(SegmentationFault):
+            iommu.translate(7, MemoryKind.HBM, offset)
+
+
+# ----------------------------------------------------------------------
+# DMA remapping
+# ----------------------------------------------------------------------
+def test_dma_inside_registered_buffer():
+    iommu = Iommu()
+    iommu.register_dma_buffer(1, 0x1000, 0x1000)
+    iommu.check_dma(1, 0x1800, 0x100)
+
+
+def test_dma_outside_buffer_faults():
+    iommu = Iommu()
+    iommu.register_dma_buffer(1, 0x1000, 0x1000)
+    with pytest.raises(DmaFault):
+        iommu.check_dma(1, 0x3000, 8)
+    with pytest.raises(DmaFault):
+        iommu.check_dma(1, 0x1F00, 0x200)  # straddles the end
+
+
+def test_dma_cross_tenant_blocked():
+    iommu = Iommu()
+    iommu.register_dma_buffer(1, 0x1000, 0x1000)
+    with pytest.raises(DmaFault):
+        iommu.check_dma(2, 0x1000, 8)
+
+
+# ----------------------------------------------------------------------
+# MMIO
+# ----------------------------------------------------------------------
+def test_mmio_identity_registers_read_only():
+    bar = MmioRegisterFile()
+    bar.load_identity(5, 1, 1, 2, 2, 1024, 2048)
+    assert bar.read(Register.VNPU_ID) == 5
+    with pytest.raises(MmioError):
+        bar.write(Register.VNPU_ID, 9)
+
+
+def test_mmio_unmapped_offset_rejected():
+    bar = MmioRegisterFile()
+    with pytest.raises(MmioError):
+        bar.write(0xFFFF, 1)
+    with pytest.raises(MmioError):
+        bar.read(0xFFFF)
+
+
+def test_mmio_doorbell_invokes_handler():
+    bar = MmioRegisterFile()
+    rung = []
+    bar.doorbell_handler = rung.append
+    bar.write(Register.DOORBELL, 3)
+    assert rung == [3]
+
+
+def test_mmio_completion_counter():
+    bar = MmioRegisterFile()
+    for _ in range(5):
+        bar.bump_completed()
+    assert bar.completed_count() == 5
+
+
+def test_mmio_status_updates():
+    bar = MmioRegisterFile()
+    bar.set_status(DeviceStatus.RUNNING)
+    assert bar.read(Register.STATUS) == int(DeviceStatus.RUNNING)
+
+
+def test_mmio_64bit_identity_fields():
+    bar = MmioRegisterFile()
+    big = 64 * 10**9
+    bar.load_identity(1, 1, 1, 1, 1, 2**33, big)
+    lo = bar.read(Register.HBM_BYTES_LO)
+    hi = bar.read(Register.HBM_BYTES_HI)
+    assert (hi << 32) | lo == big

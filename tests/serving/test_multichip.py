@@ -1,0 +1,67 @@
+"""Tests for data-parallel multi-core inference (paper SectionIV)."""
+
+import pytest
+
+from repro.config import NpuCoreConfig
+from repro.errors import ConfigError
+from repro.serving.multichip import (
+    DataParallelVnpu,
+    parallel_efficiency,
+    scaling_study,
+)
+
+CORE = NpuCoreConfig()
+
+
+def test_shard_batches_even_split():
+    vnpu = DataParallelVnpu("MNIST", 8, 4, CORE)
+    assert vnpu.shard_batches() == [2, 2, 2, 2]
+
+
+def test_shard_batches_remainder_spread():
+    vnpu = DataParallelVnpu("MNIST", 10, 4, CORE)
+    assert vnpu.shard_batches() == [3, 3, 2, 2]
+    assert sum(vnpu.shard_batches()) == 10
+
+
+def test_invalid_sharding_rejected():
+    with pytest.raises(ConfigError):
+        DataParallelVnpu("MNIST", 2, 4, CORE)
+    with pytest.raises(ConfigError):
+        DataParallelVnpu("MNIST", 8, 0, CORE)
+
+
+def test_single_core_has_no_allgather():
+    result = DataParallelVnpu("MNIST", 8, 1, CORE).run(target_requests=1)
+    assert result.allgather_cycles == 0.0
+    assert result.request_latency_cycles > 0
+
+
+def test_data_parallel_speedup():
+    """Two cores halve the per-shard batch; request latency drops and
+    throughput rises (shards run on independent cores)."""
+    study = scaling_study("ResNet", 8, [1, 2], CORE, target_requests=1)
+    assert study[2].request_latency_cycles < study[1].request_latency_cycles
+    assert study[2].throughput_rps(CORE) > study[1].throughput_rps(CORE)
+
+
+def test_parallel_efficiency_bounded():
+    study = scaling_study("ResNet", 8, [1, 2, 4], CORE, target_requests=1)
+    eff = parallel_efficiency(study)
+    assert eff[1] == pytest.approx(1.0)
+    for n, value in eff.items():
+        assert 0.0 < value <= 1.3  # sub-linear but sane
+
+
+def test_parallel_efficiency_needs_baseline():
+    study = scaling_study("MNIST", 8, [2], CORE, target_requests=1)
+    with pytest.raises(ConfigError):
+        parallel_efficiency(study)
+
+
+def test_allgather_cost_grows_with_cores():
+    two = DataParallelVnpu("ResNet", 8, 2, CORE)
+    four = DataParallelVnpu("ResNet", 8, 4, CORE)
+    assert four._allgather_cycles() > 0
+    # More cores exchange more shard outputs.
+    assert four._allgather_cycles() >= two._allgather_cycles()

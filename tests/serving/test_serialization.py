@@ -1,0 +1,104 @@
+"""Round-trip tests for JSON serialisation of profiles and results."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.profiler import profile_graph
+from repro.config import NpuCoreConfig
+from repro.errors import ConfigError
+from repro.serving.metrics import PairMetrics, TenantMetrics
+from repro.serving.serialization import (
+    SCHEMA_VERSION,
+    dump,
+    dumps,
+    load,
+    loads,
+    pair_metrics_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+)
+
+from tests.conftest import make_me_graph
+
+CORE = NpuCoreConfig()
+
+
+def test_profile_round_trip():
+    profile = profile_graph(make_me_graph(), CORE)
+    restored = profile_from_dict(profile_to_dict(profile))
+    assert restored.name == profile.name
+    assert restored.m == pytest.approx(profile.m)
+    assert restored.v == pytest.approx(profile.v)
+    assert len(restored.ops) == len(profile.ops)
+
+
+def test_profile_file_round_trip():
+    profile = profile_graph(make_me_graph(), CORE)
+    buffer = io.StringIO()
+    dump(profile, buffer)
+    buffer.seek(0)
+    restored = load(buffer)
+    assert restored.total_cycles == pytest.approx(profile.total_cycles)
+
+
+finite = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+
+tenant_metrics = st.builds(
+    TenantMetrics,
+    name=st.text(min_size=1, max_size=10),
+    scheme=st.sampled_from(["pmt", "v10", "neu10"]),
+    p95_latency_cycles=finite,
+    mean_latency_cycles=finite,
+    throughput_rps=finite,
+    me_utilization=st.floats(0, 1),
+    ve_utilization=st.floats(0, 1),
+    blocked_fraction=st.floats(0, 1),
+    completed_requests=st.integers(0, 10**6),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(tenant_metrics)
+def test_tenant_metrics_round_trip(metrics):
+    restored = loads(dumps(metrics))
+    assert restored == metrics
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(tenant_metrics, min_size=1, max_size=3))
+def test_pair_metrics_round_trip(tenants):
+    pair = PairMetrics(
+        pair="a+b",
+        scheme="neu10",
+        tenants=tenants,
+        total_me_utilization=0.5,
+        total_ve_utilization=0.25,
+        preemption_count=7,
+        total_cycles=1e6,
+    )
+    restored = loads(dumps(pair))
+    assert restored.pair == pair.pair
+    assert restored.tenants == pair.tenants
+    assert restored.total_cycles == pair.total_cycles
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ConfigError):
+        loads('{"kind": "mystery", "schema": 1}')
+
+
+def test_schema_version_checked():
+    pair = PairMetrics(pair="a+b", scheme="neu10")
+    data = pair_metrics_to_dict(pair)
+    data["schema"] = SCHEMA_VERSION + 1
+    import json
+
+    with pytest.raises(ConfigError):
+        loads(json.dumps(data))
+
+
+def test_unserialisable_type_rejected():
+    with pytest.raises(ConfigError):
+        dumps(object())

@@ -1,0 +1,139 @@
+"""Failure injection: the engine must reject malformed scheduler
+decisions (over-commitment, dropped units, phantom grants)."""
+
+import pytest
+
+from repro.config import NpuCoreConfig
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.scheduler_base import Decision, SchedulerBase, UnitState
+from repro.sim.sched_static import StaticPartitionScheduler
+
+from tests.conftest import make_me_graph, make_tenant
+
+CORE = NpuCoreConfig()
+
+
+def _sim(scheduler, **kwargs):
+    tenant = make_tenant(make_me_graph(layers=1), CORE, alloc_mes=4,
+                         alloc_ves=4, target_requests=1)
+    return Simulator(CORE, scheduler, [tenant], **kwargs)
+
+
+class OverCommitScheduler(SchedulerBase):
+    """Grants the same unit more engines than physically exist."""
+
+    def decide(self, sim):
+        decision = Decision()
+        for tenant in sim.tenants:
+            for unit in tenant.active_units:
+                if unit.is_me_unit and not unit.done:
+                    decision.running_me[unit] = unit.me_engines_needed
+        # Duplicate every grant onto a cloned dict entry is impossible
+        # (dict keys are unique), so over-commit via engine counts:
+        for unit in list(decision.running_me):
+            decision.running_me[unit] = CORE.num_mes + 1
+        return decision
+
+
+class WrongWidthScheduler(SchedulerBase):
+    """Grants a uTOp a different engine count than it needs."""
+
+    def decide(self, sim):
+        decision = Decision()
+        for tenant in sim.tenants:
+            for unit in tenant.active_units:
+                if unit.is_me_unit and not unit.done:
+                    decision.running_me[unit] = unit.me_engines_needed + 1
+                    return decision
+        return decision
+
+
+class DropRunningScheduler(SchedulerBase):
+    """Runs units once, then silently drops them (no preemption)."""
+
+    def __init__(self):
+        self.first = True
+
+    def decide(self, sim):
+        decision = Decision()
+        if self.first:
+            self.first = False
+            for tenant in sim.tenants:
+                for unit in tenant.active_units:
+                    if unit.is_me_unit and not unit.done:
+                        decision.running_me[unit] = unit.me_engines_needed
+                        decision.ve_alloc[unit] = 4.0
+        # Second decision: nothing runs, nothing is preempted.
+        return decision
+
+
+class VeOverCommitScheduler(SchedulerBase):
+    def decide(self, sim):
+        decision = Decision()
+        for tenant in sim.tenants:
+            for unit in tenant.active_units:
+                if not unit.done:
+                    decision.ve_alloc[unit] = CORE.num_ves * 2.0
+                    return decision
+        return decision
+
+
+class StalledQuantumScheduler(SchedulerBase):
+    """Sets a re-decision time that does not advance the clock."""
+
+    def decide(self, sim):
+        decision = StaticPartitionScheduler().decide(sim)
+        decision.next_decision_at = sim.now
+        return decision
+
+
+def test_me_overcommit_detected():
+    with pytest.raises(SimulationError, match="needs"):
+        _sim(OverCommitScheduler()).run()
+
+
+def test_wrong_grant_width_detected():
+    with pytest.raises(SimulationError, match="needs"):
+        _sim(WrongWidthScheduler()).run()
+
+
+def test_dropped_running_unit_detected():
+    with pytest.raises(SimulationError):
+        _sim(DropRunningScheduler()).run()
+
+
+def test_ve_overcommit_detected():
+    with pytest.raises(SimulationError, match="VE"):
+        _sim(VeOverCommitScheduler()).run()
+
+
+def test_stalled_quantum_detected():
+    with pytest.raises(SimulationError, match="advance"):
+        _sim(StalledQuantumScheduler()).run()
+
+
+def test_epoch_limit_guards_livelock():
+    tenant = make_tenant(make_me_graph(layers=4), CORE, alloc_mes=4,
+                         alloc_ves=4, target_requests=5)
+    sim = Simulator(CORE, StaticPartitionScheduler(), [tenant], max_epochs=2)
+    with pytest.raises(SimulationError, match="epochs"):
+        sim.run()
+
+
+def test_unknown_hbm_policy_rejected():
+    with pytest.raises(SimulationError, match="HBM"):
+        _sim(StaticPartitionScheduler(), hbm_policy="priority")
+
+
+class IdleScheduler(SchedulerBase):
+    """Never grants anything: the engine must report a deadlock, not
+    spin forever."""
+
+    def decide(self, sim):
+        return Decision()
+
+
+def test_idle_scheduler_deadlock_detected():
+    with pytest.raises(SimulationError, match="no runnable work"):
+        _sim(IdleScheduler()).run()

@@ -1,0 +1,118 @@
+"""Tests for the HBM bandwidth sharing model (incl. property tests)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.hbm import (
+    aggregate_demand,
+    hierarchical_fair_factors,
+    maxmin_fair,
+    slowdown_factors,
+)
+
+
+def test_uncontended_full_allocation():
+    alloc = maxmin_fair({"a": 10.0, "b": 5.0}, capacity=100.0)
+    assert alloc == {"a": 10.0, "b": 5.0}
+
+
+def test_contended_small_flows_first():
+    alloc = maxmin_fair({"small": 10.0, "big": 200.0}, capacity=100.0)
+    assert alloc["small"] == 10.0
+    assert alloc["big"] == 90.0
+
+
+def test_equal_split_when_all_large():
+    alloc = maxmin_fair({"a": 100.0, "b": 100.0, "c": 100.0}, capacity=90.0)
+    assert alloc["a"] == pytest.approx(30.0)
+    assert alloc["b"] == pytest.approx(30.0)
+    assert alloc["c"] == pytest.approx(30.0)
+
+
+def test_zero_demand_gets_zero():
+    alloc = maxmin_fair({"a": 0.0, "b": 10.0}, capacity=5.0)
+    assert alloc["a"] == 0.0
+    assert alloc["b"] == 5.0
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(SimulationError):
+        maxmin_fair({"a": -1.0}, capacity=10.0)
+    with pytest.raises(SimulationError):
+        maxmin_fair({"a": 1.0}, capacity=-10.0)
+
+
+def test_slowdown_factors_bounds():
+    factors = slowdown_factors({"a": 50.0, "b": 200.0}, capacity=100.0)
+    assert factors["a"] == pytest.approx(1.0)
+    assert 0 < factors["b"] < 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    demands=st.dictionaries(
+        st.integers(0, 10),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    ),
+    capacity=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+def test_maxmin_properties(demands, capacity):
+    alloc = maxmin_fair(demands, capacity)
+    total = sum(alloc.values())
+    # Conservation: never allocate more than capacity (+eps) or demand.
+    assert total <= capacity + 1e-6
+    assert total <= sum(demands.values()) + 1e-6
+    for key, granted in alloc.items():
+        assert 0 <= granted <= demands[key] + 1e-9
+    # Work conservation: if capacity exceeds demand, all demand is met.
+    if capacity >= sum(demands.values()):
+        assert total == pytest.approx(sum(demands.values()))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    demands=st.lists(
+        st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+        min_size=2,
+        max_size=6,
+    ),
+    capacity=st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+)
+def test_maxmin_fairness_property(demands, capacity):
+    """No flow that wants more receives less than another flow that
+    wants less (the max-min property)."""
+    keyed = {i: d for i, d in enumerate(demands)}
+    alloc = maxmin_fair(keyed, capacity)
+    for i, di in keyed.items():
+        for j, dj in keyed.items():
+            if di <= dj:
+                assert alloc[i] <= alloc[j] + 1e-6 or alloc[i] == pytest.approx(di, rel=1e-6)
+
+
+def test_hierarchical_protects_single_stream_tenant():
+    """One tenant with one huge stream vs one tenant with four streams:
+    per-vNPU fairness gives each tenant half the channel."""
+    demands = {"t0_s0": 1000.0, "t1_s0": 300.0, "t1_s1": 300.0,
+               "t1_s2": 300.0, "t1_s3": 300.0}
+    owners = {"t0_s0": 0, "t1_s0": 1, "t1_s1": 1, "t1_s2": 1, "t1_s3": 1}
+    factors = hierarchical_fair_factors(demands, owners, capacity=1000.0)
+    # Tenant 0's single stream gets its 500 share -> factor 0.5.
+    assert factors["t0_s0"] == pytest.approx(0.5)
+    # Flat max-min would have cut it to 200 (factor 0.2).
+    flat = slowdown_factors(demands, 1000.0)
+    assert flat["t0_s0"] < factors["t0_s0"]
+
+
+def test_hierarchical_redistributes_unused_share():
+    demands = {"a": 100.0, "b": 900.0}
+    owners = {"a": 0, "b": 1}
+    factors = hierarchical_fair_factors(demands, owners, capacity=1000.0)
+    assert factors["a"] == pytest.approx(1.0)
+    assert factors["b"] == pytest.approx(1.0)
+
+
+def test_aggregate_demand():
+    assert aggregate_demand({"a": 1.0, "b": 2.0, "c": 0.0}) == 3.0

@@ -1,0 +1,151 @@
+"""Property-based scheduler invariants over randomised workloads.
+
+For random small workload mixes and random (feasible) allocations, every
+scheduling policy must uphold the simulator's global invariants:
+
+- all requests complete (work conservation / no starvation),
+- engine-class utilizations stay within [0, 1],
+- productive busy time never exceeds assigned engine time,
+- determinism: identical inputs give identical outcomes,
+- Neu10 never does *worse* than Neu10-NH on total completion time for
+  the same tenants (harvesting is opportunistic, modulo bounded
+  reclaim overhead).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.compiler as comp
+from repro.baselines.pmt import PmtScheduler
+from repro.baselines.v10 import V10Scheduler
+from repro.compiler.lowering import lower_graph_neuisa, lower_graph_vliw
+from repro.config import NpuCoreConfig
+from repro.sim.engine import Simulator, Tenant
+from repro.sim.sched_neu10 import Neu10Scheduler
+from repro.sim.sched_static import StaticPartitionScheduler
+from repro.sim.sched_temporal import TemporalNeu10Scheduler
+
+CORE = NpuCoreConfig()
+
+# Strategy: a small random workload graph (1-4 layers, random op mix).
+layer_kinds = st.sampled_from(["matmul", "gemv", "softmax", "embed"])
+
+
+def _graph_from_plan(plan) -> comp.Graph:
+    graph = comp.Graph("rand")
+    for i, kind in enumerate(plan):
+        if kind == "matmul":
+            graph.add(
+                comp.MatMul(f"mm{i}", m=512, k=256, n=512,
+                            epilogue=[comp.ElementwiseKind.RELU],
+                            weights_streamed=False)
+            )
+        elif kind == "gemv":
+            graph.add(comp.MatMul(f"gemv{i}", m=8, k=512, n=1024))
+        elif kind == "softmax":
+            graph.add(comp.Softmax(f"sm{i}", rows=512, cols=256))
+        else:
+            graph.add(
+                comp.EmbeddingLookup(f"emb{i}", num_lookups=1024, dim=64,
+                                     table_bytes=10**9)
+            )
+    return graph
+
+
+workload_plans = st.lists(layer_kinds, min_size=1, max_size=4)
+
+
+def _tenants(plan_a, plan_b, isa, alloc_a, requests=1):
+    graphs = [_graph_from_plan(plan_a), _graph_from_plan(plan_b)]
+    allocs = [(alloc_a, alloc_a), (CORE.num_mes - alloc_a, CORE.num_ves - alloc_a)]
+    tenants = []
+    for idx, (graph, (mes, ves)) in enumerate(zip(graphs, allocs)):
+        if isa == "neuisa":
+            compiled = lower_graph_neuisa(graph, CORE)
+        else:
+            compiled = lower_graph_vliw(graph, CORE, CORE.num_mes, CORE.num_ves)
+        tenants.append(
+            Tenant(idx, f"t{idx}", compiled, alloc_mes=mes, alloc_ves=ves,
+                   target_requests=requests)
+        )
+    return tenants
+
+
+def _check_invariants(result, tenants):
+    stats = result.stats
+    assert -1e-9 <= stats.me_utilization() <= 1.0 + 1e-9
+    assert -1e-9 <= stats.ve_utilization() <= 1.0 + 1e-9
+    for tenant in tenants:
+        tr = result.tenant(tenant.tenant_id)
+        assert tr.completed_requests >= tenant.target_requests
+        assert all(l > 0 for l in tr.latencies_cycles)
+        assert 0.0 <= tr.blocked_fraction <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(plan_a=workload_plans, plan_b=workload_plans,
+       alloc_a=st.integers(1, 3))
+def test_neu10_invariants_random_workloads(plan_a, plan_b, alloc_a):
+    tenants = _tenants(plan_a, plan_b, "neuisa", alloc_a)
+    result = Simulator(CORE, Neu10Scheduler(), tenants).run()
+    _check_invariants(result, tenants)
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan_a=workload_plans, plan_b=workload_plans,
+       alloc_a=st.integers(1, 3))
+def test_static_invariants_random_workloads(plan_a, plan_b, alloc_a):
+    tenants = _tenants(plan_a, plan_b, "neuisa", alloc_a)
+    result = Simulator(CORE, StaticPartitionScheduler(), tenants).run()
+    _check_invariants(result, tenants)
+    assert result.stats.preemption_count == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan_a=workload_plans, plan_b=workload_plans)
+def test_temporal_invariants_random_workloads(plan_a, plan_b):
+    tenants = _tenants(plan_a, plan_b, "neuisa", alloc_a=4)
+    result = Simulator(CORE, TemporalNeu10Scheduler(), tenants).run()
+    _check_invariants(result, tenants)
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan_a=workload_plans, plan_b=workload_plans,
+       scheduler=st.sampled_from(["pmt", "v10"]))
+def test_vliw_baseline_invariants_random_workloads(plan_a, plan_b, scheduler):
+    tenants = _tenants(plan_a, plan_b, "vliw", alloc_a=2)
+    sched = PmtScheduler() if scheduler == "pmt" else V10Scheduler()
+    result = Simulator(CORE, sched, tenants).run()
+    _check_invariants(result, tenants)
+
+
+@settings(max_examples=10, deadline=None)
+@given(plan_a=workload_plans, plan_b=workload_plans,
+       alloc_a=st.integers(1, 3))
+def test_harvesting_never_hurts_makespan(plan_a, plan_b, alloc_a):
+    """Neu10's total completion time is never meaningfully worse than
+    Neu10-NH for the same tenants (reclaim overhead is bounded)."""
+    def run(sched):
+        tenants = _tenants(plan_a, plan_b, "neuisa", alloc_a)
+        return Simulator(CORE, sched, tenants).run().total_cycles
+
+    nh = run(StaticPartitionScheduler())
+    neu = run(Neu10Scheduler())
+    assert neu <= nh * 1.10
+
+
+@settings(max_examples=8, deadline=None)
+@given(plan_a=workload_plans, plan_b=workload_plans)
+def test_determinism_random_workloads(plan_a, plan_b):
+    def run():
+        tenants = _tenants(plan_a, plan_b, "neuisa", alloc_a=2)
+        result = Simulator(CORE, Neu10Scheduler(), tenants).run()
+        return (
+            result.total_cycles,
+            tuple(result.tenant(0).latencies_cycles),
+            tuple(result.tenant(1).latencies_cycles),
+        )
+
+    assert run() == run()

@@ -1,0 +1,169 @@
+"""Scheduler behaviour tests: isolation, harvesting, preemption, the
+paper's SectionIII-E rules."""
+
+import pytest
+
+from repro.config import NpuCoreConfig
+from repro.errors import SchedulerError
+from repro.sim.engine import Simulator
+from repro.sim.sched_neu10 import Neu10Scheduler
+from repro.sim.sched_static import StaticPartitionScheduler
+from repro.sim.sched_temporal import TemporalNeu10Scheduler
+
+from tests.conftest import make_me_graph, make_tenant, make_ve_graph
+
+CORE = NpuCoreConfig()  # 4 MEs, 4 VEs
+
+
+def _solo_latency(graph_fn, alloc_mes, alloc_ves, requests=2):
+    tenant = make_tenant(graph_fn(), CORE, alloc_mes=alloc_mes,
+                         alloc_ves=alloc_ves, target_requests=requests)
+    result = Simulator(CORE, StaticPartitionScheduler(), [tenant]).run()
+    return result.tenant(0).mean_latency
+
+
+# ----------------------------------------------------------------------
+# Neu10-NH: strict spatial isolation
+# ----------------------------------------------------------------------
+def test_static_partition_isolation_property():
+    """A tenant under Neu10-NH performs as it would alone on an equally
+    sized partition (the MIG-like guarantee) -- exactly true when the
+    collocated tenant does not contend for HBM bandwidth."""
+    solo = _solo_latency(make_me_graph, 2, 2)
+    t0 = make_tenant(make_me_graph("a"), CORE, 0, target_requests=2)
+    t1 = make_tenant(make_me_graph("b"), CORE, 1, target_requests=2)
+    result = Simulator(CORE, StaticPartitionScheduler(), [t0, t1]).run()
+    collocated = result.tenant(0).mean_latency
+    assert collocated == pytest.approx(solo, rel=0.02)
+
+
+def test_static_partition_shares_only_hbm():
+    """Engines are isolated, but the HBM channel is fairly shared
+    (paper SectionIII-B): a bandwidth-hungry neighbour may slow
+    memory-bound operators, and nothing else."""
+    solo = _solo_latency(make_me_graph, 2, 2)
+    t0 = make_tenant(make_me_graph(), CORE, 0, target_requests=2)
+    t1 = make_tenant(make_ve_graph(), CORE, 1, target_requests=2)
+    result = Simulator(CORE, StaticPartitionScheduler(), [t0, t1]).run()
+    collocated = result.tenant(0).mean_latency
+    assert solo * 0.99 <= collocated < solo * 1.5
+
+
+def test_static_partition_never_preempts():
+    t0 = make_tenant(make_me_graph(), CORE, 0, target_requests=2)
+    t1 = make_tenant(make_ve_graph(), CORE, 1, target_requests=2)
+    result = Simulator(CORE, StaticPartitionScheduler(), [t0, t1]).run()
+    assert result.stats.preemption_count == 0
+
+
+def test_static_partition_rejects_oversubscription():
+    t0 = make_tenant(make_me_graph(), CORE, 0, alloc_mes=3, alloc_ves=3)
+    t1 = make_tenant(make_ve_graph(), CORE, 1, alloc_mes=3, alloc_ves=3)
+    sim = Simulator(CORE, StaticPartitionScheduler(), [t0, t1])
+    with pytest.raises(SchedulerError):
+        sim.run()
+
+
+# ----------------------------------------------------------------------
+# Neu10: harvesting
+# ----------------------------------------------------------------------
+def test_harvesting_speeds_up_me_tenant():
+    """Collocated with a VE-heavy tenant, the ME-heavy tenant harvests
+    idle MEs and beats its Neu10-NH latency."""
+    def collocate(scheduler):
+        t0 = make_tenant(make_me_graph(), CORE, 0, target_requests=3)
+        t1 = make_tenant(make_ve_graph(), CORE, 1, target_requests=3)
+        result = Simulator(CORE, scheduler, [t0, t1]).run()
+        return result.tenant(0).mean_latency
+
+    nh = collocate(StaticPartitionScheduler())
+    neu10 = collocate(Neu10Scheduler())
+    assert neu10 < nh * 0.95
+
+
+def test_harvesting_disabled_matches_static():
+    def collocate(scheduler):
+        t0 = make_tenant(make_me_graph(), CORE, 0, target_requests=2)
+        t1 = make_tenant(make_ve_graph(), CORE, 1, target_requests=2)
+        result = Simulator(CORE, scheduler, [t0, t1]).run()
+        return result.tenant(0).mean_latency
+
+    nh = collocate(StaticPartitionScheduler())
+    no_harvest = collocate(Neu10Scheduler(harvesting=False))
+    assert no_harvest == pytest.approx(nh, rel=0.02)
+
+
+def test_harvested_tenant_overhead_is_bounded():
+    """Table III: the blocked-time overhead of being harvested is small
+    relative to end-to-end execution."""
+    t0 = make_tenant(make_me_graph(), CORE, 0, target_requests=3)
+    t1 = make_tenant(make_ve_graph(), CORE, 1, target_requests=3)
+    result = Simulator(CORE, Neu10Scheduler(), [t0, t1]).run()
+    for tid in (0, 1):
+        assert result.tenant(tid).blocked_fraction < 0.25
+
+
+def test_reclaim_causes_preemptions():
+    """When the VE tenant's occasional ME work arrives, harvesters must
+    be preempted (paying the 256-cycle penalty)."""
+    t0 = make_tenant(make_me_graph(), CORE, 0, target_requests=3)
+    t1 = make_tenant(make_ve_graph(), CORE, 1, target_requests=3)
+    result = Simulator(CORE, Neu10Scheduler(), [t0, t1]).run()
+    assert result.stats.preemption_count > 0
+    assert result.stats.reclaim_penalty_cycles > 0
+
+
+def test_full_allocation_priority():
+    """Two ME-heavy tenants: neither can harvest (both keep their MEs
+    busy), so Neu10 degenerates to the static split."""
+    def collocate(scheduler):
+        t0 = make_tenant(make_me_graph("a"), CORE, 0, target_requests=2)
+        t1 = make_tenant(make_me_graph("b"), CORE, 1, target_requests=2)
+        result = Simulator(CORE, scheduler, [t0, t1]).run()
+        return result.tenant(0).mean_latency
+
+    nh = collocate(StaticPartitionScheduler())
+    neu10 = collocate(Neu10Scheduler())
+    assert neu10 == pytest.approx(nh, rel=0.1)
+
+
+def test_solo_tenant_harvests_whole_core():
+    """A lone vNPU with a 2-ME allocation harvests up to all 4 MEs."""
+    solo_2me = _solo_latency(make_me_graph, 2, 2, requests=2)
+    tenant = make_tenant(make_me_graph(), CORE, alloc_mes=2, alloc_ves=2,
+                         target_requests=2)
+    result = Simulator(CORE, Neu10Scheduler(), [tenant]).run()
+    assert result.tenant(0).mean_latency < solo_2me * 0.75
+
+
+# ----------------------------------------------------------------------
+# Temporal-sharing mode
+# ----------------------------------------------------------------------
+def test_temporal_mode_supports_oversubscription():
+    t0 = make_tenant(make_me_graph("a"), CORE, 0, alloc_mes=4, alloc_ves=4,
+                     target_requests=2)
+    t1 = make_tenant(make_me_graph("b"), CORE, 1, alloc_mes=4, alloc_ves=4,
+                     target_requests=2)
+    result = Simulator(CORE, TemporalNeu10Scheduler(), [t0, t1]).run()
+    assert result.tenant(0).completed_requests >= 2
+    assert result.tenant(1).completed_requests >= 2
+
+
+def test_temporal_mode_priority_weighting():
+    """A 4x-priority tenant finishes its requests in less time than an
+    equal-priority collocated tenant."""
+    t0 = make_tenant(make_me_graph("hi"), CORE, 0, target_requests=3,
+                     priority=4.0)
+    t1 = make_tenant(make_me_graph("lo"), CORE, 1, target_requests=3,
+                     priority=1.0)
+    result = Simulator(CORE, TemporalNeu10Scheduler(), [t0, t1]).run()
+    assert result.tenant(0).mean_latency < result.tenant(1).mean_latency
+
+
+def test_temporal_mode_fairness_between_equals():
+    t0 = make_tenant(make_me_graph("a"), CORE, 0, target_requests=3)
+    t1 = make_tenant(make_me_graph("b"), CORE, 1, target_requests=3)
+    result = Simulator(CORE, TemporalNeu10Scheduler(), [t0, t1]).run()
+    l0 = result.tenant(0).mean_latency
+    l1 = result.tenant(1).mean_latency
+    assert l0 == pytest.approx(l1, rel=0.2)

@@ -1,0 +1,133 @@
+"""Tests for the hardware config (Table II) and stats accounting."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_BOARD,
+    DEFAULT_CORE,
+    ME_PREEMPTION_CYCLES,
+    NpuBoardConfig,
+    NpuChipConfig,
+    NpuCoreConfig,
+)
+from repro.errors import ConfigError
+from repro.sim.hw_cost import scheduler_cost
+from repro.sim.stats import SimStats
+
+
+# ----------------------------------------------------------------------
+# Table II values
+# ----------------------------------------------------------------------
+def test_default_core_matches_table2():
+    core = DEFAULT_CORE
+    assert core.num_mes == 4 and core.num_ves == 4
+    assert core.me_rows == 128 and core.me_cols == 128
+    assert core.ve_flops_per_cycle == 128 * 8
+    assert core.frequency_hz == 1_050e6
+    assert core.sram_bytes == 128 * 2**20
+    assert core.hbm_bytes == 64 * 10**9
+    assert core.hbm_bandwidth_bytes_per_s == 1_200e9
+
+
+def test_preemption_penalty_is_256_cycles():
+    """128 cycles to pop partial sums + 128 to pop weights (SectionIII-G)."""
+    assert ME_PREEMPTION_CYCLES == 256
+    assert DEFAULT_CORE.me_preemption_cycles == 256
+
+
+def test_unit_conversions():
+    core = DEFAULT_CORE
+    assert core.cycles_to_us(1_050.0) == pytest.approx(1.0)
+    assert core.seconds_to_cycles(1.0) == core.frequency_hz
+    assert core.hbm_bytes_per_cycle == pytest.approx(1_200e9 / 1_050e6)
+
+
+def test_with_engines_and_bandwidth():
+    core = DEFAULT_CORE.with_engines(8, 2)
+    assert core.num_mes == 8 and core.num_ves == 2
+    assert core.sram_bytes == DEFAULT_CORE.sram_bytes
+    fat = DEFAULT_CORE.with_bandwidth(3e12)
+    assert fat.hbm_bandwidth_bytes_per_s == 3e12
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        NpuCoreConfig(num_mes=0)
+    with pytest.raises(ConfigError):
+        NpuCoreConfig(frequency_hz=0)
+    with pytest.raises(ConfigError):
+        NpuChipConfig(num_cores=0)
+    with pytest.raises(ConfigError):
+        NpuBoardConfig(num_chips=0)
+
+
+def test_board_aggregates():
+    assert DEFAULT_BOARD.total_cores == 8
+    assert DEFAULT_BOARD.total_mes == 32
+
+
+def test_segment_counts():
+    assert DEFAULT_CORE.num_sram_segments == 64   # 128 MB / 2 MB
+    assert DEFAULT_CORE.num_hbm_segments == 59    # 64 GB / 1 GiB
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+def test_stats_utilization_math():
+    stats = SimStats(num_mes=4, num_ves=4)
+    stats.record_epoch(0.0, 100.0, {0: 2.0}, {0: 1.0})
+    stats.record_epoch(100.0, 100.0, {0: 4.0}, {0: 2.0})
+    assert stats.me_utilization() == pytest.approx((200 + 400) / (200 * 4))
+    assert stats.tenant_me_utilization(0) == stats.me_utilization()
+
+
+def test_stats_assignment_trace_coalesces():
+    stats = SimStats(num_mes=4, num_ves=4, record_assignment=True)
+    for i in range(5):
+        stats.record_epoch(i * 10.0, 10.0, {0: 2.0}, {0: 2.0})
+    assert len(stats.assignment_trace) == 1
+    stats.record_epoch(50.0, 10.0, {0: 3.0}, {0: 2.0})
+    assert len(stats.assignment_trace) == 2
+
+
+def test_stats_op_lifecycle():
+    stats = SimStats(num_mes=4, num_ves=4)
+    stats.op_started(0, "mm", 3, 0, 100.0)
+    stats.op_blocked(0, 3, 0, 25.0)
+    stats.op_finished(0, 3, 0, 300.0)
+    [record] = stats.op_records
+    assert record.duration == 200.0
+    assert record.blocked_cycles == 25.0
+    assert stats.blocked_cycles_per_tenant[0] == 25.0
+
+
+def test_stats_op_durations_grouping():
+    stats = SimStats(num_mes=4, num_ves=4)
+    for req in range(3):
+        stats.op_started(0, "mm", 1, req, req * 100.0)
+        stats.op_finished(0, 1, req, req * 100.0 + 50.0)
+    durations = stats.op_durations(0)
+    assert durations["mm"] == [50.0, 50.0, 50.0]
+
+
+def test_stats_bandwidth_average():
+    stats = SimStats(num_mes=4, num_ves=4, record_bandwidth=True)
+    stats.record_epoch(0.0, 10.0, {}, {}, hbm_bytes_per_cycle=100.0)
+    stats.record_epoch(10.0, 10.0, {}, {}, hbm_bytes_per_cycle=300.0)
+    assert stats.average_bandwidth() == pytest.approx(200.0)
+
+
+# ----------------------------------------------------------------------
+# Scheduler hardware cost (SectionIII-G)
+# ----------------------------------------------------------------------
+def test_scheduler_cost_negligible():
+    cost = scheduler_cost(DEFAULT_CORE)
+    assert cost.total_bytes < 64 * 1024
+    assert cost.die_fraction < 0.0004  # paper: 0.04 %
+
+
+def test_scheduler_cost_scales_with_engines():
+    small = scheduler_cost(DEFAULT_CORE)
+    big = scheduler_cost(DEFAULT_CORE.with_engines(8, 8))
+    assert big.total_bytes > small.total_bytes

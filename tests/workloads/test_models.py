@@ -1,0 +1,120 @@
+"""Tests for the model zoo: structure, calibration targets (Fig. 4) and
+the catalog (Table I)."""
+
+import pytest
+
+from repro.config import DEFAULT_CORE, GiB, MiB
+from repro.errors import ConfigError
+from repro.workloads.catalog import CATALOG, build_model, model_info, model_names
+from repro.workloads.traces import build_trace
+
+
+def test_catalog_covers_table1():
+    names = model_names()
+    assert len(names) == 11
+    for name in ("BERT", "Transformer", "DLRM", "NCF", "Mask-RCNN",
+                 "RetinaNet", "ShapeMask", "MNIST", "ResNet", "ResNet-RS",
+                 "EfficientNet"):
+        assert name in names
+    assert "LLaMA" in model_names(include_llm=True)
+
+
+def test_catalog_lookup_by_abbreviation_and_case():
+    assert model_info("RtNt").name == "RetinaNet"
+    assert model_info("retinanet").name == "RetinaNet"
+    assert model_info("TFMR").name == "Transformer"
+    with pytest.raises(ConfigError):
+        model_info("NoSuchModel")
+
+
+def test_table1_footprints_recorded():
+    assert model_info("DLRM").hbm_footprint_bytes == int(22.38 * GiB)
+    assert model_info("MNIST").hbm_footprint_bytes == int(10.59 * MiB)
+
+
+def test_all_models_build_valid_graphs():
+    for name in model_names(include_llm=True):
+        graph = build_model(name, batch=8)
+        graph.validate()
+        assert len(graph) > 0
+        assert graph.total_flops > 0
+
+
+def test_batch_scales_work():
+    small = build_model("ResNet", 8)
+    large = build_model("ResNet", 32)
+    assert large.total_flops == pytest.approx(small.total_flops * 4, rel=0.01)
+
+
+def test_invalid_batch_rejected():
+    with pytest.raises(ConfigError):
+        build_model("BERT", 0)
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 calibration: ME:VE intensity structure
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("model", ["ResNet", "ResNet-RS", "RetinaNet",
+                                   "ShapeMask", "Mask-RCNN", "BERT"])
+def test_me_intensive_models(model):
+    batch = 8 if model in ("Mask-RCNN", "ShapeMask") else 32
+    trace = build_trace(model, batch)
+    assert trace.profile.me_ve_intensity_ratio > 5.0
+
+
+@pytest.mark.parametrize("model", ["DLRM", "NCF"])
+def test_ve_intensive_models(model):
+    trace = build_trace(model, 32)
+    assert trace.profile.me_ve_intensity_ratio < 1.0
+
+
+def test_efficientnet_is_balanced():
+    trace = build_trace("EfficientNet", 32)
+    assert 0.5 < trace.profile.me_ve_intensity_ratio < 4.0
+
+
+def test_dlrm_gets_more_ve_intensive_with_batch():
+    """Paper: DLRM's VE gathers scale with batch while its MLP barely
+    grows, so the intensity ratio falls."""
+    r8 = build_trace("DLRM", 8).profile.me_ve_intensity_ratio
+    r32 = build_trace("DLRM", 32).profile.me_ve_intensity_ratio
+    assert r32 < r8
+
+
+def test_llama_is_memory_bound():
+    """LLaMA decode demands a large fraction of the HBM bandwidth."""
+    trace = build_trace("LLaMA", 8)
+    demand = trace.profile.average_hbm_bandwidth(DEFAULT_CORE)
+    assert demand > 0.3 * DEFAULT_CORE.hbm_bandwidth_bytes_per_s
+
+
+def test_profiles_satisfy_m_plus_v():
+    for name in model_names():
+        trace = build_trace(name, 8)
+        assert trace.profile.m + trace.profile.v >= 1.0 - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Traces
+# ----------------------------------------------------------------------
+def test_trace_carries_both_isas():
+    trace = build_trace("MNIST", 8)
+    assert trace.compiled("neuisa").isa == "neuisa"
+    assert trace.compiled("vliw").isa == "vliw"
+    with pytest.raises(ValueError):
+        trace.compiled("riscv")
+
+
+def test_trace_memoisation():
+    a = build_trace("MNIST", 8)
+    b = build_trace("MNIST", 8)
+    assert a is b
+    c = build_trace("MNIST", 16)
+    assert c is not a
+
+
+def test_neuisa_utops_bounded_by_core():
+    trace = build_trace("ResNet", 8)
+    for op in trace.neuisa.ops:
+        for group in op.groups:
+            assert group.num_me_utops <= DEFAULT_CORE.num_mes

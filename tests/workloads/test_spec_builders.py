@@ -1,0 +1,107 @@
+"""Tests for the layer-spec builder helpers."""
+
+import pytest
+
+from repro.compiler.graph import Graph
+from repro.compiler.operators import (
+    Conv2D,
+    DepthwiseConv2D,
+    Elementwise,
+    LayerNorm,
+    MatMul,
+    Pooling,
+    Softmax,
+)
+from repro.workloads.spec import (
+    RELU,
+    attention_block,
+    conv_block,
+    dwconv_block,
+    embedding_bag,
+    ffn_block,
+    global_pool,
+    linear,
+    mlp_stack,
+    residual_add,
+    transformer_layer,
+)
+
+
+def test_conv_block_returns_output_size():
+    g = Graph("g")
+    out = conv_block(g, "c", batch=1, hw=32, in_ch=3, out_ch=8, stride=2)
+    assert out == 16
+    node = next(iter(g))
+    assert isinstance(node.op, Conv2D)
+    assert node.op.epilogue == [RELU]
+
+
+def test_conv_block_without_activation():
+    g = Graph("g")
+    conv_block(g, "c", 1, 8, 3, 8, activation=None)
+    assert next(iter(g)).op.epilogue == []
+
+
+def test_dwconv_block_is_ve_op():
+    g = Graph("g")
+    out = dwconv_block(g, "dw", batch=1, hw=16, ch=8, stride=2)
+    assert out == 8
+    assert isinstance(next(iter(g)).op, DepthwiseConv2D)
+
+
+def test_linear_emits_matmul():
+    g = Graph("g")
+    linear(g, "fc", rows=4, in_features=8, out_features=16)
+    op = next(iter(g)).op
+    assert isinstance(op, MatMul)
+    assert (op.m, op.k, op.n) == (4, 8, 16)
+
+
+def test_mlp_stack_layer_count_and_activations():
+    g = Graph("g")
+    mlp_stack(g, "mlp", rows=4, layer_sizes=[8, 16, 32, 2])
+    ops = [n.op for n in g.topo_order()]
+    assert len(ops) == 3
+    assert ops[0].epilogue == [RELU]
+    assert ops[-1].epilogue == []  # no activation on the output layer
+
+
+def test_attention_block_structure():
+    g = Graph("g")
+    attention_block(g, "attn", batch=2, seq=16, hidden=64, heads=4)
+    kinds = [type(n.op).__name__ for n in g.topo_order()]
+    assert kinds.count("MatMul") == 4  # qkv, scores, context, proj
+    assert "Softmax" in kinds
+    assert "LayerNorm" in kinds
+
+
+def test_attention_intermediate_matmuls_use_resident_weights():
+    g = Graph("g")
+    attention_block(g, "attn", batch=2, seq=16, hidden=64, heads=4)
+    by_name = {n.op.name: n.op for n in g.topo_order()}
+    assert by_name["attn.scores"].weight_bytes == 0
+    assert by_name["attn.qkv"].weight_bytes > 0
+
+
+def test_transformer_layer_composes():
+    g = Graph("g")
+    transformer_layer(g, "l0", batch=1, seq=8, hidden=64, heads=4,
+                      ffn_inner=128)
+    g.validate()
+    assert len(g) > 8
+
+
+def test_ffn_block_residual_and_norm():
+    g = Graph("g")
+    ffn_block(g, "ffn", rows=8, hidden=64, inner=128)
+    kinds = [type(n.op).__name__ for n in g.topo_order()]
+    assert kinds == ["MatMul", "MatMul", "Elementwise", "LayerNorm"]
+
+
+def test_embedding_and_pool_helpers():
+    g = Graph("g")
+    embedding_bag(g, "emb", lookups=16, dim=8, table_bytes=1024)
+    global_pool(g, "pool", batch=1, hw=4, ch=8)
+    residual_add(g, "res", batch=1, hw=4, ch=8)
+    kinds = [type(n.op).__name__ for n in g.topo_order()]
+    assert kinds == ["EmbeddingLookup", "Pooling", "Elementwise"]
