@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Serving-throughput benchmark: open-loop simulator speed.
+
+Runs a fixed open-loop scenario (MNIST+DLRM, Poisson arrivals, load 0.8,
+2 ms simulated window, Neu10 harvesting) and records wall time and the
+requests-simulated-per-second rate in ``BENCH_serving.json`` next to
+this file, so successive PRs leave a benchmark trajectory.
+
+Run:  python benchmarks/bench_serving.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.serving.server import SCHEME_NEU10
+from repro.traffic import OpenLoopConfig, TrafficTenantSpec, run_open_loop
+
+SCENARIO = {
+    "scheme": SCHEME_NEU10,
+    "arrival": "poisson",
+    "load": 0.8,
+    "duration_s": 0.002,
+    "seed": 7,
+    "models": [["MNIST", 8], ["DLRM", 8]],
+}
+
+
+def run_benchmark() -> dict:
+    specs = [TrafficTenantSpec(model=m, batch=b) for m, b in SCENARIO["models"]]
+    cfg = OpenLoopConfig(
+        duration_s=SCENARIO["duration_s"],
+        load=SCENARIO["load"],
+        arrival=SCENARIO["arrival"],
+        seed=SCENARIO["seed"],
+    )
+    # Warm-up run outside the timed region: populates the trace and
+    # calibration caches so the figure tracks simulator speed only.
+    run_open_loop(specs, SCENARIO["scheme"], cfg)
+
+    start = time.perf_counter()
+    result = run_open_loop(specs, SCENARIO["scheme"], cfg)
+    wall_s = time.perf_counter() - start
+
+    offered = sum(rep.offered for rep in result.reports)
+    completed = sum(rep.completed for rep in result.reports)
+    return {
+        "scenario": SCENARIO,
+        "wall_s": wall_s,
+        "requests_offered": offered,
+        "requests_completed": completed,
+        "requests_simulated_per_s": completed / wall_s if wall_s > 0 else 0.0,
+        "simulated_cycles": result.total_cycles,
+        "simulated_cycles_per_wall_s": result.total_cycles / wall_s
+        if wall_s > 0
+        else 0.0,
+        "min_attainment": result.min_attainment,
+    }
+
+
+def main() -> None:
+    record = run_benchmark()
+    out = Path(__file__).resolve().parent / "BENCH_serving.json"
+    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"simulated {record['requests_completed']} requests "
+        f"({record['simulated_cycles']:.0f} cycles) in {record['wall_s']:.3f}s "
+        f"-> {record['requests_simulated_per_s']:.0f} req/s"
+    )
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli fig19 fig22          # several
     python -m repro.cli all                  # everything (minutes)
     python -m repro.cli quickstart           # the quickstart demo
+    python -m repro.cli traffic --help       # open-loop traffic runs
 """
 
 from __future__ import annotations
@@ -57,6 +58,13 @@ def _experiments() -> Dict[str, Callable[[], None]]:
 
 
 def main(argv: List[str] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "traffic":
+        # Flag-driven subcommand with its own parser.
+        from repro.traffic.cli import main as traffic_main
+
+        return traffic_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro.cli",
         description="Run Neu10 reproduction experiments (MICRO 2024).",
@@ -76,6 +84,7 @@ def main(argv: List[str] = None) -> int:
         for name in registry:
             print(f"  {name}")
         print("  all")
+        print("  traffic  (open-loop serving; see `traffic --help`)")
         return 0
     if requested == ["all"]:
         requested = [n for n in registry if n != "quickstart"]

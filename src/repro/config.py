@@ -20,9 +20,35 @@ so workload definitions can use natural units.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import random
 from dataclasses import dataclass
+from typing import Union
 
 from repro.errors import ConfigError
+
+#: Default seed for every stochastic component (traffic generators,
+#: placement tie-breaking experiments, ...).  One seed reproduces a
+#: whole scenario end to end.
+DEFAULT_SEED = 2024
+
+
+def make_rng(seed: Union[int, None] = None) -> random.Random:
+    """The repo-wide RNG factory: one seed, one stream."""
+    return random.Random(DEFAULT_SEED if seed is None else seed)
+
+
+def spawn_rng(seed: Union[int, None], *keys: object) -> random.Random:
+    """Derive an independent, deterministic child stream.
+
+    Hashing the (seed, keys) tuple decorrelates substreams (e.g. one per
+    tenant per segment) while keeping every scenario reproducible from a
+    single top-level seed.
+    """
+    base = DEFAULT_SEED if seed is None else seed
+    material = repr((base,) + tuple(keys)).encode()
+    digest = hashlib.sha256(material).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 #: Bytes in one gigabyte (decimal, as used for HBM marketing capacities).
 GB = 10**9

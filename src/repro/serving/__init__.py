@@ -6,7 +6,13 @@ evaluation reports them (p95 tail latency, average latency, throughput,
 ME/VE utilization, harvesting overhead).
 """
 
-from repro.serving.metrics import PairMetrics, TenantMetrics, percentile
+from repro.serving.metrics import (
+    PairMetrics,
+    TenantMetrics,
+    goodput_rps,
+    percentile,
+    slo_attainment,
+)
 from repro.serving.requests import closed_loop, poisson_arrivals, steady_arrivals
 from repro.serving.server import (
     SCHEME_NEU10,
@@ -30,8 +36,10 @@ __all__ = [
     "ServingConfig",
     "TenantMetrics",
     "closed_loop",
+    "goodput_rps",
     "make_scheduler",
     "percentile",
+    "slo_attainment",
     "poisson_arrivals",
     "run_collocation",
     "run_solo",

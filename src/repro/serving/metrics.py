@@ -6,14 +6,52 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import ConfigError
+
 
 def percentile(values: List[float], pct: float) -> float:
-    """Nearest-rank percentile (matches TenantResult.latency_percentile)."""
+    """Nearest-rank percentile (matches TenantResult.latency_percentile).
+
+    ``pct`` must lie in [0, 100]: the rank formula clamps so pct=0 is
+    the minimum and any percentile of a single-sample list is that
+    sample, but out-of-range percentiles raise instead of silently
+    clamping to min/max.
+    """
+    if not 0.0 <= pct <= 100.0:
+        raise ConfigError(f"percentile must be in [0, 100], got {pct}")
     if not values:
         return 0.0
     ordered = sorted(values)
     idx = min(len(ordered) - 1, max(0, math.ceil(pct / 100.0 * len(ordered)) - 1))
     return ordered[idx]
+
+
+def slo_attainment(
+    latencies: List[float], target_cycles: float, offered: Optional[int] = None
+) -> float:
+    """Fraction of requests served within ``target_cycles``.
+
+    With ``offered`` (open-loop accounting) requests that never finished
+    count as misses; without it only completed requests are judged.
+    """
+    if target_cycles <= 0:
+        raise ConfigError("SLO target must be positive")
+    denom = offered if offered is not None else len(latencies)
+    if denom <= 0:
+        return 1.0
+    attained = sum(1 for lat in latencies if lat <= target_cycles)
+    return attained / denom
+
+
+def goodput_rps(
+    latencies: List[float], target_cycles: float, duration_s: float
+) -> float:
+    """Requests per second that met their SLO (the open-loop figure of
+    merit: throughput stops counting once latency blows the target)."""
+    if duration_s <= 0:
+        raise ConfigError("duration must be positive")
+    attained = sum(1 for lat in latencies if lat <= target_cycles)
+    return attained / duration_s
 
 
 @dataclass

@@ -47,6 +47,11 @@ class Request:
     def service_time(self) -> float:
         return self.finish_cycle - self.start_cycle
 
+    @property
+    def queueing_delay(self) -> float:
+        """Time spent waiting for admission (zero under closed loop)."""
+        return self.start_cycle - self.issue_cycle
+
 
 @dataclass
 class ReclaimTimer:
@@ -64,7 +69,10 @@ class Tenant:
     temporal mapping).  Requests are closed-loop by default: the next
     request is issued as soon as the previous one finishes, mirroring the
     paper's steady-state methodology; open-loop arrival times can be
-    supplied instead.
+    supplied instead.  Open-loop tenants may pass
+    ``target_requests=None`` ("drain" mode): the tenant finishes when
+    every supplied arrival has been admitted and served, so queueing
+    delay -- not a request count -- bounds the run.
     """
 
     def __init__(
@@ -74,7 +82,7 @@ class Tenant:
         graph: CompiledGraph,
         alloc_mes: int,
         alloc_ves: int,
-        target_requests: int = 10,
+        target_requests: Optional[int] = 10,
         priority: float = 1.0,
         arrivals: Optional[Sequence[float]] = None,
     ) -> None:
@@ -82,6 +90,10 @@ class Tenant:
             raise SimulationError("allocations cannot be negative")
         if len(graph) == 0:
             raise SimulationError(f"tenant {name!r} has an empty workload")
+        if target_requests is None and arrivals is None:
+            raise SimulationError(
+                "target_requests=None (drain mode) requires open-loop arrivals"
+            )
         self.tenant_id = tenant_id
         self.name = name
         self.graph = graph
@@ -201,7 +213,18 @@ class Tenant:
     # ------------------------------------------------------------------
     @property
     def reached_target(self) -> bool:
+        if self.target_requests is None:
+            # Drain mode: done once the whole arrival stream is served.
+            return (
+                not self.pending_arrivals
+                and not self.queued_requests
+                and self.current_request is None
+            )
         return len(self.completed) >= self.target_requests
+
+    def issued_requests(self) -> int:
+        """Requests admitted so far (open-loop offered load accounting)."""
+        return self._next_request_id
 
     def me_engines_wanted(self) -> int:
         return sum(
@@ -212,6 +235,9 @@ class Tenant:
 
     def latencies(self) -> List[float]:
         return [r.latency for r in self.completed]
+
+    def queueing_delays(self) -> List[float]:
+        return [r.queueing_delay for r in self.completed]
 
 
 def _num_groups(op: CompiledOp) -> int:
@@ -325,6 +351,12 @@ class TenantResult:
     ve_utilization: float
     blocked_fraction: float
     completed_requests: int
+    #: Per-completed-request admission wait (all zeros under closed loop).
+    queueing_cycles: List[float] = field(default_factory=list)
+    #: Requests admitted during the run; under open loop this is the
+    #: offered load, so ``completed/offered`` is SLO-style attainment
+    #: even when the horizon cuts a queue off mid-flight.
+    offered_requests: int = 0
 
     def latency_percentile(self, pct: float) -> float:
         if not self.latencies_cycles:
@@ -338,10 +370,20 @@ class TenantResult:
         return self.latency_percentile(95.0)
 
     @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
     def mean_latency(self) -> float:
         if not self.latencies_cycles:
             return 0.0
         return sum(self.latencies_cycles) / len(self.latencies_cycles)
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        if not self.queueing_cycles:
+            return 0.0
+        return sum(self.queueing_cycles) / len(self.queueing_cycles)
 
 
 @dataclass
@@ -754,5 +796,7 @@ class Simulator:
                 ve_utilization=self.stats.tenant_ve_utilization(tenant.tenant_id),
                 blocked_fraction=blocked / total,
                 completed_requests=len(tenant.completed),
+                queueing_cycles=tenant.queueing_delays(),
+                offered_requests=tenant.issued_requests(),
             )
         return SimResult(tenants=results, stats=self.stats, total_cycles=total)

@@ -1,0 +1,62 @@
+"""Open-loop traffic generation and cluster-scale serving simulation.
+
+The package adds the production workload axis the paper's closed-loop
+methodology leaves out: stochastic arrivals (Poisson / bursty / diurnal
+/ trace replay), per-tenant latency SLOs with attainment and goodput
+accounting, open-loop single-core runs, and a cluster churn driver that
+plays tenant arrive/depart scripts through the orchestrator.
+"""
+
+from repro.traffic.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    DiurnalProcess,
+    OnOffProcess,
+    PoissonProcess,
+    TraceProcess,
+    load_trace_csv,
+    make_arrival_process,
+)
+from repro.traffic.cluster_sim import (
+    ACTION_ARRIVE,
+    ACTION_DEPART,
+    ChurnEvent,
+    ClusterTrafficConfig,
+    ClusterTrafficResult,
+    run_cluster_traffic,
+)
+from repro.traffic.openloop import (
+    OpenLoopConfig,
+    OpenLoopResult,
+    TrafficTenantSpec,
+    isolated_service_cycles,
+    run_open_loop,
+    sweep_load,
+)
+from repro.traffic.slo import SloReport, SloSpec, build_slo_report
+
+__all__ = [
+    "ACTION_ARRIVE",
+    "ACTION_DEPART",
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "ChurnEvent",
+    "ClusterTrafficConfig",
+    "ClusterTrafficResult",
+    "DiurnalProcess",
+    "OnOffProcess",
+    "OpenLoopConfig",
+    "OpenLoopResult",
+    "PoissonProcess",
+    "SloReport",
+    "SloSpec",
+    "TraceProcess",
+    "TrafficTenantSpec",
+    "build_slo_report",
+    "isolated_service_cycles",
+    "load_trace_csv",
+    "make_arrival_process",
+    "run_cluster_traffic",
+    "run_open_loop",
+    "sweep_load",
+]

@@ -1,0 +1,170 @@
+"""The ``traffic`` CLI subcommand.
+
+Single-core::
+
+    python -m repro.cli traffic --scheme neu10 --arrival poisson --load 0.8
+
+Cluster churn::
+
+    python -m repro.cli traffic --cluster --hosts 4 --load 0.6
+
+Prints per-tenant SLO attainment, p95/p99 latency and utilization.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.config import DEFAULT_CORE, DEFAULT_SEED
+from repro.errors import Neu10Error
+from repro.serving.server import ALL_SCHEMES, SCHEME_TEMPORAL
+from repro.traffic.arrivals import ARRIVAL_KINDS
+from repro.traffic.cluster_sim import (
+    ChurnEvent,
+    ClusterTrafficConfig,
+    run_cluster_traffic,
+)
+from repro.traffic.openloop import (
+    OpenLoopConfig,
+    TrafficTenantSpec,
+    run_open_loop,
+)
+from repro.traffic.slo import SloReport
+
+_SCHEMES = tuple(ALL_SCHEMES) + (SCHEME_TEMPORAL,)
+
+
+def _parse_models(raw: str) -> List[TrafficTenantSpec]:
+    specs: List[TrafficTenantSpec] = []
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if ":" in chunk:
+            model, batch = chunk.split(":", 1)
+            try:
+                specs.append(TrafficTenantSpec(model=model, batch=int(batch)))
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"bad model spec {chunk!r}: expected MODEL[:BATCH]"
+                )
+        else:
+            specs.append(TrafficTenantSpec(model=chunk))
+    if not specs:
+        raise argparse.ArgumentTypeError("no models given")
+    return specs
+
+
+def _print_reports(reports: Sequence[SloReport], header: str) -> None:
+    core = DEFAULT_CORE
+    print(header)
+    print(
+        f"  {'tenant':<10} {'offered':>7} {'done':>6} {'attain':>7} "
+        f"{'goodput':>10} {'p95(us)':>9} {'p99(us)':>9} {'queue(us)':>10}"
+    )
+    for rep in reports:
+        print(
+            f"  {rep.name:<10} {rep.offered:>7} {rep.completed:>6} "
+            f"{rep.attainment * 100:>6.1f}% "
+            f"{rep.goodput_rps:>8.0f}/s "
+            f"{core.cycles_to_us(rep.p95_latency):>9.1f} "
+            f"{core.cycles_to_us(rep.p99_latency):>9.1f} "
+            f"{core.cycles_to_us(rep.mean_queueing_delay):>10.2f}"
+        )
+
+
+def _run_single(args: argparse.Namespace) -> int:
+    specs = args.models
+    cfg = OpenLoopConfig(
+        duration_s=args.duration_s,
+        load=args.load,
+        arrival=args.arrival,
+        seed=args.seed,
+        drain=args.drain,
+    )
+    result = run_open_loop(specs, args.scheme, cfg)
+    _print_reports(
+        result.reports,
+        f"open-loop: scheme={args.scheme} arrival={args.arrival} "
+        f"load={args.load:g} window={args.duration_s:g}s",
+    )
+    print(
+        f"  core utilization: ME {result.me_utilization * 100:.1f}%  "
+        f"VE {result.ve_utilization * 100:.1f}%  "
+        f"({result.total_cycles:.0f} cycles simulated)"
+    )
+    return 0
+
+
+def _default_churn_script(end_s: float) -> List[ChurnEvent]:
+    """A small canned script: steady pair, mid-run departure + arrival."""
+    mnist = TrafficTenantSpec(model="MNIST", batch=8)
+    dlrm = TrafficTenantSpec(model="DLRM", batch=8)
+    bert = TrafficTenantSpec(model="BERT", batch=4)
+    return [
+        ChurnEvent(0.0, "arrive", "mnist-a", spec=mnist),
+        ChurnEvent(0.0, "arrive", "dlrm-a", spec=dlrm),
+        ChurnEvent(0.0, "arrive", "mnist-b", spec=mnist),
+        ChurnEvent(end_s / 2, "depart", "mnist-b"),
+        ChurnEvent(end_s / 2, "arrive", "bert-a", spec=bert),
+    ]
+
+
+def _run_cluster(args: argparse.Namespace) -> int:
+    cfg = ClusterTrafficConfig(
+        num_hosts=args.hosts,
+        scheme=args.scheme,
+        arrival=args.arrival,
+        load=args.load,
+        end_s=args.duration_s,
+        seed=args.seed,
+    )
+    events = _default_churn_script(args.duration_s)
+    result = run_cluster_traffic(events, cfg)
+    _print_reports(
+        sorted(result.reports.values(), key=lambda r: r.name),
+        f"cluster open-loop: hosts={args.hosts} scheme={args.scheme} "
+        f"arrival={args.arrival} load={args.load:g} window={args.duration_s:g}s "
+        f"segments={result.segments}",
+    )
+    print(
+        f"  cluster utilization: ME {result.cluster_me_utilization * 100:.1f}%  "
+        f"VE {result.cluster_ve_utilization * 100:.1f}%  "
+        f"admission {result.admission_rate * 100:.0f}%"
+        + (f"  rejected: {', '.join(result.rejected)}" if result.rejected else "")
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli traffic",
+        description="Open-loop traffic simulation (SLO attainment under load).",
+    )
+    parser.add_argument("--scheme", default="neu10", choices=_SCHEMES)
+    parser.add_argument("--arrival", default="poisson",
+                        choices=[k for k in ARRIVAL_KINDS if k != "trace"])
+    parser.add_argument("--load", type=float, default=0.8,
+                        help="offered load as a fraction of per-tenant capacity")
+    parser.add_argument("--duration-s", type=float, default=0.002,
+                        help="simulated window in seconds of core time")
+    parser.add_argument("--models", type=_parse_models,
+                        default=_parse_models("MNIST:8,DLRM:8"),
+                        help="comma-separated model[:batch] list")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--drain", action="store_true",
+                        help="run past the window until every request finishes")
+    parser.add_argument("--cluster", action="store_true",
+                        help="run the cluster churn demo instead of one core")
+    parser.add_argument("--hosts", type=int, default=2,
+                        help="cluster size (with --cluster)")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.cluster:
+            return _run_cluster(args)
+        return _run_single(args)
+    except Neu10Error as exc:
+        print(f"error: {exc}")
+        return 1

@@ -1,0 +1,264 @@
+"""Cluster-scale open-loop serving under tenant churn.
+
+Plays a *churn script* -- timestamped tenant arrive/depart events --
+through :class:`repro.cluster.orchestrator.ClusterOrchestrator` (the
+KubeVirt stand-in), then simulates every host's resident tenants with
+one :class:`Simulator` per host per stable interval.  The timeline is
+cut at churn events; within each segment the tenant population is fixed,
+so the per-host fluid simulation is exact, and the per-tenant metrics
+are merged across segments into one :class:`SloReport` each.
+
+Hosts with several cores are simulated as one core with the host's
+aggregate engine count -- a fluid approximation consistent with the
+engine's execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.host import Host
+from repro.cluster.orchestrator import ClusterOrchestrator, PlacementRequest
+from repro.cluster.placement import LeastLoadedPolicy, PlacementPolicy
+from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig, spawn_rng
+from repro.errors import ConfigError
+from repro.serving.server import SCHEME_ISA, make_scheduler
+from repro.sim.engine import Simulator, Tenant
+from repro.traffic.openloop import (
+    OpenLoopConfig,
+    TrafficTenantSpec,
+    _calibrate_cached,
+    arrival_process_for,
+)
+from repro.traffic.slo import SloReport, build_slo_report
+from repro.workloads.traces import build_trace
+
+ACTION_ARRIVE = "arrive"
+ACTION_DEPART = "depart"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One tenant joining or leaving the cluster."""
+
+    time_s: float
+    action: str
+    name: str
+    spec: Optional[TrafficTenantSpec] = None
+    num_mes: int = 2
+    num_ves: int = 2
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ConfigError("churn events cannot happen before t=0")
+        if self.action not in (ACTION_ARRIVE, ACTION_DEPART):
+            raise ConfigError(f"unknown churn action {self.action!r}")
+        if self.action == ACTION_ARRIVE and self.spec is None:
+            raise ConfigError(f"arrive event for {self.name!r} needs a spec")
+
+
+@dataclass
+class ClusterTrafficConfig:
+    """Cluster geometry + the shared open-loop knobs."""
+
+    num_hosts: int = 2
+    cores_per_host: int = 1
+    core: NpuCoreConfig = field(default_factory=lambda: DEFAULT_CORE)
+    scheme: str = "neu10"
+    arrival: str = "poisson"
+    load: float = 0.6
+    end_s: float = 0.002
+    seed: int = DEFAULT_SEED
+    policy: Optional[PlacementPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.num_hosts < 1 or self.cores_per_host < 1:
+            raise ConfigError("cluster needs at least one host and core")
+        if self.end_s <= 0:
+            raise ConfigError("cluster run needs a positive end time")
+
+
+@dataclass
+class ClusterTrafficResult:
+    reports: Dict[str, SloReport]
+    #: Time-weighted mean ME utilization per host over the whole run.
+    host_me_utilization: Dict[str, float]
+    host_ve_utilization: Dict[str, float]
+    admission_rate: float
+    rejected: List[str]
+    segments: int
+
+    @property
+    def cluster_me_utilization(self) -> float:
+        if not self.host_me_utilization:
+            return 0.0
+        vals = self.host_me_utilization.values()
+        return sum(vals) / len(vals)
+
+    @property
+    def cluster_ve_utilization(self) -> float:
+        if not self.host_ve_utilization:
+            return 0.0
+        vals = self.host_ve_utilization.values()
+        return sum(vals) / len(vals)
+
+
+@dataclass
+class _Resident:
+    request_id: int
+    host: Host
+    spec: TrafficTenantSpec
+    num_mes: int
+    num_ves: int
+
+
+def _segment_boundaries(events: Sequence[ChurnEvent], end_s: float) -> List[float]:
+    cuts = {0.0, end_s}
+    for ev in events:
+        if ev.time_s < end_s:
+            cuts.add(ev.time_s)
+    return sorted(cuts)
+
+
+def run_cluster_traffic(
+    events: Sequence[ChurnEvent],
+    cfg: Optional[ClusterTrafficConfig] = None,
+) -> ClusterTrafficResult:
+    """Play a churn script and aggregate cluster-wide SLO metrics."""
+    cfg = cfg if cfg is not None else ClusterTrafficConfig()
+    host_core = cfg.core.with_engines(
+        cfg.core.num_mes * cfg.cores_per_host,
+        cfg.core.num_ves * cfg.cores_per_host,
+    )
+    hosts = [Host(f"host{i}", [cfg.core] * cfg.cores_per_host)
+             for i in range(cfg.num_hosts)]
+    orch = ClusterOrchestrator(
+        hosts, cfg.policy if cfg.policy is not None else LeastLoadedPolicy()
+    )
+
+    ordered = sorted(events, key=lambda e: (e.time_s, e.action != ACTION_DEPART))
+    residents: Dict[str, _Resident] = {}
+    rejected: List[str] = []
+    reports: Dict[str, SloReport] = {}
+    busy: Dict[str, Tuple[float, float]] = {h.name: (0.0, 0.0) for h in hosts}
+    isa = SCHEME_ISA[cfg.scheme]
+
+    def apply_events(at: float) -> None:
+        for ev in ordered:
+            if ev.time_s != at:
+                continue
+            if ev.action == ACTION_ARRIVE:
+                if ev.name in residents:
+                    raise ConfigError(f"tenant {ev.name!r} is already resident")
+                placement = orch.submit(
+                    PlacementRequest(
+                        owner=ev.name, num_mes=ev.num_mes, num_ves=ev.num_ves
+                    )
+                )
+                if placement is None:
+                    rejected.append(ev.name)
+                    continue
+                residents[ev.name] = _Resident(
+                    request_id=placement.request.request_id,
+                    host=placement.host,
+                    spec=ev.spec,
+                    num_mes=ev.num_mes,
+                    num_ves=ev.num_ves,
+                )
+            else:
+                resident = residents.pop(ev.name, None)
+                if resident is None:
+                    if ev.name in rejected:
+                        continue  # never admitted; nothing to release
+                    raise ConfigError(f"tenant {ev.name!r} is not resident")
+                orch.release(resident.request_id)
+
+    boundaries = _segment_boundaries(ordered, cfg.end_s)
+    segments = 0
+    for seg_index, (t0, t1) in enumerate(zip(boundaries, boundaries[1:])):
+        apply_events(t0)
+        seg_s = t1 - t0
+        if seg_s <= 0:
+            continue
+        segments += 1
+        seg_cycles = cfg.core.seconds_to_cycles(seg_s)
+        by_host: Dict[str, List[Tuple[str, _Resident]]] = {}
+        for name, resident in residents.items():
+            by_host.setdefault(resident.host.name, []).append((name, resident))
+
+        for host in hosts:
+            group = by_host.get(host.name, [])
+            if not group:
+                continue
+            tenants: List[Tenant] = []
+            targets: Dict[int, float] = {}
+            names: Dict[int, str] = {}
+            ol_cfg = OpenLoopConfig(
+                core=host_core,
+                duration_s=seg_s,
+                load=cfg.load,
+                arrival=cfg.arrival,
+                seed=cfg.seed,
+            )
+            for idx, (name, resident) in enumerate(sorted(group)):
+                spec = resident.spec
+                svc = _calibrate_cached(
+                    spec.model, spec.batch, resident.num_mes, resident.num_ves,
+                    cfg.scheme, host_core,
+                )
+                process = arrival_process_for(spec, ol_cfg, svc, seg_cycles)
+                rng = spawn_rng(cfg.seed, name, seg_index)
+                arrivals = process.generate(seg_cycles, rng)
+                trace = build_trace(spec.model, spec.batch, core=host_core)
+                tenants.append(
+                    Tenant(
+                        tenant_id=idx,
+                        name=name,
+                        graph=trace.compiled(isa),
+                        alloc_mes=resident.num_mes,
+                        alloc_ves=resident.num_ves,
+                        target_requests=None,
+                        priority=spec.priority,
+                        arrivals=arrivals,
+                    )
+                )
+                targets[idx] = spec.slo.resolve(svc)
+                names[idx] = name
+            if all(not t.pending_arrivals for t in tenants):
+                continue
+            sim = Simulator(
+                host_core,
+                make_scheduler(cfg.scheme),
+                tenants,
+                horizon_cycles=seg_cycles,
+                record_ops=False,
+            )
+            result = sim.run()
+            # Drain can end the simulation before the segment boundary;
+            # utilization only covers the cycles actually simulated.
+            simulated_s = min(
+                seg_s, host_core.cycles_to_seconds(result.total_cycles)
+            )
+            me_s, ve_s = busy[host.name]
+            busy[host.name] = (
+                me_s + result.stats.me_utilization() * simulated_s,
+                ve_s + result.stats.ve_utilization() * simulated_s,
+            )
+            for idx, name in names.items():
+                report = build_slo_report(
+                    name, cfg.scheme, targets[idx], result.tenant(idx), seg_s
+                )
+                reports[name] = (
+                    reports[name].merged_with(report) if name in reports else report
+                )
+
+    total_s = cfg.end_s
+    return ClusterTrafficResult(
+        reports=reports,
+        host_me_utilization={h: me / total_s for h, (me, _) in busy.items()},
+        host_ve_utilization={h: ve / total_s for h, (_, ve) in busy.items()},
+        admission_rate=orch.admission_rate(),
+        rejected=rejected,
+        segments=segments,
+    )

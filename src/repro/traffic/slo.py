@@ -1,0 +1,146 @@
+"""Per-tenant latency SLOs and attainment reports.
+
+An :class:`SloSpec` names the target; an :class:`SloReport` is the
+per-tenant outcome of one open-loop run: offered vs completed vs
+attained requests, latency percentiles, queueing delay and goodput.
+Unfinished requests (still queued when the horizon hits) count as SLO
+misses -- that is what makes attainment degrade monotonically as load
+crosses saturation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.serving import metrics
+from repro.serving.metrics import percentile
+from repro.sim.engine import TenantResult
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Latency target, absolute or relative to isolated service time.
+
+    ``target_cycles`` wins when both are given; ``relative`` expresses
+    the target as a multiple of the tenant's calibrated closed-loop
+    service time (5x is a common serving-system default: generous at low
+    load, violated quickly past saturation).
+    """
+
+    target_cycles: Optional[float] = None
+    relative: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.target_cycles is not None and self.target_cycles <= 0:
+            raise ConfigError("absolute SLO target must be positive")
+        if self.relative <= 0:
+            raise ConfigError("relative SLO target must be positive")
+
+    def resolve(self, service_cycles: float) -> float:
+        if self.target_cycles is not None:
+            return self.target_cycles
+        return self.relative * service_cycles
+
+
+@dataclass
+class SloReport:
+    """One tenant's open-loop scorecard."""
+
+    name: str
+    scheme: str
+    target_cycles: float
+    offered: int
+    completed: int
+    attained: int
+    duration_s: float
+    latencies_cycles: List[float] = field(default_factory=list)
+    queueing_cycles: List[float] = field(default_factory=list)
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of *offered* requests served within the SLO."""
+        return metrics.slo_attainment(
+            self.latencies_cycles, self.target_cycles, offered=self.offered
+        )
+
+    @property
+    def goodput_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return metrics.goodput_rps(
+            self.latencies_cycles, self.target_cycles, self.duration_s
+        )
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.latencies_cycles:
+            return 0.0
+        return sum(self.latencies_cycles) / len(self.latencies_cycles)
+
+    @property
+    def p50_latency(self) -> float:
+        return percentile(self.latencies_cycles, 50.0)
+
+    @property
+    def p95_latency(self) -> float:
+        return percentile(self.latencies_cycles, 95.0)
+
+    @property
+    def p99_latency(self) -> float:
+        return percentile(self.latencies_cycles, 99.0)
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        if not self.queueing_cycles:
+            return 0.0
+        return sum(self.queueing_cycles) / len(self.queueing_cycles)
+
+    def merged_with(self, other: "SloReport") -> "SloReport":
+        """Combine two windows of the same tenant (cluster aggregation)."""
+        if other.name != self.name:
+            raise ConfigError(
+                f"cannot merge reports for {self.name!r} and {other.name!r}"
+            )
+        return SloReport(
+            name=self.name,
+            scheme=self.scheme,
+            target_cycles=self.target_cycles,
+            offered=self.offered + other.offered,
+            completed=self.completed + other.completed,
+            attained=self.attained + other.attained,
+            duration_s=self.duration_s + other.duration_s,
+            latencies_cycles=self.latencies_cycles + other.latencies_cycles,
+            queueing_cycles=self.queueing_cycles + other.queueing_cycles,
+        )
+
+
+def build_slo_report(
+    name: str,
+    scheme: str,
+    target_cycles: float,
+    result: TenantResult,
+    duration_s: float,
+) -> SloReport:
+    """Score one tenant's :class:`TenantResult` against its SLO."""
+    if target_cycles <= 0:
+        raise ConfigError("SLO target must be positive")
+    attained = sum(1 for lat in result.latencies_cycles if lat <= target_cycles)
+    return SloReport(
+        name=name,
+        scheme=scheme,
+        target_cycles=target_cycles,
+        offered=result.offered_requests,
+        completed=result.completed_requests,
+        attained=attained,
+        duration_s=duration_s,
+        latencies_cycles=list(result.latencies_cycles),
+        queueing_cycles=list(result.queueing_cycles),
+    )

@@ -1,0 +1,85 @@
+"""Orchestrator release/re-placement behavior under tenant churn."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterOrchestrator,
+    Host,
+    LeastLoadedPolicy,
+    PlacementRequest,
+)
+from repro.config import NpuCoreConfig
+from repro.errors import AllocationError
+
+CORE = NpuCoreConfig()
+
+
+def _hosts(n):
+    return [Host(f"host{i}", [CORE]) for i in range(n)]
+
+
+def _req(owner, mes=2, ves=2):
+    return PlacementRequest(owner=owner, num_mes=mes, num_ves=ves)
+
+
+def test_departed_capacity_is_reusable_by_larger_tenant():
+    orch = ClusterOrchestrator(_hosts(1))
+    small_a = orch.submit(_req("a", 2, 2))
+    small_b = orch.submit(_req("b", 2, 2))
+    assert small_a is not None and small_b is not None
+    assert orch.submit(_req("c", 2, 2)) is None  # full
+    orch.release(small_a.request.request_id)
+    orch.release(small_b.request.request_id)
+    # The freed halves merge back into a whole-host slot.
+    assert orch.submit(_req("d", 4, 4)) is not None
+
+
+def test_least_loaded_rebalances_after_departure():
+    orch = ClusterOrchestrator(_hosts(2), LeastLoadedPolicy())
+    a = orch.submit(_req("a"))
+    b = orch.submit(_req("b"))
+    assert {a.host.name, b.host.name} == {"host0", "host1"}
+    # Drop one tenant: its host is now least-loaded and must take the
+    # next arrival.
+    orch.release(a.request.request_id)
+    c = orch.submit(_req("c"))
+    assert c.host.name == a.host.name
+
+
+def test_release_is_idempotent_only_once():
+    orch = ClusterOrchestrator(_hosts(1))
+    placement = orch.submit(_req("a"))
+    orch.release(placement.request.request_id)
+    with pytest.raises(AllocationError):
+        orch.release(placement.request.request_id)
+
+
+def test_sustained_churn_never_leaks_capacity():
+    """Many arrive/depart cycles: commitments always within capacity and
+    a full-host tenant still fits at the end."""
+    orch = ClusterOrchestrator(_hosts(2), LeastLoadedPolicy())
+    for round_idx in range(10):
+        placements = [
+            orch.submit(_req(f"t{round_idx}-{i}", 2, 2)) for i in range(4)
+        ]
+        assert all(p is not None for p in placements)
+        for host in orch.hosts:
+            assert host.committed_mes <= host.total_mes
+            assert host.committed_ves <= host.total_ves
+        for placement in placements:
+            orch.release(placement.request.request_id)
+    for host in orch.hosts:
+        assert host.committed_mes == 0 and host.committed_ves == 0
+    assert orch.submit(_req("final", 4, 4)) is not None
+
+
+def test_collocation_map_tracks_churn():
+    orch = ClusterOrchestrator(_hosts(2), LeastLoadedPolicy())
+    a = orch.submit(_req("a"))
+    orch.submit(_req("b"))
+    before = orch.collocation_map()
+    assert sum(len(owners) for owners in before.values()) == 2
+    orch.release(a.request.request_id)
+    after = orch.collocation_map()
+    assert sum(len(owners) for owners in after.values()) == 1
+    assert "a" not in [o for owners in after.values() for o in owners]

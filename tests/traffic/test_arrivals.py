@@ -1,0 +1,138 @@
+"""Arrival-process tests: determinism, rates, burstiness, replay."""
+
+import statistics
+
+import pytest
+
+from repro.config import make_rng, spawn_rng
+from repro.errors import ConfigError
+from repro.traffic.arrivals import (
+    ARRIVAL_KINDS,
+    DiurnalProcess,
+    OnOffProcess,
+    PoissonProcess,
+    TraceProcess,
+    load_trace_csv,
+    make_arrival_process,
+)
+
+WINDOW = 1_000_000.0
+RATE = 0.001  # 1000 expected arrivals in the window
+
+
+def _gen(kind: str, seed: int = 0):
+    process = make_arrival_process(kind, RATE, duration_cycles=WINDOW)
+    return process.generate(WINDOW, spawn_rng(seed, kind))
+
+
+# ----------------------------------------------------------------------
+# Shared contracts
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["poisson", "bursty", "diurnal"])
+def test_sorted_and_in_window(kind):
+    arrivals = _gen(kind)
+    assert arrivals == sorted(arrivals)
+    assert all(0 <= t < WINDOW for t in arrivals)
+    assert len(arrivals) > 0
+
+
+@pytest.mark.parametrize("kind", ["poisson", "bursty", "diurnal"])
+def test_one_seed_reproduces_everything(kind):
+    assert _gen(kind, seed=42) == _gen(kind, seed=42)
+    assert _gen(kind, seed=42) != _gen(kind, seed=43)
+
+
+def test_spawn_rng_substreams_are_decorrelated():
+    a = spawn_rng(1, "tenant-a")
+    b = spawn_rng(1, "tenant-b")
+    assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+    # Same keys, same stream.
+    assert spawn_rng(1, "x", 2).random() == spawn_rng(1, "x", 2).random()
+
+
+def test_make_rng_default_seed_is_stable():
+    assert make_rng().random() == make_rng().random()
+    assert make_rng(5).random() == make_rng(5).random()
+
+
+# ----------------------------------------------------------------------
+# Per-family behavior
+# ----------------------------------------------------------------------
+def test_poisson_mean_rate():
+    arrivals = _gen("poisson")
+    assert len(arrivals) == pytest.approx(RATE * WINDOW, rel=0.2)
+
+
+def test_bursty_preserves_mean_rate_but_raises_variability():
+    poisson = _gen("poisson")
+    bursty = _gen("bursty")
+    # Long-run rate matches within slack...
+    assert len(bursty) == pytest.approx(len(poisson), rel=0.4)
+
+    def cv(times):
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        return statistics.pstdev(gaps) / statistics.mean(gaps)
+
+    # ...but inter-arrival variability is clearly super-Poisson.
+    assert cv(bursty) > cv(poisson) * 1.3
+
+
+def test_diurnal_peak_beats_trough():
+    process = DiurnalProcess(RATE, period_cycles=WINDOW, amplitude=0.9)
+    arrivals = process.generate(WINDOW, spawn_rng(0, "diurnal-peak"))
+    # sin is positive over the first half-period, negative over the second.
+    peak = sum(1 for t in arrivals if t < WINDOW / 2)
+    trough = len(arrivals) - peak
+    assert peak > trough * 2
+
+
+def test_trace_replay_clips_to_window(tmp_path):
+    times = [10.0, 20.0, 30.0, 2_000_000.0]
+    process = TraceProcess(times)
+    assert process.generate(WINDOW, make_rng(0)) == [10.0, 20.0, 30.0]
+
+    csv = tmp_path / "trace.csv"
+    csv.write_text("# comment\n0.5,extra\n0.25\n\n")
+    assert load_trace_csv(str(csv)) == [0.25, 0.5]
+    assert load_trace_csv(str(csv), frequency_hz=2.0) == [0.5, 1.0]
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_factory_covers_kinds_and_rejects_unknown():
+    for kind in ("poisson", "bursty", "diurnal"):
+        assert kind in ARRIVAL_KINDS
+        process = make_arrival_process(kind, RATE, duration_cycles=WINDOW)
+        assert process.kind == kind
+    with pytest.raises(ConfigError):
+        make_arrival_process("weibull", RATE, duration_cycles=WINDOW)
+    with pytest.raises(ConfigError):
+        make_arrival_process("trace", RATE)  # no timestamps
+
+
+def test_bursty_factory_keeps_supplied_dwell_times():
+    process = make_arrival_process(
+        "bursty", RATE, duration_cycles=WINDOW, mean_on_cycles=500.0
+    )
+    assert process.mean_on == 500.0
+    assert process.mean_off == pytest.approx(3.0 * WINDOW / 40.0)
+    process = make_arrival_process(
+        "bursty", RATE, duration_cycles=WINDOW, mean_off_cycles=123.0
+    )
+    assert process.mean_off == 123.0
+    with pytest.raises(ConfigError):
+        make_arrival_process("bursty", RATE, mean_on_cycles=500.0)
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigError):
+        PoissonProcess(0.0)
+    with pytest.raises(ConfigError):
+        OnOffProcess(RATE, mean_on_cycles=0.0, mean_off_cycles=1.0)
+    with pytest.raises(ConfigError):
+        DiurnalProcess(RATE, period_cycles=100.0, amplitude=1.5)
+    with pytest.raises(ConfigError):
+        TraceProcess([-1.0])
+    with pytest.raises(ConfigError):
+        PoissonProcess(RATE).generate(0.0, make_rng(0))

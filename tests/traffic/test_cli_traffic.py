@@ -1,0 +1,57 @@
+"""The `traffic` CLI subcommand, end to end through repro.cli."""
+
+from repro.cli import main as cli_main
+
+
+def test_traffic_subcommand_runs_end_to_end(capsys):
+    code = cli_main(
+        [
+            "traffic",
+            "--scheme", "neu10",
+            "--arrival", "poisson",
+            "--load", "0.8",
+            "--duration-s", "0.0005",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "attain" in out
+    assert "MNIST" in out and "DLRM" in out
+    assert "core utilization" in out
+
+
+def test_traffic_cluster_subcommand(capsys):
+    code = cli_main(
+        [
+            "traffic",
+            "--cluster",
+            "--hosts", "2",
+            "--load", "0.5",
+            "--duration-s", "0.0005",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cluster utilization" in out
+    assert "admission" in out
+
+
+def test_traffic_custom_models_and_arrival(capsys):
+    code = cli_main(
+        [
+            "traffic",
+            "--arrival", "bursty",
+            "--models", "MNIST:8",
+            "--load", "0.4",
+            "--duration-s", "0.0005",
+            "--drain",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "MNIST" in out
+
+
+def test_traffic_listed_in_cli_help(capsys):
+    assert cli_main(["list"]) == 0
+    assert "traffic" in capsys.readouterr().out

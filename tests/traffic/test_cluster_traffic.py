@@ -1,0 +1,119 @@
+"""Cluster-scale open-loop simulation under tenant churn."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.traffic import (
+    ChurnEvent,
+    ClusterTrafficConfig,
+    SloSpec,
+    TrafficTenantSpec,
+    run_cluster_traffic,
+)
+
+MNIST = TrafficTenantSpec(model="MNIST", batch=8)
+DLRM = TrafficTenantSpec(model="DLRM", batch=8)
+
+
+def _script(end_s: float):
+    return [
+        ChurnEvent(0.0, "arrive", "mnist-a", spec=MNIST),
+        ChurnEvent(0.0, "arrive", "dlrm-a", spec=DLRM),
+        ChurnEvent(end_s / 2, "depart", "mnist-a"),
+        ChurnEvent(end_s / 2, "arrive", "mnist-b", spec=MNIST),
+    ]
+
+
+def test_churn_script_end_to_end():
+    cfg = ClusterTrafficConfig(num_hosts=2, load=0.5, end_s=0.001, seed=1)
+    result = run_cluster_traffic(_script(cfg.end_s), cfg)
+    assert result.segments == 2
+    assert set(result.reports) <= {"mnist-a", "dlrm-a", "mnist-b"}
+    assert "mnist-a" in result.reports and "mnist-b" in result.reports
+    assert result.reports["mnist-a"].offered > 0
+    for name, report in result.reports.items():
+        assert 0.0 <= report.attainment <= 1.0, name
+    assert 0.0 <= result.cluster_me_utilization <= 1.0
+    assert result.admission_rate == 1.0
+    assert result.rejected == []
+
+
+def test_departure_frees_capacity_for_later_arrival():
+    """One tiny host: the second tenant only fits after the first leaves."""
+    big = TrafficTenantSpec(model="MNIST", batch=8)
+    events = [
+        ChurnEvent(0.0, "arrive", "a", spec=big, num_mes=4, num_ves=4),
+        ChurnEvent(0.0005, "depart", "a"),
+        ChurnEvent(0.0005, "arrive", "b", spec=big, num_mes=4, num_ves=4),
+    ]
+    cfg = ClusterTrafficConfig(num_hosts=1, load=0.5, end_s=0.001, seed=2)
+    result = run_cluster_traffic(events, cfg)
+    assert result.admission_rate == 1.0
+    assert "a" in result.reports and "b" in result.reports
+
+
+def test_overcommit_is_rejected_and_recorded():
+    events = [
+        ChurnEvent(0.0, "arrive", "a", spec=MNIST, num_mes=4, num_ves=4),
+        ChurnEvent(0.0, "arrive", "b", spec=MNIST, num_mes=4, num_ves=4),
+    ]
+    cfg = ClusterTrafficConfig(num_hosts=1, load=0.5, end_s=0.0005, seed=3)
+    result = run_cluster_traffic(events, cfg)
+    assert result.rejected == ["b"]
+    assert result.admission_rate == pytest.approx(0.5)
+    assert "b" not in result.reports
+
+
+def test_depart_of_rejected_tenant_is_a_noop():
+    """A churn script may depart a tenant whose arrival was rejected;
+    the run must not abort."""
+    events = [
+        ChurnEvent(0.0, "arrive", "a", spec=MNIST, num_mes=4, num_ves=4),
+        ChurnEvent(0.0, "arrive", "b", spec=MNIST, num_mes=4, num_ves=4),
+        ChurnEvent(0.0004, "depart", "b"),
+        ChurnEvent(0.0004, "depart", "a"),
+        ChurnEvent(0.0004, "arrive", "c", spec=MNIST, num_mes=4, num_ves=4),
+    ]
+    cfg = ClusterTrafficConfig(num_hosts=1, load=0.5, end_s=0.0008, seed=6)
+    result = run_cluster_traffic(events, cfg)
+    assert result.rejected == ["b"]
+    assert "a" in result.reports and "c" in result.reports
+
+
+def test_host_utilization_capped_by_simulated_time():
+    """One short burst early in a long otherwise-idle window must not be
+    booked as busy for the whole window."""
+    events = [ChurnEvent(0.0, "arrive", "a", spec=MNIST, num_mes=4, num_ves=4)]
+    cfg = ClusterTrafficConfig(num_hosts=1, load=0.01, end_s=0.002, seed=8)
+    result = run_cluster_traffic(events, cfg)
+    assert 0.0 <= result.host_me_utilization["host0"] < 0.5
+
+
+def test_same_seed_reproduces_cluster_run():
+    cfg = ClusterTrafficConfig(num_hosts=2, load=0.5, end_s=0.001, seed=7)
+    a = run_cluster_traffic(_script(cfg.end_s), cfg)
+    b = run_cluster_traffic(_script(cfg.end_s), cfg)
+    for name in a.reports:
+        assert a.reports[name].latencies_cycles == b.reports[name].latencies_cycles
+
+
+def test_churn_script_validation():
+    with pytest.raises(ConfigError):
+        ChurnEvent(-1.0, "arrive", "a", spec=MNIST)
+    with pytest.raises(ConfigError):
+        ChurnEvent(0.0, "reboot", "a", spec=MNIST)
+    with pytest.raises(ConfigError):
+        ChurnEvent(0.0, "arrive", "a")  # no spec
+    with pytest.raises(ConfigError):
+        run_cluster_traffic(
+            [ChurnEvent(0.0, "depart", "ghost")],
+            ClusterTrafficConfig(end_s=0.0005),
+        )
+
+
+def test_slo_override_reaches_cluster_reports():
+    strict = TrafficTenantSpec(model="MNIST", batch=8, slo=SloSpec(target_cycles=1.0))
+    events = [ChurnEvent(0.0, "arrive", "strict", spec=strict)]
+    cfg = ClusterTrafficConfig(num_hosts=1, load=0.5, end_s=0.0005, seed=4)
+    result = run_cluster_traffic(events, cfg)
+    assert result.reports["strict"].attainment == 0.0

@@ -1,0 +1,171 @@
+"""Open-loop engine/runner tests, including the acceptance criteria:
+
+- at low load, queueing delay is ~0 and latency matches the closed-loop
+  service time;
+- past saturation, SLO attainment degrades monotonically with load for
+  every scheme;
+- closed-loop results are untouched by the mode flag.
+"""
+
+import pytest
+
+from repro.config import DEFAULT_CORE
+from repro.errors import SimulationError
+from repro.serving.server import (
+    SCHEME_NEU10,
+    SCHEME_PMT,
+    SCHEME_TEMPORAL,
+    SCHEME_V10,
+    ServingConfig,
+    WorkloadSpec,
+    run_collocation,
+)
+from repro.sim.engine import Simulator, Tenant
+from repro.sim.sched_static import StaticPartitionScheduler
+from repro.traffic import (
+    OpenLoopConfig,
+    SloSpec,
+    TrafficTenantSpec,
+    isolated_service_cycles,
+    run_open_loop,
+    sweep_load,
+)
+
+from tests.conftest import make_me_graph, make_tenant
+
+MNIST = TrafficTenantSpec(model="MNIST", batch=8)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: low load ~= closed loop
+# ----------------------------------------------------------------------
+def test_low_load_matches_closed_loop_service_time():
+    svc = isolated_service_cycles(MNIST, SCHEME_NEU10, DEFAULT_CORE, n_tenants=1)
+    result = run_open_loop(
+        [MNIST], SCHEME_NEU10, OpenLoopConfig(load=0.05, duration_s=0.002, seed=3)
+    )
+    rep = result.reports[0]
+    assert rep.offered > 5
+    # M/D/1 at rho=0.05: mean wait is ~2.6% of service time.
+    assert rep.mean_queueing_delay < 0.10 * svc
+    assert rep.mean_latency == pytest.approx(svc, rel=0.10)
+    assert rep.attainment == 1.0
+
+
+# ----------------------------------------------------------------------
+# Acceptance: overload degrades attainment monotonically per scheme
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "scheme", [SCHEME_PMT, SCHEME_V10, SCHEME_NEU10, SCHEME_TEMPORAL]
+)
+def test_attainment_degrades_monotonically_past_saturation(scheme):
+    results = sweep_load(
+        [MNIST],
+        scheme,
+        loads=(1.5, 3.0, 6.0),
+        cfg=OpenLoopConfig(duration_s=0.0004, seed=11),
+    )
+    attainments = [r.reports[0].attainment for r in results]
+    assert attainments == sorted(attainments, reverse=True)
+    assert attainments[0] < 1.0  # already past saturation
+    assert attainments[-1] < attainments[0]  # strictly worse at 4x the load
+
+
+def test_collocated_overload_degrades_every_tenant():
+    specs = [MNIST, TrafficTenantSpec(model="DLRM", batch=8)]
+    cfg = OpenLoopConfig(duration_s=0.0008, seed=5)
+    light, heavy = sweep_load(specs, SCHEME_NEU10, loads=(0.4, 5.0), cfg=cfg)
+    for rep_light, rep_heavy in zip(light.reports, heavy.reports):
+        assert rep_heavy.attainment <= rep_light.attainment
+
+
+# ----------------------------------------------------------------------
+# Open-loop semantics
+# ----------------------------------------------------------------------
+def test_queueing_delay_counts_toward_latency():
+    result = run_open_loop(
+        [MNIST], SCHEME_NEU10, OpenLoopConfig(load=3.0, duration_s=0.0004, seed=2)
+    )
+    rep = result.reports[0]
+    assert rep.mean_queueing_delay > 0
+    assert rep.mean_latency > rep.mean_queueing_delay
+
+
+def test_drain_mode_serves_every_admitted_request():
+    cfg = OpenLoopConfig(load=2.0, duration_s=0.0003, seed=4, drain=True)
+    result = run_open_loop([MNIST], SCHEME_NEU10, cfg)
+    rep = result.reports[0]
+    assert rep.completed == rep.offered > 0
+
+
+def test_same_seed_same_numbers():
+    cfg = OpenLoopConfig(load=0.7, duration_s=0.0006, seed=9, arrival="bursty")
+    a = run_open_loop([MNIST], SCHEME_NEU10, cfg)
+    b = run_open_loop([MNIST], SCHEME_NEU10, cfg)
+    assert a.reports[0].latencies_cycles == b.reports[0].latencies_cycles
+    assert a.total_cycles == b.total_cycles
+
+
+def test_duplicate_models_get_distinct_report_names():
+    specs = [
+        TrafficTenantSpec(model="MNIST", batch=8),
+        TrafficTenantSpec(model="MNIST", batch=16),
+    ]
+    result = run_open_loop(
+        specs, SCHEME_NEU10, OpenLoopConfig(load=0.3, duration_s=0.0005)
+    )
+    names = [rep.name for rep in result.reports]
+    assert len(set(names)) == 2
+    for name in names:
+        assert result.report(name).name == name
+
+
+def test_absolute_slo_target_respected():
+    spec = TrafficTenantSpec(model="MNIST", batch=8, slo=SloSpec(target_cycles=1.0))
+    result = run_open_loop(
+        [spec], SCHEME_NEU10, OpenLoopConfig(load=0.3, duration_s=0.0005)
+    )
+    # A 1-cycle target is unmeetable: every completed request misses.
+    assert result.reports[0].attainment == 0.0
+
+
+# ----------------------------------------------------------------------
+# Engine drain mode is gated and validated
+# ----------------------------------------------------------------------
+def test_drain_mode_requires_arrivals():
+    with pytest.raises(SimulationError):
+        Tenant(
+            0,
+            "bad",
+            make_tenant(make_me_graph(), DEFAULT_CORE).graph,
+            alloc_mes=2,
+            alloc_ves=2,
+            target_requests=None,
+        )
+
+
+def test_closed_loop_results_identical_to_seed_behavior():
+    """The mode flag must not perturb closed-loop runs: same scenario,
+    same latencies, twice."""
+
+    def run():
+        return run_collocation(
+            [WorkloadSpec("MNIST", 8), WorkloadSpec("DLRM", 8)],
+            SCHEME_NEU10,
+            ServingConfig(target_requests=2),
+        )
+
+    a, b = run(), run()
+    for ta, tb in zip(a.tenants, b.tenants):
+        assert ta.mean_latency_cycles == tb.mean_latency_cycles
+        assert ta.completed_requests == tb.completed_requests
+    assert a.total_cycles == b.total_cycles
+
+
+def test_closed_loop_queueing_is_zero():
+    tenant = make_tenant(make_me_graph(), DEFAULT_CORE, alloc_mes=4, alloc_ves=4,
+                         target_requests=3)
+    result = Simulator(DEFAULT_CORE, StaticPartitionScheduler(), [tenant]).run()
+    tr = result.tenant(0)
+    assert tr.mean_queueing_delay == 0.0
+    assert tr.offered_requests >= tr.completed_requests
