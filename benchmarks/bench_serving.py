@@ -1,76 +1,265 @@
 #!/usr/bin/env python
-"""Serving-throughput benchmark: open-loop simulator speed.
+"""Simulator-speed benchmark suite.
 
-Runs a fixed open-loop scenario (MNIST+DLRM, Poisson arrivals, load 0.8,
-2 ms simulated window, Neu10 harvesting) and records wall time and the
-requests-simulated-per-second rate in ``BENCH_serving.json`` next to
-this file, so successive PRs leave a benchmark trajectory.
+Runs one scenario per serving mode the repo models and records, for
+each, how fast the simulator chews through simulated time:
 
-Run:  python benchmarks/bench_serving.py
+- ``closed_loop``    -- fig-style collocation (two tenants, request
+  target), the paper's steady-state methodology;
+- ``poisson``        -- open-loop Poisson serving at load 0.8 (the
+  headline scenario, comparable across PRs);
+- ``load_sweep``     -- several open-loop load points fanned out over
+  ``repro.parallel.parallel_map`` (scales with worker processes);
+- ``cluster_churn``  -- the cluster churn driver over the orchestrator.
+
+Every scenario reports wall time (best of ``repeats`` runs, warm
+caches), the *simulated* duration in both cycles and seconds -- the old
+single-scenario benchmark reported the simulated window under the
+ambiguous key ``duration_s``, which read like wall time -- and the
+headline ``simulated_cycles_per_wall_s`` rate.  Results land in
+``BENCH_serving.json`` next to this file so successive PRs leave a
+benchmark trajectory.
+
+Run:          python benchmarks/bench_serving.py
+CI smoke:     python benchmarks/bench_serving.py --quick --check-floor
+              (fails if any scenario rate drops below the checked-in
+              floor in BENCH_floor.json, i.e. a >30%-class regression)
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+import sys
 import time
 from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
-from repro.serving.server import SCHEME_NEU10
-from repro.traffic import OpenLoopConfig, TrafficTenantSpec, run_open_loop
+from repro.config import DEFAULT_CORE
+from repro.parallel import parallel_map
+from repro.serving.server import SCHEME_NEU10, ServingConfig, WorkloadSpec, run_collocation
+from repro.traffic import (
+    ChurnEvent,
+    ClusterTrafficConfig,
+    OpenLoopConfig,
+    TrafficTenantSpec,
+    run_cluster_traffic,
+    run_open_loop,
+)
 
-SCENARIO = {
-    "scheme": SCHEME_NEU10,
-    "arrival": "poisson",
-    "load": 0.8,
-    "duration_s": 0.002,
-    "seed": 7,
-    "models": [["MNIST", 8], ["DLRM", 8]],
-}
+HERE = Path(__file__).resolve().parent
+RESULT_PATH = HERE / "BENCH_serving.json"
+FLOOR_PATH = HERE / "BENCH_floor.json"
+
+#: The two-tenant pair every scenario collocates (matches the PR 1
+#: benchmark so the poisson trajectory stays comparable).
+MODELS = [("MNIST", 8), ("DLRM", 8)]
+SEED = 7
+#: Default open-loop measurement window (simulated seconds).  Bumped
+#: from the seed benchmark's 2 ms so steady-state throughput dominates
+#: the cache-warmup transient.
+DEFAULT_WINDOW_S = 0.01
+QUICK_WINDOW_S = 0.002
+LOADS = (0.5, 0.8, 1.1)
 
 
-def run_benchmark() -> dict:
-    specs = [TrafficTenantSpec(model=m, batch=b) for m, b in SCENARIO["models"]]
-    cfg = OpenLoopConfig(
-        duration_s=SCENARIO["duration_s"],
-        load=SCENARIO["load"],
-        arrival=SCENARIO["arrival"],
-        seed=SCENARIO["seed"],
+def _specs() -> List[TrafficTenantSpec]:
+    return [TrafficTenantSpec(model=m, batch=b) for m, b in MODELS]
+
+
+def _timed(fn: Callable[[], object], repeats: int) -> tuple:
+    """Best wall time over ``repeats`` runs (first call warms caches)."""
+    fn()
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
+def bench_closed_loop(quick: bool, repeats: int) -> Dict:
+    target = 20 if quick else 60
+    specs = [WorkloadSpec(model=m, batch=b) for m, b in MODELS]
+    cfg = ServingConfig(target_requests=target, record_ops=False)
+
+    metrics, wall = _timed(
+        lambda: run_collocation(specs, SCHEME_NEU10, cfg), repeats
     )
-    # Warm-up run outside the timed region: populates the trace and
-    # calibration caches so the figure tracks simulator speed only.
-    run_open_loop(specs, SCENARIO["scheme"], cfg)
+    cycles = metrics.total_cycles
+    completed = sum(t.completed_requests for t in metrics.tenants)
+    return {
+        "mode": "closed_loop",
+        "scheme": SCHEME_NEU10,
+        "target_requests_per_tenant": target,
+        "wall_s": wall,
+        "requests_completed": completed,
+        "requests_simulated_per_s": completed / wall,
+        "simulated_cycles": cycles,
+        "simulated_s": DEFAULT_CORE.cycles_to_seconds(cycles),
+        "simulated_cycles_per_wall_s": cycles / wall,
+    }
 
-    start = time.perf_counter()
-    result = run_open_loop(specs, SCENARIO["scheme"], cfg)
-    wall_s = time.perf_counter() - start
 
+def bench_poisson(quick: bool, repeats: int) -> Dict:
+    window_s = QUICK_WINDOW_S if quick else DEFAULT_WINDOW_S
+    cfg = OpenLoopConfig(
+        duration_s=window_s, load=0.8, arrival="poisson", seed=SEED
+    )
+    result, wall = _timed(
+        lambda: run_open_loop(_specs(), SCHEME_NEU10, cfg), repeats
+    )
     offered = sum(rep.offered for rep in result.reports)
     completed = sum(rep.completed for rep in result.reports)
     return {
-        "scenario": SCENARIO,
-        "wall_s": wall_s,
+        "mode": "open_loop",
+        "scheme": SCHEME_NEU10,
+        "arrival": "poisson",
+        "load": 0.8,
+        "seed": SEED,
+        "window_simulated_s": window_s,
+        "wall_s": wall,
         "requests_offered": offered,
         "requests_completed": completed,
-        "requests_simulated_per_s": completed / wall_s if wall_s > 0 else 0.0,
+        "requests_simulated_per_s": completed / wall,
         "simulated_cycles": result.total_cycles,
-        "simulated_cycles_per_wall_s": result.total_cycles / wall_s
-        if wall_s > 0
-        else 0.0,
+        "simulated_s": DEFAULT_CORE.cycles_to_seconds(result.total_cycles),
+        "simulated_cycles_per_wall_s": result.total_cycles / wall,
         "min_attainment": result.min_attainment,
     }
 
 
-def main() -> None:
-    record = run_benchmark()
-    out = Path(__file__).resolve().parent / "BENCH_serving.json"
-    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
-    print(
-        f"simulated {record['requests_completed']} requests "
-        f"({record['simulated_cycles']:.0f} cycles) in {record['wall_s']:.3f}s "
-        f"-> {record['requests_simulated_per_s']:.0f} req/s"
+def _sweep_point(load: float) -> float:
+    cfg = OpenLoopConfig(
+        duration_s=QUICK_WINDOW_S, load=load, arrival="poisson", seed=SEED
     )
-    print(f"wrote {out}")
+    return run_open_loop(_specs(), SCHEME_NEU10, cfg).total_cycles
+
+
+def bench_load_sweep(quick: bool, repeats: int) -> Dict:
+    loads = LOADS[:2] if quick else LOADS
+
+    def sweep() -> float:
+        return sum(parallel_map(_sweep_point, loads))
+
+    cycles, wall = _timed(sweep, repeats)
+    return {
+        "mode": "load_sweep",
+        "scheme": SCHEME_NEU10,
+        "loads": list(loads),
+        "window_simulated_s_per_point": QUICK_WINDOW_S,
+        "wall_s": wall,
+        "simulated_cycles": cycles,
+        "simulated_s": DEFAULT_CORE.cycles_to_seconds(cycles),
+        "simulated_cycles_per_wall_s": cycles / wall,
+    }
+
+
+def bench_cluster_churn(quick: bool, repeats: int) -> Dict:
+    end_s = 0.002 if quick else 0.004
+    specs = _specs()
+    events = [
+        ChurnEvent(0.0, "arrive", "a", spec=specs[0]),
+        ChurnEvent(0.0, "arrive", "b", spec=specs[1]),
+        ChurnEvent(end_s / 2, "arrive", "c", spec=specs[0]),
+        ChurnEvent(end_s * 0.75, "depart", "b"),
+    ]
+    cfg = ClusterTrafficConfig(
+        num_hosts=2, scheme=SCHEME_NEU10, load=0.8, end_s=end_s, seed=SEED
+    )
+    result, wall = _timed(lambda: run_cluster_traffic(events, cfg), repeats)
+    completed = sum(rep.completed for rep in result.reports.values())
+    # Exact: summed over hosts and segments by the cluster driver
+    # (drained hosts stop before the segment boundary, so this can be
+    # below hosts x horizon).
+    cycles = result.simulated_cycles
+    return {
+        "mode": "cluster_churn",
+        "scheme": SCHEME_NEU10,
+        "num_hosts": cfg.num_hosts,
+        "horizon_simulated_s": end_s,
+        "segments": result.segments,
+        "wall_s": wall,
+        "requests_completed": completed,
+        "requests_simulated_per_s": completed / wall,
+        "simulated_cycles": cycles,
+        "simulated_s": DEFAULT_CORE.cycles_to_seconds(cycles),
+        "simulated_cycles_per_wall_s": cycles / wall,
+    }
+
+
+SCENARIOS = {
+    "closed_loop": bench_closed_loop,
+    "poisson": bench_poisson,
+    "load_sweep": bench_load_sweep,
+    "cluster_churn": bench_cluster_churn,
+}
+
+
+def run_suite(quick: bool = False, repeats: int = 3) -> Dict:
+    from repro.sim.engine import _fast_path_default
+
+    scenarios = {}
+    for name, bench in SCENARIOS.items():
+        scenarios[name] = bench(quick, repeats)
+        rate = scenarios[name]["simulated_cycles_per_wall_s"]
+        print(f"{name:>14}: {rate / 1e6:8.1f}M simulated cycles / wall-second")
+    return {
+        "suite_version": 2,
+        "quick": quick,
+        "repeats": repeats,
+        "fast_path": _fast_path_default(),
+        "scenarios": scenarios,
+    }
+
+
+def check_floor(record: Dict, floor_path: Path = FLOOR_PATH) -> List[str]:
+    """Compare scenario rates against the checked-in floor values."""
+    if not floor_path.exists():
+        return [f"floor file missing: {floor_path}"]
+    floors = json.loads(floor_path.read_text(encoding="utf-8"))
+    failures = []
+    for name, floor in floors.get("floors", {}).items():
+        scenario = record["scenarios"].get(name)
+        if scenario is None:
+            failures.append(f"scenario {name!r} missing from results")
+            continue
+        rate = scenario["simulated_cycles_per_wall_s"]
+        if rate < floor:
+            failures.append(
+                f"{name}: {rate / 1e6:.1f}M cycles/s below floor "
+                f"{floor / 1e6:.1f}M"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny windows (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per scenario (best wins)")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="fail if any scenario regresses below "
+                             "BENCH_floor.json")
+    parser.add_argument("--output", type=Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+
+    record = run_suite(quick=args.quick, repeats=args.repeats)
+    args.output.write_text(json.dumps(record, indent=2) + "\n",
+                           encoding="utf-8")
+    print(f"wrote {args.output}")
+
+    if args.check_floor:
+        failures = check_floor(record)
+        if failures:
+            for failure in failures:
+                print(f"FLOOR REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("all scenarios at or above the checked-in floor")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

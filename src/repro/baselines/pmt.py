@@ -33,6 +33,12 @@ class PmtScheduler(SchedulerBase):
         self._quantum_end = 0.0
 
     # ------------------------------------------------------------------
+    def state_fingerprint(self, sim: "Simulator"):
+        """Not memoisable: ownership rotates on a wall-clock quantum and
+        the next pick depends on accumulated service cycles."""
+        return None
+
+    # ------------------------------------------------------------------
     def decide(self, sim: "Simulator") -> Decision:
         decision = Decision()
         candidates = [t for t in sim.tenants if self._has_work(t)]

@@ -49,6 +49,12 @@ class V10Scheduler(SchedulerBase):
         self.check_period = check_period
 
     # ------------------------------------------------------------------
+    def state_fingerprint(self, sim: "Simulator"):
+        """Not memoisable: the preemption trigger compares accumulated
+        per-tenant service deficits, which change continuously."""
+        return None
+
+    # ------------------------------------------------------------------
     def decide(self, sim: "Simulator") -> Decision:
         decision = Decision()
         running_me = self._running_me_unit(sim)

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import DEFAULT_CORE, NpuCoreConfig
 from repro.experiments import expected
+from repro.parallel import parallel_map
 from repro.serving.metrics import PairMetrics
 from repro.serving.server import (
     ALL_SCHEMES,
@@ -90,6 +91,18 @@ def run_pair(
 _pair_cache: Dict[Tuple, PairRun] = {}
 
 
+def _pair_cache_key(
+    w1: str,
+    w2: str,
+    schemes: Sequence[str],
+    target_requests: int,
+    core: NpuCoreConfig,
+) -> Tuple:
+    """The single source of truth for pair-cache keys (run_pair_cached
+    and run_all_pairs's fan-out pre-check must agree exactly)."""
+    return (w1, w2, tuple(sorted(schemes)), target_requests, core)
+
+
 def run_pair_cached(
     w1: str,
     w2: str,
@@ -99,7 +112,7 @@ def run_pair_cached(
 ) -> PairRun:
     """Memoised run_pair -- Figs. 19-23 and Table III share runs."""
     core = core if core is not None else DEFAULT_CORE
-    key = (w1, w2, tuple(sorted(schemes)), target_requests, core)
+    key = _pair_cache_key(w1, w2, schemes, target_requests, core)
     cached = _pair_cache.get(key)
     if cached is not None:
         return cached
@@ -108,12 +121,44 @@ def run_pair_cached(
     return run
 
 
+def _run_pair_job(job: Tuple) -> PairRun:
+    """Picklable worker for one collocation pair (all schemes)."""
+    w1, w2, schemes, target_requests = job
+    return run_pair(w1, w2, schemes, target_requests)
+
+
 def run_all_pairs(
     schemes: Sequence[str] = ALL_SCHEMES,
     target_requests: int = DEFAULT_TARGET_REQUESTS,
     pairs: Optional[Sequence[Tuple[str, str]]] = None,
+    max_workers: Optional[int] = None,
 ) -> List[PairRun]:
+    """All collocation pairs, fanned out over a process pool.
+
+    Each pair is an independent closed-loop simulation, so uncached
+    pairs are dispatched through :func:`repro.parallel.parallel_map`
+    (results identical for any worker count) and fed back into the
+    shared pair cache that Figs. 19-23 and Table III draw from.
+    """
     pairs = pairs if pairs is not None else expected.ALL_PAIRS
+    key_schemes = tuple(schemes)
+    missing = [
+        (w1, w2)
+        for w1, w2 in pairs
+        if _pair_cache_key(w1, w2, key_schemes, target_requests, DEFAULT_CORE)
+        not in _pair_cache
+    ]
+    if missing:
+        fresh = parallel_map(
+            _run_pair_job,
+            [(w1, w2, key_schemes, target_requests) for w1, w2 in missing],
+            max_workers=max_workers,
+        )
+        for (w1, w2), run in zip(missing, fresh):
+            key = _pair_cache_key(
+                w1, w2, key_schemes, target_requests, DEFAULT_CORE
+            )
+            _pair_cache[key] = run
     return [
         run_pair_cached(w1, w2, schemes, target_requests) for w1, w2 in pairs
     ]

@@ -1,0 +1,77 @@
+"""Deterministic process-pool fan-out for independent simulations.
+
+Cluster sweeps and experiment grids are embarrassingly parallel: each
+host segment, collocation pair, or sweep point is one self-contained
+fluid simulation.  :func:`parallel_map` fans such jobs out over a
+process pool while keeping the results **deterministic**: outputs are
+returned in input order, every stochastic input (arrival streams, RNG
+substreams via :func:`repro.config.spawn_rng`) is generated *before*
+dispatch, and a worker count of one degenerates to a plain serial map --
+so results are bit-identical for any worker count.
+
+Workers default to the machine's CPU count; override with the
+``REPRO_PARALLEL_WORKERS`` environment variable (``1`` forces serial
+execution, which is also the fallback whenever a pool cannot be
+spawned).  Job functions and their arguments must be picklable --
+module-level functions with plain-data arguments.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment override for the default pool size.
+WORKERS_ENV = "REPRO_PARALLEL_WORKERS"
+
+
+def default_workers() -> int:
+    """Pool size: ``REPRO_PARALLEL_WORKERS`` if set, else the CPU count."""
+    env = os.environ.get(WORKERS_ENV)
+    if env is not None:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ConfigError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from exc
+        if value < 1:
+            raise ConfigError(f"{WORKERS_ENV} must be >= 1, got {value}")
+        return value
+    return os.cpu_count() or 1
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: Optional[int] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items`` with deterministic result ordering.
+
+    Results come back in input order regardless of completion order or
+    worker count.  ``max_workers=None`` uses :func:`default_workers`;
+    one worker (or zero/one items) runs serially in-process, which is
+    the reference behaviour every pool size must reproduce exactly.
+    Exceptions raised by a job propagate to the caller.
+    """
+    jobs: Sequence[T] = list(items)
+    workers = default_workers() if max_workers is None else int(max_workers)
+    if workers < 1:
+        raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+    if workers == 1 or len(jobs) <= 1:
+        return [fn(job) for job in jobs]
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
+    except OSError:  # pragma: no cover - constrained sandboxes
+        return [fn(job) for job in jobs]
+    try:
+        futures = [pool.submit(fn, job) for job in jobs]
+        return [future.result() for future in futures]
+    finally:
+        pool.shutdown()

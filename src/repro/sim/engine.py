@@ -13,16 +13,22 @@ See :mod:`repro.sim` for the fluid execution model.  The engine owns:
 
 from __future__ import annotations
 
+import gc
 import math
+import os
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.compiler.lowering import CompiledGraph, CompiledOp
 from repro.config import NpuCoreConfig
 from repro.errors import SimulationError
 from repro.isa.utop import UTopKind
-from repro.sim.hbm import hierarchical_fair_factors, slowdown_factors
+from repro.sim.hbm import (
+    FairFactorCache,
+    hierarchical_fair_factors,
+    slowdown_factors,
+)
 from repro.sim.scheduler_base import Decision, ExecUnit, SchedulerBase, UnitKind, UnitState
 from repro.sim.stats import SimStats
 
@@ -30,6 +36,23 @@ from repro.sim.stats import SimStats
 EPS = 1e-6
 #: Lower bound for any epoch to guarantee forward progress.
 MIN_DELTA = 1e-9
+#: Environment escape hatch: set REPRO_SIM_FAST_PATH=0 to force every
+#: simulator onto the unmemoised reference path (used by the
+#: differential bit-identity tests).
+FAST_PATH_ENV = "REPRO_SIM_FAST_PATH"
+#: Units returned to a tenant's free-list, awaiting reuse.
+_POOL_LIMIT = 64
+#: Decision-memo safety valve; real runs stay far below this.
+_MEMO_LIMIT = 65536
+
+
+def _fast_path_default() -> bool:
+    return os.environ.get(FAST_PATH_ENV, "1").lower() not in ("0", "false", "off")
+
+
+#: Process-wide plan memos, keyed by (scheduler memo_context, core,
+#: hbm policy, record_assignment, tenant allocation layout).
+_PLAN_MEMOS: Dict[Tuple, Dict] = {}
 
 
 @dataclass
@@ -112,6 +135,16 @@ class Tenant:
         self.completed: List[Request] = []
         self.active_service_cycles = 0.0
         self._next_request_id = 0
+        # Per-(op, group) unit templates: every request replays the same
+        # compiled graph, so the unit specs are derived once (and shared
+        # across tenants running the same graph object) instead of being
+        # recomputed per request.
+        self._templates = _graph_unit_templates(graph)
+        #: Free-list of retired ExecUnit shells for the hot spawn path.
+        self._pool: List[ExecUnit] = []
+        #: Set when the active unit set changed (spawn/retire); the
+        #: engine's fast path uses it to detect steady-state epochs.
+        self._units_mutated = False
 
     # ------------------------------------------------------------------
     # Request lifecycle
@@ -130,12 +163,15 @@ class Tenant:
         return rid
 
     def activate_arrivals(self, now: float) -> None:
-        while self.pending_arrivals and self.pending_arrivals[0] <= now + EPS:
-            issue = self.pending_arrivals.popleft()
+        pending = self.pending_arrivals
+        threshold = now + EPS
+        while pending and pending[0] <= threshold:
+            issue = pending.popleft()
             self.queued_requests.append(
                 Request(request_id=self._take_id(), issue_cycle=issue)
             )
-        self._maybe_start_request(now)
+        if self.current_request is None and self.queued_requests:
+            self._maybe_start_request(now)
 
     def next_arrival(self) -> Optional[float]:
         if self.pending_arrivals:
@@ -162,38 +198,52 @@ class Tenant:
     # Unit creation
     # ------------------------------------------------------------------
     def _spawn_group_units(self, now: float, stats: SimStats) -> None:
-        assert self.current_request is not None
-        op = self.graph.ops[self.op_cursor]
-        if self.group_cursor == 0:
+        request = self.current_request
+        assert request is not None
+        templates = self._templates[self.op_cursor][self.group_cursor]
+        if self.group_cursor == 0 and stats.record_ops:
+            op = self.graph.ops[self.op_cursor]
             stats.op_started(
-                self.tenant_id, op.name, op.op_index,
-                self.current_request.request_id, now,
+                self.tenant_id, op.name, op.op_index, request.request_id, now,
             )
-        self.active_units = list(
-            _units_for_op(op, self.tenant_id, self.current_request.request_id,
-                          self.group_cursor)
-        )
-        if not self.active_units:
+        if not templates:
+            op = self.graph.ops[self.op_cursor]
             raise SimulationError(f"operator {op.name!r} produced no units")
+        pool = self._pool
+        tid = self.tenant_id
+        rid = request.request_id
+        from_template = ExecUnit.from_template
+        self.active_units = [
+            from_template(tpl, tid, rid, pool) for tpl in templates
+        ]
+        self._units_mutated = True
 
     def on_unit_done(self, now: float, stats: SimStats, sim: "Simulator") -> None:
         """Advance cursors when the whole active group completed."""
-        if any(u.state is not UnitState.DONE for u in self.active_units):
-            return
+        done = UnitState.DONE
+        for u in self.active_units:
+            if u.state is not done:
+                return
         assert self.current_request is not None
-        op = self.graph.ops[self.op_cursor]
-        num_groups = _num_groups(op)
+        op_cursor = self.op_cursor
         self.group_cursor += 1
+        retired = self.active_units
+        if len(self._pool) < _POOL_LIMIT:
+            self._pool.extend(retired)
         self.active_units = []
-        if self.group_cursor < num_groups:
+        self._units_mutated = True
+        if self.group_cursor < len(self._templates[op_cursor]):
             self._spawn_group_units(now, stats)
             return
-        stats.op_finished(
-            self.tenant_id, op.op_index, self.current_request.request_id, now
-        )
+        if stats.record_ops:
+            op = self.graph.ops[op_cursor]
+            stats.op_finished(
+                self.tenant_id, op.op_index, self.current_request.request_id,
+                now,
+            )
         self.group_cursor = 0
-        self.op_cursor += 1
-        if self.op_cursor < len(self.graph.ops):
+        self.op_cursor = op_cursor + 1
+        if self.op_cursor < len(self._templates):
             self._spawn_group_units(now, stats)
             return
         # Request complete.
@@ -227,11 +277,12 @@ class Tenant:
         return self._next_request_id
 
     def me_engines_wanted(self) -> int:
-        return sum(
-            u.me_engines_needed
-            for u in self.active_units
-            if u.is_me_unit and not u.done
-        )
+        done = UnitState.DONE
+        total = 0
+        for u in self.active_units:
+            if u.is_me_unit and u.state is not done:
+                total += u.me_engines_needed
+        return total
 
     def latencies(self) -> List[float]:
         return [r.latency for r in self.completed]
@@ -240,103 +291,250 @@ class Tenant:
         return [r.queueing_delay for r in self.completed]
 
 
-def _num_groups(op: CompiledOp) -> int:
-    if op.isa == "neuisa":
-        return len(op.groups)
-    return 1
+#: A unit template mirrors ExecUnit.from_template's field order:
+#: (kind, is_me_unit, me_engines_needed, remaining_me, remaining_ve,
+#:  ve_rate, hbm_rate, parallelism, op_index, op_name, tpl_id).
+UnitTemplate = Tuple[
+    UnitKind, bool, int, float, float, float, float, int, int, str, int
+]
+
+#: Interned decision-relevant template signatures -> small ids.  Two
+#: units whose (kind, engine requirement, VE rate, HBM rate,
+#: parallelism) coincide are interchangeable for scheduling decisions
+#: and progress rates (remaining work and op identity do not enter
+#: either), so they deliberately share a ``tpl_id`` -- the aliasing
+#: multiplies decision-memo hits across operators and models.
+_template_signatures: Dict[Tuple, int] = {}
 
 
-def _units_for_op(
-    op: CompiledOp, tenant_id: int, request_id: int, group_cursor: int
-) -> List[ExecUnit]:
-    if op.isa == "neuisa":
-        return _units_for_neuisa_group(op, tenant_id, request_id, group_cursor)
-    return _units_for_vliw_op(op, tenant_id, request_id)
+def _intern_signature(
+    kind: UnitKind, needs: int, ve_rate: float, hbm_rate: float, par: int
+) -> int:
+    sig = (kind, needs, ve_rate, hbm_rate, par)
+    tpl_id = _template_signatures.get(sig)
+    if tpl_id is None:
+        tpl_id = len(_template_signatures)
+        _template_signatures[sig] = tpl_id
+    return tpl_id
 
 
-def _units_for_neuisa_group(
-    op: CompiledOp, tenant_id: int, request_id: int, group_cursor: int
-) -> List[ExecUnit]:
+def _neuisa_group_templates(op: CompiledOp, group_cursor: int) -> Tuple[UnitTemplate, ...]:
     group = op.groups[group_cursor]
-    units: List[ExecUnit] = []
+    templates: List[UnitTemplate] = []
     for utop in group.utops:
         cost = utop.cost
         if utop.kind is UTopKind.ME:
             me_cycles = max(cost.me_cycles, 1.0)
-            units.append(
-                ExecUnit(
-                    kind=UnitKind.ME_UTOP,
-                    owner=tenant_id,
-                    op_index=op.op_index,
-                    op_name=op.name,
-                    request_id=request_id,
-                    me_engines_needed=1,
-                    remaining_me=me_cycles,
-                    remaining_ve=cost.ve_cycles,
-                    ve_rate=cost.ve_cycles / me_cycles,
-                    hbm_rate=cost.hbm_bytes / me_cycles,
-                )
-            )
+            ve_rate = cost.ve_cycles / me_cycles
+            hbm_rate = cost.hbm_bytes / me_cycles
+            templates.append((
+                UnitKind.ME_UTOP, True, 1,
+                me_cycles, cost.ve_cycles,
+                ve_rate, hbm_rate,
+                1, op.op_index, op.name,
+                _intern_signature(UnitKind.ME_UTOP, 1, ve_rate, hbm_rate, 1),
+            ))
         else:
             ve_cycles = max(cost.ve_cycles, 1.0)
-            units.append(
-                ExecUnit(
-                    kind=UnitKind.VE_UTOP,
-                    owner=tenant_id,
-                    op_index=op.op_index,
-                    op_name=op.name,
-                    request_id=request_id,
-                    me_engines_needed=0,
-                    remaining_me=0.0,
-                    remaining_ve=ve_cycles,
-                    ve_rate=0.0,
-                    hbm_rate=cost.hbm_bytes / ve_cycles,
-                    parallelism=max(1, cost.parallelism),
-                )
-            )
-    return units
+            hbm_rate = cost.hbm_bytes / ve_cycles
+            par = max(1, cost.parallelism)
+            templates.append((
+                UnitKind.VE_UTOP, False, 0,
+                0.0, ve_cycles,
+                0.0, hbm_rate,
+                par, op.op_index, op.name,
+                _intern_signature(UnitKind.VE_UTOP, 0, 0.0, hbm_rate, par),
+            ))
+    return tuple(templates)
 
 
-def _units_for_vliw_op(
-    op: CompiledOp, tenant_id: int, request_id: int
-) -> List[ExecUnit]:
+def _vliw_op_templates(op: CompiledOp) -> Tuple[UnitTemplate, ...]:
     if op.is_me_op:
         per_engine = max(op.me_cycles_per_engine, 1.0)
         engines = max(1, op.coupled_me_count)
-        return [
-            ExecUnit(
-                kind=UnitKind.VLIW_ME,
-                owner=tenant_id,
-                op_index=op.op_index,
-                op_name=op.name,
-                request_id=request_id,
-                me_engines_needed=engines,
-                remaining_me=per_engine,
-                remaining_ve=op.ve_cycles,
-                # ve_rate is VE demand *per granted engine* so that
-                # `ve_rate * granted_me` is the op's total stream rate.
-                ve_rate=op.ve_cycles / per_engine / engines,
-                # hbm_rate is likewise per engine; the engine multiplies
-                # by the grant when computing bandwidth demand.
-                hbm_rate=op.hbm_bytes / per_engine / engines,
-            )
-        ]
+        # ve_rate is VE demand *per granted engine* so that
+        # `ve_rate * granted_me` is the op's total stream rate; hbm_rate
+        # is likewise per engine.
+        ve_rate = op.ve_cycles / per_engine / engines
+        hbm_rate = op.hbm_bytes / per_engine / engines
+        return ((
+            UnitKind.VLIW_ME, True, engines,
+            per_engine, op.ve_cycles,
+            ve_rate, hbm_rate,
+            1, op.op_index, op.name,
+            _intern_signature(UnitKind.VLIW_ME, engines, ve_rate, hbm_rate, 1),
+        ),)
     ve_cycles = max(op.ve_cycles, 1.0)
-    return [
-        ExecUnit(
-            kind=UnitKind.VLIW_VE,
-            owner=tenant_id,
-            op_index=op.op_index,
-            op_name=op.name,
-            request_id=request_id,
-            me_engines_needed=0,
-            remaining_me=0.0,
-            remaining_ve=ve_cycles,
-            ve_rate=0.0,
-            hbm_rate=op.hbm_bytes / ve_cycles,
-            parallelism=max(1, op.ve_parallelism),
+    hbm_rate = op.hbm_bytes / ve_cycles
+    par = max(1, op.ve_parallelism)
+    return ((
+        UnitKind.VLIW_VE, False, 0,
+        0.0, ve_cycles,
+        0.0, hbm_rate,
+        par, op.op_index, op.name,
+        _intern_signature(UnitKind.VLIW_VE, 0, 0.0, hbm_rate, par),
+    ),)
+
+
+def _op_templates(op: CompiledOp) -> Tuple[Tuple[UnitTemplate, ...], ...]:
+    if op.isa == "neuisa":
+        groups = tuple(
+            _neuisa_group_templates(op, g) for g in range(len(op.groups))
         )
-    ]
+    else:
+        groups = (_vliw_op_templates(op),)
+    # Validate once here (templates bypass ExecUnit.__init__ checks).
+    for group in groups:
+        for tpl in group:
+            if tpl[2] < 0:
+                raise SimulationError(
+                    f"operator {op.name!r}: negative engine requirement"
+                )
+            if tpl[3] < 0 or tpl[4] < 0:
+                raise SimulationError(
+                    f"operator {op.name!r}: negative remaining work"
+                )
+    return groups
+
+
+def _graph_unit_templates(
+    graph: CompiledGraph,
+) -> List[Tuple[Tuple[UnitTemplate, ...], ...]]:
+    """Per-(op, group) unit specs, cached on the graph object so tenants
+    replaying the same compiled graph (and every request within a
+    tenant) share one validated template set."""
+    cached = getattr(graph, "_unit_template_cache", None)
+    if cached is None:
+        cached = [_op_templates(op) for op in graph.ops]
+        try:
+            graph._unit_template_cache = cached
+        except AttributeError:  # pragma: no cover - frozen graph stand-ins
+            pass
+    return cached
+
+
+class _EpochPlan:
+    """One epoch's fully derived execution plan.
+
+    Everything here is a pure function of the scheduler state
+    fingerprint: the per-unit progress rates, the aggregated per-tenant
+    busy/harvest/assignment rate dicts (delta-independent, so they are
+    computed once per plan -- and shared by every replay of a memoised
+    plan -- instead of once per epoch), the blocked and serving
+    accounting sets, and the scheduler's forced re-decision time.
+    """
+
+    __slots__ = (
+        "rates", "ve_exec", "hbm_rate", "next_at", "blocked", "serving",
+        "me_busy", "ve_busy", "harvested", "me_assigned", "ve_assigned",
+    )
+
+    def __init__(
+        self,
+        rates: List[Tuple[ExecUnit, float, int]],
+        ve_exec: List[Tuple[ExecUnit, float]],
+        hbm_rate: float,
+        next_at: Optional[float],
+        blocked: List[Tuple[int, ExecUnit]],
+        serving: List["Tenant"],
+        me_busy: Dict[int, float],
+        ve_busy: Dict[int, float],
+        harvested: Dict[int, float],
+        me_assigned: Optional[Dict[int, float]],
+        ve_assigned: Optional[Dict[int, float]],
+    ) -> None:
+        self.rates = rates
+        self.ve_exec = ve_exec
+        self.hbm_rate = hbm_rate
+        self.next_at = next_at
+        self.blocked = blocked
+        self.serving = serving
+        self.me_busy = me_busy
+        self.ve_busy = ve_busy
+        self.harvested = harvested
+        self.me_assigned = me_assigned
+        self.ve_assigned = ve_assigned
+
+
+def _aggregate_rate_dicts(
+    rates: List[Tuple[ExecUnit, float, int]],
+    ve_exec: List[Tuple[ExecUnit, float]],
+    record_assignment: bool,
+):
+    """Per-tenant busy/harvest/assignment rate dicts for one plan.
+
+    Keyed by owner id (stable for the lifetime of a Simulator), so the
+    dicts can live inside a memo entry and be shared across replays."""
+    me_busy: Dict[int, float] = {}
+    ve_busy: Dict[int, float] = {}
+    harvested: Dict[int, float] = {}
+    me_assigned: Optional[Dict[int, float]] = None
+    ve_assigned: Optional[Dict[int, float]] = None
+    if record_assignment:
+        me_assigned = {}
+        ve_assigned = {}
+    for unit, rate, harv in rates:
+        owner = unit.owner
+        granted_me = unit.granted_me
+        ve_rate = unit.ve_rate
+        if ve_rate > 0:
+            ve_busy[owner] = ve_busy.get(owner, 0.0) + (
+                rate * ve_rate * granted_me
+            )
+            if record_assignment:
+                ve_assigned[owner] = (
+                    ve_assigned.get(owner, 0.0) + unit.granted_ve
+                )
+        me_busy[owner] = me_busy.get(owner, 0.0) + rate * granted_me
+        if record_assignment:
+            me_assigned[owner] = me_assigned.get(owner, 0.0) + granted_me
+        if harv:
+            harvested[owner] = harvested.get(owner, 0.0) + harv
+    for unit, rate in ve_exec:
+        owner = unit.owner
+        ve_busy[owner] = ve_busy.get(owner, 0.0) + rate
+        if record_assignment:
+            ve_assigned[owner] = (
+                ve_assigned.get(owner, 0.0) + unit.granted_ve
+            )
+    return me_busy, ve_busy, harvested, me_assigned, ve_assigned
+
+
+def _encode_plan(
+    units: List[ExecUnit],
+    preempt_effects: List[Tuple[ExecUnit, int]],
+    plan: _EpochPlan,
+    tenants: List["Tenant"],
+) -> Tuple:
+    """Encode an epoch plan for replay onto future unit objects.
+
+    Unit-dependent pieces are stored positionally against the
+    fingerprint-ordered ``units`` list; the post-decision unit state
+    (grant, VE share, harvesting flag, state) is snapshot densely so a
+    replay applies it in one fused pass.  The serving set is stored as
+    tenant positions and the rate dicts are keyed by tenant id, so an
+    entry holds no per-simulation object references and memos can be
+    shared across simulators.
+    """
+    index = {u: i for i, u in enumerate(units)}
+    tenant_index = {t.tenant_id: j for j, t in enumerate(tenants)}
+    return (
+        tuple((index[u], owner) for u, owner in preempt_effects),
+        tuple(
+            (u.granted_me, u.granted_ve, u.harvesting, u.state)
+            for u in units
+        ),
+        tuple((index[u], r, h) for u, r, h in plan.rates),
+        tuple((index[u], r) for u, r in plan.ve_exec),
+        plan.hbm_rate,
+        tuple((tid, index[u]) for tid, u in plan.blocked),
+        tuple(tenant_index[t.tenant_id] for t in plan.serving),
+        plan.me_busy,
+        plan.ve_busy,
+        plan.harvested,
+        plan.me_assigned,
+        plan.ve_assigned,
+    )
 
 
 @dataclass
@@ -410,6 +608,7 @@ class Simulator:
         record_bandwidth: bool = False,
         max_epochs: int = 5_000_000,
         hbm_policy: str = "hierarchical",
+        fast_path: Optional[bool] = None,
     ) -> None:
         if not tenants:
             raise SimulationError("simulator needs at least one tenant")
@@ -435,6 +634,49 @@ class Simulator:
             record_ops=record_ops,
             record_bandwidth=record_bandwidth,
         )
+        #: Fast path (default on): memoise scheduler decisions and HBM
+        #: fair factors across structurally identical epochs, and reuse
+        #: the whole epoch plan across steady-state intervals.  All
+        #: memoisation is exact-key, so results are bit-identical to the
+        #: reference path; ``fast_path=False`` (or REPRO_SIM_FAST_PATH=0)
+        #: is the escape hatch that forces the reference path.
+        self.fast_path = _fast_path_default() if fast_path is None else bool(fast_path)
+        self._factor_cache = FairFactorCache(
+            core.hbm_bytes_per_cycle, policy=hbm_policy
+        )
+        # (key -> encoded epoch plan); see _encode_plan/_replay_plan.
+        # Shared process-wide between structurally identical simulations
+        # (same policy knobs, core, tenant layout) so repeated windows,
+        # sweep points, and cluster segments start with a warm memo;
+        # entries are positional and hold no per-simulation references.
+        memo_ctx = self.scheduler.memo_context() if self.fast_path else None
+        if memo_ctx is not None:
+            # The concrete class is part of the key: a subclass that
+            # overrides decide() but inherits memo_context() must not
+            # replay the base class's plans.
+            ctx = (
+                type(self.scheduler),
+                memo_ctx,
+                core,
+                hbm_policy,
+                record_assignment,
+                tuple(
+                    (t.tenant_id, t.alloc_mes, t.alloc_ves)
+                    for t in self.tenants
+                ),
+            )
+            if ctx not in _PLAN_MEMOS and len(_PLAN_MEMOS) >= 256:
+                _PLAN_MEMOS.clear()  # safety valve for sweep marathons
+            self._decision_memo = _PLAN_MEMOS.setdefault(ctx, {})
+        else:
+            self._decision_memo = {}
+        self._dirty = True
+        self._reusable = False
+        self._fp_capable = False
+        self._finished_units: List[ExecUnit] = []
+        self._prev_rates: List[Tuple[ExecUnit, float, int]] = []
+        self._prev_ve_exec: List[Tuple[ExecUnit, float]] = []
+        self._prev_hbm_rate = 0.0
 
     # ------------------------------------------------------------------
     # Capacity helpers used by schedulers
@@ -444,6 +686,8 @@ class Simulator:
         return self.core.num_mes - len(self.reclaims)
 
     def reclaiming_for(self, tenant_id: int) -> int:
+        if not self.reclaims:
+            return 0
         return sum(1 for r in self.reclaims if r.owner == tenant_id)
 
     # ------------------------------------------------------------------
@@ -454,26 +698,116 @@ class Simulator:
             tenant.bootstrap(self.now)
             tenant.start_pending_work(self.now, self.stats)
         epochs = 0
-        while not self._finished() and self.now < self.horizon:
-            epochs += 1
-            if epochs > self.max_epochs:
-                raise SimulationError(
-                    f"exceeded {self.max_epochs} epochs at cycle {self.now:.0f}; "
-                    "likely a scheduling livelock"
-                )
-            self._step()
+        max_epochs = self.max_epochs
+        # The epoch loop allocates heavily but acyclically (tuples,
+        # pair lists, pooled units); pausing the cycle collector keeps
+        # its periodic scans out of the hot loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while not self._finished() and self.now < self.horizon:
+                epochs += 1
+                if epochs > max_epochs:
+                    raise SimulationError(
+                        f"exceeded {max_epochs} epochs at cycle "
+                        f"{self.now:.0f}; likely a scheduling livelock"
+                    )
+                self._step()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         return self._build_result()
 
     def _finished(self) -> bool:
-        return all(t.reached_target for t in self.tenants)
+        for t in self.tenants:
+            target = t.target_requests
+            if target is None:
+                # Drain mode: done once the whole arrival stream is served.
+                if (
+                    t.pending_arrivals
+                    or t.queued_requests
+                    or t.current_request is not None
+                ):
+                    return False
+            elif len(t.completed) < target:
+                return False
+        return True
 
     def _step(self) -> None:
+        before = len(self.reclaims)
         self._expire_reclaims()
+        dirty = self._dirty or len(self.reclaims) != before
+        now = self.now
+        stats = self.stats
         for tenant in self.tenants:
-            tenant.activate_arrivals(self.now)
-            tenant.start_pending_work(self.now, self.stats)
+            if tenant.pending_arrivals:
+                tenant.activate_arrivals(now)
+            if not tenant.active_units:
+                tenant.start_pending_work(now, stats)
+            if tenant._units_mutated:
+                tenant._units_mutated = False
+                dirty = True
+
+        if not dirty and self._reusable:
+            # Steady-state epoch fusion: no discrete event happened since
+            # the previous epoch and the scheduler is state-free, so the
+            # previous decision, grants, progress rates, and accounting
+            # sets hold verbatim -- fast-forward straight to the next
+            # event.
+            plan = self._prev_plan
+            had_preempt = False
+        else:
+            plan, had_preempt = self._plan_epoch()
+
+        next_at = plan.next_at
+        delta = self._pick_delta(next_at, plan.rates, plan.ve_exec)
+        self._advance(delta, plan)
+        self.now += delta
+        finished = self._handle_completions()
+        # A preemption epoch leaves fresh reclaim timers behind: the next
+        # decision must see them, so it can never be fused or reused.
+        self._dirty = finished or had_preempt
+        self._reusable = (
+            self.fast_path and self._fp_capable and next_at is None
+        )
+        self._prev_plan = plan
+
+    def _plan_epoch(self):
+        """Produce this epoch's plan and whether anything was preempted.
+
+        A plan is ``(rates, ve_exec, hbm_rate, next_decision_at,
+        blocked, serving)``: progress-rate triples ``(unit, rate,
+        harvested_engines)`` for ME units, ``(unit, rate)`` pairs for VE
+        units, the consumed HBM rate, the scheduler's forced re-decision
+        time, the blocked-tenant accounting set, and the tenants whose
+        requests accrue service time.  Everything in a plan is a pure
+        function of the scheduler state fingerprint, which is what makes
+        it replayable.
+
+        Three tiers: (1) memo hit -- a structurally identical state was
+        seen before, replay the stored plan without re-running the
+        scheduler or the HBM waterfill; (2) full plan -- run the
+        scheduler, validate, compute rates, and memoise when the
+        scheduler is state-free; (3) reference path (fast_path off) --
+        identical to (2) minus every cache.
+        """
+        fp = self.scheduler.state_fingerprint(self) if self.fast_path else None
+        self._fp_capable = fp is not None
+        if fp is not None:
+            entry = self._decision_memo.get(fp[0])
+            if entry is not None:
+                return self._replay_plan(entry, fp[1])
 
         decision = self.scheduler.decide(self)
+        # Capture preempt effects before they are applied (state changes
+        # under _apply_preemptions); the memo replays effects, not the
+        # scheduler's Decision object.
+        preempt_effects = [
+            (u, decision.reclaim_owners.get(u, u.owner))
+            for u in decision.preempt
+            if u.state is UnitState.RUNNING
+        ]
         prev_running = [
             u
             for t in self.tenants
@@ -493,16 +827,80 @@ class Simulator:
                     "without preempting it"
                 )
 
-        delta, rates, ve_exec_rates, hbm_rate = self._epoch_length(decision)
-        self._advance(delta, rates, ve_exec_rates, decision, hbm_rate)
-        self.now += delta
-        self._handle_completions()
+        rates, ve_exec_rates, hbm_rate = self._compute_rates(decision)
+        blocked = self._compute_blocked()
+        serving = [t for t in self.tenants if t.current_request is not None]
+        next_at = decision.next_decision_at
+        me_busy, ve_busy, harvested, me_assigned, ve_assigned = (
+            _aggregate_rate_dicts(
+                rates, ve_exec_rates, self.stats.record_assignment
+            )
+        )
+        plan = _EpochPlan(
+            rates, ve_exec_rates, hbm_rate, next_at, blocked, serving,
+            me_busy, ve_busy, harvested, me_assigned, ve_assigned,
+        )
+        if fp is not None and next_at is None:
+            if len(self._decision_memo) >= _MEMO_LIMIT:
+                self._decision_memo.clear()
+            self._decision_memo[fp[0]] = _encode_plan(
+                fp[1], preempt_effects, plan, self.tenants
+            )
+        return plan, bool(decision.preempt)
+
+    def _replay_plan(self, entry: Tuple, units: List[ExecUnit]):
+        """Re-apply a memoised epoch plan onto the current unit objects.
+
+        The plan was validated when first computed and the fingerprint
+        guarantees the state is structurally identical, so validation and
+        the continuity check are skipped."""
+        (enc_pre, dense, enc_rates, enc_ve_exec, hbm_rate,
+         enc_blocked, enc_serving, me_busy, ve_busy, harvested,
+         me_assigned, ve_assigned) = entry
+        if enc_pre:
+            stats = self.stats
+            penalty = self.core.me_preemption_cycles
+            ready_at = self.now + penalty
+            reclaims = self.reclaims
+            for i, owner in enc_pre:
+                unit = units[i]
+                # granted_me still holds the pre-decision grant here (the
+                # dense snapshot is applied below), matching what the
+                # validated plan observed when it preempted.
+                engines = unit.granted_me
+                if engines < 1:
+                    engines = 1
+                for _ in range(engines):
+                    reclaims.append(
+                        ReclaimTimer(ready_at=ready_at, owner=owner)
+                    )
+                stats.preemption_count += 1
+                stats.reclaim_penalty_cycles += engines * penalty
+        for unit, d in zip(units, dense):
+            unit.granted_me = d[0]
+            unit.granted_ve = d[1]
+            unit.harvesting = d[2]
+            unit.state = d[3]
+        rates = [(units[i], r, h) for i, r, h in enc_rates]
+        ve_exec_rates = [(units[i], r) for i, r in enc_ve_exec]
+        blocked = [(tid, units[i]) for tid, i in enc_blocked]
+        tenants = self.tenants
+        serving = [tenants[j] for j in enc_serving]
+        plan = _EpochPlan(
+            rates, ve_exec_rates, hbm_rate, None, blocked, serving,
+            me_busy, ve_busy, harvested, me_assigned, ve_assigned,
+        )
+        return plan, bool(enc_pre)
 
     # ------------------------------------------------------------------
     # Decision application
     # ------------------------------------------------------------------
     def _expire_reclaims(self) -> None:
-        self.reclaims = [r for r in self.reclaims if r.ready_at > self.now + EPS]
+        reclaims = self.reclaims
+        if not reclaims:
+            return
+        threshold = self.now + EPS
+        self.reclaims = [r for r in reclaims if r.ready_at > threshold]
 
     def _apply_preemptions(self, decision: Decision) -> None:
         for unit in decision.preempt:
@@ -528,9 +926,10 @@ class Simulator:
 
     def _apply_grants(self, decision: Decision) -> None:
         # Clear previous grants on every live unit.
+        running = UnitState.RUNNING
         for tenant in self.tenants:
             for unit in tenant.active_units:
-                if unit.state is UnitState.RUNNING:
+                if unit.state is running:
                     unit.state = UnitState.READY
                 unit.granted_me = 0
                 unit.granted_ve = 0.0
@@ -586,69 +985,101 @@ class Simulator:
                     out.append(unit)
         return out
 
-    def _epoch_length(self, decision: Decision):
-        running = self._running_units()
-        demands: Dict[ExecUnit, float] = {}
-        for unit in running:
-            if unit.is_me_unit:
-                demands[unit] = unit.hbm_rate * unit.granted_me
-            else:
-                demands[unit] = unit.hbm_rate * unit.granted_ve
-        if self.hbm_policy == "hierarchical":
-            owners = {unit: unit.owner for unit in running}
-            factors = hierarchical_fair_factors(
-                demands, owners, self.core.hbm_bytes_per_cycle
-            )
-        else:
-            factors = slowdown_factors(demands, self.core.hbm_bytes_per_cycle)
-        hbm_rate = min(
-            self.core.hbm_bytes_per_cycle,
-            sum(d for d in demands.values()),
-        )
+    def _compute_rates(self, decision: Decision):
+        """Per-unit progress rates for the currently granted units.
 
-        rates: Dict[ExecUnit, float] = {}
-        ve_exec: Dict[ExecUnit, float] = {}
+        Returns ``(unit, rate, harvested_engines)`` triples for ME units
+        and ``(unit, rate)`` pairs for VE units -- pair lists, not dicts,
+        because the hot loops only iterate and pair lists avoid hashing
+        ExecUnits every epoch.  The HBM waterfill dominates this path;
+        under the fast path its factors come from the exact-key
+        :class:`FairFactorCache`, which returns bit-identical values to a
+        fresh computation."""
+        running = self._running_units()
+        demands: List[float] = []
+        owners: List[int] = []
         for unit in running:
-            f = factors[unit]
             if unit.is_me_unit:
-                if unit.ve_rate > EPS:
-                    needed = unit.ve_rate * unit.granted_me
+                demands.append(unit.hbm_rate * unit.granted_me)
+            else:
+                demands.append(unit.hbm_rate * unit.granted_ve)
+            owners.append(unit.owner)
+        if self.fast_path:
+            factors = self._factor_cache.factors(owners, demands)
+        else:
+            keyed = dict(enumerate(demands))
+            if self.hbm_policy == "hierarchical":
+                by_key = hierarchical_fair_factors(
+                    keyed, dict(enumerate(owners)), self.core.hbm_bytes_per_cycle
+                )
+            else:
+                by_key = slowdown_factors(keyed, self.core.hbm_bytes_per_cycle)
+            factors = [by_key[i] for i in range(len(demands))]
+        hbm_rate = min(self.core.hbm_bytes_per_cycle, sum(demands))
+
+        harvested_me = decision.harvested_me
+        rates: List[Tuple[ExecUnit, float, int]] = []
+        ve_exec: List[Tuple[ExecUnit, float]] = []
+        for i, unit in enumerate(running):
+            f = factors[i]
+            if unit.is_me_unit:
+                ve_rate = unit.ve_rate
+                if ve_rate > EPS:
+                    needed = ve_rate * unit.granted_me
                     g = min(1.0, unit.granted_ve / needed) if needed > 0 else 1.0
                 else:
                     g = 1.0
-                rates[unit] = min(f, g)
+                harv = harvested_me.get(unit, 0) if unit.harvesting else 0
+                rates.append((unit, f if f < g else g, harv))
             else:
-                ve_exec[unit] = unit.granted_ve * f
+                ve_exec.append((unit, unit.granted_ve * f))
+        return rates, ve_exec, hbm_rate
 
-        candidates: List[float] = []
-        for unit in running:
-            if unit.is_me_unit:
-                rate = rates[unit]
-                if rate > EPS:
-                    candidates.append(unit.remaining_me / rate)
-            else:
-                rate = ve_exec.get(unit, 0.0)
-                if rate > EPS:
-                    candidates.append(unit.remaining_ve / rate)
-        for timer in self.reclaims:
-            candidates.append(timer.ready_at - self.now)
-        if decision.next_decision_at is not None:
-            gap = decision.next_decision_at - self.now
+    def _pick_delta(
+        self,
+        next_decision_at: Optional[float],
+        rates: List[Tuple[ExecUnit, float, int]],
+        ve_exec: List[Tuple[ExecUnit, float]],
+    ) -> float:
+        """Advance to the next event: a unit completion, reclaim expiry,
+        scheduler quantum, request arrival, or the horizon."""
+        best = math.inf
+        for unit, rate, _harv in rates:
+            if rate > EPS:
+                c = unit.remaining_me / rate
+                if EPS < c < best:
+                    best = c
+        for unit, rate in ve_exec:
+            if rate > EPS:
+                c = unit.remaining_ve / rate
+                if EPS < c < best:
+                    best = c
+        now = self.now
+        if self.reclaims:
+            for timer in self.reclaims:
+                c = timer.ready_at - now
+                if EPS < c < best:
+                    best = c
+        if next_decision_at is not None:
+            gap = next_decision_at - now
             if gap <= EPS:
                 raise SimulationError("scheduler quantum did not advance time")
-            candidates.append(gap)
+            if gap < best:
+                best = gap
         for tenant in self.tenants:
-            arrival = tenant.next_arrival()
-            if arrival is not None:
-                candidates.append(arrival - self.now)
-        if self.horizon != float("inf"):
-            candidates.append(self.horizon - self.now)
-
-        candidates = [c for c in candidates if c > EPS]
-        if not candidates:
+            pending = tenant.pending_arrivals
+            if pending:
+                c = pending[0] - now
+                if EPS < c < best:
+                    best = c
+        horizon = self.horizon
+        if horizon != math.inf:
+            c = horizon - now
+            if EPS < c < best:
+                best = c
+        if best == math.inf:
             self._raise_deadlock()
-        delta = max(MIN_DELTA, min(candidates))
-        return delta, rates, ve_exec, hbm_rate
+        return best if best > MIN_DELTA else MIN_DELTA
 
     def _raise_deadlock(self) -> None:
         detail = []
@@ -665,118 +1096,141 @@ class Simulator:
     # ------------------------------------------------------------------
     # Advancing state
     # ------------------------------------------------------------------
-    def _advance(
-        self,
-        delta: float,
-        rates: Dict[ExecUnit, float],
-        ve_exec: Dict[ExecUnit, float],
-        decision: Decision,
-        hbm_rate: float,
-    ) -> None:
-        me_busy: Dict[int, float] = {}
-        ve_busy: Dict[int, float] = {}
-        me_assigned: Dict[int, float] = {}
-        ve_assigned: Dict[int, float] = {}
-        harvested: Dict[int, float] = {}
+    def _advance(self, delta: float, plan: _EpochPlan) -> None:
+        stats = self.stats
+        record_ops = stats.record_ops
 
-        for unit, rate in rates.items():
+        finished: List[ExecUnit] = self._finished_units
+        finished.clear()
+        for unit, rate, harv in plan.rates:
             progress = rate * delta
-            unit.remaining_me = max(0.0, unit.remaining_me - progress)
-            if unit.ve_rate > 0:
-                drained = progress * unit.ve_rate * unit.granted_me
-                unit.remaining_ve = max(0.0, unit.remaining_ve - drained)
-                ve_busy[unit.owner] = ve_busy.get(unit.owner, 0.0) + (
-                    rate * unit.ve_rate * unit.granted_me
-                )
-                ve_assigned[unit.owner] = (
-                    ve_assigned.get(unit.owner, 0.0) + unit.granted_ve
-                )
-            me_busy[unit.owner] = me_busy.get(unit.owner, 0.0) + rate * unit.granted_me
-            me_assigned[unit.owner] = (
-                me_assigned.get(unit.owner, 0.0) + unit.granted_me
-            )
-            if unit.harvesting:
-                harvested_engines = decision.harvested_me.get(unit, 0)
-                harvested[unit.owner] = (
-                    harvested.get(unit.owner, 0.0) + harvested_engines
-                )
-                self.stats.op_harvest_cycles(
+            remaining = unit.remaining_me - progress
+            unit.remaining_me = remaining if remaining > 0.0 else 0.0
+            if remaining <= EPS:
+                finished.append(unit)
+            ve_rate = unit.ve_rate
+            if ve_rate > 0:
+                remaining = unit.remaining_ve - progress * ve_rate * unit.granted_me
+                unit.remaining_ve = remaining if remaining > 0.0 else 0.0
+            if harv and record_ops:
+                stats.op_harvest_cycles(
                     unit.owner, unit.op_index, unit.request_id,
-                    harvested_engines * rate * delta,
+                    harv * rate * delta,
                 )
 
-        for unit, rate in ve_exec.items():
-            unit.remaining_ve = max(0.0, unit.remaining_ve - rate * delta)
-            ve_busy[unit.owner] = ve_busy.get(unit.owner, 0.0) + rate
-            ve_assigned[unit.owner] = ve_assigned.get(unit.owner, 0.0) + unit.granted_ve
+        for unit, rate in plan.ve_exec:
+            remaining = unit.remaining_ve - rate * delta
+            unit.remaining_ve = remaining if remaining > 0.0 else 0.0
+            if remaining <= EPS:
+                finished.append(unit)
 
-        self._account_blocked(delta)
+        # Table III metric: a tenant is blocked when it runs fewer home
+        # engines than it is entitled to (because a harvester still holds
+        # them or the reclaim penalty is being paid).  The blocked set is
+        # part of the plan -- it is a pure function of unit states,
+        # grants, and allocations.
+        for tid, unit in plan.blocked:
+            stats.op_blocked(tid, unit.op_index, unit.request_id, delta)
+        for tenant in plan.serving:
+            tenant.active_service_cycles += delta
+
+        if stats.record_assignment or stats.record_bandwidth:
+            stats.record_epoch(
+                self.now,
+                delta,
+                plan.me_busy,
+                plan.ve_busy,
+                me_assigned=plan.me_assigned,
+                ve_assigned=plan.ve_assigned,
+                harvested_mes_per_tenant=plan.harvested,
+                hbm_bytes_per_cycle=plan.hbm_rate,
+            )
+        else:
+            # Inline of SimStats.record_epoch for the no-trace case --
+            # same accumulation order, minus the call and branch
+            # overhead of the general method.
+            stats.total_cycles += delta
+            integral = stats.me_busy_integral
+            per_tenant = stats.me_busy_per_tenant
+            for owner, mes in plan.me_busy.items():
+                v = mes * delta
+                integral += v
+                per_tenant[owner] += v
+            stats.me_busy_integral = integral
+            integral = stats.ve_busy_integral
+            per_tenant = stats.ve_busy_per_tenant
+            for owner, ves in plan.ve_busy.items():
+                v = ves * delta
+                integral += v
+                per_tenant[owner] += v
+            stats.ve_busy_integral = integral
+            harvested = plan.harvested
+            if harvested:
+                per_tenant = stats.harvested_me_integral
+                for owner, mes in harvested.items():
+                    per_tenant[owner] += mes * delta
+
+    def _compute_blocked(self) -> List[Tuple[int, ExecUnit]]:
+        """Blocked-tenant accounting set for the current grant state:
+        ``(tenant_id, first pending ME unit)`` per blocked tenant."""
+        done = UnitState.DONE
+        running_state = UnitState.RUNNING
+        out: List[Tuple[int, ExecUnit]] = []
         for tenant in self.tenants:
-            if tenant.current_request is not None:
-                tenant.active_service_cycles += delta
-
-        self.stats.record_epoch(
-            self.now,
-            delta,
-            me_busy,
-            ve_busy,
-            me_assigned=me_assigned,
-            ve_assigned=ve_assigned,
-            harvested_mes_per_tenant=harvested,
-            hbm_bytes_per_cycle=hbm_rate,
-        )
-
-    def _account_blocked(self, delta: float) -> None:
-        """Table III metric: a tenant is blocked when it runs fewer home
-        engines than it is entitled to (because a harvester still holds
-        them or the reclaim penalty is being paid)."""
-        for tenant in self.tenants:
-            wanted = tenant.me_engines_wanted()
+            wanted = 0
+            running = 0
+            first = None
+            for u in tenant.active_units:
+                if not u.is_me_unit:
+                    continue
+                state = u.state
+                if state is not done:
+                    wanted += u.me_engines_needed
+                    if first is None:
+                        first = u
+                if state is running_state and not u.harvesting:
+                    running += u.granted_me
             if wanted == 0:
                 continue
-            entitled = min(tenant.alloc_mes, wanted)
-            running = sum(
-                u.granted_me
-                for u in tenant.active_units
-                if u.state is UnitState.RUNNING and u.is_me_unit and not u.harvesting
-            )
-            if running + EPS < entitled:
-                first = next(
-                    (
-                        u
-                        for u in tenant.active_units
-                        if u.is_me_unit and u.state is not UnitState.DONE
-                    ),
-                    None,
-                )
-                if first is not None:
-                    self.stats.op_blocked(
-                        tenant.tenant_id, first.op_index, first.request_id, delta
-                    )
+            entitled = tenant.alloc_mes
+            if wanted < entitled:
+                entitled = wanted
+            if running + EPS < entitled and first is not None:
+                out.append((tenant.tenant_id, first))
+        return out
 
     # ------------------------------------------------------------------
     # Completion handling
     # ------------------------------------------------------------------
-    def _handle_completions(self) -> None:
+    def _handle_completions(self) -> bool:
+        """Retire the units _advance drove to zero remaining work.
+
+        Only units that progressed this epoch can complete (spawns carry
+        at least one cycle of work and non-running units make no
+        progress), so _advance collects them as it updates remainders
+        instead of rescanning every active unit here."""
+        finished = self._finished_units
+        if not finished:
+            return False
+        done = UnitState.DONE
+        owners = set()
+        for unit in finished:
+            if unit.is_me_unit:
+                unit.remaining_me = 0.0
+                unit.remaining_ve = 0.0
+            else:
+                unit.remaining_ve = 0.0
+            unit.state = done
+            unit.granted_me = 0
+            unit.granted_ve = 0.0
+            owners.add(unit.owner)
+        finished.clear()
+        now = self.now
+        stats = self.stats
         for tenant in self.tenants:
-            finished_any = False
-            for unit in tenant.active_units:
-                if unit.done:
-                    continue
-                if unit.is_me_unit and unit.remaining_me <= EPS:
-                    unit.remaining_me = 0.0
-                    unit.remaining_ve = 0.0
-                    unit.state = UnitState.DONE
-                    unit.granted_me = 0
-                    unit.granted_ve = 0.0
-                    finished_any = True
-                elif not unit.is_me_unit and unit.remaining_ve <= EPS:
-                    unit.remaining_ve = 0.0
-                    unit.state = UnitState.DONE
-                    unit.granted_ve = 0.0
-                    finished_any = True
-            if finished_any:
-                tenant.on_unit_done(self.now, self.stats, self)
+            if tenant.tenant_id in owners:
+                tenant.on_unit_done(now, stats, self)
+        return True
 
     # ------------------------------------------------------------------
     # Results

@@ -13,9 +13,15 @@ progresses at rate ``f`` when memory-bound (per-operator roofline).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping
+from collections import OrderedDict
+from typing import Dict, Hashable, Mapping, Sequence, Tuple
 
 from repro.errors import SimulationError
+
+try:  # numpy accelerates the bulk waterfill; the scalar path needs nothing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
 
 
 def maxmin_fair(demands: Mapping[Hashable, float], capacity: float) -> Dict[Hashable, float]:
@@ -90,3 +96,99 @@ def hierarchical_fair_factors(
         if demand <= 0:
             factors[key] = 1.0
     return factors
+
+
+def maxmin_fair_vectorized(
+    demands: Sequence[float], capacity: float
+) -> "Tuple[float, ...]":
+    """Numpy waterfill over a demand *vector* (positional API).
+
+    Mathematically equivalent to :func:`maxmin_fair` but computed with
+    vectorised prefix sums, so large consumer sets (cluster-scale sweeps,
+    offline analysis) avoid the Python loop.  The two implementations can
+    differ in the last floating-point bits because the reduction order
+    differs; the simulation engine therefore uses the scalar waterfill
+    (via :class:`FairFactorCache`) and this entry point serves bulk
+    analysis paths.
+    """
+    if capacity < 0:
+        raise SimulationError("capacity cannot be negative")
+    if _np is None or len(demands) < 2:
+        ordered = maxmin_fair(dict(enumerate(demands)), capacity)
+        return tuple(ordered[i] for i in range(len(demands)))
+    d = _np.asarray(demands, dtype=float)
+    if (d < 0).any():
+        raise SimulationError("demand cannot be negative")
+    alloc = _np.zeros_like(d)
+    pos = d > 0
+    active = d[pos]
+    order = _np.argsort(active, kind="stable")
+    sorted_d = active[order]
+    n = len(sorted_d)
+    # remaining capacity before consumer i = capacity - sum of smaller
+    # demands that were fully satisfied; the first index where the even
+    # share no longer covers the demand marks the waterline.
+    prefix = _np.concatenate(([0.0], _np.cumsum(sorted_d)[:-1]))
+    shares = (capacity - prefix) / _np.arange(n, 0, -1)
+    unsatisfied = sorted_d > shares
+    granted = _np.where(unsatisfied, 0.0, sorted_d)
+    if unsatisfied.any():
+        first = int(_np.argmax(unsatisfied))
+        level = max(0.0, (capacity - float(prefix[first])) / (n - first))
+        granted[first:] = _np.minimum(sorted_d[first:], level)
+    out = _np.zeros(n)
+    out[order] = granted
+    alloc[pos] = out
+    return tuple(float(a) for a in alloc)
+
+
+class FairFactorCache:
+    """Exact memo for per-epoch HBM slowdown factors.
+
+    The engine's hot loop recomputes max-min fair factors every epoch,
+    yet the demand vector repeats heavily: closed-loop tenants replay the
+    same compiled graph per request, so the same ``(owner, demand)``
+    signatures recur thousands of times.  The cache keys on the *exact*
+    float demands (plus owners and policy), so a hit returns bit-identical
+    factors to a fresh computation; misses fall through to the scalar
+    waterfill.  Entries are evicted FIFO once ``maxsize`` is reached.
+    """
+
+    def __init__(
+        self, capacity: float, policy: str = "hierarchical", maxsize: int = 4096
+    ) -> None:
+        if policy not in ("hierarchical", "flat"):
+            raise SimulationError(f"unknown HBM policy {policy!r}")
+        if maxsize < 1:
+            raise SimulationError("cache needs room for at least one entry")
+        self.capacity = capacity
+        self.policy = policy
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Tuple, Tuple[float, ...]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def factors(
+        self, owners: Sequence[int], demands: Sequence[float]
+    ) -> Tuple[float, ...]:
+        """Positional slowdown factors for one epoch's running units."""
+        key = (tuple(owners), tuple(demands))
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        keyed = dict(enumerate(demands))
+        if self.policy == "hierarchical":
+            owner_map = dict(enumerate(owners))
+            by_key = hierarchical_fair_factors(keyed, owner_map, self.capacity)
+        else:
+            by_key = slowdown_factors(keyed, self.capacity)
+        result = tuple(by_key[i] for i in range(len(demands)))
+        if len(self._entries) >= self.maxsize:
+            self._entries.popitem(last=False)
+        self._entries[key] = result
+        return result

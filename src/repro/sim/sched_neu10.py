@@ -23,7 +23,14 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List
 
 from repro.errors import SchedulerError
-from repro.sim.scheduler_base import Decision, ExecUnit, SchedulerBase, UnitKind, UnitState
+from repro.sim.scheduler_base import (
+    Decision,
+    ExecUnit,
+    SchedulerBase,
+    UnitKind,
+    UnitState,
+    unit_state_fingerprint,
+)
 from repro.sim.sched_static import (
     allocate_tenant_ve,
     sort_me_candidates,
@@ -48,6 +55,15 @@ class Neu10Scheduler(SchedulerBase):
         self.ve_embedded_first = ve_embedded_first
         #: Tenants whose grants were trimmed this decision (reset per call).
         self._trimmed: List[int] = []
+
+    # ------------------------------------------------------------------
+    def state_fingerprint(self, sim: "Simulator"):
+        """Neu10 decisions depend only on unit/reclaim/allocation state,
+        never on the clock or accumulated service -- memoisable."""
+        return unit_state_fingerprint(sim)
+
+    def memo_context(self):
+        return ("neu10", self.harvesting, self.ve_embedded_first)
 
     # ------------------------------------------------------------------
     def decide(self, sim: "Simulator") -> Decision:

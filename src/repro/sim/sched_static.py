@@ -13,7 +13,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List
 
 from repro.errors import SchedulerError
-from repro.sim.scheduler_base import Decision, ExecUnit, SchedulerBase, UnitState
+from repro.sim.scheduler_base import (
+    Decision,
+    ExecUnit,
+    SchedulerBase,
+    UnitState,
+    unit_state_fingerprint,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.engine import Simulator, Tenant
@@ -104,6 +110,13 @@ class StaticPartitionScheduler(SchedulerBase):
     def __init__(self, strict: bool = True) -> None:
         #: When True, verify the tenant allocations fit the core.
         self.strict = strict
+
+    def state_fingerprint(self, sim: "Simulator"):
+        """Static partitions only read unit and allocation state."""
+        return unit_state_fingerprint(sim)
+
+    def memo_context(self):
+        return ("neu10-nh", self.strict)
 
     def decide(self, sim: "Simulator") -> Decision:
         if self.strict:

@@ -37,6 +37,11 @@ class TemporalNeu10Scheduler(SchedulerBase):
     def __init__(self, quantum_cycles: float = DEFAULT_QUANTUM) -> None:
         self.quantum_cycles = quantum_cycles
 
+    def state_fingerprint(self, sim: "Simulator"):
+        """Not memoisable: decisions rank tenants by accumulated ME-busy
+        cycles, which drift every epoch even when no unit changes."""
+        return None
+
     def decide(self, sim: "Simulator") -> Decision:
         decision = Decision()
         avail = sim.available_mes

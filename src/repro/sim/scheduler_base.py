@@ -22,7 +22,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
 
 from repro.errors import SchedulerError
 
@@ -45,9 +45,17 @@ class UnitState(enum.Enum):
     DONE = "done"
 
 
-@dataclass
+@dataclass(slots=True)
 class ExecUnit:
-    """Runtime state of one schedulable unit."""
+    """Runtime state of one schedulable unit.
+
+    The class is slotted and hot-path instantiation goes through
+    :meth:`from_template`, which skips ``__init__`` validation: tenants
+    replay the same compiled graph per request, so the per-unit specs are
+    validated once when the template is built (see
+    ``Tenant._unit_templates``) and then stamped onto fresh (or pooled)
+    objects per request.
+    """
 
     kind: UnitKind
     owner: int
@@ -60,6 +68,11 @@ class ExecUnit:
     ve_rate: float
     hbm_rate: float
     parallelism: int = 1
+    #: Identity of the validated template this unit was stamped from
+    #: (-1 for directly constructed units).  Units sharing a template id
+    #: are attribute-identical, which lets the engine's fingerprint use
+    #: one small int instead of hashing every float field.
+    tpl_id: int = -1
     unit_id: int = field(default_factory=lambda: next(_unit_ids))
     state: UnitState = UnitState.READY
     harvesting: bool = False
@@ -84,6 +97,46 @@ class ExecUnit:
     def granted_me_or(self, default: int) -> int:
         """Current engine grant, or ``default`` before any grant."""
         return self.granted_me if self.granted_me > 0 else default
+
+    @classmethod
+    def from_template(
+        cls,
+        template: Tuple,
+        owner: int,
+        request_id: int,
+        pool: Optional[List["ExecUnit"]] = None,
+    ) -> "ExecUnit":
+        """Stamp a pre-validated unit spec onto a fresh schedulable unit.
+
+        ``template`` is the tuple built by the tenant's template cache:
+        ``(kind, is_me_unit, me_engines_needed, remaining_me,
+        remaining_ve, ve_rate, hbm_rate, parallelism, op_index, op_name,
+        tpl_id)``.  Objects from ``pool`` (the tenant's free-list) are
+        recycled; every mutable field is reset and a fresh ``unit_id`` is
+        taken so scheduling order stays FIFO-by-creation.
+        """
+        unit = pool.pop() if pool else object.__new__(cls)
+        (
+            unit.kind,
+            unit.is_me_unit,
+            unit.me_engines_needed,
+            unit.remaining_me,
+            unit.remaining_ve,
+            unit.ve_rate,
+            unit.hbm_rate,
+            unit.parallelism,
+            unit.op_index,
+            unit.op_name,
+            unit.tpl_id,
+        ) = template
+        unit.owner = owner
+        unit.request_id = request_id
+        unit.unit_id = next(_unit_ids)
+        unit.state = UnitState.READY
+        unit.harvesting = False
+        unit.granted_me = 0
+        unit.granted_ve = 0.0
+        return unit
 
     def __hash__(self) -> int:
         return self.unit_id
@@ -118,6 +171,78 @@ class Decision:
     next_decision_at: Optional[float] = None
 
 
+def unit_state_fingerprint(
+    sim: "Simulator",
+) -> Tuple[Hashable, List[ExecUnit]]:
+    """Shared fingerprint for state-free schedulers (Neu10, Neu10-NH).
+
+    Captures, per tenant, every unit attribute those policies read
+    (kind, state, engine requirement, current grant, VE/HBM rates,
+    parallelism) plus the tenant's allocation and pending reclaim count,
+    and -- because displaced-harvester and VE-harvest ordering tie-break
+    on ``unit_id`` *across* tenants -- the cross-tenant FIFO permutation
+    of the active units.  Two epochs with equal keys are guaranteed to
+    produce identical decisions, so the engine may replay a memoised one.
+    """
+    units: List[ExecUnit] = []
+    flat: List = []
+    # Small-int codes keep the key cheap to build and hash (enum members
+    # hash through a Python-level __hash__).  Units stamped from a
+    # validated template pack (template, state, grant) into one int --
+    # the template id pins every decision-relevant static attribute;
+    # directly constructed units fall back to a full attribute tuple (an
+    # int never equals a tuple, so the encodings cannot collide).  The
+    # tenant boundary marker -1 keeps per-tenant runs distinct; tenant
+    # allocations and priorities are deliberately absent because they
+    # are constant for the lifetime of the Simulator that owns the memo.
+    me_utop = UnitKind.ME_UTOP
+    ve_utop = UnitKind.VE_UTOP
+    vliw_me = UnitKind.VLIW_ME
+    ready = UnitState.READY
+    running = UnitState.RUNNING
+    append = flat.append
+    uappend = units.append
+    for tenant in sim.tenants:
+        append(-1)
+        for u in tenant.active_units:
+            uappend(u)
+            s = u.state
+            sc = 0 if s is ready else 1 if s is running else 2
+            tid = u.tpl_id
+            granted = u.granted_me
+            if tid >= 0 and granted < 64:
+                append(tid * 256 + sc * 64 + granted)
+            else:
+                k = u.kind
+                append((
+                    0 if k is me_utop else 1 if k is ve_utop
+                    else 2 if k is vliw_me else 3,
+                    sc,
+                    u.me_engines_needed,
+                    granted,
+                    u.ve_rate,
+                    u.hbm_rate,
+                    u.parallelism,
+                ))
+    if sim.reclaims:
+        rc = tuple(sim.reclaiming_for(t.tenant_id) for t in sim.tenants)
+    else:
+        rc = None
+    n = len(units)
+    rank_perm: Tuple[int, ...] = ()
+    if n > 1:
+        ids = [u.unit_id for u in units]
+        prev = ids[0]
+        for cur in ids[1:]:
+            if cur < prev:
+                rank_perm = tuple(sorted(range(n), key=ids.__getitem__))
+                break
+            prev = cur
+        # Already in FIFO order (the common case): the empty marker is
+        # canonical for the identity permutation.
+    return (rc, rank_perm, tuple(flat)), units
+
+
 class SchedulerBase:
     """Base class for all scheduling policies."""
 
@@ -126,6 +251,39 @@ class SchedulerBase:
 
     def decide(self, sim: "Simulator") -> Decision:
         raise NotImplementedError
+
+    def state_fingerprint(
+        self, sim: "Simulator"
+    ) -> Optional[Tuple[Hashable, List[ExecUnit]]]:
+        """Cheap signature of every input :meth:`decide` reads, or None.
+
+        Schedulers whose decision is a pure function of the current unit
+        and reclaim state (no wall-clock, no accumulated service
+        counters) return ``(key, units)`` where ``key`` hashes the state
+        and ``units`` lists every active unit in fingerprint order.  The
+        engine's fast path uses the key to memoise decisions (and the
+        epoch's progress rates) across structurally identical epochs --
+        closed-loop tenants replay the same graph per request, so the
+        same states recur thousands of times.  Returning ``None`` (the
+        default) forces a fresh :meth:`decide` call every epoch, which is
+        required for time- or history-dependent policies (PMT, V10,
+        Neu10-temporal) and for any custom scheduler that does not opt
+        in.
+        """
+        return None
+
+    def memo_context(self) -> Optional[Hashable]:
+        """Policy identity for sharing decision memos across simulators.
+
+        Schedulers that support :meth:`state_fingerprint` return a
+        hashable describing every constructor knob that influences
+        decisions; the engine combines it with the core configuration
+        and tenant allocations to share one plan memo across all
+        structurally identical simulations in the process (repeated
+        measurement windows, sweep points, cluster segments).  ``None``
+        (the default) keeps the memo private to each Simulator.
+        """
+        return None
 
     # Helpers shared by concrete schedulers ----------------------------
     @staticmethod

@@ -23,6 +23,7 @@ from repro.cluster.orchestrator import ClusterOrchestrator, PlacementRequest
 from repro.cluster.placement import LeastLoadedPolicy, PlacementPolicy
 from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig, spawn_rng
 from repro.errors import ConfigError
+from repro.parallel import parallel_map
 from repro.serving.server import SCHEME_ISA, make_scheduler
 from repro.sim.engine import Simulator, Tenant
 from repro.traffic.openloop import (
@@ -71,6 +72,12 @@ class ClusterTrafficConfig:
     end_s: float = 0.002
     seed: int = DEFAULT_SEED
     policy: Optional[PlacementPolicy] = None
+    #: Process-pool width for simulating independent hosts of one
+    #: segment concurrently (None = REPRO_PARALLEL_WORKERS / CPU count;
+    #: 1 = serial).  Results are identical for any worker count: every
+    #: stochastic input is drawn before dispatch and merged in host
+    #: order.
+    max_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.num_hosts < 1 or self.cores_per_host < 1:
@@ -88,6 +95,10 @@ class ClusterTrafficResult:
     admission_rate: float
     rejected: List[str]
     segments: int
+    #: Core-cycles actually simulated, summed over hosts and segments
+    #: (drained hosts stop before the segment boundary, so this can be
+    #: below ``hosts x horizon``).
+    simulated_cycles: float = 0.0
 
     @property
     def cluster_me_utilization(self) -> float:
@@ -111,6 +122,90 @@ class _Resident:
     spec: TrafficTenantSpec
     num_mes: int
     num_ves: int
+
+
+@dataclass(frozen=True)
+class _TenantJob:
+    """Picklable description of one tenant of a host-segment job."""
+
+    name: str
+    model: str
+    batch: int
+    alloc_mes: int
+    alloc_ves: int
+    priority: float
+    target_cycles: float
+    arrivals: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class _HostSegmentJob:
+    """One host's simulation work for one stable churn segment.
+
+    Fully self-contained and picklable so host segments can be simulated
+    in worker processes; the arrival streams are drawn in the parent
+    (seeded per tenant and segment) to keep results independent of the
+    worker count.
+    """
+
+    host_name: str
+    host_core: NpuCoreConfig
+    scheme: str
+    seg_s: float
+    seg_cycles: float
+    tenants: Tuple[_TenantJob, ...]
+
+
+def _simulate_host_segment(
+    job: _HostSegmentJob,
+) -> Tuple[str, float, float, float, List[Tuple[str, SloReport]]]:
+    """Worker entry point: simulate one host over one segment."""
+    isa = SCHEME_ISA[job.scheme]
+    tenants: List[Tenant] = []
+    for idx, tj in enumerate(job.tenants):
+        trace = build_trace(tj.model, tj.batch, core=job.host_core)
+        tenants.append(
+            Tenant(
+                tenant_id=idx,
+                name=tj.name,
+                graph=trace.compiled(isa),
+                alloc_mes=tj.alloc_mes,
+                alloc_ves=tj.alloc_ves,
+                target_requests=None,
+                priority=tj.priority,
+                arrivals=list(tj.arrivals),
+            )
+        )
+    sim = Simulator(
+        job.host_core,
+        make_scheduler(job.scheme),
+        tenants,
+        horizon_cycles=job.seg_cycles,
+        record_ops=False,
+    )
+    result = sim.run()
+    # Drain can end the simulation before the segment boundary;
+    # utilization only covers the cycles actually simulated.
+    simulated_s = min(
+        job.seg_s, job.host_core.cycles_to_seconds(result.total_cycles)
+    )
+    reports = [
+        (
+            tj.name,
+            build_slo_report(
+                tj.name, job.scheme, tj.target_cycles,
+                result.tenant(idx), job.seg_s,
+            ),
+        )
+        for idx, tj in enumerate(job.tenants)
+    ]
+    return (
+        job.host_name,
+        result.stats.me_utilization() * simulated_s,
+        result.stats.ve_utilization() * simulated_s,
+        min(result.total_cycles, job.seg_cycles),
+        reports,
+    )
 
 
 def _segment_boundaries(events: Sequence[ChurnEvent], end_s: float) -> List[float]:
@@ -142,7 +237,8 @@ def run_cluster_traffic(
     rejected: List[str] = []
     reports: Dict[str, SloReport] = {}
     busy: Dict[str, Tuple[float, float]] = {h.name: (0.0, 0.0) for h in hosts}
-    isa = SCHEME_ISA[cfg.scheme]
+    if cfg.scheme not in SCHEME_ISA:
+        raise ConfigError(f"unknown scheme {cfg.scheme!r}")
 
     def apply_events(at: float) -> None:
         for ev in ordered:
@@ -176,6 +272,7 @@ def run_cluster_traffic(
 
     boundaries = _segment_boundaries(ordered, cfg.end_s)
     segments = 0
+    simulated_cycles = 0.0
     for seg_index, (t0, t1) in enumerate(zip(boundaries, boundaries[1:])):
         apply_events(t0)
         seg_s = t1 - t0
@@ -187,21 +284,20 @@ def run_cluster_traffic(
         for name, resident in residents.items():
             by_host.setdefault(resident.host.name, []).append((name, resident))
 
+        ol_cfg = OpenLoopConfig(
+            core=host_core,
+            duration_s=seg_s,
+            load=cfg.load,
+            arrival=cfg.arrival,
+            seed=cfg.seed,
+        )
+        jobs: List[_HostSegmentJob] = []
         for host in hosts:
             group = by_host.get(host.name, [])
             if not group:
                 continue
-            tenants: List[Tenant] = []
-            targets: Dict[int, float] = {}
-            names: Dict[int, str] = {}
-            ol_cfg = OpenLoopConfig(
-                core=host_core,
-                duration_s=seg_s,
-                load=cfg.load,
-                arrival=cfg.arrival,
-                seed=cfg.seed,
-            )
-            for idx, (name, resident) in enumerate(sorted(group)):
+            tenant_jobs: List[_TenantJob] = []
+            for name, resident in sorted(group):
                 spec = resident.spec
                 svc = _calibrate_cached(
                     spec.model, spec.batch, resident.num_mes, resident.num_ves,
@@ -210,45 +306,41 @@ def run_cluster_traffic(
                 process = arrival_process_for(spec, ol_cfg, svc, seg_cycles)
                 rng = spawn_rng(cfg.seed, name, seg_index)
                 arrivals = process.generate(seg_cycles, rng)
-                trace = build_trace(spec.model, spec.batch, core=host_core)
-                tenants.append(
-                    Tenant(
-                        tenant_id=idx,
+                tenant_jobs.append(
+                    _TenantJob(
                         name=name,
-                        graph=trace.compiled(isa),
+                        model=spec.model,
+                        batch=spec.batch,
                         alloc_mes=resident.num_mes,
                         alloc_ves=resident.num_ves,
-                        target_requests=None,
                         priority=spec.priority,
-                        arrivals=arrivals,
+                        target_cycles=spec.slo.resolve(svc),
+                        arrivals=tuple(arrivals),
                     )
                 )
-                targets[idx] = spec.slo.resolve(svc)
-                names[idx] = name
-            if all(not t.pending_arrivals for t in tenants):
+            if all(not tj.arrivals for tj in tenant_jobs):
                 continue
-            sim = Simulator(
-                host_core,
-                make_scheduler(cfg.scheme),
-                tenants,
-                horizon_cycles=seg_cycles,
-                record_ops=False,
-            )
-            result = sim.run()
-            # Drain can end the simulation before the segment boundary;
-            # utilization only covers the cycles actually simulated.
-            simulated_s = min(
-                seg_s, host_core.cycles_to_seconds(result.total_cycles)
-            )
-            me_s, ve_s = busy[host.name]
-            busy[host.name] = (
-                me_s + result.stats.me_utilization() * simulated_s,
-                ve_s + result.stats.ve_utilization() * simulated_s,
-            )
-            for idx, name in names.items():
-                report = build_slo_report(
-                    name, cfg.scheme, targets[idx], result.tenant(idx), seg_s
+            jobs.append(
+                _HostSegmentJob(
+                    host_name=host.name,
+                    host_core=host_core,
+                    scheme=cfg.scheme,
+                    seg_s=seg_s,
+                    seg_cycles=seg_cycles,
+                    tenants=tuple(tenant_jobs),
                 )
+            )
+
+        # Hosts are independent within a stable segment: fan out, then
+        # merge in deterministic host order.
+        outcomes = parallel_map(
+            _simulate_host_segment, jobs, max_workers=cfg.max_workers
+        )
+        for host_name, me_seconds, ve_seconds, cycles, host_reports in outcomes:
+            me_s, ve_s = busy[host_name]
+            busy[host_name] = (me_s + me_seconds, ve_s + ve_seconds)
+            simulated_cycles += cycles
+            for name, report in host_reports:
                 reports[name] = (
                     reports[name].merged_with(report) if name in reports else report
                 )
@@ -261,4 +353,5 @@ def run_cluster_traffic(
         admission_rate=orch.admission_rate(),
         rejected=rejected,
         segments=segments,
+        simulated_cycles=simulated_cycles,
     )

@@ -5,9 +5,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import SimulationError
 from repro.sim.hbm import (
+    FairFactorCache,
     aggregate_demand,
     hierarchical_fair_factors,
     maxmin_fair,
+    maxmin_fair_vectorized,
     slowdown_factors,
 )
 
@@ -116,3 +118,95 @@ def test_hierarchical_redistributes_unused_share():
 
 def test_aggregate_demand():
     assert aggregate_demand({"a": 1.0, "b": 2.0, "c": 0.0}) == 3.0
+
+
+# ----------------------------------------------------------------------
+# FairFactorCache (the engine fast path's exact factor memo)
+# ----------------------------------------------------------------------
+def _reference_factors(owners, demands, capacity, policy):
+    keyed = dict(enumerate(demands))
+    if policy == "hierarchical":
+        by_key = hierarchical_fair_factors(
+            keyed, dict(enumerate(owners)), capacity
+        )
+    else:
+        by_key = slowdown_factors(keyed, capacity)
+    return tuple(by_key[i] for i in range(len(demands)))
+
+
+@pytest.mark.parametrize("policy", ["hierarchical", "flat"])
+def test_factor_cache_matches_reference_exactly(policy):
+    cache = FairFactorCache(1000.0, policy=policy)
+    owners = [0, 0, 1, 1, 2]
+    demands = [120.0, 0.0, 480.0, 700.0, 333.3]
+    expected = _reference_factors(owners, demands, 1000.0, policy)
+    assert cache.factors(owners, demands) == expected
+    # Second call: exact same values, but served from the cache.
+    assert cache.factors(owners, demands) == expected
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_factor_cache_hit_and_miss_accounting():
+    cache = FairFactorCache(100.0)
+    cache.factors([0, 1], [60.0, 80.0])
+    cache.factors([0, 1], [60.0, 80.0])
+    cache.factors([0, 1], [60.0, 80.0])
+    assert (cache.hits, cache.misses) == (2, 1)
+    # A different demand vector (or owner layout) is a distinct key.
+    cache.factors([0, 1], [61.0, 80.0])
+    cache.factors([1, 0], [60.0, 80.0])
+    assert (cache.hits, cache.misses) == (2, 3)
+    assert len(cache) == 3
+
+
+def test_factor_cache_fifo_eviction():
+    cache = FairFactorCache(100.0, maxsize=2)
+    a = cache.factors([0], [10.0])
+    cache.factors([0], [20.0])
+    cache.factors([0], [30.0])  # evicts the [10.0] entry
+    assert len(cache) == 2
+    assert cache.factors([0], [10.0]) == a  # recomputed, still exact
+    assert cache.misses == 4 and cache.hits == 0
+
+
+def test_factor_cache_eviction_keeps_results_correct():
+    cache = FairFactorCache(500.0, maxsize=4)
+    vectors = [([0, 1], [float(i), 400.0 + i]) for i in range(10)]
+    for owners, demands in vectors * 2:
+        assert cache.factors(owners, demands) == _reference_factors(
+            owners, demands, 500.0, "hierarchical"
+        )
+    assert len(cache) <= 4
+
+
+def test_factor_cache_rejects_bad_config():
+    with pytest.raises(SimulationError):
+        FairFactorCache(100.0, policy="nope")
+    with pytest.raises(SimulationError):
+        FairFactorCache(100.0, maxsize=0)
+
+
+# ----------------------------------------------------------------------
+# Vectorized waterfill (bulk analysis path)
+# ----------------------------------------------------------------------
+@given(
+    demands=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=0, max_size=12,
+    ),
+    capacity=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+)
+@settings(max_examples=80, deadline=None)
+def test_vectorized_waterfill_matches_scalar(demands, capacity):
+    scalar = maxmin_fair(dict(enumerate(demands)), capacity)
+    vector = maxmin_fair_vectorized(demands, capacity)
+    assert len(vector) == len(demands)
+    for i, alloc in enumerate(vector):
+        assert alloc == pytest.approx(scalar[i], rel=1e-9, abs=1e-9)
+
+
+def test_vectorized_waterfill_rejects_negative():
+    with pytest.raises(SimulationError):
+        maxmin_fair_vectorized([1.0, -2.0], 10.0)
+    with pytest.raises(SimulationError):
+        maxmin_fair_vectorized([1.0], -1.0)
