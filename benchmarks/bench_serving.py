@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Simulator-speed benchmark suite.
+"""Simulator-speed benchmark suite, built on ``repro.api`` scenarios.
 
 Runs one scenario per serving mode the repo models and records, for
 each, how fast the simulator chews through simulated time:
@@ -9,14 +9,15 @@ each, how fast the simulator chews through simulated time:
 - ``poisson``        -- open-loop Poisson serving at load 0.8 (the
   headline scenario, comparable across PRs);
 - ``load_sweep``     -- several open-loop load points fanned out over
-  ``repro.parallel.parallel_map`` (scales with worker processes);
+  ``repro.api.sweep_scenario`` (scales with worker processes);
 - ``cluster_churn``  -- the cluster churn driver over the orchestrator.
 
-Every scenario reports wall time (best of ``repeats`` runs, warm
-caches), the *simulated* duration in both cycles and seconds -- the old
-single-scenario benchmark reported the simulated window under the
-ambiguous key ``duration_s``, which read like wall time -- and the
-headline ``simulated_cycles_per_wall_s`` rate.  Results land in
+Every mode is a declarative :class:`repro.api.Scenario` executed through
+:func:`repro.api.run_scenario` -- the same path ``repro run`` takes --
+so the benchmark measures exactly what users run.  Each record reports
+wall time (best of ``repeats`` runs, warm caches), the *simulated*
+duration in both cycles and seconds, and the headline
+``simulated_cycles_per_wall_s`` rate.  Results land in
 ``BENCH_serving.json`` next to this file so successive PRs leave a
 benchmark trajectory.
 
@@ -35,17 +36,14 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-from repro.config import DEFAULT_CORE
-from repro.parallel import parallel_map
-from repro.serving.server import SCHEME_NEU10, ServingConfig, WorkloadSpec, run_collocation
-from repro.traffic import (
-    ChurnEvent,
-    ClusterTrafficConfig,
-    OpenLoopConfig,
-    TrafficTenantSpec,
-    run_cluster_traffic,
-    run_open_loop,
+from repro.api import (
+    Scenario,
+    ScenarioChurn,
+    ScenarioTenant,
+    run_scenario,
+    sweep_scenario,
 )
+from repro.config import DEFAULT_CORE
 
 HERE = Path(__file__).resolve().parent
 RESULT_PATH = HERE / "BENCH_serving.json"
@@ -54,6 +52,7 @@ FLOOR_PATH = HERE / "BENCH_floor.json"
 #: The two-tenant pair every scenario collocates (matches the PR 1
 #: benchmark so the poisson trajectory stays comparable).
 MODELS = [("MNIST", 8), ("DLRM", 8)]
+SCHEME = "neu10"
 SEED = 7
 #: Default open-loop measurement window (simulated seconds).  Bumped
 #: from the seed benchmark's 2 ms so steady-state throughput dominates
@@ -63,8 +62,8 @@ QUICK_WINDOW_S = 0.002
 LOADS = (0.5, 0.8, 1.1)
 
 
-def _specs() -> List[TrafficTenantSpec]:
-    return [TrafficTenantSpec(model=m, batch=b) for m, b in MODELS]
+def _tenants() -> tuple:
+    return tuple(ScenarioTenant(model=m, batch=b) for m, b in MODELS)
 
 
 def _timed(fn: Callable[[], object], repeats: int) -> tuple:
@@ -81,17 +80,21 @@ def _timed(fn: Callable[[], object], repeats: int) -> tuple:
 
 def bench_closed_loop(quick: bool, repeats: int) -> Dict:
     target = 20 if quick else 60
-    specs = [WorkloadSpec(model=m, batch=b) for m, b in MODELS]
-    cfg = ServingConfig(target_requests=target, record_ops=False)
-
-    metrics, wall = _timed(
-        lambda: run_collocation(specs, SCHEME_NEU10, cfg), repeats
+    scenario = Scenario(
+        name="bench-closed-loop",
+        kind="serving",
+        scheme=SCHEME,
+        tenants=_tenants(),
+        target_requests=target,
     )
-    cycles = metrics.total_cycles
-    completed = sum(t.completed_requests for t in metrics.tenants)
+    result, wall = _timed(lambda: run_scenario(scenario), repeats)
+    cycles = result.metrics["simulated_cycles"]
+    completed = sum(
+        t["completed_requests"] for t in result.metrics["tenants"]
+    )
     return {
         "mode": "closed_loop",
-        "scheme": SCHEME_NEU10,
+        "scheme": SCHEME,
         "target_requests_per_tenant": target,
         "wall_s": wall,
         "requests_completed": completed,
@@ -102,19 +105,30 @@ def bench_closed_loop(quick: bool, repeats: int) -> Dict:
     }
 
 
+def _poisson_scenario(window_s: float, load: float = 0.8) -> Scenario:
+    return Scenario(
+        name="bench-poisson",
+        kind="open_loop",
+        scheme=SCHEME,
+        tenants=_tenants(),
+        arrival="poisson",
+        load=load,
+        duration_s=window_s,
+        seed=SEED,
+    )
+
+
 def bench_poisson(quick: bool, repeats: int) -> Dict:
     window_s = QUICK_WINDOW_S if quick else DEFAULT_WINDOW_S
-    cfg = OpenLoopConfig(
-        duration_s=window_s, load=0.8, arrival="poisson", seed=SEED
-    )
-    result, wall = _timed(
-        lambda: run_open_loop(_specs(), SCHEME_NEU10, cfg), repeats
-    )
-    offered = sum(rep.offered for rep in result.reports)
-    completed = sum(rep.completed for rep in result.reports)
+    scenario = _poisson_scenario(window_s)
+    result, wall = _timed(lambda: run_scenario(scenario), repeats)
+    tenants = result.metrics["tenants"]
+    offered = sum(rep["offered"] for rep in tenants)
+    completed = sum(rep["completed"] for rep in tenants)
+    cycles = result.metrics["simulated_cycles"]
     return {
         "mode": "open_loop",
-        "scheme": SCHEME_NEU10,
+        "scheme": SCHEME,
         "arrival": "poisson",
         "load": 0.8,
         "seed": SEED,
@@ -123,30 +137,25 @@ def bench_poisson(quick: bool, repeats: int) -> Dict:
         "requests_offered": offered,
         "requests_completed": completed,
         "requests_simulated_per_s": completed / wall,
-        "simulated_cycles": result.total_cycles,
-        "simulated_s": DEFAULT_CORE.cycles_to_seconds(result.total_cycles),
-        "simulated_cycles_per_wall_s": result.total_cycles / wall,
-        "min_attainment": result.min_attainment,
+        "simulated_cycles": cycles,
+        "simulated_s": DEFAULT_CORE.cycles_to_seconds(cycles),
+        "simulated_cycles_per_wall_s": cycles / wall,
+        "min_attainment": result.metrics["min_attainment"],
     }
-
-
-def _sweep_point(load: float) -> float:
-    cfg = OpenLoopConfig(
-        duration_s=QUICK_WINDOW_S, load=load, arrival="poisson", seed=SEED
-    )
-    return run_open_loop(_specs(), SCHEME_NEU10, cfg).total_cycles
 
 
 def bench_load_sweep(quick: bool, repeats: int) -> Dict:
     loads = LOADS[:2] if quick else LOADS
+    base = _poisson_scenario(QUICK_WINDOW_S)
 
     def sweep() -> float:
-        return sum(parallel_map(_sweep_point, loads))
+        results = sweep_scenario(base, param="load", values=list(loads))
+        return sum(r.metrics["simulated_cycles"] for r in results)
 
     cycles, wall = _timed(sweep, repeats)
     return {
         "mode": "load_sweep",
-        "scheme": SCHEME_NEU10,
+        "scheme": SCHEME,
         "loads": list(loads),
         "window_simulated_s_per_point": QUICK_WINDOW_S,
         "wall_s": wall,
@@ -158,28 +167,35 @@ def bench_load_sweep(quick: bool, repeats: int) -> Dict:
 
 def bench_cluster_churn(quick: bool, repeats: int) -> Dict:
     end_s = 0.002 if quick else 0.004
-    specs = _specs()
-    events = [
-        ChurnEvent(0.0, "arrive", "a", spec=specs[0]),
-        ChurnEvent(0.0, "arrive", "b", spec=specs[1]),
-        ChurnEvent(end_s / 2, "arrive", "c", spec=specs[0]),
-        ChurnEvent(end_s * 0.75, "depart", "b"),
-    ]
-    cfg = ClusterTrafficConfig(
-        num_hosts=2, scheme=SCHEME_NEU10, load=0.8, end_s=end_s, seed=SEED
+    (m1, b1), (m2, b2) = MODELS
+    scenario = Scenario(
+        name="bench-cluster-churn",
+        kind="cluster",
+        scheme=SCHEME,
+        arrival="poisson",
+        load=0.8,
+        duration_s=end_s,
+        seed=SEED,
+        hosts=2,
+        churn=(
+            ScenarioChurn(0.0, "arrive", "a", model=m1, batch=b1),
+            ScenarioChurn(0.0, "arrive", "b", model=m2, batch=b2),
+            ScenarioChurn(end_s / 2, "arrive", "c", model=m1, batch=b1),
+            ScenarioChurn(end_s * 0.75, "depart", "b"),
+        ),
     )
-    result, wall = _timed(lambda: run_cluster_traffic(events, cfg), repeats)
-    completed = sum(rep.completed for rep in result.reports.values())
+    result, wall = _timed(lambda: run_scenario(scenario), repeats)
+    completed = sum(rep["completed"] for rep in result.metrics["tenants"])
     # Exact: summed over hosts and segments by the cluster driver
     # (drained hosts stop before the segment boundary, so this can be
     # below hosts x horizon).
-    cycles = result.simulated_cycles
+    cycles = result.metrics["simulated_cycles"]
     return {
         "mode": "cluster_churn",
-        "scheme": SCHEME_NEU10,
-        "num_hosts": cfg.num_hosts,
+        "scheme": SCHEME,
+        "num_hosts": scenario.hosts,
         "horizon_simulated_s": end_s,
-        "segments": result.segments,
+        "segments": result.metrics["segments"],
         "wall_s": wall,
         "requests_completed": completed,
         "requests_simulated_per_s": completed / wall,

@@ -9,38 +9,48 @@ SLO attainment, p95 latency and goodput respond.  Harvesting schemes
 sustain a higher load at the same attainment -- the open-loop view of
 the paper's utilization story.
 
+Built on ``repro.api``: one declarative scenario, swept over loads per
+scheme -- the same spec a YAML file would hold for ``repro sweep``.
+
 Run:  python examples/open_loop_serving.py
 """
 
+from repro.api import Scenario, ScenarioTenant, sweep_scenario
 from repro.config import DEFAULT_CORE
 from repro.serving.server import SCHEME_NEU10, SCHEME_PMT, SCHEME_TEMPORAL, SCHEME_V10
-from repro.traffic import OpenLoopConfig, TrafficTenantSpec, sweep_load
 
 LOADS = (0.3, 0.6, 0.9, 1.2)
 SCHEMES = (SCHEME_PMT, SCHEME_V10, SCHEME_NEU10, SCHEME_TEMPORAL)
 
+BASE = Scenario(
+    name="open-loop-sweep",
+    kind="open_loop",
+    tenants=(
+        ScenarioTenant(model="MNIST", batch=8),
+        ScenarioTenant(model="DLRM", batch=8),
+    ),
+    arrival="poisson",
+    duration_s=0.002,
+    seed=7,
+)
+
 
 def main() -> None:
-    specs = [
-        TrafficTenantSpec(model="MNIST", batch=8),
-        TrafficTenantSpec(model="DLRM", batch=8),
-    ]
-    cfg = OpenLoopConfig(duration_s=0.002, arrival="poisson", seed=7)
-
     print("Poisson arrivals, 2 ms window, SLO = 5x isolated service time\n")
     for scheme in SCHEMES:
         print(f"scheme {scheme}")
-        for result in sweep_load(specs, scheme, LOADS, cfg):
+        scenario = BASE.replaced(name=f"open-loop-{scheme}", scheme=scheme)
+        for result in sweep_scenario(scenario, param="load", values=LOADS):
             cells = []
-            for rep in result.reports:
-                p95_us = DEFAULT_CORE.cycles_to_us(rep.p95_latency)
+            for rep in result.metrics["tenants"]:
+                p95_us = DEFAULT_CORE.cycles_to_us(rep["p95_latency_cycles"])
                 cells.append(
-                    f"{rep.name}: attain {rep.attainment * 100:5.1f}% "
-                    f"p95 {p95_us:7.1f}us goodput {rep.goodput_rps:8.0f}/s"
+                    f"{rep['name']}: attain {rep['attainment'] * 100:5.1f}% "
+                    f"p95 {p95_us:7.1f}us goodput {rep['goodput_rps']:8.0f}/s"
                 )
             print(
-                f"  load {result.load:3.1f}  "
-                f"ME util {result.me_utilization * 100:5.1f}%  | "
+                f"  load {result.metadata['load']:3.1f}  "
+                f"ME util {result.metrics['me_utilization'] * 100:5.1f}%  | "
                 + "  | ".join(cells)
             )
         print()

@@ -11,5 +11,12 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy"],
-    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis", "pyyaml"],
+        # YAML scenario files for `repro run` (JSON works without it).
+        "yaml": ["pyyaml"],
+    },
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
 )

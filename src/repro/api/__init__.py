@@ -1,0 +1,96 @@
+"""``repro.api`` -- the unified scenario layer.
+
+One declarative, serialisable :class:`Scenario` spec describes any run
+the repo models (closed-loop collocation, open-loop traffic, cluster
+churn, paper figures); string-keyed registries make schedulers, arrival
+processes, workloads and figure experiments pluggable; every run
+returns the same structured :class:`RunResult`.
+
+Typical use::
+
+    from repro.api import Scenario, ScenarioTenant, run_scenario
+
+    sc = Scenario(
+        name="demo", kind="open_loop", scheme="neu10",
+        tenants=(ScenarioTenant(model="MNIST", batch=8),
+                 ScenarioTenant(model="DLRM", batch=8)),
+        load=0.8, duration_s=0.002,
+    )
+    result = run_scenario(sc)
+    print(result.to_json())
+
+or, from a file::
+
+    from repro.api import load_scenario, run_scenario
+    result = run_scenario(load_scenario("examples/scenarios/smoke.yaml"))
+"""
+
+from repro.api.figures import FIGURES, FigureInfo, figure_names
+from repro.api.registries import (
+    ARRIVALS,
+    SCHEDULERS,
+    WORKLOADS,
+    ArrivalInfo,
+    SchedulerInfo,
+    all_scheme_names,
+    arrival_kind_names,
+    default_scheme_names,
+    make_scheduler,
+    scheme_isa,
+    scheme_isa_map,
+    workload_names,
+)
+from repro.api.registry import Registry
+from repro.api.result import (
+    RESULT_SCHEMA_VERSION,
+    RunResult,
+    figure_result,
+    validate_run_result,
+)
+from repro.api.runner import run_scenario, sweep_scenario, sweep_variants
+from repro.api.scenario import (
+    SCENARIO_KINDS,
+    Scenario,
+    ScenarioChurn,
+    ScenarioTenant,
+    SweepSpec,
+    load_scenario,
+    load_scenarios,
+    parse_scenarios,
+    save_scenario,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "ArrivalInfo",
+    "FIGURES",
+    "FigureInfo",
+    "RESULT_SCHEMA_VERSION",
+    "Registry",
+    "RunResult",
+    "SCENARIO_KINDS",
+    "SCHEDULERS",
+    "Scenario",
+    "ScenarioChurn",
+    "ScenarioTenant",
+    "SchedulerInfo",
+    "SweepSpec",
+    "WORKLOADS",
+    "all_scheme_names",
+    "arrival_kind_names",
+    "default_scheme_names",
+    "figure_names",
+    "figure_result",
+    "load_scenario",
+    "load_scenarios",
+    "make_scheduler",
+    "parse_scenarios",
+    "run_scenario",
+    "save_scenario",
+    "scheme_isa",
+    "scheme_isa_map",
+    "sweep_scenario",
+    "sweep_variants",
+    "validate_run_result",
+    "workload_names",
+]

@@ -1,0 +1,87 @@
+"""Registry of paper-figure experiments.
+
+Each entry binds one experiment module's two faces:
+
+- ``run_result()`` -- compute and return the structured
+  :class:`repro.api.result.RunResult` (what ``--json`` and the scenario
+  layer consume);
+- ``render()``     -- the human-readable report the legacy CLI printed
+  (each experiment module's ``main``).
+
+The registry is what ``repro fig``, ``repro list`` and ``kind: figure``
+scenarios dispatch through, so adding an experiment is one ``add()``
+call -- no CLI edit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.api.registry import Registry
+from repro.api.result import RunResult
+
+
+@dataclass(frozen=True)
+class FigureInfo:
+    """Registry entry for one figure/table experiment."""
+
+    name: str
+    run_result: Callable[..., RunResult]
+    render: Optional[Callable[[], None]] = None
+    description: str = ""
+
+
+def _load_figures(reg: Registry) -> None:
+    from repro.experiments import (
+        ablations,
+        fig02_demand,
+        fig04_intensity,
+        fig05_utilization,
+        fig06_ve_idle,
+        fig07_hbm,
+        fig12_allocator,
+        fig16_neuisa_overhead,
+        fig19_22_serving,
+        fig23_harvest,
+        fig24_assignment,
+        fig25_scaling,
+        fig26_bandwidth,
+        fig27_llm,
+        hwcost,
+    )
+
+    entries = (
+        ("fig02", fig02_demand, "ME/VE demand of DNN workloads over time"),
+        ("fig04", fig04_intensity, "ME/VE intensity ratio per workload"),
+        ("fig05", fig05_utilization, "solo ME/VE utilization traces"),
+        ("fig06", fig06_ve_idle, "VE idleness under VLIW vs NeuISA"),
+        ("fig07", fig07_hbm, "HBM bandwidth utilization"),
+        ("fig12", fig12_allocator, "allocator-selected vs best configs"),
+        ("fig16", fig16_neuisa_overhead, "NeuISA overhead vs VLIW"),
+        ("fig19", fig19_22_serving, "multi-tenant serving comparison"),
+        ("fig23", fig23_harvest, "harvesting benefit and overhead"),
+        ("fig24", fig24_assignment, "assigned engines over time"),
+        ("fig25", fig25_scaling, "throughput scaling with engine count"),
+        ("fig26", fig26_bandwidth, "speedup vs HBM bandwidth"),
+        ("fig27", fig27_llm, "LLaMA2-13B collocation"),
+        ("hwcost", hwcost, "uTOp scheduler hardware cost"),
+        ("ablations", ablations, "scheduler design ablations"),
+    )
+    for name, module, description in entries:
+        reg.add(
+            name,
+            FigureInfo(
+                name=name,
+                run_result=module.run_result,
+                render=module.main,
+                description=description,
+            ),
+        )
+
+
+FIGURES = Registry("figure experiment", loader=_load_figures)
+
+
+def figure_names() -> tuple:
+    return FIGURES.names()

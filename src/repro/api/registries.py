@@ -1,0 +1,144 @@
+"""The built-in plugin registries: schedulers, arrivals, workloads.
+
+These are the single source of truth for the names every front-end
+(CLI, experiments, traffic, benchmarks) used to hard-code:
+
+- :data:`SCHEDULERS` -- scheduling schemes.  Each entry is a
+  :class:`SchedulerInfo` carrying the factory, the ISA its workloads
+  are compiled with, and whether the scheme belongs to the paper's
+  default comparison set.
+- :data:`ARRIVALS`   -- open-loop arrival-process builders
+  (:mod:`repro.traffic.arrivals` kinds).
+- :data:`WORKLOADS`  -- the Table I model zoo
+  (:mod:`repro.workloads.catalog` entries, canonical names only).
+
+Built-ins are registered lazily on first lookup, so importing this
+module costs nothing; third-party policies extend the system with e.g.
+``SCHEDULERS.add("my-policy", SchedulerInfo(...))`` and every scenario
+file, CLI choice list and sweep immediately accepts the new name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.api.registry import Registry
+
+
+@dataclass(frozen=True)
+class SchedulerInfo:
+    """Registry entry for one scheduling scheme."""
+
+    name: str
+    factory: Callable[[], object]
+    #: ISA the scheme's workloads are compiled with ("vliw" | "neuisa").
+    isa: str = "neuisa"
+    #: Part of the paper's default four-scheme comparison set?
+    default: bool = True
+    description: str = ""
+
+    def make(self) -> object:
+        return self.factory()
+
+
+@dataclass(frozen=True)
+class ArrivalInfo:
+    """Registry entry for one arrival-process kind."""
+
+    name: str
+    #: ``builder(mean_rate_per_cycle, **kwargs) -> ArrivalProcess``.
+    builder: Callable[..., object]
+    description: str = ""
+
+
+def _load_schedulers(reg: Registry) -> None:
+    from repro.baselines.pmt import PmtScheduler
+    from repro.baselines.v10 import V10Scheduler
+    from repro.sim.sched_neu10 import Neu10Scheduler
+    from repro.sim.sched_static import StaticPartitionScheduler
+    from repro.sim.sched_temporal import TemporalNeu10Scheduler
+
+    reg.add("pmt", SchedulerInfo(
+        "pmt", PmtScheduler, isa="vliw",
+        description="preemptive multi-task baseline (VLIW ISA)"))
+    reg.add("v10", SchedulerInfo(
+        "v10", V10Scheduler, isa="vliw",
+        description="V10 spatial-sharing baseline (VLIW ISA)"))
+    reg.add("neu10-nh", SchedulerInfo(
+        "neu10-nh", StaticPartitionScheduler,
+        description="Neu10 without harvesting (static partition)"))
+    reg.add("neu10", SchedulerInfo(
+        "neu10", Neu10Scheduler,
+        description="Neu10 with idle-engine harvesting"))
+    reg.add("neu10-temporal", SchedulerInfo(
+        "neu10-temporal", TemporalNeu10Scheduler, default=False,
+        description="Neu10 temporal-sharing variant"))
+
+
+def _load_arrivals(reg: Registry) -> None:
+    from repro.traffic import arrivals
+
+    descriptions = {
+        "poisson": "memoryless steady load",
+        "bursty": "two-state MMPP on/off bursts",
+        "diurnal": "sinusoidal day/night rate swing",
+        "trace": "replay of recorded timestamps",
+    }
+    for kind, builder in arrivals.BUILDERS.items():
+        reg.add(kind, ArrivalInfo(kind, builder, descriptions.get(kind, "")))
+
+
+def _load_workloads(reg: Registry) -> None:
+    from repro.workloads import catalog
+
+    for info in catalog.catalog_entries():
+        reg.add(info.name, info)
+
+
+SCHEDULERS = Registry("scheduler scheme", loader=_load_schedulers)
+ARRIVALS = Registry("arrival process", loader=_load_arrivals)
+WORKLOADS = Registry("workload", loader=_load_workloads)
+
+
+# ----------------------------------------------------------------------
+# Convenience views (the names the old hard-coded lists spelled out)
+# ----------------------------------------------------------------------
+def make_scheduler(scheme: str) -> object:
+    """Instantiate a fresh scheduler for ``scheme`` (registry-backed)."""
+    info = SCHEDULERS.get(scheme)
+    return info.make()
+
+
+def scheme_isa(scheme: str) -> str:
+    return SCHEDULERS.get(scheme).isa
+
+
+def scheme_isa_map() -> Dict[str, str]:
+    """``{scheme: isa}`` for every registered scheme."""
+    return {name: info.isa for name, info in SCHEDULERS.items()}
+
+
+def default_scheme_names() -> Tuple[str, ...]:
+    """The paper's default comparison set (legacy ``ALL_SCHEMES``)."""
+    return tuple(
+        name for name, info in SCHEDULERS.items() if info.default
+    )
+
+
+def all_scheme_names() -> Tuple[str, ...]:
+    """Every registered scheme, including non-default variants."""
+    return SCHEDULERS.names()
+
+
+def arrival_kind_names(generative_only: bool = False) -> Tuple[str, ...]:
+    names = ARRIVALS.names()
+    if generative_only:
+        # "trace" needs recorded timestamps, so CLI choice lists that
+        # synthesise arrivals exclude it.
+        names = tuple(n for n in names if n != "trace")
+    return names
+
+
+def workload_names() -> Tuple[str, ...]:
+    return WORKLOADS.names()

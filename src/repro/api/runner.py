@@ -1,0 +1,332 @@
+"""Execute scenarios: one dispatch for every front-end.
+
+``run_scenario`` turns a declarative :class:`repro.api.scenario.Scenario`
+into a uniform :class:`repro.api.result.RunResult` by driving the same
+engines the bespoke entry points used to call directly:
+
+- ``serving``   -> :func:`repro.serving.server.run_collocation`
+- ``open_loop`` -> :func:`repro.traffic.openloop.run_open_loop`
+- ``cluster``   -> :func:`repro.traffic.cluster_sim.run_cluster_traffic`
+- ``figure``    -> the :data:`repro.api.figures.FIGURES` registry
+
+``sweep_scenario`` fans scenario variants out over
+:func:`repro.parallel.parallel_map`; results are identical for any
+worker count because each variant is an independent simulation rebuilt
+from its serialised spec.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api.result import RunResult, base_provenance
+from repro.api.scenario import Scenario, ScenarioChurn, ScenarioTenant
+from repro.errors import ConfigError
+from repro.parallel import parallel_map
+
+
+# ----------------------------------------------------------------------
+# Spec adapters
+# ----------------------------------------------------------------------
+def _to_workload_spec(tenant: ScenarioTenant):
+    from repro.serving.server import WorkloadSpec
+
+    return WorkloadSpec(
+        model=tenant.model,
+        batch=tenant.batch,
+        alloc_mes=tenant.alloc_mes,
+        alloc_ves=tenant.alloc_ves,
+        priority=tenant.priority,
+    )
+
+
+def _to_traffic_spec(tenant: ScenarioTenant):
+    from repro.traffic.openloop import TrafficTenantSpec
+    from repro.traffic.slo import SloSpec
+
+    return TrafficTenantSpec(
+        model=tenant.model,
+        batch=tenant.batch,
+        weight=tenant.weight,
+        slo=SloSpec(
+            target_cycles=tenant.slo_target_cycles,
+            relative=tenant.slo_relative,
+        ),
+        alloc_mes=tenant.alloc_mes,
+        alloc_ves=tenant.alloc_ves,
+        priority=tenant.priority,
+        arrival=tenant.arrival,
+    )
+
+
+def _slo_report_metrics(report) -> Dict[str, Any]:
+    return {
+        "name": report.name,
+        "offered": report.offered,
+        "completed": report.completed,
+        "attained": report.attained,
+        "attainment": report.attainment,
+        "goodput_rps": report.goodput_rps,
+        "throughput_rps": report.throughput_rps,
+        "mean_latency_cycles": report.mean_latency,
+        "p50_latency_cycles": report.p50_latency,
+        "p95_latency_cycles": report.p95_latency,
+        "p99_latency_cycles": report.p99_latency,
+        "mean_queueing_cycles": report.mean_queueing_delay,
+    }
+
+
+# ----------------------------------------------------------------------
+# Kind runners
+# ----------------------------------------------------------------------
+def _run_serving(scenario: Scenario) -> RunResult:
+    from repro.serving.server import ServingConfig, run_collocation
+
+    cfg = ServingConfig(
+        core=scenario.core(),
+        target_requests=scenario.target_requests,
+    )
+    specs = [_to_workload_spec(t) for t in scenario.tenants]
+    pair = run_collocation(specs, scenario.scheme, cfg)
+    metrics: Dict[str, Any] = {
+        "pair": pair.pair,
+        "tenants": [
+            {
+                "name": t.name,
+                "p95_latency_cycles": t.p95_latency_cycles,
+                "mean_latency_cycles": t.mean_latency_cycles,
+                "throughput_rps": t.throughput_rps,
+                "me_utilization": t.me_utilization,
+                "ve_utilization": t.ve_utilization,
+                "blocked_fraction": t.blocked_fraction,
+                "completed_requests": t.completed_requests,
+            }
+            for t in pair.tenants
+        ],
+        "total_me_utilization": pair.total_me_utilization,
+        "total_ve_utilization": pair.total_ve_utilization,
+        "preemption_count": pair.preemption_count,
+        "simulated_cycles": pair.total_cycles,
+    }
+    metadata = {
+        "target_requests": scenario.target_requests,
+        "models": [t.model for t in scenario.tenants],
+    }
+    return _wrap(scenario, metrics, metadata)
+
+
+def _run_open_loop(scenario: Scenario) -> RunResult:
+    from repro.traffic.openloop import OpenLoopConfig, run_open_loop
+
+    cfg = OpenLoopConfig(
+        core=scenario.core(),
+        duration_s=scenario.duration_s,
+        load=scenario.load,
+        arrival=scenario.arrival,
+        seed=scenario.seed,
+        drain=scenario.drain,
+    )
+    specs = [_to_traffic_spec(t) for t in scenario.tenants]
+    result = run_open_loop(specs, scenario.scheme, cfg)
+    metrics: Dict[str, Any] = {
+        "tenants": [_slo_report_metrics(r) for r in result.reports],
+        "min_attainment": result.min_attainment,
+        "me_utilization": result.me_utilization,
+        "ve_utilization": result.ve_utilization,
+        "simulated_cycles": result.total_cycles,
+    }
+    metadata = {
+        "arrival": scenario.arrival,
+        "load": scenario.load,
+        "duration_s": scenario.duration_s,
+        "drain": scenario.drain,
+        "models": [t.model for t in scenario.tenants],
+    }
+    return _wrap(scenario, metrics, metadata)
+
+
+def _run_cluster(scenario: Scenario) -> RunResult:
+    from repro.traffic.cluster_sim import (
+        ChurnEvent,
+        ClusterTrafficConfig,
+        run_cluster_traffic,
+    )
+
+    events = [_to_churn_event(e) for e in scenario.churn]
+    cfg = ClusterTrafficConfig(
+        num_hosts=scenario.hosts,
+        cores_per_host=scenario.cores_per_host,
+        core=scenario.core(),
+        scheme=scenario.scheme,
+        arrival=scenario.arrival,
+        load=scenario.load,
+        end_s=scenario.duration_s,
+        seed=scenario.seed,
+    )
+    result = run_cluster_traffic(events, cfg)
+    metrics: Dict[str, Any] = {
+        "tenants": [
+            _slo_report_metrics(result.reports[name])
+            for name in sorted(result.reports)
+        ],
+        "host_me_utilization": dict(result.host_me_utilization),
+        "host_ve_utilization": dict(result.host_ve_utilization),
+        "cluster_me_utilization": result.cluster_me_utilization,
+        "cluster_ve_utilization": result.cluster_ve_utilization,
+        "admission_rate": result.admission_rate,
+        "rejected": list(result.rejected),
+        "segments": result.segments,
+        "simulated_cycles": result.simulated_cycles,
+    }
+    metadata = {
+        "hosts": scenario.hosts,
+        "cores_per_host": scenario.cores_per_host,
+        "arrival": scenario.arrival,
+        "load": scenario.load,
+        "duration_s": scenario.duration_s,
+        "churn_events": len(scenario.churn),
+    }
+    return _wrap(scenario, metrics, metadata)
+
+
+def _to_churn_event(event: ScenarioChurn):
+    from repro.traffic.cluster_sim import ChurnEvent
+    from repro.traffic.openloop import TrafficTenantSpec
+    from repro.traffic.slo import SloSpec
+
+    spec = None
+    if event.model is not None:
+        spec = TrafficTenantSpec(
+            model=event.model,
+            batch=event.batch,
+            weight=event.weight,
+            slo=SloSpec(relative=event.slo_relative),
+            priority=event.priority,
+        )
+    return ChurnEvent(
+        time_s=event.time_s,
+        action=event.action,
+        name=event.name,
+        spec=spec,
+        num_mes=event.num_mes,
+        num_ves=event.num_ves,
+    )
+
+
+def _run_figure(scenario: Scenario) -> RunResult:
+    from repro.api.figures import FIGURES
+
+    info = FIGURES.get(scenario.figure)
+    result = info.run_result(**dict(scenario.params))
+    # Rebrand under the scenario's name but keep the figure metrics.
+    result.scenario = scenario.name
+    result.metadata.setdefault("figure", scenario.figure)
+    result.provenance.update(
+        base_provenance(seed=None, scenario_digest=scenario.digest())
+    )
+    return result
+
+
+_KIND_RUNNERS = {
+    "serving": _run_serving,
+    "open_loop": _run_open_loop,
+    "cluster": _run_cluster,
+    "figure": _run_figure,
+}
+
+
+def _wrap(
+    scenario: Scenario, metrics: Dict[str, Any], metadata: Dict[str, Any]
+) -> RunResult:
+    metadata = dict(metadata)
+    if scenario.description:
+        metadata["description"] = scenario.description
+    if scenario.hardware:
+        metadata["hardware"] = dict(scenario.hardware)
+    return RunResult(
+        scenario=scenario.name,
+        kind=scenario.kind,
+        scheme=scenario.scheme,
+        metrics=metrics,
+        metadata=metadata,
+        provenance=base_provenance(
+            seed=scenario.seed, scenario_digest=scenario.digest()
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Public entry points
+# ----------------------------------------------------------------------
+def run_scenario(scenario: Scenario) -> RunResult:
+    """Run one scenario and return its structured result."""
+    scenario.validate()
+    runner = _KIND_RUNNERS.get(scenario.kind)
+    if runner is None:  # _validate_shape guards this; belt and braces
+        raise ConfigError(f"unknown scenario kind {scenario.kind!r}")
+    return runner(scenario)
+
+
+def _run_scenario_payload(payload: str) -> Dict[str, Any]:
+    """Picklable sweep worker: JSON spec in, RunResult dict out."""
+    scenario = Scenario.from_dict(json.loads(payload))
+    return run_scenario(scenario).to_dict()
+
+
+def sweep_variants(
+    scenario: Scenario,
+    param: Optional[str] = None,
+    values: Optional[Sequence[Any]] = None,
+) -> List[Scenario]:
+    """The scenario variants a sweep will run.
+
+    ``param``/``values`` override the scenario's embedded ``sweep:``
+    block piecewise: a supplied ``values`` always wins (with the block's
+    param when ``param`` is omitted), and a supplied ``param`` reuses the
+    block's values only when it names the same field.
+    """
+    block = scenario.sweep
+    if param is None:
+        if block is None:
+            raise ConfigError(
+                f"scenario {scenario.name!r} has no sweep block; "
+                "pass --param/--values (or add 'sweep:' to the file)"
+            )
+        param = block.param
+        if values is None:
+            values = block.values
+    elif values is None:
+        if block is not None and block.param == param:
+            values = block.values
+        else:
+            raise ConfigError(
+                f"sweeping {param!r} needs explicit values "
+                "(--values a,b,c)"
+            )
+    if not values:
+        raise ConfigError("sweep needs at least one value")
+    base = scenario.replaced(sweep=None)
+    return [
+        base.replaced(
+            **{param: value, "name": f"{scenario.name}@{param}={value}"}
+        )
+        for value in values
+    ]
+
+
+def sweep_scenario(
+    scenario: Scenario,
+    param: Optional[str] = None,
+    values: Optional[Sequence[Any]] = None,
+    max_workers: Optional[int] = None,
+) -> List[RunResult]:
+    """Run one variant per value, fanned out over a process pool."""
+    variants = sweep_variants(scenario, param, values)
+    for variant in variants:
+        variant.validate()  # fail fast, before spawning workers
+    payloads = [json.dumps(v.to_dict()) for v in variants]
+    results = parallel_map(
+        _run_scenario_payload, payloads, max_workers=max_workers
+    )
+    return [RunResult.from_dict(r) for r in results]

@@ -1,0 +1,446 @@
+"""Declarative scenario specs with YAML/JSON round-trip.
+
+A :class:`Scenario` is the single description every front-end consumes:
+hardware config, tenant/workload mix, arrival process, scheduler scheme,
+duration and SLOs -- as *data*.  The same spec runs through
+:func:`repro.api.runner.run_scenario` whether it came from a YAML file
+(``repro run scenario.yaml``), a benchmark suite, or was built inline by
+an example script.
+
+Four kinds cover the repo's workloads:
+
+======== ==============================================================
+serving   closed-loop collocation (the paper's methodology: run until
+          every tenant hits ``target_requests``)
+open_loop open-loop traffic on one core: arrivals at ``load`` x
+          calibrated capacity, scored against per-tenant SLOs
+cluster   open-loop traffic across a cluster with tenant churn
+figure    a registered paper-figure experiment (``figure:`` names it)
+======== ==============================================================
+
+``to_dict``/``from_dict`` round-trip losslessly; files may hold one
+scenario, a ``scenarios:`` list, or (YAML) a multi-document stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.api.result import canonical_digest
+from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig
+from repro.errors import ConfigError
+
+SCENARIO_KINDS = ("serving", "open_loop", "cluster", "figure")
+
+
+def _require_yaml():
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise ConfigError(
+            "PyYAML is required for YAML scenario files "
+            "(pip install pyyaml), or use JSON"
+        ) from exc
+    return yaml
+
+
+def _from_mapping(cls, payload: Mapping[str, Any], what: str):
+    """Build dataclass ``cls`` from a mapping, rejecting unknown keys."""
+    if not isinstance(payload, Mapping):
+        raise ConfigError(f"{what} must be a mapping, got {type(payload).__name__}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown {what} key(s) {sorted(unknown)}; "
+            f"known: {sorted(known)}"
+        )
+    return cls(**payload)
+
+
+def _nondefault_dict(obj) -> Dict[str, Any]:
+    """Dataclass -> dict with fields equal to their default omitted."""
+    out: Dict[str, Any] = {}
+    for f in dataclasses.fields(obj):
+        value = getattr(obj, f.name)
+        if f.default is not dataclasses.MISSING:
+            if value == f.default:
+                continue
+        elif f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+            if value == f.default_factory():  # type: ignore[misc]
+                continue
+        out[f.name] = value
+    return out
+
+
+@dataclass(frozen=True)
+class ScenarioTenant:
+    """One tenant of a serving / open-loop scenario."""
+
+    model: str
+    batch: int = 8
+    #: Relative share of the scenario load factor (open-loop only).
+    weight: float = 1.0
+    alloc_mes: Optional[int] = None
+    alloc_ves: Optional[int] = None
+    priority: float = 1.0
+    #: SLO as a multiple of calibrated isolated service time...
+    slo_relative: float = 5.0
+    #: ...unless an absolute cycle target is given (wins when set).
+    slo_target_cycles: Optional[float] = None
+    #: Per-tenant arrival-kind override (None = scenario default).
+    arrival: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.model:
+            raise ConfigError("tenant needs a model name")
+        if self.batch < 1:
+            raise ConfigError("tenant batch size must be positive")
+        if self.weight <= 0:
+            raise ConfigError("tenant weight must be positive")
+
+
+@dataclass(frozen=True)
+class ScenarioChurn:
+    """One tenant arrive/depart event of a cluster scenario."""
+
+    time_s: float
+    action: str
+    name: str
+    model: Optional[str] = None
+    batch: int = 8
+    num_mes: int = 2
+    num_ves: int = 2
+    weight: float = 1.0
+    slo_relative: float = 5.0
+    priority: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ("arrive", "depart"):
+            raise ConfigError(
+                f"churn action must be 'arrive' or 'depart', got {self.action!r}"
+            )
+        if self.action == "arrive" and not self.model:
+            raise ConfigError(f"churn arrival {self.name!r} needs a model")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative sweep: vary one scenario field over several values."""
+
+    param: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.param:
+            raise ConfigError("sweep needs a param name")
+        if not self.values:
+            raise ConfigError("sweep needs at least one value")
+        object.__setattr__(self, "values", tuple(self.values))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, serialisable description of one run."""
+
+    name: str
+    kind: str
+    description: str = ""
+    scheme: str = "neu10"
+    tenants: Tuple[ScenarioTenant, ...] = ()
+    arrival: str = "poisson"
+    load: float = 0.8
+    duration_s: float = 0.002
+    target_requests: int = 4
+    seed: int = DEFAULT_SEED
+    drain: bool = False
+    #: Overrides applied to :data:`repro.config.DEFAULT_CORE` fields.
+    hardware: Mapping[str, Any] = field(default_factory=dict)
+    hosts: int = 2
+    cores_per_host: int = 1
+    churn: Tuple[ScenarioChurn, ...] = ()
+    #: Figure experiment name (kind == "figure").
+    figure: Optional[str] = None
+    #: Extra keyword parameters for the figure runner.
+    params: Mapping[str, Any] = field(default_factory=dict)
+    sweep: Optional[SweepSpec] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        object.__setattr__(self, "churn", tuple(self.churn))
+        object.__setattr__(self, "hardware", dict(self.hardware))
+        object.__setattr__(self, "params", dict(self.params))
+        self._validate_shape()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate_shape(self) -> None:
+        if not self.name:
+            raise ConfigError("scenario needs a name")
+        if self.kind not in SCENARIO_KINDS:
+            raise ConfigError(
+                f"unknown scenario kind {self.kind!r}; "
+                f"known: {', '.join(SCENARIO_KINDS)}"
+            )
+        if self.kind in ("serving", "open_loop") and not self.tenants:
+            raise ConfigError(
+                f"{self.kind} scenario {self.name!r} needs at least one tenant"
+            )
+        if self.kind == "cluster" and not self.churn:
+            raise ConfigError(
+                f"cluster scenario {self.name!r} needs churn events"
+            )
+        if self.kind == "figure" and not self.figure:
+            raise ConfigError(
+                f"figure scenario {self.name!r} needs a 'figure' name"
+            )
+        if self.load <= 0:
+            raise ConfigError("load factor must be positive")
+        if self.duration_s <= 0:
+            raise ConfigError("duration must be positive")
+        if self.target_requests < 1:
+            raise ConfigError("target_requests must be positive")
+        if self.hosts < 1 or self.cores_per_host < 1:
+            raise ConfigError("cluster needs at least one host and core")
+        self.core()  # hardware overrides must name real config fields
+
+    def validate(self) -> None:
+        """Full validation including registry lookups (helpful errors)."""
+        from repro.api import registries
+        from repro.workloads.catalog import model_info
+
+        if self.kind == "figure":
+            from repro.api.figures import FIGURES
+
+            FIGURES.get(self.figure)
+            return
+        registries.SCHEDULERS.get(self.scheme)
+        if self.kind in ("open_loop", "cluster"):
+            registries.ARRIVALS.get(self.arrival)
+        for tenant in self.tenants:
+            model_info(tenant.model)
+            if tenant.arrival is not None:
+                registries.ARRIVALS.get(tenant.arrival)
+        for event in self.churn:
+            if event.model is not None:
+                model_info(event.model)
+
+    # ------------------------------------------------------------------
+    # Derived objects
+    # ------------------------------------------------------------------
+    def core(self) -> NpuCoreConfig:
+        """The hardware config with this scenario's overrides applied."""
+        if not self.hardware:
+            return DEFAULT_CORE
+        known = {f.name for f in dataclasses.fields(NpuCoreConfig)}
+        unknown = set(self.hardware) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown hardware key(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return dataclasses.replace(DEFAULT_CORE, **dict(self.hardware))
+
+    def digest(self) -> str:
+        """Canonical content digest (provenance)."""
+        return canonical_digest(self.to_dict())
+
+    def replaced(self, **changes: Any) -> "Scenario":
+        """A copy with top-level or dotted ``hardware.X`` overrides."""
+        hw_changes = {
+            k.split(".", 1)[1]: v
+            for k, v in changes.items()
+            if k.startswith("hardware.")
+        }
+        flat = {
+            k: v for k, v in changes.items() if not k.startswith("hardware.")
+        }
+        if hw_changes:
+            merged = dict(self.hardware)
+            merged.update(hw_changes)
+            flat["hardware"] = merged
+        known = {f.name for f in dataclasses.fields(Scenario)}
+        unknown = set(flat) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown scenario field(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return dataclasses.replace(self, **flat)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        out = _nondefault_dict(self)
+        # Required fields always appear, defaults or not.
+        out["name"] = self.name
+        out["kind"] = self.kind
+        if self.tenants:
+            out["tenants"] = [_nondefault_dict(t) | {"model": t.model}
+                              for t in self.tenants]
+        if self.churn:
+            out["churn"] = [
+                _nondefault_dict(e)
+                | {"time_s": e.time_s, "action": e.action, "name": e.name}
+                for e in self.churn
+            ]
+        if self.sweep is not None:
+            out["sweep"] = {
+                "param": self.sweep.param,
+                "values": list(self.sweep.values),
+            }
+        if self.hardware:
+            out["hardware"] = dict(self.hardware)
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Scenario":
+        if not isinstance(payload, Mapping):
+            raise ConfigError(
+                f"scenario must be a mapping, got {type(payload).__name__}"
+            )
+        data = dict(payload)
+        tenants = tuple(
+            _from_mapping(ScenarioTenant, t, "tenant")
+            for t in data.pop("tenants", ())
+        )
+        churn = tuple(
+            _from_mapping(ScenarioChurn, e, "churn event")
+            for e in data.pop("churn", ())
+        )
+        sweep_raw = data.pop("sweep", None)
+        sweep = (
+            _from_mapping(SweepSpec, dict(sweep_raw), "sweep")
+            if sweep_raw is not None
+            else None
+        )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown scenario key(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        missing = {"name", "kind"} - set(data)
+        if missing:
+            raise ConfigError(f"scenario missing required key(s) {sorted(missing)}")
+        return cls(tenants=tenants, churn=churn, sweep=sweep, **data)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_yaml(self) -> str:
+        yaml = _require_yaml()
+        return yaml.safe_dump(self.to_dict(), sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "Scenario":
+        scenarios = parse_scenarios(text, fmt="yaml")
+        if len(scenarios) != 1:
+            raise ConfigError(
+                f"expected exactly one scenario, found {len(scenarios)}"
+            )
+        return scenarios[0]
+
+
+# ----------------------------------------------------------------------
+# File loading
+# ----------------------------------------------------------------------
+def _payload_to_scenarios(payload: Any, source: str) -> List[Scenario]:
+    if payload is None:
+        return []
+    if isinstance(payload, Mapping) and "scenarios" in payload:
+        extra = set(payload) - {"scenarios"}
+        if extra:
+            raise ConfigError(
+                f"{source}: 'scenarios' files cannot have extra keys {sorted(extra)}"
+            )
+        items = payload["scenarios"]
+        if not isinstance(items, Sequence) or isinstance(items, (str, bytes)):
+            raise ConfigError(f"{source}: 'scenarios' must be a list")
+        return [Scenario.from_dict(item) for item in items]
+    if isinstance(payload, Mapping):
+        return [Scenario.from_dict(payload)]
+    if isinstance(payload, Sequence) and not isinstance(payload, (str, bytes)):
+        return [Scenario.from_dict(item) for item in payload]
+    raise ConfigError(
+        f"{source}: expected a scenario mapping or list, "
+        f"got {type(payload).__name__}"
+    )
+
+
+def parse_scenarios(text: str, fmt: str = "yaml", source: str = "<string>") -> List[Scenario]:
+    """Parse one or many scenarios from ``text`` (YAML or JSON)."""
+    out: List[Scenario] = []
+    if fmt == "json":
+        out.extend(_payload_to_scenarios(json.loads(text), source))
+    elif fmt == "yaml":
+        yaml = _require_yaml()
+        try:
+            docs = list(yaml.safe_load_all(text))
+        except yaml.YAMLError as exc:
+            raise ConfigError(f"{source}: invalid YAML: {exc}") from exc
+        for doc in docs:
+            out.extend(_payload_to_scenarios(doc, source))
+    else:
+        raise ConfigError(f"unknown scenario format {fmt!r} (yaml or json)")
+    if not out:
+        raise ConfigError(f"{source}: no scenarios found")
+    return out
+
+
+def load_scenarios(path: Union[str, Path]) -> List[Scenario]:
+    """Load every scenario in a ``.yaml``/``.yml``/``.json`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"scenario file not found: {path}")
+    fmt = "json" if path.suffix.lower() == ".json" else "yaml"
+    return parse_scenarios(path.read_text(encoding="utf-8"), fmt, str(path))
+
+
+def load_scenario(path: Union[str, Path], name: Optional[str] = None) -> Scenario:
+    """Load exactly one scenario; ``name`` selects from a multi-file."""
+    scenarios = load_scenarios(path)
+    if name is not None:
+        for sc in scenarios:
+            if sc.name == name:
+                return sc
+        raise ConfigError(
+            f"no scenario named {name!r} in {path}; "
+            f"found: {', '.join(s.name for s in scenarios)}"
+        )
+    if len(scenarios) != 1:
+        raise ConfigError(
+            f"{path} holds {len(scenarios)} scenarios; pick one by name "
+            f"({', '.join(s.name for s in scenarios)})"
+        )
+    return scenarios[0]
+
+
+def save_scenario(scenario: Scenario, path: Union[str, Path]) -> None:
+    path = Path(path)
+    if path.suffix.lower() == ".json":
+        path.write_text(scenario.to_json() + "\n", encoding="utf-8")
+    else:
+        path.write_text(scenario.to_yaml(), encoding="utf-8")

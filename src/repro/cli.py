@@ -1,105 +1,452 @@
-"""Command-line interface for running reproduction experiments.
+"""Command-line interface: one entry point for every scenario.
 
-Usage::
+Subcommands (``python -m repro.cli ...`` or the installed ``repro``)::
 
-    python -m repro.cli list                 # enumerate experiments
-    python -m repro.cli fig19                # one experiment
-    python -m repro.cli fig19 fig22          # several
-    python -m repro.cli all                  # everything (minutes)
-    python -m repro.cli quickstart           # the quickstart demo
-    python -m repro.cli traffic --help       # open-loop traffic runs
+    run scenario.yaml [--json]        # run the scenario(s) in a file
+    sweep scenario.yaml --param load --values 0.5,0.8,1.1
+    list [--json]                     # figures, schemes, arrivals, models
+    fig fig19 fig22 [--json]          # paper-figure experiments
+    fig --all                         # every figure (nonzero on failure)
+    bench scenario.yaml [--repeats 3] # time a scenario, report cycles/s
+    traffic ...                       # legacy open-loop flags (deprecated)
+
+``--json`` emits the uniform :class:`repro.api.RunResult` schema on
+stdout (one object, or a list when several scenarios ran), so output
+is scriptable and CI-checkable via
+:func:`repro.api.result.validate_run_result`.
+
+Legacy invocations keep working through deprecation shims::
+
+    python -m repro.cli fig19         # == fig fig19 (notice on stderr)
+    python -m repro.cli all           # every experiment; nonzero if any fails
+    python -m repro.cli quickstart
+    python -m repro.cli traffic ...
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import Neu10Error
+
+SUBCOMMANDS = ("run", "sweep", "list", "fig", "bench", "traffic")
+#: Legacy positional tokens accepted for backwards compatibility.
+LEGACY_EXTRA = ("all", "quickstart")
 
 
-def _experiments() -> Dict[str, Callable[[], None]]:
-    # Imported lazily so `--help` stays instant.
-    from repro.experiments import (
-        fig02_demand,
-        fig04_intensity,
-        fig05_utilization,
-        fig06_ve_idle,
-        fig07_hbm,
-        fig12_allocator,
-        fig16_neuisa_overhead,
-        fig19_22_serving,
-        fig23_harvest,
-        fig24_assignment,
-        fig25_scaling,
-        fig26_bandwidth,
-        fig27_llm,
-        hwcost,
+def _deprecated(old: str, new: str) -> None:
+    print(
+        f"note: `{old}` is deprecated; use `{new}` "
+        "(see `python -m repro.cli --help`)",
+        file=sys.stderr,
     )
-    import repro
-
-    return {
-        "fig02": fig02_demand.main,
-        "fig04": fig04_intensity.main,
-        "fig05": fig05_utilization.main,
-        "fig06": fig06_ve_idle.main,
-        "fig07": fig07_hbm.main,
-        "fig12": fig12_allocator.main,
-        "fig16": fig16_neuisa_overhead.main,
-        "fig19": fig19_22_serving.main,
-        "fig23": fig23_harvest.main,
-        "fig24": fig24_assignment.main,
-        "fig25": fig25_scaling.main,
-        "fig26": fig26_bandwidth.main,
-        "fig27": fig27_llm.main,
-        "hwcost": hwcost.main,
-        "quickstart": repro.quickstart,
-    }
 
 
-def main(argv: List[str] = None) -> int:
-    argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] == "traffic":
-        # Flag-driven subcommand with its own parser.
-        from repro.traffic.cli import main as traffic_main
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+_TENANT_COLUMNS = (
+    # (metrics key, header, format)
+    ("name", "tenant", "{}"),
+    ("offered", "offered", "{}"),
+    ("completed", "done", "{}"),
+    ("completed_requests", "done", "{}"),
+    ("attainment", "attain", "{:.1%}"),
+    ("goodput_rps", "goodput/s", "{:.0f}"),
+    ("throughput_rps", "thr/s", "{:.0f}"),
+    ("p95_latency_cycles", "p95(cyc)", "{:.0f}"),
+    ("mean_latency_cycles", "mean(cyc)", "{:.0f}"),
+    ("me_utilization", "ME", "{:.1%}"),
+    ("ve_utilization", "VE", "{:.1%}"),
+)
 
-        return traffic_main(argv[1:])
 
-    parser = argparse.ArgumentParser(
-        prog="repro.cli",
-        description="Run Neu10 reproduction experiments (MICRO 2024).",
+def _print_tenant_table(tenants: Sequence[Dict[str, Any]]) -> None:
+    columns = [
+        (key, header, fmt)
+        for key, header, fmt in _TENANT_COLUMNS
+        if all(key in t for t in tenants)
+    ]
+    rows = [
+        [fmt.format(t[key]) for key, _h, fmt in columns] for t in tenants
+    ]
+    headers = [header for _k, header, _f in columns]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows))
+        for i in range(len(headers))
+    ]
+    print("  " + "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)))
+    for row in rows:
+        print("  " + "  ".join(c.rjust(widths[i]) for i, c in enumerate(row)))
+
+
+def _print_result(result) -> None:
+    scheme = f" scheme={result.scheme}" if result.scheme else ""
+    print(f"==== {result.scenario} [{result.kind}]{scheme}")
+    metrics = dict(result.metrics)
+    tenants = metrics.pop("tenants", None)
+    if isinstance(tenants, list) and tenants:
+        _print_tenant_table(tenants)
+    for key, value in metrics.items():
+        if isinstance(value, float):
+            print(f"  {key}: {value:.6g}")
+        elif isinstance(value, (int, str, bool)) or value is None:
+            print(f"  {key}: {value}")
+        else:
+            blob = json.dumps(value, indent=2, default=list)
+            indented = "\n".join("    " + line for line in blob.splitlines())
+            print(f"  {key}:\n{indented}")
+
+
+def _emit(results: List, as_json: bool, output: Optional[str] = None) -> None:
+    payload = (
+        results[0].to_dict() if len(results) == 1
+        else [r.to_dict() for r in results]
     )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        default=["list"],
-        help="experiment names (see `list`), or `all`",
-    )
-    args = parser.parse_args(argv)
-    registry = _experiments()
+    text = json.dumps(payload, indent=2, default=list)
+    if not as_json:
+        for result in results:
+            _print_result(result)
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    elif as_json:
+        print(text)
 
-    requested = list(args.experiments)
-    if requested == ["list"] or not requested:
-        print("Available experiments:")
-        for name in registry:
-            print(f"  {name}")
-        print("  all")
-        print("  traffic  (open-loop serving; see `traffic --help`)")
+
+# ----------------------------------------------------------------------
+# Subcommand: run
+# ----------------------------------------------------------------------
+def _select_scenarios(args: argparse.Namespace) -> List:
+    """Load the file's scenarios, honouring --scenario NAME."""
+    from repro.api import load_scenarios
+
+    scenarios = load_scenarios(args.scenario_file)
+    if args.scenario is not None:
+        scenarios = [s for s in scenarios if s.name == args.scenario]
+        if not scenarios:
+            from repro.errors import ConfigError
+
+            raise ConfigError(
+                f"no scenario named {args.scenario!r} in "
+                f"{args.scenario_file}"
+            )
+    return scenarios
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.api import run_scenario
+
+    results = [run_scenario(s) for s in _select_scenarios(args)]
+    _emit(results, args.json, args.output)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Subcommand: sweep
+# ----------------------------------------------------------------------
+def _parse_value(raw: str) -> Any:
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import load_scenario, sweep_scenario
+
+    scenario = load_scenario(args.scenario_file, name=args.scenario)
+    values = (
+        [_parse_value(v) for v in args.values.split(",")]
+        if args.values is not None
+        else None
+    )
+    results = sweep_scenario(
+        scenario, param=args.param, values=values, max_workers=args.workers
+    )
+    _emit(results, args.json, args.output)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Subcommand: list
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.api import (
+        ARRIVALS,
+        FIGURES,
+        SCHEDULERS,
+        SCENARIO_KINDS,
+        workload_names,
+    )
+
+    if args.json:
+        print(json.dumps({
+            "figures": {
+                name: info.description for name, info in FIGURES.items()
+            },
+            "schemes": {
+                name: {"isa": info.isa, "default": info.default,
+                       "description": info.description}
+                for name, info in SCHEDULERS.items()
+            },
+            "arrivals": {
+                name: info.description for name, info in ARRIVALS.items()
+            },
+            "workloads": list(workload_names()),
+            "scenario_kinds": list(SCENARIO_KINDS),
+        }, indent=2))
         return 0
-    if requested == ["all"]:
-        requested = [n for n in registry if n != "quickstart"]
+    print("Scenario kinds (for `repro run <file.yaml>`):")
+    print("  " + ", ".join(SCENARIO_KINDS))
+    print("Figure experiments (for `repro fig <name>`):")
+    for name, info in FIGURES.items():
+        print(f"  {name:10s} {info.description}")
+    print("Scheduler schemes:")
+    for name, info in SCHEDULERS.items():
+        flag = "" if info.default else "  (extra)"
+        print(f"  {name:16s} isa={info.isa}{flag}  {info.description}")
+    print("Arrival processes:")
+    for name, info in ARRIVALS.items():
+        print(f"  {name:10s} {info.description}")
+    print("Workloads:")
+    print("  " + ", ".join(workload_names()))
+    print("Legacy: traffic  (open-loop flags; prefer `run` with an "
+          "open_loop scenario)")
+    return 0
 
-    unknown = [n for n in requested if n not in registry]
+
+# ----------------------------------------------------------------------
+# Subcommand: fig
+# ----------------------------------------------------------------------
+def _run_figures(names: Sequence[str], as_json: bool) -> int:
+    """Run figure experiments; never abort the batch on one failure."""
+    from repro.api import FIGURES
+
+    unknown = [n for n in names if n not in FIGURES.names()]
     if unknown:
         print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
         return 2
 
-    for name in requested:
+    failures: List[str] = []
+    results = []
+    for name in names:
+        info = FIGURES.get(name)
         start = time.time()
-        print(f"==== {name} " + "=" * max(1, 60 - len(name)))
-        registry[name]()
-        print(f"---- {name} done in {time.time() - start:.1f}s\n")
+        if not as_json:
+            print(f"==== {name} " + "=" * max(1, 60 - len(name)))
+        try:
+            if as_json:
+                results.append(info.run_result())
+            elif info.render is not None:
+                info.render()
+            else:
+                _print_result(info.run_result())
+        except Exception as exc:  # noqa: BLE001 - keep the batch going
+            failures.append(name)
+            print(f"FAILED {name}: {type(exc).__name__}: {exc}",
+                  file=sys.stderr)
+        if not as_json:
+            print(f"---- {name} done in {time.time() - start:.1f}s\n")
+    if as_json:
+        _emit(results, as_json=True)
+    if failures:
+        print(f"{len(failures)} experiment(s) failed: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
     return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    from repro.api import FIGURES
+
+    names = list(args.names)
+    if args.all:
+        names = [n for n in FIGURES.names() if n != "ablations"] + (
+            ["ablations"] if "ablations" in names else []
+        )
+    if not names:
+        print("error: name at least one experiment (or --all); "
+              "see `repro list`", file=sys.stderr)
+        return 2
+    return _run_figures(names, args.json)
+
+
+# ----------------------------------------------------------------------
+# Subcommand: bench
+# ----------------------------------------------------------------------
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.api import RunResult, run_scenario
+    from repro.api.result import base_provenance
+
+    results = []
+    for scenario in _select_scenarios(args):
+        last = run_scenario(scenario)  # warm caches
+        best = float("inf")
+        for _ in range(max(1, args.repeats)):
+            t0 = time.perf_counter()
+            last = run_scenario(scenario)
+            best = min(best, time.perf_counter() - t0)
+        cycles = last.metrics.get("simulated_cycles")
+        metrics: Dict[str, Any] = {"wall_s": best}
+        if isinstance(cycles, (int, float)) and cycles > 0:
+            metrics["simulated_cycles"] = cycles
+            metrics["simulated_cycles_per_wall_s"] = cycles / best
+        results.append(RunResult(
+            scenario=scenario.name,
+            kind="bench",
+            scheme=last.scheme,
+            metrics=metrics,
+            metadata={"repeats": args.repeats, "benched_kind": scenario.kind},
+            provenance=base_provenance(
+                seed=scenario.seed, scenario_digest=scenario.digest()
+            ),
+        ))
+    _emit(results, args.json, args.output)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Legacy shims
+# ----------------------------------------------------------------------
+def _run_quickstart() -> int:
+    print("==== quickstart " + "=" * 50)
+    try:
+        import repro
+
+        repro.quickstart()
+    except Exception as exc:  # noqa: BLE001 - keep the batch going
+        print(f"FAILED quickstart: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _legacy_dispatch(argv: List[str]) -> Optional[int]:
+    """Handle pre-subcommand invocations; None = not legacy."""
+    if not argv or argv[0].startswith("-") or argv[0] in SUBCOMMANDS:
+        return None
+    from repro.api import FIGURES
+
+    tokens = list(argv)
+    known = set(FIGURES.names()) | set(LEGACY_EXTRA)
+    unknown = [t for t in tokens if t not in known]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if tokens == ["all"]:
+        _deprecated("all", "repro fig --all")
+        names = [n for n in FIGURES.names() if n != "ablations"]
+        return _run_figures(names, as_json=False)
+    fig_tokens = [t for t in tokens if t != "quickstart"]
+    hint = (f"repro fig {' '.join(fig_tokens)}" if fig_tokens
+            else "python examples/quickstart.py")
+    _deprecated(" ".join(tokens), hint)
+    # Run in the order given, quickstart included, never aborting the
+    # batch on one failure (mirrors the old sequential loop, minus the
+    # old behavior of dying mid-way and skipping the rest).
+    code = 0
+    for token in tokens:
+        code = max(
+            code,
+            _run_quickstart() if token == "quickstart"
+            else _run_figures([token], as_json=False),
+        )
+    return code
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Neu10 reproduction (MICRO 2024): scenarios, figures, "
+                    "benchmarks.",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    def add_io_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--json", action="store_true",
+                       help="emit the RunResult schema on stdout")
+        p.add_argument("--output", default=None,
+                       help="also write the JSON result(s) to a file")
+
+    p_run = sub.add_parser("run", help="run the scenario(s) in a YAML/JSON file")
+    p_run.add_argument("scenario_file")
+    p_run.add_argument("--scenario", default=None,
+                       help="pick one scenario by name from a multi-file")
+    add_io_flags(p_run)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run one scenario across several parameter values"
+    )
+    p_sweep.add_argument("scenario_file")
+    p_sweep.add_argument("--scenario", default=None)
+    p_sweep.add_argument("--param", default=None,
+                         help="scenario field to vary (e.g. load, scheme, "
+                              "hardware.num_mes); default: the file's sweep block")
+    p_sweep.add_argument("--values", default=None,
+                         help="comma-separated values (JSON literals)")
+    p_sweep.add_argument("--workers", type=int, default=None,
+                         help="process-pool width (default: auto)")
+    add_io_flags(p_sweep)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_list = sub.add_parser("list", help="list figures, schemes, arrivals, models")
+    p_list.add_argument("--json", action="store_true")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_fig = sub.add_parser("fig", help="run paper-figure experiments")
+    p_fig.add_argument("names", nargs="*", help="figure names (see `list`)")
+    p_fig.add_argument("--all", action="store_true",
+                       help="every figure experiment (ablations only when "
+                            "also named explicitly)")
+    p_fig.add_argument("--json", action="store_true",
+                       help="structured RunResults instead of reports")
+    p_fig.set_defaults(func=_cmd_fig)
+
+    p_bench = sub.add_parser("bench", help="time a scenario (cycles per wall-second)")
+    p_bench.add_argument("scenario_file")
+    p_bench.add_argument("--scenario", default=None)
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timed repetitions, best wins (default 3)")
+    add_io_flags(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+
+    if argv and argv[0] == "traffic":
+        # Flag-driven subcommand with its own parser (deprecated in
+        # favour of `run` with an open_loop/cluster scenario file).
+        _deprecated("traffic", "repro run <open-loop scenario.yaml>")
+        from repro.traffic.cli import main as traffic_main
+
+        return traffic_main(argv[1:])
+
+    legacy = _legacy_dispatch(argv)
+    if legacy is not None:
+        return legacy
+
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) is None:
+        parser.print_help()
+        return 0
+    try:
+        return args.func(args)
+    except Neu10Error as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -158,5 +158,35 @@ def main() -> None:
             )
 
 
+def run_result(w1: str = "DLRM", w2: str = "RtNt", target_requests: int = 3):
+    """Structured ablation metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    sections = {
+        "harvesting": ablate_harvesting(w1, w2, target_requests),
+        "reclaim_penalty": ablate_reclaim_penalty(
+            w1, w2, target_requests=target_requests
+        ),
+        "hbm_policy": ablate_hbm_policy(w1, w2, target_requests),
+        "ve_priority": ablate_ve_priority(w1, w2, target_requests),
+    }
+    metrics = {
+        section: {
+            str(key): {
+                "throughputs_rps": list(p.throughputs),
+                "p95_latency_cycles": list(p.p95s),
+                "me_utilization": p.me_utilization,
+                "preemptions": p.preemptions,
+            }
+            for key, p in points.items()
+        }
+        for section, points in sections.items()
+    }
+    return figure_result(
+        "ablations", metrics,
+        {"pair": f"{w1}+{w2}", "target_requests": target_requests},
+    )
+
+
 if __name__ == "__main__":
     main()

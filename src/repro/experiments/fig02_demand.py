@@ -103,5 +103,28 @@ def main() -> None:
         )
 
 
+def run_result(batch: int = 8, models=None):
+    """Structured Fig. 2/3 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    models = list(models) if models is not None else list(FIG2_MODELS)
+    per_model = {}
+    for model in models:
+        trace = run(model, batch=batch)
+        me_avg, ve_avg = trace.time_weighted_average()
+        n_me, n_ve = trace.demand_variance()
+        per_model[trace.model] = {
+            "duration_us": trace.duration_us,
+            "avg_demand_mes": me_avg,
+            "avg_demand_ves": ve_avg,
+            "distinct_me_levels": n_me,
+            "distinct_ve_levels": n_ve,
+        }
+    return figure_result(
+        "fig02", {"models": per_model},
+        {"batch": batch, "max_mes": FIG2_MAX_MES, "max_ves": FIG2_MAX_VES},
+    )
+
+
 if __name__ == "__main__":
     main()

@@ -65,5 +65,26 @@ def main() -> None:
     print(f"  VE-intensive at b8: {result.ve_intensive(8)}")
 
 
+def run_result(batches=None, models=None):
+    """Structured Fig. 4 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    batches = list(batches) if batches is not None else [8, 32]
+    result = run(batches=batches, models=models)
+    ratios = {
+        model: {str(batch): ratio for batch, ratio in per_batch.items()}
+        for model, per_batch in result.ratios.items()
+    }
+    return figure_result(
+        "fig04",
+        {
+            "ratios": ratios,
+            "me_intensive": result.me_intensive(),
+            "ve_intensive": result.ve_intensive(),
+        },
+        {"batches": batches},
+    )
+
+
 if __name__ == "__main__":
     main()

@@ -96,5 +96,20 @@ def main() -> None:
         )
 
 
+def run_result(batch: int = 8, models=None):
+    """Structured Fig. 5 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    models = list(models) if models is not None else list(FIG5_MODELS)
+    per_model = {}
+    for model in models:
+        trace = run(model, batch=batch)
+        per_model[trace.model] = {
+            "overall_me_utilization": trace.overall_me,
+            "overall_ve_utilization": trace.overall_ve,
+        }
+    return figure_result("fig05", {"models": per_model}, {"batch": batch})
+
+
 if __name__ == "__main__":
     main()

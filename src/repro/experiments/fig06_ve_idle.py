@@ -55,5 +55,22 @@ def main() -> None:
     )
 
 
+def run_result(num_mes: int = 2, num_ves: int = 2, pops: int = 16):
+    """Structured Fig. 6 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    res = run(num_mes=num_mes, num_ves=num_ves, pops=pops)
+    return figure_result(
+        "fig06",
+        {
+            "vliw_ve_idle_fraction": res.vliw_ve_idle_fraction,
+            "vliw_instructions": res.vliw_instructions,
+            "neuisa_utops": res.neuisa_utops,
+            "neuisa_dynamic_instructions": res.neuisa_dynamic_instructions,
+        },
+        {"num_mes": num_mes, "num_ves": num_ves, "pops": pops},
+    )
+
+
 if __name__ == "__main__":
     main()

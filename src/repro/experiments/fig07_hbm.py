@@ -77,5 +77,20 @@ def main() -> None:
         )
 
 
+def run_result(cases=None):
+    """Structured Fig. 7 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    cases = [tuple(c) for c in cases] if cases is not None else list(FIG7_CASES)
+    per_case = {}
+    for model, batch in cases:
+        tr = run(model, batch)
+        per_case[f"{tr.model}:b{batch}"] = {
+            "average_gbps": tr.average_gbps,
+            "peak_gbps": tr.peak_gbps,
+        }
+    return figure_result("fig07", {"cases": per_case}, {"n_cases": len(cases)})
+
+
 if __name__ == "__main__":
     main()

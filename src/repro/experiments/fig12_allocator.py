@@ -128,5 +128,32 @@ def main() -> None:
             )
 
 
+def run_result(models=None, budgets=None):
+    """Structured Fig. 12 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    models = list(models) if models is not None else list(FIG12_MODELS)
+    budgets = list(budgets) if budgets is not None else [4, 8, 12]
+    per_model = {}
+    for model in models:
+        batch = 8 if model == "SMask" else 32
+        sweep = run(model, batch=batch, budgets=budgets)
+        per_model[sweep.model] = {
+            "batch": batch,
+            "points": [
+                {
+                    "total_eus": p.total_eus,
+                    "selected": list(p.selected),
+                    "best": list(p.best),
+                    "efficiency": p.efficiency,
+                }
+                for p in sweep.points
+            ],
+        }
+    return figure_result(
+        "fig12", {"models": per_model}, {"budgets": budgets}
+    )
+
+
 if __name__ == "__main__":
     main()

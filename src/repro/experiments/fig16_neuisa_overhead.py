@@ -86,5 +86,26 @@ def main() -> None:
     )
 
 
+def run_result(models=None, batches=None):
+    """Structured Fig. 16 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    batches = list(batches) if batches is not None else [1, 8, 32]
+    result = run(models=models, batches=batches)
+    overhead = {
+        model: {str(batch): value for batch, value in per_batch.items()}
+        for model, per_batch in result.overhead.items()
+    }
+    return figure_result(
+        "fig16",
+        {
+            "overhead": overhead,
+            "average": result.average(),
+            "maximum": result.maximum(),
+        },
+        {"batches": batches},
+    )
+
+
 if __name__ == "__main__":
     main()

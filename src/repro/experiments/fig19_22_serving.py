@@ -151,7 +151,7 @@ def main() -> None:
     claims = expected.CLAIMS
 
     headers = ["pair"] + [
-        f"{s}:{w}" for s in ("pmt", "v10", "neu10-nh", "neu10") for w in ("W1", "W2")
+        f"{s}:{w}" for s in ALL_SCHEMES for w in ("W1", "W2")
     ]
     for title, attr in (
         ("Fig. 19: normalized p95 tail latency (PMT = 1.0)", "p95_latency_cycles"),
@@ -160,7 +160,7 @@ def main() -> None:
         rows = []
         for label, per_scheme in comparison.latency_rows(attr):
             cells = [label]
-            for scheme in ("pmt", "v10", "neu10-nh", "neu10"):
+            for scheme in ALL_SCHEMES:
                 cells.extend(f"{v:.2f}" for v in per_scheme[scheme])
             rows.append(cells)
         print(title)
@@ -170,7 +170,7 @@ def main() -> None:
     rows = []
     for label, per_scheme in comparison.throughput_rows():
         cells = [label]
-        for scheme in ("pmt", "v10", "neu10-nh", "neu10"):
+        for scheme in ALL_SCHEMES:
             cells.extend(f"{v:.2f}" for v in per_scheme[scheme])
         rows.append(cells)
     print("Fig. 21: normalized throughput (PMT = 1.0)")
@@ -205,6 +205,61 @@ def main() -> None:
         f"  Fig. 22 utilization vs PMT: ME {me_gain:.2f}x (paper "
         f"{claims.me_utilization_vs_pmt}x), VE {ve_gain:.2f}x (paper "
         f"{claims.ve_utilization_vs_pmt}x)"
+    )
+
+
+def run_result(
+    target_requests: int = DEFAULT_TARGET_REQUESTS,
+    pairs=None,
+    schemes=None,
+):
+    """Structured Figs. 19-22 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    pairs = [tuple(p) for p in pairs] if pairs is not None else None
+    schemes = tuple(schemes) if schemes is not None else ALL_SCHEMES
+    comparison = run(target_requests, pairs, schemes)
+    per_pair = {}
+    for pair_run in comparison.runs:
+        per_pair[pair_run.label] = {
+            scheme: {
+                "norm_p95": [
+                    pair_run.norm_latency(scheme, w, "p95_latency_cycles")
+                    for w in (0, 1)
+                ],
+                "norm_mean": [
+                    pair_run.norm_latency(scheme, w, "mean_latency_cycles")
+                    for w in (0, 1)
+                ],
+                "norm_throughput": [
+                    pair_run.norm_throughput(scheme, w) for w in (0, 1)
+                ],
+                "total_me_utilization":
+                    pair_run.results[scheme].total_me_utilization,
+                "total_ve_utilization":
+                    pair_run.results[scheme].total_ve_utilization,
+            }
+            for scheme in pair_run.results
+        }
+    tail_max, tail_geo = comparison.tail_gain_vs_v10()
+    me_gain, ve_gain = comparison.utilization_gain_vs_pmt()
+    metrics = {
+        "pairs": per_pair,
+        "tail_latency_gain_vs_v10_max": tail_max,
+        "tail_latency_gain_vs_v10_geomean": tail_geo,
+        "mean_latency_gain_vs_pmt": comparison.mean_latency_gain("pmt"),
+        "mean_latency_gain_vs_v10": comparison.mean_latency_gain("v10"),
+        "throughput_gain_low_contention_neu10":
+            comparison.throughput_gain_low_contention("neu10"),
+        "throughput_gain_vs_v10_max":
+            comparison.throughput_gain_vs_v10_max(),
+        "me_utilization_gain_vs_pmt": me_gain,
+        "ve_utilization_gain_vs_pmt": ve_gain,
+    }
+    return figure_result(
+        "fig19",
+        metrics,
+        {"target_requests": target_requests, "schemes": list(schemes)},
     )
 
 

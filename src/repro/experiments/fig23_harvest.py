@@ -99,5 +99,24 @@ def main() -> None:
         )
 
 
+def run_result(pairs=None, target_requests: int = DEFAULT_TARGET_REQUESTS):
+    """Structured Fig. 23 / Table III metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    pairs = [tuple(p) for p in pairs] if pairs is not None else None
+    breakdowns = run_table3(pairs, target_requests)
+    per_pair = {
+        b.pair: {
+            "median_speedup": [b.median_speedup(0), b.median_speedup(1)],
+            "blocked_fraction": [b.blocked[0], b.blocked[1]],
+            "tenants": [b.names[0], b.names[1]],
+        }
+        for b in breakdowns
+    }
+    return figure_result(
+        "fig23", {"pairs": per_pair}, {"target_requests": target_requests}
+    )
+
+
 if __name__ == "__main__":
     main()

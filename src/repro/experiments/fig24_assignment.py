@@ -92,5 +92,25 @@ def main() -> None:
             )
 
 
+def run_result(pairs=None, target_requests: int = DEFAULT_TARGET_REQUESTS):
+    """Structured Fig. 24 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    pairs = [tuple(p) for p in pairs] if pairs is not None else list(FIG24_PAIRS)
+    per_pair = {}
+    for w1, w2 in pairs:
+        trace = run(w1, w2, target_requests)
+        per_pair[trace.pair] = {
+            name: {
+                "me_range": list(trace.me_range(name)),
+                "harvested_fraction": trace.harvested_fraction(name, home=2.0),
+            }
+            for name in trace.series
+        }
+    return figure_result(
+        "fig24", {"pairs": per_pair}, {"target_requests": target_requests}
+    )
+
+
 if __name__ == "__main__":
     main()

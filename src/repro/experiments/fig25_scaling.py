@@ -82,5 +82,39 @@ def main() -> None:
         print(f"  {result.pair:12s} {cells}")
 
 
+def run_result(
+    pairs=None, configs=None, target_requests: int = DEFAULT_TARGET_REQUESTS
+):
+    """Structured Fig. 25 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    pairs = (
+        [tuple(p) for p in pairs]
+        if pairs is not None
+        else [("DLRM", "RtNt"), ("ENet", "TFMR"), ("RNRS", "RtNt")]
+    )
+    configs = (
+        [tuple(c) for c in configs] if configs is not None else [(2, 2), (4, 4), (8, 8)]
+    )
+    per_pair = {}
+    for w1, w2 in pairs:
+        result = run(w1, w2, configs=configs, target_requests=target_requests)
+        per_pair[result.pair] = {
+            f"{mes}ME-{ves}VE": {
+                "normalized_throughput": dict(point),
+                "gap": result.gap((mes, ves)),
+            }
+            for (mes, ves), point in result.points.items()
+        }
+    return figure_result(
+        "fig25",
+        {"pairs": per_pair},
+        {
+            "configs": [list(c) for c in configs],
+            "target_requests": target_requests,
+        },
+    )
+
+
 if __name__ == "__main__":
     main()

@@ -70,5 +70,33 @@ def main() -> None:
         print(f"  {result.pair:12s} {cells}")
 
 
+def run_result(
+    pairs=None,
+    bandwidths_gbps=None,
+    target_requests: int = DEFAULT_TARGET_REQUESTS,
+):
+    """Structured Fig. 26 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    pairs = (
+        [tuple(p) for p in pairs]
+        if pairs is not None
+        else MEMORY_INTENSIVE_PAIRS + [("DLRM", "RtNt"), ("ENet", "TFMR")]
+    )
+    bandwidths = (
+        list(bandwidths_gbps) if bandwidths_gbps is not None else [900, 1200, 3000]
+    )
+    per_pair = {}
+    for w1, w2 in pairs:
+        result = run(w1, w2, bandwidths_gbps=bandwidths,
+                     target_requests=target_requests)
+        per_pair[result.pair] = {
+            str(bw): result.speedup[bw] for bw in sorted(result.speedup)
+        }
+    return figure_result(
+        "fig26", {"pairs": per_pair}, {"bandwidths_gbps": bandwidths}
+    )
+
+
 if __name__ == "__main__":
     main()

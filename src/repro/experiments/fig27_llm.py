@@ -93,5 +93,29 @@ def main() -> None:
         )
 
 
+def run_result(collocated_models=None, target_requests: int = 2):
+    """Structured Fig. 27 metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    models = (
+        list(collocated_models)
+        if collocated_models is not None
+        else [c for _llm, c in FIG27_PAIRS]
+    )
+    per_pair = {}
+    for collocated in models:
+        result = run(collocated, target_requests=target_requests)
+        per_pair[result.pair] = {
+            "collocated_gain": result.collocated_gain(),
+            "llm_slowdown": result.llm_slowdown(),
+            "me_utilization": {
+                scheme: util[0] for scheme, util in result.utilization.items()
+            },
+        }
+    return figure_result(
+        "fig27", {"pairs": per_pair}, {"target_requests": target_requests}
+    )
+
+
 if __name__ == "__main__":
     main()

@@ -25,5 +25,24 @@ def main() -> None:
           f"(paper: {CLAIMS.scheduler_area_fraction*100:.2f}%)")
 
 
+def run_result():
+    """Structured scheduler-cost metrics (see :mod:`repro.api`)."""
+    from repro.api.result import figure_result
+
+    cost = run()
+    return figure_result(
+        "hwcost",
+        {
+            "context_bytes": cost.context_bytes,
+            "queue_bytes": cost.queue_bytes,
+            "table_bytes": cost.table_bytes,
+            "total_bytes": cost.total_bytes,
+            "area_mm2": cost.area_mm2,
+            "die_percent": cost.die_percent,
+        },
+        {"paper_die_percent": CLAIMS.scheduler_area_fraction * 100},
+    )
+
+
 if __name__ == "__main__":
     main()

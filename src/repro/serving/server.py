@@ -11,15 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.baselines.pmt import PmtScheduler
-from repro.baselines.v10 import V10Scheduler
+from repro.api import registries
 from repro.config import DEFAULT_CORE, NpuCoreConfig
-from repro.errors import ConfigError
 from repro.serving.metrics import PairMetrics, TenantMetrics
 from repro.sim.engine import SimResult, Simulator, Tenant
-from repro.sim.sched_neu10 import Neu10Scheduler
-from repro.sim.sched_static import StaticPartitionScheduler
-from repro.sim.sched_temporal import TemporalNeu10Scheduler
 from repro.sim.scheduler_base import SchedulerBase
 from repro.workloads.traces import build_trace
 
@@ -29,30 +24,23 @@ SCHEME_NEU10_NH = "neu10-nh"
 SCHEME_NEU10 = "neu10"
 SCHEME_TEMPORAL = "neu10-temporal"
 
-ALL_SCHEMES = (SCHEME_PMT, SCHEME_V10, SCHEME_NEU10_NH, SCHEME_NEU10)
+#: The paper's default comparison set -- a snapshot of the scheduler
+#: registry (:data:`repro.api.registries.SCHEDULERS`) at import time,
+#: kept for backwards compatibility.  Code that must see schemes
+#: registered later should call
+#: :func:`repro.api.registries.default_scheme_names` instead.
+ALL_SCHEMES = registries.default_scheme_names()
 
-#: Which ISA each scheme's workloads are compiled with.
-SCHEME_ISA = {
-    SCHEME_PMT: "vliw",
-    SCHEME_V10: "vliw",
-    SCHEME_NEU10_NH: "neuisa",
-    SCHEME_NEU10: "neuisa",
-    SCHEME_TEMPORAL: "neuisa",
-}
+#: Which ISA each scheme's workloads are compiled with.  A snapshot of
+#: the registry at import time, kept for backwards compatibility --
+#: prefer :func:`repro.api.registries.scheme_isa`, which also sees
+#: schemes registered later.
+SCHEME_ISA = registries.scheme_isa_map()
 
 
 def make_scheduler(scheme: str) -> SchedulerBase:
-    if scheme == SCHEME_PMT:
-        return PmtScheduler()
-    if scheme == SCHEME_V10:
-        return V10Scheduler()
-    if scheme == SCHEME_NEU10_NH:
-        return StaticPartitionScheduler()
-    if scheme == SCHEME_NEU10:
-        return Neu10Scheduler()
-    if scheme == SCHEME_TEMPORAL:
-        return TemporalNeu10Scheduler()
-    raise ConfigError(f"unknown scheme {scheme!r}")
+    """Instantiate a fresh scheduler (delegates to the registry)."""
+    return registries.make_scheduler(scheme)
 
 
 @dataclass
@@ -82,7 +70,7 @@ class ServingConfig:
 def _build_tenants(
     specs: Sequence[WorkloadSpec], scheme: str, cfg: ServingConfig
 ) -> List[Tenant]:
-    isa = SCHEME_ISA[scheme]
+    isa = registries.scheme_isa(scheme)
     tenants: List[Tenant] = []
     default_mes = max(1, cfg.core.num_mes // max(1, len(specs)))
     default_ves = max(1, cfg.core.num_ves // max(1, len(specs)))

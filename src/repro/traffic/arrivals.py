@@ -189,7 +189,75 @@ def load_trace_csv(path: str, frequency_hz: Optional[float] = None) -> List[floa
     return sorted(times)
 
 
-ARRIVAL_KINDS = ("poisson", "bursty", "diurnal", "trace")
+# ----------------------------------------------------------------------
+# Builders (the entries the ARRIVALS registry exposes)
+#
+# Every builder takes ``(mean_rate_per_cycle, **kwargs)`` and ignores
+# the kwargs it does not use, so one factory signature serves every
+# kind -- including third-party processes registered through
+# :data:`repro.api.registries.ARRIVALS`.
+# ----------------------------------------------------------------------
+def build_poisson(mean_rate_per_cycle: float, **_kwargs) -> ArrivalProcess:
+    return PoissonProcess(mean_rate_per_cycle)
+
+
+def build_bursty(
+    mean_rate_per_cycle: float,
+    *,
+    duration_cycles: Optional[float] = None,
+    mean_on_cycles: Optional[float] = None,
+    mean_off_cycles: Optional[float] = None,
+    **_kwargs,
+) -> ArrivalProcess:
+    # Default each dwell time independently (~10 bursts per window
+    # with a 1:3 duty cycle) so a supplied value is never discarded.
+    if (mean_on_cycles is None or mean_off_cycles is None) and (
+        duration_cycles is None
+    ):
+        raise ConfigError("bursty arrivals need durations or a window")
+    if mean_on_cycles is None:
+        mean_on_cycles = duration_cycles / 40.0
+    if mean_off_cycles is None:
+        mean_off_cycles = 3.0 * duration_cycles / 40.0
+    return OnOffProcess(mean_rate_per_cycle, mean_on_cycles, mean_off_cycles)
+
+
+def build_diurnal(
+    mean_rate_per_cycle: float,
+    *,
+    duration_cycles: Optional[float] = None,
+    period_cycles: Optional[float] = None,
+    amplitude: float = 0.8,
+    **_kwargs,
+) -> ArrivalProcess:
+    if period_cycles is None:
+        if duration_cycles is None:
+            raise ConfigError("diurnal arrivals need a period or a window")
+        period_cycles = duration_cycles / 2.0
+    return DiurnalProcess(mean_rate_per_cycle, period_cycles, amplitude)
+
+
+def build_trace_process(
+    mean_rate_per_cycle: float,
+    *,
+    trace_times: Optional[Sequence[float]] = None,
+    **_kwargs,
+) -> ArrivalProcess:
+    del mean_rate_per_cycle  # the replayed timestamps define the rate
+    if trace_times is None:
+        raise ConfigError("trace arrivals need timestamps")
+    return TraceProcess(trace_times)
+
+
+#: Built-in builders; the single source the ARRIVALS registry loads.
+BUILDERS = {
+    "poisson": build_poisson,
+    "bursty": build_bursty,
+    "diurnal": build_diurnal,
+    "trace": build_trace_process,
+}
+
+ARRIVAL_KINDS = tuple(BUILDERS)
 
 
 def make_arrival_process(
@@ -205,33 +273,21 @@ def make_arrival_process(
 ) -> ArrivalProcess:
     """Factory used by the CLI and the open-loop runners.
 
-    Burst/period defaults are derived from ``duration_cycles`` so a bare
-    ``--arrival bursty`` or ``--arrival diurnal`` is immediately usable.
+    Dispatches through :data:`repro.api.registries.ARRIVALS`, so kinds
+    registered by third parties are constructed the same way as the
+    built-ins.  Burst/period defaults are derived from
+    ``duration_cycles`` so a bare ``--arrival bursty`` or ``--arrival
+    diurnal`` is immediately usable.
     """
-    if kind == "poisson":
-        return PoissonProcess(mean_rate_per_cycle)
-    if kind == "bursty":
-        # Default each dwell time independently (~10 bursts per window
-        # with a 1:3 duty cycle) so a supplied value is never discarded.
-        if (mean_on_cycles is None or mean_off_cycles is None) and (
-            duration_cycles is None
-        ):
-            raise ConfigError("bursty arrivals need durations or a window")
-        if mean_on_cycles is None:
-            mean_on_cycles = duration_cycles / 40.0
-        if mean_off_cycles is None:
-            mean_off_cycles = 3.0 * duration_cycles / 40.0
-        return OnOffProcess(mean_rate_per_cycle, mean_on_cycles, mean_off_cycles)
-    if kind == "diurnal":
-        if period_cycles is None:
-            if duration_cycles is None:
-                raise ConfigError("diurnal arrivals need a period or a window")
-            period_cycles = duration_cycles / 2.0
-        return DiurnalProcess(mean_rate_per_cycle, period_cycles, amplitude)
-    if kind == "trace":
-        if trace_times is None:
-            raise ConfigError("trace arrivals need timestamps")
-        return TraceProcess(trace_times)
-    raise ConfigError(
-        f"unknown arrival kind {kind!r} (choose from {', '.join(ARRIVAL_KINDS)})"
+    from repro.api.registries import ARRIVALS
+
+    info = ARRIVALS.get(kind)
+    return info.builder(
+        mean_rate_per_cycle,
+        duration_cycles=duration_cycles,
+        mean_on_cycles=mean_on_cycles,
+        mean_off_cycles=mean_off_cycles,
+        period_cycles=period_cycles,
+        amplitude=amplitude,
+        trace_times=trace_times,
     )

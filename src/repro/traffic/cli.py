@@ -16,10 +16,9 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
+from repro.api.registries import all_scheme_names, arrival_kind_names
 from repro.config import DEFAULT_CORE, DEFAULT_SEED
 from repro.errors import Neu10Error
-from repro.serving.server import ALL_SCHEMES, SCHEME_TEMPORAL
-from repro.traffic.arrivals import ARRIVAL_KINDS
 from repro.traffic.cluster_sim import (
     ChurnEvent,
     ClusterTrafficConfig,
@@ -31,8 +30,6 @@ from repro.traffic.openloop import (
     run_open_loop,
 )
 from repro.traffic.slo import SloReport
-
-_SCHEMES = tuple(ALL_SCHEMES) + (SCHEME_TEMPORAL,)
 
 
 def _parse_models(raw: str) -> List[TrafficTenantSpec]:
@@ -142,9 +139,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro.cli traffic",
         description="Open-loop traffic simulation (SLO attainment under load).",
     )
-    parser.add_argument("--scheme", default="neu10", choices=_SCHEMES)
+    parser.add_argument("--scheme", default="neu10",
+                        choices=all_scheme_names())
     parser.add_argument("--arrival", default="poisson",
-                        choices=[k for k in ARRIVAL_KINDS if k != "trace"])
+                        choices=arrival_kind_names(generative_only=True))
     parser.add_argument("--load", type=float, default=0.8,
                         help="offered load as a fraction of per-tenant capacity")
     parser.add_argument("--duration-s", type=float, default=0.002,

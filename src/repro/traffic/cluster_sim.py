@@ -24,7 +24,8 @@ from repro.cluster.placement import LeastLoadedPolicy, PlacementPolicy
 from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig, spawn_rng
 from repro.errors import ConfigError
 from repro.parallel import parallel_map
-from repro.serving.server import SCHEME_ISA, make_scheduler
+from repro.api.registries import SCHEDULERS, scheme_isa
+from repro.serving.server import make_scheduler
 from repro.sim.engine import Simulator, Tenant
 from repro.traffic.openloop import (
     OpenLoopConfig,
@@ -160,7 +161,7 @@ def _simulate_host_segment(
     job: _HostSegmentJob,
 ) -> Tuple[str, float, float, float, List[Tuple[str, SloReport]]]:
     """Worker entry point: simulate one host over one segment."""
-    isa = SCHEME_ISA[job.scheme]
+    isa = scheme_isa(job.scheme)
     tenants: List[Tenant] = []
     for idx, tj in enumerate(job.tenants):
         trace = build_trace(tj.model, tj.batch, core=job.host_core)
@@ -237,8 +238,7 @@ def run_cluster_traffic(
     rejected: List[str] = []
     reports: Dict[str, SloReport] = {}
     busy: Dict[str, Tuple[float, float]] = {h.name: (0.0, 0.0) for h in hosts}
-    if cfg.scheme not in SCHEME_ISA:
-        raise ConfigError(f"unknown scheme {cfg.scheme!r}")
+    SCHEDULERS.get(cfg.scheme)  # helpful unknown-scheme error up front
 
     def apply_events(at: float) -> None:
         for ev in ordered:

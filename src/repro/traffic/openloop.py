@@ -20,7 +20,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig, spawn_rng
 from repro.errors import ConfigError
-from repro.serving.server import SCHEME_ISA, make_scheduler
+from repro.api.registries import scheme_isa
+from repro.serving.server import make_scheduler
 from repro.sim.engine import Simulator, Tenant
 from repro.traffic.arrivals import ArrivalProcess, make_arrival_process
 from repro.traffic.slo import SloReport, SloSpec, build_slo_report
@@ -117,7 +118,7 @@ def _calibrate_cached(
     tenant = Tenant(
         tenant_id=0,
         name=trace.abbrev,
-        graph=trace.compiled(SCHEME_ISA[scheme]),
+        graph=trace.compiled(scheme_isa(scheme)),
         alloc_mes=alloc_mes,
         alloc_ves=alloc_ves,
         target_requests=3,
@@ -172,7 +173,7 @@ def run_open_loop(
     core = cfg.core
     duration_cycles = core.seconds_to_cycles(cfg.duration_s)
     allocs = _default_allocs(specs, core)
-    isa = SCHEME_ISA[scheme]
+    isa = scheme_isa(scheme)
 
     tenants: List[Tenant] = []
     targets: Dict[int, float] = {}

@@ -75,12 +75,31 @@ def model_names(include_llm: bool = False) -> List[str]:
     return names
 
 
+def catalog_entries() -> List[ModelInfo]:
+    """Table I entries in catalog order (one per model, no aliases)."""
+    return list(_ENTRIES)
+
+
 def model_info(name: str) -> ModelInfo:
-    if name not in CATALOG:
+    if name in CATALOG:
+        return CATALOG[name]
+    # Third-party models plug in through the workload registry; anything
+    # registered there serves through build_trace like a builtin.
+    from repro.api.registries import WORKLOADS
+
+    if name in WORKLOADS:
+        info = WORKLOADS.get(name)
+        if isinstance(info, ModelInfo):
+            return info
         raise ConfigError(
-            f"unknown model {name!r}; known: {sorted(set(i.name for i in _ENTRIES))}"
+            f"workload registry entry {name!r} is not a ModelInfo "
+            f"(got {type(info).__name__}); register a "
+            "repro.workloads.catalog.ModelInfo so build_trace can use it"
         )
-    return CATALOG[name]
+    raise ConfigError(
+        f"unknown model {name!r}; known: "
+        f"{sorted(set(i.name for i in _ENTRIES) | set(WORKLOADS.names()))}"
+    )
 
 
 def build_model(name: str, batch: int) -> Graph:

@@ -1,0 +1,216 @@
+"""The redesigned CLI: subcommands, --json schema, legacy shims."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import FIGURES, validate_run_result
+from repro.api.figures import FigureInfo
+from repro.cli import main as cli_main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SMOKE_YAML = REPO_ROOT / "examples" / "scenarios" / "smoke.yaml"
+SHOWCASE_YAML = REPO_ROOT / "examples" / "scenarios" / "showcase.yaml"
+
+TINY_SCENARIO = {
+    "name": "tiny",
+    "kind": "open_loop",
+    "scheme": "neu10",
+    "duration_s": 0.0003,
+    "load": 0.8,
+    "seed": 7,
+    "tenants": [{"model": "MNIST", "batch": 8}],
+    "sweep": {"param": "load", "values": [0.5, 1.0]},
+}
+
+
+@pytest.fixture
+def tiny_file(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(TINY_SCENARIO), encoding="utf-8")
+    return str(path)
+
+
+# ----------------------------------------------------------------------
+# run
+# ----------------------------------------------------------------------
+def test_run_json_emits_valid_runresult(tiny_file, capsys):
+    assert cli_main(["run", tiny_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    validate_run_result(payload)
+    assert payload["scenario"] == "tiny"
+    assert payload["metrics"]["simulated_cycles"] > 0
+
+
+def test_run_human_output(tiny_file, capsys):
+    assert cli_main(["run", tiny_file]) == 0
+    out = capsys.readouterr().out
+    assert "tiny [open_loop]" in out
+    assert "MNIST" in out and "attain" in out
+
+
+def test_run_checked_in_smoke_scenario(capsys):
+    pytest.importorskip("yaml")
+    assert cli_main(["run", str(SMOKE_YAML), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    validate_run_result(payload)
+    assert payload["kind"] == "open_loop"
+
+
+def test_run_showcase_selects_by_name(capsys):
+    pytest.importorskip("yaml")
+    code = cli_main([
+        "run", str(SHOWCASE_YAML), "--scenario", "figure-ve-idle", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    validate_run_result(payload)
+    assert payload["kind"] == "figure"
+
+
+def test_run_missing_file_returns_one(capsys):
+    assert cli_main(["run", "/nonexistent/file.yaml", "--json"]) == 1
+    assert "not found" in capsys.readouterr().err
+
+
+def test_run_output_file(tiny_file, tmp_path, capsys):
+    out_path = tmp_path / "result.json"
+    assert cli_main(["run", tiny_file, "--json",
+                     "--output", str(out_path)]) == 0
+    validate_run_result(json.loads(out_path.read_text(encoding="utf-8")))
+
+
+# ----------------------------------------------------------------------
+# sweep
+# ----------------------------------------------------------------------
+def test_sweep_uses_embedded_block(tiny_file, capsys):
+    assert cli_main(["sweep", tiny_file, "--json", "--workers", "1"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [p["scenario"] for p in payload] == [
+        "tiny@load=0.5", "tiny@load=1.0",
+    ]
+    for item in payload:
+        validate_run_result(item)
+
+
+def test_sweep_param_values_override(tiny_file, capsys):
+    code = cli_main([
+        "sweep", tiny_file, "--param", "scheme",
+        "--values", "pmt,neu10", "--json", "--workers", "1",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert [p["scheme"] for p in payload] == ["pmt", "neu10"]
+
+
+# ----------------------------------------------------------------------
+# list / fig
+# ----------------------------------------------------------------------
+def test_list_json_names_every_registry(capsys):
+    assert cli_main(["list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "fig19" in payload["figures"]
+    assert "neu10" in payload["schemes"]
+    assert "poisson" in payload["arrivals"]
+    assert "MNIST" in payload["workloads"]
+
+
+def test_fig_json_emits_runresult(capsys):
+    assert cli_main(["fig", "hwcost", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    validate_run_result(payload)
+    assert payload["scenario"] == "hwcost"
+
+
+def test_fig_unknown_name_returns_two(capsys):
+    assert cli_main(["fig", "fig99"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Exit-code satellite: a failing experiment must not be silent
+# ----------------------------------------------------------------------
+def test_failing_experiment_returns_nonzero_but_finishes_batch(capsys):
+    def boom():
+        raise RuntimeError("injected failure")
+
+    FIGURES.add("boom", FigureInfo(name="boom", run_result=boom,
+                                   render=boom, description="test"))
+    try:
+        code = cli_main(["fig", "hwcost", "boom"])
+    finally:
+        FIGURES.remove("boom")
+    captured = capsys.readouterr()
+    assert code == 1
+    # hwcost still ran to completion...
+    assert "uTOp scheduler hardware cost" in captured.out
+    # ...and the failure is reported loudly.
+    assert "FAILED boom" in captured.err
+    assert "injected failure" in captured.err
+
+
+def test_legacy_all_propagates_failures(capsys, monkeypatch):
+    """`all` used to swallow nothing but also ran minutes of work; patch
+    the registry down to two entries to prove the exit-code contract."""
+    def boom():
+        raise RuntimeError("kaboom")
+
+    fake = {
+        "hwcost": FIGURES.get("hwcost"),
+        "broken": FigureInfo(name="broken", run_result=boom, render=boom),
+    }
+    monkeypatch.setattr(FIGURES, "names", lambda: tuple(fake))
+    monkeypatch.setattr(FIGURES, "get", lambda name: fake[name])
+    assert cli_main(["all"]) == 1
+    captured = capsys.readouterr()
+    assert "FAILED broken" in captured.err
+    assert "deprecated" in captured.err
+
+
+# ----------------------------------------------------------------------
+# Legacy shims
+# ----------------------------------------------------------------------
+def test_legacy_positional_experiment_still_works(capsys):
+    assert cli_main(["hwcost"]) == 0
+    captured = capsys.readouterr()
+    assert "uTOp scheduler hardware cost" in captured.out
+    assert "deprecated" in captured.err
+
+
+def test_legacy_quickstart_mixes_with_figures(capsys):
+    assert cli_main(["quickstart", "hwcost"]) == 0
+    captured = capsys.readouterr()
+    assert "quickstart" in captured.out
+    assert "uTOp scheduler hardware cost" in captured.out
+    assert "deprecated" in captured.err
+
+
+def test_sweep_values_without_param_overrides_block(tiny_file, capsys):
+    code = cli_main(["sweep", tiny_file, "--values", "0.7",
+                     "--json", "--workers", "1"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["scenario"] == "tiny@load=0.7"
+    assert payload["metadata"]["load"] == 0.7
+
+
+def test_legacy_unknown_experiment_returns_two(capsys):
+    assert cli_main(["frobnicate"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_legacy_traffic_subcommand_still_works(capsys):
+    code = cli_main([
+        "traffic", "--scheme", "neu10", "--load", "0.8",
+        "--duration-s", "0.0003",
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "attain" in captured.out
+    assert "deprecated" in captured.err
+
+
+def test_no_arguments_prints_help(capsys):
+    assert cli_main([]) == 0
+    assert "run" in capsys.readouterr().out
