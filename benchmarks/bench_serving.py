@@ -10,7 +10,11 @@ each, how fast the simulator chews through simulated time:
   headline scenario, comparable across PRs);
 - ``load_sweep``     -- several open-loop load points fanned out over
   ``repro.api.sweep_scenario`` (scales with worker processes);
-- ``cluster_churn``  -- the cluster churn driver over the orchestrator.
+- ``cluster_churn``  -- the cluster churn driver over the orchestrator;
+- ``cluster_autoscale`` -- the elastic control loop: a traffic spike
+  served by the SLO-burn-rate autoscaler vs. static provisioning at the
+  same mean host count (reports both attainments; the autoscaled run
+  must win).
 
 Every mode is a declarative :class:`repro.api.Scenario` executed through
 :func:`repro.api.run_scenario` -- the same path ``repro run`` takes --
@@ -38,7 +42,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro.api import (
     Scenario,
+    ScenarioAutoscaler,
     ScenarioChurn,
+    ScenarioPool,
     ScenarioTenant,
     run_scenario,
     sweep_scenario,
@@ -205,11 +211,91 @@ def bench_cluster_churn(quick: bool, repeats: int) -> Dict:
     }
 
 
+def _autoscale_scenario(end_s: float, policy: str,
+                        initial_hosts: int) -> Scenario:
+    """A traffic spike: 2 steady tenants, 6 more for the middle 40%.
+
+    Tenants ask 1 ME / 1 VE so admission never rejects; what moves SLO
+    attainment is harvesting headroom, i.e. how many tenants share a
+    host.  The reactive policy grows the fleet for the spike and drains
+    it afterwards; the ``static`` policy pins ``initial_hosts`` (same
+    observation boundaries, hence identical arrival draws).
+    """
+    churn = [
+        ScenarioChurn(0.0, "arrive", f"base{i}", model="MNIST", batch=8,
+                      num_mes=1, num_ves=1)
+        for i in range(2)
+    ]
+    churn += [
+        ScenarioChurn(end_s * 0.25, "arrive", f"peak{i}", model="MNIST",
+                      batch=8, num_mes=1, num_ves=1)
+        for i in range(6)
+    ]
+    churn += [
+        ScenarioChurn(end_s * 0.65, "depart", f"peak{i}") for i in range(6)
+    ]
+    return Scenario(
+        name=f"bench-cluster-autoscale-{policy}",
+        kind="cluster",
+        scheme=SCHEME,
+        arrival="poisson",
+        load=0.5,
+        duration_s=end_s,
+        seed=SEED,
+        churn=tuple(churn),
+        pools=(ScenarioPool(name="pool", min_hosts=1, max_hosts=4,
+                            initial_hosts=initial_hosts),),
+        autoscaler=ScenarioAutoscaler(
+            policy=policy,
+            interval_s=end_s / 16,
+            params={"slo_target": 0.75} if policy == "slo-burn-rate" else {},
+        ),
+    )
+
+
+def bench_cluster_autoscale(quick: bool, repeats: int) -> Dict:
+    # The control loop needs the full spike shape to show its value
+    # (ramp, sustained peak, drain tail), so quick mode keeps the
+    # window and only saves on repeats.
+    end_s = 0.004
+    elastic = _autoscale_scenario(end_s, "slo-burn-rate", initial_hosts=1)
+    result, wall = _timed(lambda: run_scenario(elastic), repeats)
+    mean_hosts = result.metrics["mean_active_hosts"]
+    # Static provisioning at the same mean host count (rounded to a
+    # whole machine), over the same boundaries and arrival draws.
+    static_hosts = max(1, round(mean_hosts))
+    static = run_scenario(
+        _autoscale_scenario(end_s, "static", initial_hosts=static_hosts)
+    )
+    cycles = result.metrics["simulated_cycles"]
+    events = result.metrics["autoscale_events"]
+    return {
+        "mode": "cluster_autoscale",
+        "scheme": SCHEME,
+        "policy": "slo-burn-rate",
+        "horizon_simulated_s": end_s,
+        "wall_s": wall,
+        "autoscaled_attainment": result.metrics["cluster_attainment"],
+        "autoscaled_mean_hosts": mean_hosts,
+        "scaling_actions": len(events),
+        "static_hosts": static_hosts,
+        "static_attainment": static.metrics["cluster_attainment"],
+        "attainment_gain": (
+            result.metrics["cluster_attainment"]
+            - static.metrics["cluster_attainment"]
+        ),
+        "simulated_cycles": cycles,
+        "simulated_s": DEFAULT_CORE.cycles_to_seconds(cycles),
+        "simulated_cycles_per_wall_s": cycles / wall,
+    }
+
+
 SCENARIOS = {
     "closed_loop": bench_closed_loop,
     "poisson": bench_poisson,
     "load_sweep": bench_load_sweep,
     "cluster_churn": bench_cluster_churn,
+    "cluster_autoscale": bench_cluster_autoscale,
 }
 
 

@@ -28,13 +28,17 @@ or, from a file::
 from repro.api.figures import FIGURES, FigureInfo, figure_names
 from repro.api.registries import (
     ARRIVALS,
+    AUTOSCALERS,
     SCHEDULERS,
     WORKLOADS,
     ArrivalInfo,
+    AutoscalerInfo,
     SchedulerInfo,
     all_scheme_names,
     arrival_kind_names,
+    autoscaler_names,
     default_scheme_names,
+    make_autoscaler,
     make_scheduler,
     scheme_isa,
     scheme_isa_map,
@@ -51,7 +55,9 @@ from repro.api.runner import run_scenario, sweep_scenario, sweep_variants
 from repro.api.scenario import (
     SCENARIO_KINDS,
     Scenario,
+    ScenarioAutoscaler,
     ScenarioChurn,
+    ScenarioPool,
     ScenarioTenant,
     SweepSpec,
     load_scenario,
@@ -62,7 +68,9 @@ from repro.api.scenario import (
 
 __all__ = [
     "ARRIVALS",
+    "AUTOSCALERS",
     "ArrivalInfo",
+    "AutoscalerInfo",
     "FIGURES",
     "FigureInfo",
     "RESULT_SCHEMA_VERSION",
@@ -71,18 +79,22 @@ __all__ = [
     "SCENARIO_KINDS",
     "SCHEDULERS",
     "Scenario",
+    "ScenarioAutoscaler",
     "ScenarioChurn",
+    "ScenarioPool",
     "ScenarioTenant",
     "SchedulerInfo",
     "SweepSpec",
     "WORKLOADS",
     "all_scheme_names",
     "arrival_kind_names",
+    "autoscaler_names",
     "default_scheme_names",
     "figure_names",
     "figure_result",
     "load_scenario",
     "load_scenarios",
+    "make_autoscaler",
     "make_scheduler",
     "parse_scenarios",
     "run_scenario",

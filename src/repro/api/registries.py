@@ -11,6 +11,9 @@ These are the single source of truth for the names every front-end
   (:mod:`repro.traffic.arrivals` kinds).
 - :data:`WORKLOADS`  -- the Table I model zoo
   (:mod:`repro.workloads.catalog` entries, canonical names only).
+- :data:`AUTOSCALERS` -- cluster autoscaling policies
+  (:mod:`repro.cluster.autoscale` controllers for ``kind: cluster``
+  scenarios with an ``autoscaler:`` block).
 
 Built-ins are registered lazily on first lookup, so importing this
 module costs nothing; third-party policies extend the system with e.g.
@@ -50,6 +53,24 @@ class ArrivalInfo:
     #: ``builder(mean_rate_per_cycle, **kwargs) -> ArrivalProcess``.
     builder: Callable[..., object]
     description: str = ""
+
+
+@dataclass(frozen=True)
+class AutoscalerInfo:
+    """Registry entry for one cluster autoscaling policy.
+
+    ``factory(**params)`` builds a fresh, stateful
+    :class:`repro.cluster.autoscale.Autoscaler`; ``params`` come from a
+    scenario's ``autoscaler: {params: ...}`` block, so constructor
+    keywords are the policy's declarative configuration surface.
+    """
+
+    name: str
+    factory: Callable[..., object]
+    description: str = ""
+
+    def make(self, **params: object) -> object:
+        return self.factory(**params)
 
 
 def _load_schedulers(reg: Registry) -> None:
@@ -96,9 +117,27 @@ def _load_workloads(reg: Registry) -> None:
         reg.add(info.name, info)
 
 
+def _load_autoscalers(reg: Registry) -> None:
+    from repro.cluster import autoscale
+
+    entries = (
+        (autoscale.StaticAutoscaler,
+         "fixed provisioning (baseline; never scales)"),
+        (autoscale.ThresholdAutoscaler,
+         "hysteresis on utilization: up above `high`, down below `low`"),
+        (autoscale.TargetUtilizationAutoscaler,
+         "HPA-style proportional control toward a utilization setpoint"),
+        (autoscale.SloBurnRateAutoscaler,
+         "error-budget burn rate on SLO attainment (fast up, slow down)"),
+    )
+    for cls, description in entries:
+        reg.add(cls.name, AutoscalerInfo(cls.name, cls, description))
+
+
 SCHEDULERS = Registry("scheduler scheme", loader=_load_schedulers)
 ARRIVALS = Registry("arrival process", loader=_load_arrivals)
 WORKLOADS = Registry("workload", loader=_load_workloads)
+AUTOSCALERS = Registry("autoscaler policy", loader=_load_autoscalers)
 
 
 # ----------------------------------------------------------------------
@@ -142,3 +181,17 @@ def arrival_kind_names(generative_only: bool = False) -> Tuple[str, ...]:
 
 def workload_names() -> Tuple[str, ...]:
     return WORKLOADS.names()
+
+
+def make_autoscaler(policy: str, **params) -> object:
+    """Instantiate a fresh autoscaler for ``policy`` (registry-backed).
+
+    ``params`` are passed to the policy's constructor, so unknown knobs
+    fail with the policy's own :class:`~repro.errors.ConfigError`.
+    """
+    info = AUTOSCALERS.get(policy)
+    return info.make(**params)
+
+
+def autoscaler_names() -> Tuple[str, ...]:
+    return AUTOSCALERS.names()

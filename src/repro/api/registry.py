@@ -29,6 +29,20 @@ class Registry:
     ``loader`` is called once, on first access, to register the built-in
     entries; this keeps registry modules import-light (no simulator or
     compiler imports until a lookup actually needs them).
+
+    Typical plugin flow (any of the built-in registries in
+    :mod:`repro.api.registries` works the same way)::
+
+        from repro.api import SCHEDULERS, SchedulerInfo
+
+        SCHEDULERS.add("my-policy", SchedulerInfo(
+            "my-policy", MyScheduler, description="..."))
+        SCHEDULERS.get("my-policy")      # -> the SchedulerInfo
+        "my-policy" in SCHEDULERS        # -> True
+        SCHEDULERS.names()               # built-ins first, then plugins
+
+    After the ``add`` every scenario file, CLI choice list and sweep
+    accepts the new name; ``remove`` is the teardown used by tests.
     """
 
     def __init__(

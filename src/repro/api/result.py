@@ -64,7 +64,30 @@ def base_provenance(
 
 @dataclass
 class RunResult:
-    """Uniform outcome of one scenario / experiment / benchmark run."""
+    """Uniform outcome of one scenario / experiment / benchmark run.
+
+    Three sections with distinct contracts:
+
+    - ``metrics``    -- the numbers the run *produced* (per-tenant
+      tables, utilizations, attainment, ``simulated_cycles``).  Keys
+      vary by ``kind``; optional features (e.g. autoscaling) only add
+      keys when enabled, so baseline outputs stay byte-stable.
+    - ``metadata``   -- what was *asked for* (scheme, load, duration,
+      figure parameters) in human-readable form.
+    - ``provenance`` -- what reproduces it: ``seed``, the canonical
+      ``scenario_digest``, ``repro_version``, the ``fast_path`` flag.
+
+    ``to_dict``/``to_json`` emit a plain-JSON envelope (bump
+    :data:`RESULT_SCHEMA_VERSION` when its shape changes);
+    :func:`validate_run_result` checks it without third-party
+    dependencies, and :meth:`from_dict` validates on the way in, so a
+    payload that round-trips is known well-formed.  Example::
+
+        result = run_scenario(sc)
+        payload = json.loads(result.to_json())
+        validate_run_result(payload)          # raises ConfigError if bad
+        RunResult.from_dict(payload)          # inverse of to_dict
+    """
 
     scenario: str
     kind: str

@@ -154,6 +154,10 @@ def _run_cluster(scenario: Scenario) -> RunResult:
     )
 
     events = [_to_churn_event(e) for e in scenario.churn]
+    autoscaler = (
+        scenario.autoscaler.make() if scenario.autoscaler is not None
+        else None
+    )
     cfg = ClusterTrafficConfig(
         num_hosts=scenario.hosts,
         cores_per_host=scenario.cores_per_host,
@@ -163,6 +167,13 @@ def _run_cluster(scenario: Scenario) -> RunResult:
         load=scenario.load,
         end_s=scenario.duration_s,
         seed=scenario.seed,
+        pools=tuple(p.to_spec() for p in scenario.pools),
+        autoscaler=autoscaler,
+        autoscale_interval_s=(
+            scenario.autoscaler.interval_s
+            if scenario.autoscaler is not None
+            else None
+        ),
     )
     result = run_cluster_traffic(events, cfg)
     metrics: Dict[str, Any] = {
@@ -187,6 +198,32 @@ def _run_cluster(scenario: Scenario) -> RunResult:
         "duration_s": scenario.duration_s,
         "churn_events": len(scenario.churn),
     }
+    if autoscaler is not None:
+        # Only stamped when the loop is closed, so autoscaler-free
+        # results stay bit-identical to pre-autoscaling releases.
+        metrics["cluster_attainment"] = result.cluster_attainment
+        metrics["mean_active_hosts"] = result.mean_active_hosts
+        metrics["host_count_timeline"] = [
+            [t, n] for t, n in result.host_count_timeline
+        ]
+        metrics["autoscale_events"] = [
+            e.to_dict() for e in result.autoscale_events
+        ]
+        metadata["autoscaler"] = {
+            "policy": scenario.autoscaler.policy,
+            **autoscaler.describe(),
+        }
+        if scenario.pools:
+            metadata["pools"] = [
+                {
+                    "name": p.name,
+                    "cores_per_host": p.cores_per_host,
+                    "min_hosts": p.min_hosts,
+                    "max_hosts": p.max_hosts,
+                    "initial_hosts": p.to_spec().start_hosts,
+                }
+                for p in scenario.pools
+            ]
     return _wrap(scenario, metrics, metadata)
 
 
@@ -260,7 +297,28 @@ def _wrap(
 # Public entry points
 # ----------------------------------------------------------------------
 def run_scenario(scenario: Scenario) -> RunResult:
-    """Run one scenario and return its structured result."""
+    """Run one scenario and return its structured result.
+
+    The one dispatch every front-end shares: validates the spec
+    (resolving scheme/arrival/model/figure/autoscaler names against the
+    registries, so typos fail before any simulation), routes on
+    ``scenario.kind`` to the matching engine, and wraps the outcome in
+    a :class:`~repro.api.result.RunResult` stamped with provenance
+    (seed, canonical scenario digest, library version, fast-path flag).
+
+    Deterministic: same spec, same library version -> same metrics,
+    byte for byte.  Example::
+
+        from repro.api import Scenario, ScenarioTenant, run_scenario
+
+        result = run_scenario(Scenario(
+            name="demo", kind="open_loop", scheme="neu10",
+            tenants=(ScenarioTenant(model="MNIST", batch=8),),
+        ))
+        result.metrics["min_attainment"]
+
+    Raises :class:`repro.errors.ConfigError` on an invalid spec.
+    """
     scenario.validate()
     runner = _KIND_RUNNERS.get(scenario.kind)
     if runner is None:  # _validate_shape guards this; belt and braces
@@ -321,7 +379,22 @@ def sweep_scenario(
     values: Optional[Sequence[Any]] = None,
     max_workers: Optional[int] = None,
 ) -> List[RunResult]:
-    """Run one variant per value, fanned out over a process pool."""
+    """Run one variant per value, fanned out over a process pool.
+
+    ``param`` is any scenario field name, including dotted hardware
+    overrides (``hardware.num_mes``); ``values`` replace it one at a
+    time, each variant renamed ``<name>@<param>=<value>``.  With both
+    omitted the scenario's embedded ``sweep:`` block is used.  Variants
+    are validated *before* any worker starts, rebuilt from their
+    serialised spec inside the pool, and returned in value order --
+    results are identical for any ``max_workers`` (``None`` = CPU
+    count / ``REPRO_PARALLEL_WORKERS``; ``1`` = in-process).
+
+    Example::
+
+        results = sweep_scenario(sc, param="load", values=[0.5, 0.8, 1.1])
+        [r.metrics["min_attainment"] for r in results]
+    """
     variants = sweep_variants(scenario, param, values)
     for variant in variants:
         variant.validate()  # fail fast, before spawning workers

@@ -14,7 +14,9 @@ serving   closed-loop collocation (the paper's methodology: run until
           every tenant hits ``target_requests``)
 open_loop open-loop traffic on one core: arrivals at ``load`` x
           calibrated capacity, scored against per-tenant SLOs
-cluster   open-loop traffic across a cluster with tenant churn
+cluster   open-loop traffic across a cluster with tenant churn and,
+          optionally, a closed-loop autoscaler over elastic host pools
+          (``autoscaler:`` / ``pools:`` blocks)
 figure    a registered paper-figure experiment (``figure:`` names it)
 ======== ==============================================================
 
@@ -138,6 +140,67 @@ class ScenarioChurn:
 
 
 @dataclass(frozen=True)
+class ScenarioPool:
+    """One elastic host pool of a cluster scenario.
+
+    Mirrors :class:`repro.cluster.autoscale.HostPoolSpec`: the pool owns
+    ``max_hosts`` identical hosts, ``initial_hosts`` (default
+    ``min_hosts``) are live at t=0, and an autoscaler may move the live
+    count within ``[min_hosts, max_hosts]``.
+    """
+
+    name: str = "default"
+    cores_per_host: int = 1
+    min_hosts: int = 1
+    max_hosts: int = 4
+    initial_hosts: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        # Delegate range checking to the cluster-layer spec so the two
+        # descriptions cannot drift apart.
+        self.to_spec()
+
+    def to_spec(self):
+        from repro.cluster.autoscale import HostPoolSpec
+
+        return HostPoolSpec(
+            name=self.name,
+            cores_per_host=self.cores_per_host,
+            min_hosts=self.min_hosts,
+            max_hosts=self.max_hosts,
+            initial_hosts=self.initial_hosts,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioAutoscaler:
+    """Declarative ``autoscaler:`` block of a cluster scenario.
+
+    ``policy`` names an entry of
+    :data:`repro.api.registries.AUTOSCALERS`; ``params`` go to the
+    policy constructor verbatim; ``interval_s`` adds observation
+    boundaries every so many (simulated) seconds so the controller acts
+    between churn events too.
+    """
+
+    policy: str
+    interval_s: Optional[float] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.policy:
+            raise ConfigError("autoscaler block needs a policy name")
+        if self.interval_s is not None and self.interval_s <= 0:
+            raise ConfigError("autoscaler interval_s must be positive")
+        object.__setattr__(self, "params", dict(self.params))
+
+    def make(self):
+        from repro.api.registries import make_autoscaler
+
+        return make_autoscaler(self.policy, **dict(self.params))
+
+
+@dataclass(frozen=True)
 class SweepSpec:
     """Declarative sweep: vary one scenario field over several values."""
 
@@ -154,7 +217,42 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class Scenario:
-    """A complete, serialisable description of one run."""
+    """A complete, serialisable description of one run.
+
+    The single spec every front-end consumes: ``repro run`` loads one
+    from YAML/JSON, benchmarks and examples build one inline, and
+    :func:`repro.api.runner.run_scenario` executes it regardless of
+    origin.  Instances are immutable and hashable-by-content:
+    :meth:`digest` is a canonical sha256 over :meth:`to_dict` and is
+    stamped into every result's provenance, so a result can always be
+    traced back to the exact spec that produced it.
+
+    Which fields matter depends on ``kind``:
+
+    - every kind: ``name``, ``scheme`` (except ``figure``), ``seed``,
+      ``hardware`` (overrides for :data:`repro.config.DEFAULT_CORE`);
+    - ``serving``: ``tenants``, ``target_requests``;
+    - ``open_loop``: ``tenants``, ``arrival``, ``load``,
+      ``duration_s``, ``drain``;
+    - ``cluster``: ``churn``, ``hosts``/``cores_per_host`` (or
+      ``pools``), ``arrival``, ``load``, ``duration_s``, and the
+      optional ``autoscaler`` control loop;
+    - ``figure``: ``figure`` (the experiment name) and ``params``.
+
+    Example::
+
+        sc = Scenario(
+            name="demo", kind="open_loop", scheme="neu10",
+            tenants=(ScenarioTenant(model="MNIST", batch=8),),
+            load=0.8, duration_s=0.002,
+        )
+        sc == Scenario.from_yaml(sc.to_yaml())   # lossless round-trip
+
+    Construction validates shape (positive durations, kind-appropriate
+    blocks); :meth:`validate` additionally resolves every registry name
+    (scheme, arrival kinds, models, figure, autoscaler policy) with
+    did-you-mean errors, which is what ``run_scenario`` calls first.
+    """
 
     name: str
     kind: str
@@ -172,6 +270,11 @@ class Scenario:
     hosts: int = 2
     cores_per_host: int = 1
     churn: Tuple[ScenarioChurn, ...] = ()
+    #: Elastic host pools (cluster kind; empty = fixed ``hosts`` fleet).
+    pools: Tuple[ScenarioPool, ...] = ()
+    #: Closed-loop scaling policy (cluster kind; None = static cluster,
+    #: bit-identical to pre-autoscaling runs).
+    autoscaler: Optional[ScenarioAutoscaler] = None
     #: Figure experiment name (kind == "figure").
     figure: Optional[str] = None
     #: Extra keyword parameters for the figure runner.
@@ -181,6 +284,7 @@ class Scenario:
     def __post_init__(self) -> None:
         object.__setattr__(self, "tenants", tuple(self.tenants))
         object.__setattr__(self, "churn", tuple(self.churn))
+        object.__setattr__(self, "pools", tuple(self.pools))
         object.__setattr__(self, "hardware", dict(self.hardware))
         object.__setattr__(self, "params", dict(self.params))
         self._validate_shape()
@@ -216,6 +320,14 @@ class Scenario:
             raise ConfigError("target_requests must be positive")
         if self.hosts < 1 or self.cores_per_host < 1:
             raise ConfigError("cluster needs at least one host and core")
+        if self.kind != "cluster" and (self.pools or self.autoscaler):
+            raise ConfigError(
+                f"{self.kind} scenario {self.name!r}: 'pools' and "
+                "'autoscaler' only apply to kind: cluster"
+            )
+        pool_names = [p.name for p in self.pools]
+        if len(set(pool_names)) != len(pool_names):
+            raise ConfigError("host pool names must be unique")
         self.core()  # hardware overrides must name real config fields
 
     def validate(self) -> None:
@@ -231,6 +343,8 @@ class Scenario:
         registries.SCHEDULERS.get(self.scheme)
         if self.kind in ("open_loop", "cluster"):
             registries.ARRIVALS.get(self.arrival)
+        if self.autoscaler is not None:
+            registries.AUTOSCALERS.get(self.autoscaler.policy)
         for tenant in self.tenants:
             model_info(tenant.model)
             if tenant.arrival is not None:
@@ -304,6 +418,15 @@ class Scenario:
                 "param": self.sweep.param,
                 "values": list(self.sweep.values),
             }
+        if self.pools:
+            out["pools"] = [_nondefault_dict(p) for p in self.pools]
+        if self.autoscaler is not None:
+            block: Dict[str, Any] = {"policy": self.autoscaler.policy}
+            if self.autoscaler.interval_s is not None:
+                block["interval_s"] = self.autoscaler.interval_s
+            if self.autoscaler.params:
+                block["params"] = dict(self.autoscaler.params)
+            out["autoscaler"] = block
         if self.hardware:
             out["hardware"] = dict(self.hardware)
         if self.params:
@@ -331,6 +454,18 @@ class Scenario:
             if sweep_raw is not None
             else None
         )
+        pools = tuple(
+            _from_mapping(ScenarioPool, p, "host pool")
+            for p in data.pop("pools", ())
+        )
+        autoscaler_raw = data.pop("autoscaler", None)
+        autoscaler = (
+            _from_mapping(
+                ScenarioAutoscaler, dict(autoscaler_raw), "autoscaler"
+            )
+            if autoscaler_raw is not None
+            else None
+        )
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -341,7 +476,10 @@ class Scenario:
         missing = {"name", "kind"} - set(data)
         if missing:
             raise ConfigError(f"scenario missing required key(s) {sorted(missing)}")
-        return cls(tenants=tenants, churn=churn, sweep=sweep, **data)
+        return cls(
+            tenants=tenants, churn=churn, sweep=sweep,
+            pools=pools, autoscaler=autoscaler, **data,
+        )
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

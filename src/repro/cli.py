@@ -178,6 +178,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     from repro.api import (
         ARRIVALS,
+        AUTOSCALERS,
         FIGURES,
         SCHEDULERS,
         SCENARIO_KINDS,
@@ -198,6 +199,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 name: info.description for name, info in ARRIVALS.items()
             },
             "workloads": list(workload_names()),
+            "autoscalers": {
+                name: info.description for name, info in AUTOSCALERS.items()
+            },
             "scenario_kinds": list(SCENARIO_KINDS),
         }, indent=2))
         return 0
@@ -215,6 +219,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  {name:10s} {info.description}")
     print("Workloads:")
     print("  " + ", ".join(workload_names()))
+    print("Autoscaler policies (cluster scenarios, `autoscaler:` block):")
+    for name, info in AUTOSCALERS.items():
+        print(f"  {name:20s} {info.description}")
     print("Legacy: traffic  (open-loop flags; prefer `run` with an "
           "open_loop scenario)")
     return 0
@@ -363,10 +370,19 @@ def _legacy_dispatch(argv: List[str]) -> Optional[int]:
 # Parser
 # ----------------------------------------------------------------------
 def _build_parser() -> argparse.ArgumentParser:
+    raw = argparse.RawDescriptionHelpFormatter
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Neu10 reproduction (MICRO 2024): scenarios, figures, "
                     "benchmarks.",
+        formatter_class=raw,
+        epilog=(
+            "quickstart:\n"
+            "  repro list                                # what's runnable\n"
+            "  repro run examples/scenarios/smoke.yaml   # one scenario file\n"
+            "  repro fig fig19                           # one paper figure\n"
+            "docs: docs/architecture.md, docs/scenario-reference.md"
+        ),
     )
     sub = parser.add_subparsers(dest="command")
 
@@ -376,7 +392,18 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--output", default=None,
                        help="also write the JSON result(s) to a file")
 
-    p_run = sub.add_parser("run", help="run the scenario(s) in a YAML/JSON file")
+    p_run = sub.add_parser(
+        "run", help="run the scenario(s) in a YAML/JSON file",
+        formatter_class=raw,
+        epilog=(
+            "examples:\n"
+            "  repro run examples/scenarios/smoke.yaml --json\n"
+            "  repro run examples/scenarios/showcase.yaml"
+            " --scenario cluster-autoscale-demo\n"
+            "scenario files are YAML/JSON Scenario specs (kind: serving |\n"
+            "open_loop | cluster | figure); see docs/scenario-reference.md"
+        ),
+    )
     p_run.add_argument("scenario_file")
     p_run.add_argument("--scenario", default=None,
                        help="pick one scenario by name from a multi-file")
@@ -384,7 +411,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser(
-        "sweep", help="run one scenario across several parameter values"
+        "sweep", help="run one scenario across several parameter values",
+        formatter_class=raw,
+        epilog=(
+            "examples:\n"
+            "  repro sweep examples/scenarios/smoke.yaml --workers 4\n"
+            "  repro sweep examples/scenarios/smoke.yaml"
+            " --param scheme --values pmt,neu10\n"
+            "  repro sweep examples/scenarios/smoke.yaml"
+            " --param hardware.num_mes --values 2,4,8 --json\n"
+            "without --param/--values the file's `sweep:` block is used"
+        ),
     )
     p_sweep.add_argument("scenario_file")
     p_sweep.add_argument("--scenario", default=None)
@@ -398,11 +435,28 @@ def _build_parser() -> argparse.ArgumentParser:
     add_io_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
-    p_list = sub.add_parser("list", help="list figures, schemes, arrivals, models")
+    p_list = sub.add_parser(
+        "list",
+        help="list figures, schemes, arrivals, models, autoscalers",
+        formatter_class=raw,
+        epilog=(
+            "`repro list --json` is machine-readable; tools/gen_docs.py\n"
+            "turns it into docs/scenario-reference.md"
+        ),
+    )
     p_list.add_argument("--json", action="store_true")
     p_list.set_defaults(func=_cmd_list)
 
-    p_fig = sub.add_parser("fig", help="run paper-figure experiments")
+    p_fig = sub.add_parser(
+        "fig", help="run paper-figure experiments",
+        formatter_class=raw,
+        epilog=(
+            "examples:\n"
+            "  repro fig fig19 fig22        # two figures, human reports\n"
+            "  repro fig --all              # everything (exit 1 on failure)\n"
+            "  repro fig hwcost --json      # structured RunResult"
+        ),
+    )
     p_fig.add_argument("names", nargs="*", help="figure names (see `list`)")
     p_fig.add_argument("--all", action="store_true",
                        help="every figure experiment (ablations only when "
@@ -411,7 +465,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="structured RunResults instead of reports")
     p_fig.set_defaults(func=_cmd_fig)
 
-    p_bench = sub.add_parser("bench", help="time a scenario (cycles per wall-second)")
+    p_bench = sub.add_parser(
+        "bench", help="time a scenario (cycles per wall-second)",
+        formatter_class=raw,
+        epilog=(
+            "example:\n"
+            "  repro bench examples/scenarios/showcase.yaml"
+            " --scenario serving-bench-pair\n"
+            "the full benchmark suite lives in benchmarks/bench_serving.py"
+        ),
+    )
     p_bench.add_argument("scenario_file")
     p_bench.add_argument("--scenario", default=None)
     p_bench.add_argument("--repeats", type=int, default=3,

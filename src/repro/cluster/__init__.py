@@ -12,9 +12,24 @@ to our work" (SectionIII-C).  This package builds that orthogonal layer:
   least-loaded, and a contention-aware policy that uses compile-time
   m/v profiles to collocate complementary workloads (ME-heavy with
   VE-heavy), following the paper's SectionII insight;
-- :mod:`repro.cluster.orchestrator` -- admission, placement, release.
+- :mod:`repro.cluster.orchestrator` -- admission, placement, release,
+  and elastic membership (add/remove hosts, tenant migration);
+- :mod:`repro.cluster.autoscale` -- closed-loop scaling policies over
+  per-segment cluster observations (threshold, target-utilization,
+  SLO-burn-rate) plus the host-pool specs they scale within.
 """
 
+from repro.cluster.autoscale import (
+    Autoscaler,
+    AutoscaleEvent,
+    HostPoolSpec,
+    ScalingAction,
+    SegmentObservation,
+    SloBurnRateAutoscaler,
+    StaticAutoscaler,
+    TargetUtilizationAutoscaler,
+    ThresholdAutoscaler,
+)
 from repro.cluster.host import Host
 from repro.cluster.orchestrator import ClusterOrchestrator, PlacementRequest
 from repro.cluster.placement import (
@@ -25,11 +40,20 @@ from repro.cluster.placement import (
 )
 
 __all__ = [
+    "Autoscaler",
+    "AutoscaleEvent",
     "ClusterOrchestrator",
     "ContentionAwarePolicy",
     "FirstFitPolicy",
     "Host",
+    "HostPoolSpec",
     "LeastLoadedPolicy",
     "PlacementPolicy",
     "PlacementRequest",
+    "ScalingAction",
+    "SegmentObservation",
+    "SloBurnRateAutoscaler",
+    "StaticAutoscaler",
+    "TargetUtilizationAutoscaler",
+    "ThresholdAutoscaler",
 ]

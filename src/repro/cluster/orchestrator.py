@@ -121,6 +121,73 @@ class ClusterOrchestrator:
         placement.host.release(placement.vnpu_id)
 
     # ------------------------------------------------------------------
+    # Elastic membership (autoscaling)
+    # ------------------------------------------------------------------
+    def add_host(self, host: Host) -> None:
+        """Bring a new host into the placement set (scale-up)."""
+        if any(h.name == host.name for h in self.hosts):
+            raise AllocationError(f"host {host.name!r} is already registered")
+        self.hosts.append(host)
+
+    def remove_host(self, name: str) -> Host:
+        """Retire an *empty* host from the placement set (scale-down).
+
+        Drain its residents first (see :meth:`migrate`); removing an
+        occupied host would strand live placements.
+        """
+        for i, host in enumerate(self.hosts):
+            if host.name == name:
+                if host.resident:
+                    raise AllocationError(
+                        f"host {name!r} still hosts "
+                        f"{len(host.resident)} vNPU(s); drain it first"
+                    )
+                if len(self.hosts) == 1:
+                    raise AllocationError(
+                        "cannot remove the last host of a cluster"
+                    )
+                return self.hosts.pop(i)
+        raise AllocationError(f"unknown host {name!r}")
+
+    def migrate(
+        self,
+        request_id: int,
+        exclude: Tuple[str, ...] = (),
+    ) -> Optional[Placement]:
+        """Re-place one live tenant onto a different host.
+
+        The configured policy picks the target among hosts not named in
+        ``exclude`` (typically the host being drained).  Returns the new
+        placement, or ``None`` -- placement untouched -- when no other
+        host fits the request.  Unlike :meth:`submit`, a failed
+        migration is not recorded as a rejection: the tenant keeps
+        running where it is.
+        """
+        placement = self._placements.get(request_id)
+        if placement is None:
+            raise AllocationError(f"unknown placement {request_id}")
+        banned = set(exclude) | {placement.host.name}
+        candidates = [h for h in self.hosts if h.name not in banned]
+        if not candidates:
+            return None
+        target = self.policy.choose(candidates, placement.request)
+        if target is None:
+            return None
+        placement.host.release(placement.vnpu_id)
+        handle = target.place(
+            placement.request.as_vnpu_config(),
+            owner=placement.request.owner,
+            m=placement.request.m,
+            v=placement.request.v,
+            priority=placement.request.priority,
+        )
+        moved = Placement(
+            request=placement.request, host=target, vnpu_id=handle.vnpu_id
+        )
+        self._placements[request_id] = moved
+        return moved
+
+    # ------------------------------------------------------------------
     def placements(self) -> List[Placement]:
         return list(self._placements.values())
 

@@ -1,4 +1,4 @@
-"""Cluster-scale open-loop serving under tenant churn.
+"""Cluster-scale open-loop serving under tenant churn and autoscaling.
 
 Plays a *churn script* -- timestamped tenant arrive/depart events --
 through :class:`repro.cluster.orchestrator.ClusterOrchestrator` (the
@@ -8,9 +8,23 @@ cut at churn events; within each segment the tenant population is fixed,
 so the per-host fluid simulation is exact, and the per-tenant metrics
 are merged across segments into one :class:`SloReport` each.
 
+When :attr:`ClusterTrafficConfig.autoscaler` is set the loop closes:
+after every segment the controller receives a
+:class:`~repro.cluster.autoscale.SegmentObservation` (attainment,
+utilization, rejections over that segment) and may activate hosts from
+the configured :class:`~repro.cluster.autoscale.HostPoolSpec` pools or
+drain hosts -- migrating their tenants through the placement policy --
+before the next segment's arrivals are drawn.  With the autoscaler
+unset (the default) the driver takes exactly the pre-autoscaling code
+path, so results are bit-identical to earlier releases.
+
 Hosts with several cores are simulated as one core with the host's
 aggregate engine count -- a fluid approximation consistent with the
-engine's execution model.
+engine's execution model.  Tenant demand (arrival rates, SLO targets)
+is always calibrated against the *nominal* host defined by
+``core``/``cores_per_host``, so migrating a tenant between
+heterogeneous pool hosts changes its service capacity, never its
+offered load.
 """
 
 from __future__ import annotations
@@ -18,9 +32,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster.autoscale import (
+    ACTION_ADD,
+    ACTION_DRAIN,
+    ACTION_REBALANCE,
+    Autoscaler,
+    AutoscaleEvent,
+    HostPoolSpec,
+    ScalingAction,
+    SegmentObservation,
+)
 from repro.cluster.host import Host
 from repro.cluster.orchestrator import ClusterOrchestrator, PlacementRequest
-from repro.cluster.placement import LeastLoadedPolicy, PlacementPolicy
+from repro.cluster.placement import PlacementPolicy
 from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig, spawn_rng
 from repro.errors import ConfigError
 from repro.parallel import parallel_map
@@ -62,7 +86,13 @@ class ChurnEvent:
 
 @dataclass
 class ClusterTrafficConfig:
-    """Cluster geometry + the shared open-loop knobs."""
+    """Cluster geometry + the shared open-loop knobs.
+
+    Two geometry spellings: the legacy ``num_hosts``/``cores_per_host``
+    pair (a fixed homogeneous fleet), or explicit ``pools`` of
+    :class:`~repro.cluster.autoscale.HostPoolSpec` for elastic and
+    heterogeneous clusters.  ``pools`` wins when both are given.
+    """
 
     num_hosts: int = 2
     cores_per_host: int = 1
@@ -79,12 +109,28 @@ class ClusterTrafficConfig:
     #: stochastic input is drawn before dispatch and merged in host
     #: order.
     max_workers: Optional[int] = None
+    #: Elastic host pools (empty = the fixed num_hosts x cores_per_host
+    #: fleet).
+    pools: Tuple[HostPoolSpec, ...] = ()
+    #: Closed-loop scaling policy (None = static cluster, the exact
+    #: pre-autoscaling code path).
+    autoscaler: Optional[Autoscaler] = None
+    #: Extra observation boundaries every ``interval`` seconds, so the
+    #: controller acts even between churn events (None = churn cuts
+    #: only).  Ignored without an autoscaler.
+    autoscale_interval_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.num_hosts < 1 or self.cores_per_host < 1:
             raise ConfigError("cluster needs at least one host and core")
         if self.end_s <= 0:
             raise ConfigError("cluster run needs a positive end time")
+        self.pools = tuple(self.pools)
+        names = [p.name for p in self.pools]
+        if len(set(names)) != len(names):
+            raise ConfigError("host pool names must be unique")
+        if self.autoscale_interval_s is not None and self.autoscale_interval_s <= 0:
+            raise ConfigError("autoscale interval must be positive")
 
 
 @dataclass
@@ -100,6 +146,12 @@ class ClusterTrafficResult:
     #: (drained hosts stop before the segment boundary, so this can be
     #: below ``hosts x horizon``).
     simulated_cycles: float = 0.0
+    #: Audit log of applied scaling steps (empty without an autoscaler).
+    autoscale_events: List[AutoscaleEvent] = field(default_factory=list)
+    #: (time_s, live host count) after every boundary's actions.
+    host_count_timeline: List[Tuple[float, int]] = field(default_factory=list)
+    #: Time-weighted mean live host count over the run.
+    mean_active_hosts: float = 0.0
 
     @property
     def cluster_me_utilization(self) -> float:
@@ -114,6 +166,15 @@ class ClusterTrafficResult:
             return 0.0
         vals = self.host_ve_utilization.values()
         return sum(vals) / len(vals)
+
+    @property
+    def cluster_attainment(self) -> float:
+        """Attained / offered over every admitted tenant (1.0 if idle)."""
+        offered = sum(r.offered for r in self.reports.values())
+        if offered == 0:
+            return 1.0
+        attained = sum(r.attained for r in self.reports.values())
+        return attained / offered
 
 
 @dataclass
@@ -209,35 +270,264 @@ def _simulate_host_segment(
     )
 
 
-def _segment_boundaries(events: Sequence[ChurnEvent], end_s: float) -> List[float]:
+def _segment_boundaries(
+    events: Sequence[ChurnEvent],
+    end_s: float,
+    interval_s: Optional[float] = None,
+) -> List[float]:
     cuts = {0.0, end_s}
     for ev in events:
         if ev.time_s < end_s:
             cuts.add(ev.time_s)
+    if interval_s is not None:
+        # Multiply rather than accumulate, and drop ticks that land
+        # within float jitter of an existing cut: a phantom ~0-width
+        # segment would otherwise reach the autoscaler as a fully idle
+        # observation and trigger spurious drains.
+        eps = end_s * 1e-9
+        exact = sorted(cuts)
+        i = 1
+        while True:
+            t = i * interval_s
+            if t >= end_s - eps:
+                break
+            if all(abs(t - c) > eps for c in exact):
+                cuts.add(t)
+            i += 1
     return sorted(cuts)
+
+
+class _Fleet:
+    """Live-host bookkeeping: activation order, pools, drain targets."""
+
+    def __init__(
+        self,
+        pools: Sequence[HostPoolSpec],
+        core: NpuCoreConfig,
+        policy: Optional[PlacementPolicy],
+    ) -> None:
+        self.pools = {p.name: p for p in pools}
+        #: Every host the pools could ever provide, in activation order.
+        self.hosts: Dict[str, List[Host]] = {
+            p.name: [
+                Host(f"{p.name}{i}", [core] * p.cores_per_host)
+                for i in range(p.max_hosts)
+            ]
+            for p in pools
+        }
+        self.host_core: Dict[str, NpuCoreConfig] = {}
+        for p in pools:
+            aggregate = core.with_engines(
+                core.num_mes * p.cores_per_host,
+                core.num_ves * p.cores_per_host,
+            )
+            for host in self.hosts[p.name]:
+                self.host_core[host.name] = aggregate
+        self.active: Dict[str, List[bool]] = {
+            p.name: [i < p.start_hosts for i in range(p.max_hosts)]
+            for p in pools
+        }
+        initial = [
+            self.hosts[p.name][i] for p in pools for i in range(p.start_hosts)
+        ]
+        if not initial:
+            raise ConfigError("cluster needs at least one live host at t=0")
+        self.orch = ClusterOrchestrator(initial, policy)
+        #: Hosts that were live at any point (utilization accounting).
+        self.ever_active: List[Host] = list(initial)
+
+    # ------------------------------------------------------------------
+    def active_hosts(self) -> List[Host]:
+        """Live hosts in deterministic (pool, index) order."""
+        out: List[Host] = []
+        for name, hosts in self.hosts.items():
+            flags = self.active[name]
+            out.extend(h for h, live in zip(hosts, flags) if live)
+        return out
+
+    def active_count(self, pool: Optional[str] = None) -> int:
+        if pool is None:
+            return sum(sum(flags) for flags in self.active.values())
+        return sum(self.active[pool])
+
+    def pool_counts(self) -> Dict[str, int]:
+        return {name: sum(flags) for name, flags in self.active.items()}
+
+    # ------------------------------------------------------------------
+    def activate(self, pool: str, time_s: float, reason: str,
+                 log: List[AutoscaleEvent]) -> bool:
+        """Bring the lowest-index inactive host of ``pool`` online."""
+        spec = self.pools[pool]
+        flags = self.active[pool]
+        if sum(flags) >= spec.max_hosts:
+            return False
+        idx = flags.index(False)
+        host = self.hosts[pool][idx]
+        flags[idx] = True
+        self.orch.add_host(host)
+        if host not in self.ever_active:
+            self.ever_active.append(host)
+        log.append(AutoscaleEvent(time_s, ACTION_ADD, host.name, pool, reason))
+        return True
+
+    def drain(
+        self,
+        pool: str,
+        time_s: float,
+        reason: str,
+        residents: Dict[str, _Resident],
+        log: List[AutoscaleEvent],
+    ) -> bool:
+        """Drain the least-loaded live host of ``pool`` and retire it.
+
+        Residents are migrated one by one through the placement policy;
+        if any tenant cannot be re-placed elsewhere the drain is
+        abandoned (already-moved tenants stay moved -- they are valid
+        placements either way) and the host remains live.
+        """
+        spec = self.pools[pool]
+        flags = self.active[pool]
+        if sum(flags) <= max(spec.min_hosts, 0) or self.active_count() <= 1:
+            return False
+        live = [
+            (h.load, h.name, i)
+            for i, (h, on) in enumerate(zip(self.hosts[pool], flags))
+            if on
+        ]
+        _, victim_name, victim_idx = min(live)
+        victim = self.hosts[pool][victim_idx]
+        moved: List[Tuple[str, str, str]] = []
+        for tenant in sorted(
+            n for n, r in residents.items() if r.host is victim
+        ):
+            resident = residents[tenant]
+            placement = self.orch.migrate(
+                resident.request_id, exclude=(victim.name,)
+            )
+            if placement is None:
+                log.append(AutoscaleEvent(
+                    time_s, "drain-aborted", victim.name, pool,
+                    f"{tenant!r} does not fit elsewhere", moved,
+                ))
+                return False
+            resident.host = placement.host
+            moved.append((tenant, victim.name, placement.host.name))
+        self.orch.remove_host(victim.name)
+        flags[victim_idx] = False
+        log.append(AutoscaleEvent(
+            time_s, ACTION_DRAIN, victim.name, pool, reason, moved
+        ))
+        return True
+
+    def rebalance(
+        self,
+        max_moves: int,
+        time_s: float,
+        reason: str,
+        residents: Dict[str, _Resident],
+        log: List[AutoscaleEvent],
+    ) -> bool:
+        """Migrate tenants from the most- to the least-loaded live host.
+
+        Each move must strictly shrink the committed-load spread, so the
+        loop terminates and never ping-pongs a tenant; moves go through
+        :meth:`ClusterOrchestrator.migrate` with every host but the
+        chosen destination excluded, so the placement policy still gets
+        the final say on feasibility.
+        """
+        moved: List[Tuple[str, str, str]] = []
+        for _ in range(max_moves):
+            active = sorted(
+                self.active_hosts(), key=lambda h: (h.load, h.name)
+            )
+            if len(active) < 2:
+                break
+            dst, src = active[0], active[-1]
+            names = sorted(
+                n for n, r in residents.items() if r.host is src
+            )
+            # First tenant (in name order) whose move strictly shrinks
+            # the spread -- a big tenant may overshoot where a small
+            # one still helps.
+            chosen = None
+            for name in names:
+                resident = residents[name]
+                eu = resident.num_mes + resident.num_ves
+                new_src = src.load - eu / (src.total_mes + src.total_ves)
+                new_dst = dst.load + eu / (dst.total_mes + dst.total_ves)
+                if max(new_src, new_dst) < src.load - 1e-12:
+                    chosen = name
+                    break
+            if chosen is None:
+                break
+            resident = residents[chosen]
+            placement = self.orch.migrate(
+                resident.request_id,
+                exclude=tuple(
+                    h.name for h in active if h.name != dst.name
+                ),
+            )
+            if placement is None:
+                break
+            resident.host = placement.host
+            moved.append((chosen, src.name, placement.host.name))
+        if moved:
+            log.append(AutoscaleEvent(
+                time_s, ACTION_REBALANCE, "", "", reason, moved
+            ))
+        return bool(moved)
+
+
+def _default_pools(cfg: ClusterTrafficConfig) -> Tuple[HostPoolSpec, ...]:
+    """The pool set: explicit, or synthesized from the legacy fields.
+
+    Without an autoscaler the synthesized pool is pinned at
+    ``num_hosts``; with one, the fleet may grow to twice the configured
+    size (a sensible headroom default -- set ``pools`` explicitly for
+    tighter control).
+    """
+    if cfg.pools:
+        return cfg.pools
+    max_hosts = cfg.num_hosts if cfg.autoscaler is None else 2 * cfg.num_hosts
+    return (
+        HostPoolSpec(
+            name="host",
+            cores_per_host=cfg.cores_per_host,
+            min_hosts=1 if cfg.autoscaler is not None else cfg.num_hosts,
+            max_hosts=max_hosts,
+            initial_hosts=cfg.num_hosts,
+        ),
+    )
 
 
 def run_cluster_traffic(
     events: Sequence[ChurnEvent],
     cfg: Optional[ClusterTrafficConfig] = None,
 ) -> ClusterTrafficResult:
-    """Play a churn script and aggregate cluster-wide SLO metrics."""
+    """Play a churn script and aggregate cluster-wide SLO metrics.
+
+    With ``cfg.autoscaler`` set, scaling actions are applied at segment
+    boundaries (before that boundary's churn events) based on the
+    previous segment's observation; the action log, host-count timeline
+    and time-weighted mean fleet size land on the result.
+    """
     cfg = cfg if cfg is not None else ClusterTrafficConfig()
-    host_core = cfg.core.with_engines(
+    #: Demand reference: arrival rates and SLO targets are calibrated
+    #: against this nominal host, independent of actual placement.
+    nominal_core = cfg.core.with_engines(
         cfg.core.num_mes * cfg.cores_per_host,
         cfg.core.num_ves * cfg.cores_per_host,
     )
-    hosts = [Host(f"host{i}", [cfg.core] * cfg.cores_per_host)
-             for i in range(cfg.num_hosts)]
-    orch = ClusterOrchestrator(
-        hosts, cfg.policy if cfg.policy is not None else LeastLoadedPolicy()
-    )
+    fleet = _Fleet(_default_pools(cfg), cfg.core, cfg.policy)
+    orch = fleet.orch
 
     ordered = sorted(events, key=lambda e: (e.time_s, e.action != ACTION_DEPART))
     residents: Dict[str, _Resident] = {}
     rejected: List[str] = []
     reports: Dict[str, SloReport] = {}
-    busy: Dict[str, Tuple[float, float]] = {h.name: (0.0, 0.0) for h in hosts}
+    busy: Dict[str, Tuple[float, float]] = {
+        h.name: (0.0, 0.0) for h in fleet.ever_active
+    }
     SCHEDULERS.get(cfg.scheme)  # helpful unknown-scheme error up front
 
     def apply_events(at: float) -> None:
@@ -270,29 +560,83 @@ def run_cluster_traffic(
                     raise ConfigError(f"tenant {ev.name!r} is not resident")
                 orch.release(resident.request_id)
 
-    boundaries = _segment_boundaries(ordered, cfg.end_s)
+    interval = cfg.autoscale_interval_s if cfg.autoscaler is not None else None
+    boundaries = _segment_boundaries(ordered, cfg.end_s, interval)
     segments = 0
     simulated_cycles = 0.0
+    autoscale_events: List[AutoscaleEvent] = []
+    host_count_timeline: List[Tuple[float, int]] = []
+    host_seconds = 0.0
+    #: Stats of the segment just simulated, consumed by the controller.
+    seg_stats: Optional[Dict[str, object]] = None
+    rejected_before_segment = 0
+
+    first_pool = next(iter(fleet.pools))
+
+    def apply_actions(actions: Sequence[ScalingAction], at: float) -> None:
+        for act in actions:
+            if act.action == ACTION_REBALANCE:
+                fleet.rebalance(
+                    act.count, at, act.reason, residents, autoscale_events
+                )
+                continue
+            pool = act.pool or first_pool
+            if pool not in fleet.pools:
+                known = ", ".join(sorted(fleet.pools))
+                raise ConfigError(
+                    f"autoscaler targeted unknown pool {pool!r}; "
+                    f"known: {known}"
+                )
+            for _ in range(act.count):
+                done = (
+                    fleet.activate(pool, at, act.reason, autoscale_events)
+                    if act.action == ACTION_ADD
+                    else fleet.drain(
+                        pool, at, act.reason, residents, autoscale_events
+                    )
+                )
+                if not done:
+                    break
+
     for seg_index, (t0, t1) in enumerate(zip(boundaries, boundaries[1:])):
+        if cfg.autoscaler is not None and seg_stats is not None:
+            obs = SegmentObservation(
+                segment_index=seg_index - 1,
+                time_s=t0,
+                duration_s=seg_stats["seg_s"],
+                active_hosts=int(seg_stats["active_hosts"]),
+                pool_hosts=seg_stats["pool_hosts"],
+                resident_tenants=len(residents),
+                rejections=len(rejected) - rejected_before_segment,
+                me_utilization=seg_stats["me_utilization"],
+                ve_utilization=seg_stats["ve_utilization"],
+                offered=int(seg_stats["offered"]),
+                attained=int(seg_stats["attained"]),
+            )
+            apply_actions(cfg.autoscaler.observe(obs), t0)
+        rejected_before_segment = len(rejected)
         apply_events(t0)
         seg_s = t1 - t0
         if seg_s <= 0:
             continue
         segments += 1
+        active = fleet.active_hosts()
+        host_count_timeline.append((t0, len(active)))
+        host_seconds += len(active) * seg_s
         seg_cycles = cfg.core.seconds_to_cycles(seg_s)
         by_host: Dict[str, List[Tuple[str, _Resident]]] = {}
         for name, resident in residents.items():
             by_host.setdefault(resident.host.name, []).append((name, resident))
 
         ol_cfg = OpenLoopConfig(
-            core=host_core,
+            core=nominal_core,
             duration_s=seg_s,
             load=cfg.load,
             arrival=cfg.arrival,
             seed=cfg.seed,
         )
         jobs: List[_HostSegmentJob] = []
-        for host in hosts:
+        for host in active:
             group = by_host.get(host.name, [])
             if not group:
                 continue
@@ -301,7 +645,7 @@ def run_cluster_traffic(
                 spec = resident.spec
                 svc = _calibrate_cached(
                     spec.model, spec.batch, resident.num_mes, resident.num_ves,
-                    cfg.scheme, host_core,
+                    cfg.scheme, nominal_core,
                 )
                 process = arrival_process_for(spec, ol_cfg, svc, seg_cycles)
                 rng = spawn_rng(cfg.seed, name, seg_index)
@@ -323,7 +667,7 @@ def run_cluster_traffic(
             jobs.append(
                 _HostSegmentJob(
                     host_name=host.name,
-                    host_core=host_core,
+                    host_core=fleet.host_core[host.name],
                     scheme=cfg.scheme,
                     seg_s=seg_s,
                     seg_cycles=seg_cycles,
@@ -336,22 +680,47 @@ def run_cluster_traffic(
         outcomes = parallel_map(
             _simulate_host_segment, jobs, max_workers=cfg.max_workers
         )
+        seg_me = seg_ve = 0.0
+        seg_offered = seg_attained = 0
         for host_name, me_seconds, ve_seconds, cycles, host_reports in outcomes:
-            me_s, ve_s = busy[host_name]
+            me_s, ve_s = busy.get(host_name, (0.0, 0.0))
             busy[host_name] = (me_s + me_seconds, ve_s + ve_seconds)
             simulated_cycles += cycles
+            seg_me += me_seconds
+            seg_ve += ve_seconds
             for name, report in host_reports:
+                seg_offered += report.offered
+                seg_attained += report.attained
                 reports[name] = (
                     reports[name].merged_with(report) if name in reports else report
                 )
+        denom = max(1, len(active)) * seg_s
+        seg_stats = {
+            "seg_s": seg_s,
+            "active_hosts": len(active),
+            "pool_hosts": fleet.pool_counts(),
+            "me_utilization": seg_me / denom,
+            "ve_utilization": seg_ve / denom,
+            "offered": seg_offered,
+            "attained": seg_attained,
+        }
 
     total_s = cfg.end_s
     return ClusterTrafficResult(
         reports=reports,
-        host_me_utilization={h: me / total_s for h, (me, _) in busy.items()},
-        host_ve_utilization={h: ve / total_s for h, (_, ve) in busy.items()},
+        host_me_utilization={
+            h.name: busy.get(h.name, (0.0, 0.0))[0] / total_s
+            for h in fleet.ever_active
+        },
+        host_ve_utilization={
+            h.name: busy.get(h.name, (0.0, 0.0))[1] / total_s
+            for h in fleet.ever_active
+        },
         admission_rate=orch.admission_rate(),
         rejected=rejected,
         segments=segments,
         simulated_cycles=simulated_cycles,
+        autoscale_events=autoscale_events,
+        host_count_timeline=host_count_timeline,
+        mean_active_hosts=host_seconds / total_s,
     )

@@ -1,0 +1,149 @@
+"""Placement-policy edge cases: full hosts, degenerate scores, ties."""
+
+import pytest
+
+from repro.cluster.host import Host
+from repro.cluster.orchestrator import (
+    ClusterOrchestrator,
+    PlacementRequest,
+    complementarity_score,
+)
+from repro.cluster.placement import (
+    ContentionAwarePolicy,
+    FirstFitPolicy,
+    LeastLoadedPolicy,
+)
+from repro.config import DEFAULT_CORE
+from repro.errors import AllocationError
+
+POLICIES = [FirstFitPolicy, LeastLoadedPolicy, ContentionAwarePolicy]
+
+
+def _host(name, cores=1):
+    return Host(name, [DEFAULT_CORE] * cores)
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+def test_every_policy_returns_none_when_all_hosts_full(policy_cls):
+    hosts = [_host("a"), _host("b")]
+    for host in hosts:
+        # Commit every EU on the host (DEFAULT_CORE is 4 ME + 4 VE).
+        host.place(
+            PlacementRequest(owner="filler", num_mes=4, num_ves=4)
+            .as_vnpu_config(),
+            owner="filler",
+        )
+    req = PlacementRequest(owner="late", num_mes=1, num_ves=1, m=0.5)
+    assert policy_cls().choose(hosts, req) is None
+
+
+@pytest.mark.parametrize("policy_cls", POLICIES)
+def test_oversized_request_never_fits(policy_cls):
+    hosts = [_host("a"), _host("b", cores=2)]
+    req = PlacementRequest(owner="huge", num_mes=99, num_ves=99, m=0.5)
+    assert policy_cls().choose(hosts, req) is None
+
+
+def test_partially_full_host_is_skipped_not_fatal():
+    """A host with room for MEs but not VEs must be treated as full."""
+    a, b = _host("a"), _host("b")
+    a.place(
+        PlacementRequest(owner="ve-hog", num_mes=1, num_ves=4)
+        .as_vnpu_config(),
+        owner="ve-hog",
+    )
+    req = PlacementRequest(owner="late", num_mes=1, num_ves=1)
+    assert LeastLoadedPolicy().choose([a, b], req) is b
+
+
+def test_least_loaded_breaks_ties_by_name():
+    hosts = [_host("b"), _host("a"), _host("c")]
+    req = PlacementRequest(owner="t", num_mes=1, num_ves=1)
+    assert LeastLoadedPolicy().choose(hosts, req).name == "a"
+
+
+def test_first_fit_respects_input_order_not_name():
+    hosts = [_host("z"), _host("a")]
+    req = PlacementRequest(owner="t", num_mes=1, num_ves=1)
+    assert FirstFitPolicy().choose(hosts, req).name == "z"
+
+
+def test_contention_aware_without_profile_degrades_to_least_loaded():
+    a, b = _host("a"), _host("b")
+    a.place(
+        PlacementRequest(owner="x", num_mes=2, num_ves=2).as_vnpu_config(),
+        owner="x",
+    )
+    req = PlacementRequest(owner="no-profile", num_mes=1, num_ves=1)
+    assert req.m is None
+    assert ContentionAwarePolicy().choose([a, b], req) is b
+
+
+def test_contention_aware_pairs_me_heavy_with_ve_heavy():
+    a, b = _host("a"), _host("b")
+    a.place(
+        PlacementRequest(owner="me-heavy", num_mes=2, num_ves=2, m=0.9)
+        .as_vnpu_config(),
+        owner="me-heavy", m=0.9,
+    )
+    b.place(
+        PlacementRequest(owner="balanced", num_mes=2, num_ves=2, m=0.5)
+        .as_vnpu_config(),
+        owner="balanced", m=0.5,
+    )
+    req = PlacementRequest(owner="ve-heavy", num_mes=1, num_ves=1, m=0.1)
+    assert ContentionAwarePolicy().choose([a, b], req) is a
+
+
+# ----------------------------------------------------------------------
+# complementarity_score degenerate inputs
+# ----------------------------------------------------------------------
+def test_complementarity_score_empty_is_zero():
+    assert complementarity_score([]) == 0.0
+
+
+def test_complementarity_score_perfect_and_worst_pairs():
+    assert complementarity_score([(0.9, 0.1)]) == pytest.approx(0.0)
+    assert complementarity_score([(1.0, 1.0)]) == pytest.approx(1.0)
+    assert complementarity_score([(0.0, 0.0)]) == pytest.approx(1.0)
+    # Mean over mixed pairs.
+    assert complementarity_score(
+        [(0.9, 0.1), (1.0, 1.0)]
+    ) == pytest.approx(0.5)
+
+
+def test_complementarity_score_is_symmetric():
+    assert complementarity_score([(0.3, 0.6)]) == complementarity_score(
+        [(0.6, 0.3)]
+    )
+
+
+# ----------------------------------------------------------------------
+# Saturated clusters through the orchestrator
+# ----------------------------------------------------------------------
+def test_orchestrator_records_rejections_when_cluster_full():
+    orch = ClusterOrchestrator([_host("only")])
+    assert orch.submit(
+        PlacementRequest(owner="a", num_mes=4, num_ves=4)
+    ) is not None
+    rejected = orch.submit(PlacementRequest(owner="b", num_mes=1, num_ves=1))
+    assert rejected is None
+    assert [r.owner for r in orch.rejected] == ["b"]
+    assert orch.admission_rate() == pytest.approx(0.5)
+
+
+def test_release_then_admit_reuses_capacity():
+    orch = ClusterOrchestrator([_host("only")])
+    placement = orch.submit(
+        PlacementRequest(owner="a", num_mes=4, num_ves=4)
+    )
+    orch.release(placement.request.request_id)
+    assert orch.submit(
+        PlacementRequest(owner="b", num_mes=4, num_ves=4)
+    ) is not None
+
+
+def test_release_unknown_placement_raises():
+    orch = ClusterOrchestrator([_host("only")])
+    with pytest.raises(AllocationError):
+        orch.release(999_999)

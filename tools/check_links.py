@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Check that relative markdown links in docs/ and README.md resolve.
+
+Scans every ``[text](target)`` link; ``http(s)``/``mailto`` targets are
+skipped (CI must not depend on the network), anchors are stripped, and
+the remaining path is resolved relative to the file that contains the
+link.  Exits 1 listing every broken link.
+
+Usage::
+
+    python tools/check_links.py            # docs/**/*.md + README.md
+    python tools/check_links.py FILE...    # explicit files
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: [text](target) -- excluding images' leading "!" is unnecessary: image
+#: targets must resolve too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def default_files() -> List[Path]:
+    files = sorted((REPO / "docs").glob("**/*.md"))
+    readme = REPO / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def check_file(path: Path) -> List[str]:
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        if target.startswith("#"):
+            continue  # intra-document anchor
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            failures.append(
+                f"{path.relative_to(REPO)}: broken link -> {target}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    files = [Path(a) for a in argv] if argv else default_files()
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 1
+    failures: List[str] = []
+    for path in files:
+        failures.extend(check_file(path))
+    if failures:
+        for failure in failures:
+            print(f"BROKEN: {failure}", file=sys.stderr)
+        return 1
+    print(f"all links OK across {len(files)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

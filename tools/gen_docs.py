@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Generate ``docs/scenario-reference.md`` from the live registries.
+
+The reference tables -- schedulers, arrival processes, workloads,
+figure experiments, autoscaler policies, scenario kinds -- are exactly
+what ``repro list --json`` reports, rendered as markdown.  Because the
+file is *generated*, it cannot drift from the code: CI runs
+``tools/gen_docs.py --check`` and fails when a registry changed without
+the reference being regenerated.
+
+Usage::
+
+    PYTHONPATH=src python tools/gen_docs.py            # (re)write the file
+    PYTHONPATH=src python tools/gen_docs.py --check    # fail if stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO / "docs" / "scenario-reference.md"
+
+HEADER = """\
+# Scenario reference
+
+<!-- GENERATED FILE - DO NOT EDIT.
+     Regenerate with: PYTHONPATH=src python tools/gen_docs.py
+     CI checks staleness with: tools/gen_docs.py --check -->
+
+Everything in this file is read from the live plugin registries
+(`repro.api.SCHEDULERS` / `ARRIVALS` / `WORKLOADS` / `FIGURES` /
+`AUTOSCALERS`), the same source `repro list --json` reports, so it
+cannot drift from the code.  Third-party plugins registered at runtime
+extend these tables without any documentation edit -- see
+[architecture.md](architecture.md) for how the registries fit together
+and [autoscaling.md](autoscaling.md) for the autoscaler how-to.
+"""
+
+
+def _table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> List[str]:
+    out = ["| " + " | ".join(headers) + " |",
+           "| " + " | ".join("---" for _ in headers) + " |"]
+    for row in rows:
+        out.append("| " + " | ".join(row) + " |")
+    return out
+
+
+def generate() -> str:
+    from repro.api import (
+        ARRIVALS,
+        AUTOSCALERS,
+        FIGURES,
+        SCENARIO_KINDS,
+        SCHEDULERS,
+        WORKLOADS,
+    )
+
+    lines: List[str] = [HEADER]
+
+    lines.append("## Scenario kinds\n")
+    lines.append("`kind:` of a scenario file selects the engine a run "
+                 "goes through (`repro run <file.yaml>`):\n")
+    kind_blurbs = {
+        "serving": "closed-loop collocation (run until every tenant hits "
+                   "`target_requests`)",
+        "open_loop": "open-loop traffic on one core, scored against "
+                     "per-tenant SLOs",
+        "cluster": "open-loop traffic across an (optionally autoscaled) "
+                   "cluster with tenant churn",
+        "figure": "a registered paper-figure experiment (`figure:` names "
+                  "it)",
+    }
+    lines.extend(_table(
+        ("kind", "what runs"),
+        [(k, kind_blurbs.get(k, "")) for k in SCENARIO_KINDS],
+    ))
+
+    lines.append("\n## Scheduler schemes (`scheme:`)\n")
+    lines.extend(_table(
+        ("name", "ISA", "default set", "description"),
+        [
+            (name, info.isa, "yes" if info.default else "no",
+             info.description)
+            for name, info in SCHEDULERS.items()
+        ],
+    ))
+
+    lines.append("\n## Arrival processes (`arrival:`)\n")
+    lines.extend(_table(
+        ("name", "description"),
+        [(name, info.description) for name, info in ARRIVALS.items()],
+    ))
+
+    lines.append("\n## Workloads (`tenants[].model` / churn `model`)\n")
+    lines.extend(_table(
+        ("name", "abbrev", "category", "HBM footprint @ batch 8"),
+        [
+            (info.name, info.abbrev, info.category,
+             f"{info.hbm_footprint_bytes / 2**30:.2f} GiB")
+            for _name, info in WORKLOADS.items()
+        ],
+    ))
+
+    lines.append("\n## Figure experiments (`repro fig`, `kind: figure`)\n")
+    lines.extend(_table(
+        ("name", "description"),
+        [(name, info.description) for name, info in FIGURES.items()],
+    ))
+
+    lines.append("\n## Autoscaler policies (`autoscaler.policy`)\n")
+    lines.append("Cluster scenarios close the loop with an `autoscaler:` "
+                 "block; `params:` go to the policy constructor "
+                 "(see [autoscaling.md](autoscaling.md)):\n")
+    lines.extend(_table(
+        ("name", "description"),
+        [(name, info.description) for name, info in AUTOSCALERS.items()],
+    ))
+
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if the checked-in reference is stale")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    content = generate()
+    if args.check:
+        if not args.output.exists():
+            print(f"STALE: {args.output} does not exist; "
+                  "run tools/gen_docs.py", file=sys.stderr)
+            return 1
+        on_disk = args.output.read_text(encoding="utf-8")
+        if on_disk != content:
+            print(f"STALE: {args.output} does not match the live "
+                  "registries; run tools/gen_docs.py and commit the result",
+                  file=sys.stderr)
+            return 1
+        print(f"{args.output} is up to date")
+        return 0
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(content, encoding="utf-8")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
