@@ -14,7 +14,12 @@ each, how fast the simulator chews through simulated time:
 - ``cluster_autoscale`` -- the elastic control loop: a traffic spike
   served by the SLO-burn-rate autoscaler vs. static provisioning at the
   same mean host count (reports both attainments; the autoscaled run
-  must win).
+  must win);
+- ``cluster_virt``    -- the virtualization control plane: the same
+  tenant wave admitted against VF-constrained SR-IOV pools (a
+  ``virtualization:`` block) vs. unconstrained hosts, reporting
+  hypercall counts, VF-exhaustion rejections and the attainment of
+  what was admitted.
 
 Every mode is a declarative :class:`repro.api.Scenario` executed through
 :func:`repro.api.run_scenario` -- the same path ``repro run`` takes --
@@ -46,6 +51,7 @@ from repro.api import (
     ScenarioChurn,
     ScenarioPool,
     ScenarioTenant,
+    ScenarioVirtualization,
     run_scenario,
     sweep_scenario,
 )
@@ -290,12 +296,81 @@ def bench_cluster_autoscale(quick: bool, repeats: int) -> Dict:
     }
 
 
+def _virt_scenario(end_s: float,
+                   virtualization: Optional[ScenarioVirtualization]) -> Scenario:
+    """A wave of eight small tenants over two 2-VF hosts.
+
+    Engine-wise every host takes four 1ME/1VE tenants, so without the
+    ``virtualization:`` block the whole wave is admitted; with 2 VFs
+    per host the SR-IOV pool is the binding constraint and half the
+    wave is rejected ``vf-exhausted``.  The non-zero hypercall cost
+    charges onboarding/migration latency against the admitted tenants.
+    """
+    churn = [
+        ScenarioChurn(0.0, "arrive", f"w{i}", model="MNIST", batch=8,
+                      num_mes=1, num_ves=1)
+        for i in range(4)
+    ]
+    churn += [
+        ScenarioChurn(end_s * 0.25, "arrive", f"w{4 + i}", model="MNIST",
+                      batch=8, num_mes=1, num_ves=1)
+        for i in range(4)
+    ]
+    churn += [ScenarioChurn(end_s * 0.75, "depart", "w0")]
+    return Scenario(
+        name="bench-cluster-virt",
+        kind="cluster",
+        scheme=SCHEME,
+        arrival="poisson",
+        load=0.5,
+        duration_s=end_s,
+        seed=SEED,
+        churn=tuple(churn),
+        pools=(ScenarioPool(name="pool", min_hosts=2, max_hosts=2,
+                            initial_hosts=2),),
+        virtualization=virtualization,
+    )
+
+
+def bench_cluster_virt(quick: bool, repeats: int) -> Dict:
+    end_s = 0.002 if quick else 0.004
+    constrained = _virt_scenario(
+        end_s,
+        ScenarioVirtualization(num_vfs=2, hypercall_cost_s=end_s / 100),
+    )
+    result, wall = _timed(lambda: run_scenario(constrained), repeats)
+    virt = result.metrics["virtualization"]
+    # The same wave with default (non-binding) VF pools: everything is
+    # admitted, showing what the VF constraint cost in admissions.
+    unconstrained = run_scenario(_virt_scenario(end_s, None))
+    cycles = result.metrics["simulated_cycles"]
+    return {
+        "mode": "cluster_virt",
+        "scheme": SCHEME,
+        "num_vfs_per_host": 2,
+        "horizon_simulated_s": end_s,
+        "wall_s": wall,
+        "hypercalls": virt["hypercall_total"],
+        "vf_exhaustion_rejections": virt["vf_exhaustion_rejections"],
+        "peak_vf_in_use": virt["peak_vf_in_use"],
+        "onboarding_delay_s": virt["onboarding_delay_s"],
+        "admission_rate": result.metrics["admission_rate"],
+        "constrained_attainment": result.metrics["cluster_attainment"],
+        "unconstrained_admission_rate":
+            unconstrained.metrics["admission_rate"],
+        "simulated_cycles": cycles,
+        "simulated_s": DEFAULT_CORE.cycles_to_seconds(cycles),
+        "simulated_cycles_per_wall_s": cycles / wall,
+    }
+
+
 SCENARIOS = {
     "closed_loop": bench_closed_loop,
     "poisson": bench_poisson,
     "load_sweep": bench_load_sweep,
     "cluster_churn": bench_cluster_churn,
     "cluster_autoscale": bench_cluster_autoscale,
+    "cluster_virt": bench_cluster_virt,
 }
 
 

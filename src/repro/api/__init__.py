@@ -54,11 +54,13 @@ from repro.api.result import (
 from repro.api.runner import run_scenario, sweep_scenario, sweep_variants
 from repro.api.scenario import (
     SCENARIO_KINDS,
+    VIRTUALIZATION_FIELD_DOCS,
     Scenario,
     ScenarioAutoscaler,
     ScenarioChurn,
     ScenarioPool,
     ScenarioTenant,
+    ScenarioVirtualization,
     SweepSpec,
     load_scenario,
     load_scenarios,
@@ -83,8 +85,10 @@ __all__ = [
     "ScenarioChurn",
     "ScenarioPool",
     "ScenarioTenant",
+    "ScenarioVirtualization",
     "SchedulerInfo",
     "SweepSpec",
+    "VIRTUALIZATION_FIELD_DOCS",
     "WORKLOADS",
     "all_scheme_names",
     "arrival_kind_names",

@@ -158,6 +158,11 @@ def _run_cluster(scenario: Scenario) -> RunResult:
         scenario.autoscaler.make() if scenario.autoscaler is not None
         else None
     )
+    virtualization = (
+        scenario.virtualization.to_spec()
+        if scenario.virtualization is not None
+        else None
+    )
     cfg = ClusterTrafficConfig(
         num_hosts=scenario.hosts,
         cores_per_host=scenario.cores_per_host,
@@ -174,6 +179,7 @@ def _run_cluster(scenario: Scenario) -> RunResult:
             if scenario.autoscaler is not None
             else None
         ),
+        virtualization=virtualization,
     )
     result = run_cluster_traffic(events, cfg)
     metrics: Dict[str, Any] = {
@@ -224,6 +230,17 @@ def _run_cluster(scenario: Scenario) -> RunResult:
                 }
                 for p in scenario.pools
             ]
+    if virtualization is not None:
+        # Only stamped when the control plane is configured, so
+        # virtualization-free results stay bit-identical to
+        # pre-virtualization releases.
+        metrics.setdefault("cluster_attainment", result.cluster_attainment)
+        metrics["virtualization"] = result.virtualization.to_dict()
+        metadata["virtualization"] = {
+            "num_vfs": virtualization.num_vfs,
+            "pool_num_vfs": dict(virtualization.pool_num_vfs),
+            "hypercall_cost_s": virtualization.hypercall_cost_s,
+        }
     return _wrap(scenario, metrics, metadata)
 
 

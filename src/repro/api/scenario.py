@@ -200,6 +200,52 @@ class ScenarioAutoscaler:
         return make_autoscaler(self.policy, **dict(self.params))
 
 
+#: One-line docs per ``virtualization:`` field, rendered by ``repro
+#: list`` and ``tools/gen_docs.py``; a test pins its keys to the
+#: :class:`ScenarioVirtualization` fields so they cannot drift.
+VIRTUALIZATION_FIELD_DOCS = {
+    "num_vfs": "SR-IOV virtual functions per host (default 16); "
+               "admission rejects tenants once a host's pool is empty",
+    "pool_num_vfs": "per-pool VF overrides, e.g. {edge: 4}",
+    "hypercall_cost_s": "control-plane latency charged per hypercall "
+                        "against tenant onboarding/migration",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioVirtualization:
+    """Declarative ``virtualization:`` block of a cluster scenario.
+
+    Turns the per-host control plane (:mod:`repro.runtime`: SR-IOV VFs,
+    hypercalls, IOMMU) into a binding constraint: ``num_vfs`` sizes
+    every host's virtual-function pool (``pool_num_vfs`` overrides it
+    per named host pool), and ``hypercall_cost_s`` charges control-plane
+    latency against tenant onboarding (one create hypercall) and
+    migration (destroy + create).  Presence of the block enables the
+    control-plane metrics on the result; omitting it keeps results
+    bit-identical to releases without virtualization.
+    """
+
+    num_vfs: int = 16
+    pool_num_vfs: Mapping[str, int] = field(default_factory=dict)
+    hypercall_cost_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pool_num_vfs", dict(self.pool_num_vfs))
+        # Delegate range checking to the cluster-layer spec so the two
+        # descriptions cannot drift apart.
+        self.to_spec()
+
+    def to_spec(self):
+        from repro.cluster.virt import VirtualizationSpec
+
+        return VirtualizationSpec(
+            num_vfs=self.num_vfs,
+            pool_num_vfs=self.pool_num_vfs,
+            hypercall_cost_s=self.hypercall_cost_s,
+        )
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """Declarative sweep: vary one scenario field over several values."""
@@ -235,8 +281,9 @@ class Scenario:
     - ``open_loop``: ``tenants``, ``arrival``, ``load``,
       ``duration_s``, ``drain``;
     - ``cluster``: ``churn``, ``hosts``/``cores_per_host`` (or
-      ``pools``), ``arrival``, ``load``, ``duration_s``, and the
-      optional ``autoscaler`` control loop;
+      ``pools``), ``arrival``, ``load``, ``duration_s``, the optional
+      ``autoscaler`` control loop, and the optional ``virtualization``
+      control plane (VF budgets, hypercall cost);
     - ``figure``: ``figure`` (the experiment name) and ``params``.
 
     Example::
@@ -275,6 +322,10 @@ class Scenario:
     #: Closed-loop scaling policy (cluster kind; None = static cluster,
     #: bit-identical to pre-autoscaling runs).
     autoscaler: Optional[ScenarioAutoscaler] = None
+    #: Virtualization control plane (cluster kind; None = default VF
+    #: pools, free hypercalls, no control-plane metrics -- bit-identical
+    #: to pre-virtualization runs).
+    virtualization: Optional[ScenarioVirtualization] = None
     #: Figure experiment name (kind == "figure").
     figure: Optional[str] = None
     #: Extra keyword parameters for the figure runner.
@@ -320,14 +371,29 @@ class Scenario:
             raise ConfigError("target_requests must be positive")
         if self.hosts < 1 or self.cores_per_host < 1:
             raise ConfigError("cluster needs at least one host and core")
-        if self.kind != "cluster" and (self.pools or self.autoscaler):
+        if self.kind != "cluster" and (
+            self.pools or self.autoscaler or self.virtualization
+        ):
             raise ConfigError(
-                f"{self.kind} scenario {self.name!r}: 'pools' and "
-                "'autoscaler' only apply to kind: cluster"
+                f"{self.kind} scenario {self.name!r}: 'pools', "
+                "'autoscaler' and 'virtualization' only apply to "
+                "kind: cluster"
             )
         pool_names = [p.name for p in self.pools]
         if len(set(pool_names)) != len(pool_names):
             raise ConfigError("host pool names must be unique")
+        if self.virtualization is not None and self.virtualization.pool_num_vfs:
+            if not self.pools:
+                raise ConfigError(
+                    f"scenario {self.name!r}: 'virtualization.pool_num_vfs' "
+                    "needs explicit 'pools' to name"
+                )
+            unknown = set(self.virtualization.pool_num_vfs) - set(pool_names)
+            if unknown:
+                raise ConfigError(
+                    f"virtualization names unknown pool(s) {sorted(unknown)}; "
+                    f"known: {sorted(pool_names)}"
+                )
         self.core()  # hardware overrides must name real config fields
 
     def validate(self) -> None:
@@ -427,6 +493,8 @@ class Scenario:
             if self.autoscaler.params:
                 block["params"] = dict(self.autoscaler.params)
             out["autoscaler"] = block
+        if self.virtualization is not None:
+            out["virtualization"] = _nondefault_dict(self.virtualization)
         if self.hardware:
             out["hardware"] = dict(self.hardware)
         if self.params:
@@ -466,6 +534,15 @@ class Scenario:
             if autoscaler_raw is not None
             else None
         )
+        virtualization_raw = data.pop("virtualization", None)
+        virtualization = (
+            _from_mapping(
+                ScenarioVirtualization, dict(virtualization_raw),
+                "virtualization",
+            )
+            if virtualization_raw is not None
+            else None
+        )
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -478,7 +555,8 @@ class Scenario:
             raise ConfigError(f"scenario missing required key(s) {sorted(missing)}")
         return cls(
             tenants=tenants, churn=churn, sweep=sweep,
-            pools=pools, autoscaler=autoscaler, **data,
+            pools=pools, autoscaler=autoscaler,
+            virtualization=virtualization, **data,
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

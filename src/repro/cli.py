@@ -182,6 +182,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         FIGURES,
         SCHEDULERS,
         SCENARIO_KINDS,
+        VIRTUALIZATION_FIELD_DOCS,
         workload_names,
     )
 
@@ -203,6 +204,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 name: info.description for name, info in AUTOSCALERS.items()
             },
             "scenario_kinds": list(SCENARIO_KINDS),
+            "virtualization": VIRTUALIZATION_FIELD_DOCS,
         }, indent=2))
         return 0
     print("Scenario kinds (for `repro run <file.yaml>`):")
@@ -222,6 +224,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("Autoscaler policies (cluster scenarios, `autoscaler:` block):")
     for name, info in AUTOSCALERS.items():
         print(f"  {name:20s} {info.description}")
+    print("Virtualization control plane (cluster scenarios, "
+          "`virtualization:` block):")
+    for field_name, blurb in VIRTUALIZATION_FIELD_DOCS.items():
+        print(f"  {field_name:20s} {blurb}")
     print("Legacy: traffic  (open-loop flags; prefer `run` with an "
           "open_loop scenario)")
     return 0

@@ -16,7 +16,10 @@ to our work" (SectionIII-C).  This package builds that orthogonal layer:
   and elastic membership (add/remove hosts, tenant migration);
 - :mod:`repro.cluster.autoscale` -- closed-loop scaling policies over
   per-segment cluster observations (threshold, target-utilization,
-  SLO-burn-rate) plus the host-pool specs they scale within.
+  SLO-burn-rate) plus the host-pool specs they scale within;
+- :mod:`repro.cluster.virt` -- virtualization control-plane knobs
+  (per-pool SR-IOV VF budgets, hypercall latency) and the telemetry
+  summary the cluster serving driver reports.
 """
 
 from repro.cluster.autoscale import (
@@ -38,6 +41,7 @@ from repro.cluster.placement import (
     LeastLoadedPolicy,
     PlacementPolicy,
 )
+from repro.cluster.virt import VirtualizationSpec, VirtualizationSummary
 
 __all__ = [
     "Autoscaler",
@@ -56,4 +60,6 @@ __all__ = [
     "StaticAutoscaler",
     "TargetUtilizationAutoscaler",
     "ThresholdAutoscaler",
+    "VirtualizationSpec",
+    "VirtualizationSummary",
 ]

@@ -117,6 +117,22 @@ class SegmentObservation:
     #: Requests offered / completed within SLO during the segment.
     offered: int
     attained: int
+    #: Control-plane activity: hypercalls issued at the segment's
+    #: leading boundary (admissions, departures, migrations).
+    hypercalls: int = 0
+    #: SR-IOV VF occupancy over the segment's live hosts.
+    vf_in_use: int = 0
+    vf_capacity: int = 0
+    #: Live IOMMU entries (segment windows + DMA buffers) over the
+    #: segment's live hosts.
+    iommu_mappings: int = 0
+
+    @property
+    def vf_occupancy(self) -> float:
+        """Fraction of the live hosts' VF pools in use (0.0 if unknown)."""
+        if self.vf_capacity <= 0:
+            return 0.0
+        return self.vf_in_use / self.vf_capacity
 
     @property
     def attainment(self) -> float:

@@ -1,13 +1,23 @@
-"""A cluster host: one machine with NPU cores behind a hypervisor."""
+"""A cluster host: one machine with NPU cores behind a hypervisor.
+
+Placement goes through the real guest-side control plane: every tenant
+gets a :class:`~repro.runtime.vm.GuestVm` (host-physical stride from the
+hypervisor's own address space) and a
+:class:`~repro.runtime.driver.VnpuDriver`, whose ``open``/``close``
+issue the actual create/destroy hypercalls, occupy an SR-IOV virtual
+function, and register the DMA buffer with the IOMMU.  A host therefore
+admits a tenant only while it has both free engines *and* a free VF.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.config import NpuCoreConfig
 from repro.core.mapper import MappingMode
 from repro.errors import AllocationError
+from repro.runtime.driver import VnpuDriver
 from repro.runtime.hypervisor import Hypervisor, VnpuHandle
 
 
@@ -21,6 +31,8 @@ class HostedVnpu:
     #: the tenant did not provide a profile).
     m: Optional[float] = None
     v: Optional[float] = None
+    #: The guest driver bound to this vNPU (owns the VM and DMA buffer).
+    driver: Optional[VnpuDriver] = None
 
 
 class Host:
@@ -31,12 +43,13 @@ class Host:
         name: str,
         cores: List[NpuCoreConfig],
         mode: MappingMode = MappingMode.SPATIAL,
+        num_vfs: int = 16,
     ) -> None:
         if not cores:
             raise AllocationError(f"host {name!r} needs at least one core")
         self.name = name
         self.cores = list(cores)
-        self.hypervisor = Hypervisor(cores, mode=mode)
+        self.hypervisor = Hypervisor(cores, mode=mode, num_vfs=num_vfs)
         self.resident: Dict[int, HostedVnpu] = {}
 
     # ------------------------------------------------------------------
@@ -71,11 +84,25 @@ class Host:
             return 1.0
         return (self.committed_mes + self.committed_ves) / denom
 
-    def fits(self, num_mes: int, num_ves: int) -> bool:
+    @property
+    def num_vfs(self) -> int:
+        """SR-IOV virtual-function pool size of this host."""
+        return self.hypervisor.sriov.num_vfs
+
+    @property
+    def free_vfs(self) -> int:
+        return self.hypervisor.sriov.num_vfs - self.hypervisor.sriov.in_use
+
+    def fits_engines(self, num_mes: int, num_ves: int) -> bool:
+        """Engine capacity alone (ignores the VF pool)."""
         return (
             self.committed_mes + num_mes <= self.total_mes
             and self.committed_ves + num_ves <= self.total_ves
         )
+
+    def fits(self, num_mes: int, num_ves: int) -> bool:
+        """Admissible: free engines *and* a free virtual function."""
+        return self.fits_engines(num_mes, num_ves) and self.free_vfs > 0
 
     # ------------------------------------------------------------------
     # Profile mix (for contention-aware placement)
@@ -98,18 +125,22 @@ class Host:
         v: Optional[float] = None,
         priority: float = 1.0,
     ) -> VnpuHandle:
-        handle = self.hypervisor.hypercall_create(
-            config, owner=owner, priority=priority
-        )
+        vm = self.hypervisor.create_vm(owner)
+        driver = VnpuDriver(vm, self.hypervisor)
+        handle = driver.open(config, priority=priority)
         self.resident[handle.vnpu_id] = HostedVnpu(
-            handle=handle, owner=owner, m=m, v=v
+            handle=handle, owner=owner, m=m, v=v, driver=driver
         )
         return handle
 
     def release(self, vnpu_id: int) -> None:
-        if vnpu_id not in self.resident:
+        hosted = self.resident.get(vnpu_id)
+        if hosted is None:
             raise AllocationError(
                 f"host {self.name!r} does not host vNPU {vnpu_id}"
             )
-        self.hypervisor.hypercall_destroy(vnpu_id)
+        if hosted.driver is not None:
+            hosted.driver.close()
+        else:  # pragma: no cover - placements always carry a driver
+            self.hypervisor.hypercall_destroy(vnpu_id)
         del self.resident[vnpu_id]

@@ -17,7 +17,12 @@ from repro.core.allocator import split_eu_budget
 from repro.core.vnpu import VnpuConfig
 from repro.cluster.host import Host
 from repro.cluster.placement import LeastLoadedPolicy, PlacementPolicy
-from repro.errors import AllocationError
+from repro.cluster.virt import (
+    REJECT_CAPACITY,
+    REJECT_HYPERCALL,
+    REJECT_VF_EXHAUSTED,
+)
+from repro.errors import AllocationError, HypercallError
 
 _request_ids = itertools.count(1)
 
@@ -93,21 +98,49 @@ class ClusterOrchestrator:
         self.policy = policy if policy is not None else LeastLoadedPolicy()
         self._placements: Dict[int, Placement] = {}
         self.rejected: List[PlacementRequest] = []
+        #: request_id -> why admission turned it away (``REJECT_*`` in
+        #: :mod:`repro.cluster.virt`).
+        self.rejection_causes: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
+    def _diagnose_rejection(self, request: PlacementRequest) -> str:
+        """Why no host could take ``request``.
+
+        The placement policies admit iff some host has both free engines
+        and a free VF, so when engines fit somewhere the only possible
+        blocker is SR-IOV VF exhaustion -- the control-plane limit the
+        paper's SR-IOV design imposes.
+        """
+        if any(
+            h.fits_engines(request.num_mes, request.num_ves)
+            for h in self.hosts
+        ):
+            return REJECT_VF_EXHAUSTED
+        return REJECT_CAPACITY
+
+    def _record_rejection(self, request: PlacementRequest, cause: str) -> None:
+        self.rejected.append(request)
+        self.rejection_causes[request.request_id] = cause
+
     def submit(self, request: PlacementRequest) -> Optional[Placement]:
         """Admit and place; returns None (and records) when rejected."""
         host = self.policy.choose(self.hosts, request)
         if host is None:
-            self.rejected.append(request)
+            self._record_rejection(request, self._diagnose_rejection(request))
             return None
-        handle = host.place(
-            request.as_vnpu_config(),
-            owner=request.owner,
-            m=request.m,
-            v=request.v,
-            priority=request.priority,
-        )
+        try:
+            handle = host.place(
+                request.as_vnpu_config(),
+                owner=request.owner,
+                m=request.m,
+                v=request.v,
+                priority=request.priority,
+            )
+        except HypercallError:
+            # The policy judged the host feasible but the hypervisor
+            # refused the create; the control plane has the final word.
+            self._record_rejection(request, REJECT_HYPERCALL)
+            return None
         placement = Placement(
             request=request, host=host, vnpu_id=handle.vnpu_id
         )
@@ -174,15 +207,34 @@ class ClusterOrchestrator:
         if target is None:
             return None
         placement.host.release(placement.vnpu_id)
-        handle = target.place(
-            placement.request.as_vnpu_config(),
-            owner=placement.request.owner,
-            m=placement.request.m,
-            v=placement.request.v,
-            priority=placement.request.priority,
-        )
+        request = placement.request
+        try:
+            handle = target.place(
+                request.as_vnpu_config(),
+                owner=request.owner,
+                m=request.m,
+                v=request.v,
+                priority=request.priority,
+            )
+        except HypercallError:
+            # The target's control plane refused (e.g. a policy that
+            # skipped the feasibility check against a VF-exhausted
+            # host).  Re-place on the source host -- its engines and VF
+            # were freed just above, so this cannot fail -- keeping the
+            # "failed migration leaves the tenant running" contract.
+            handle = placement.host.place(
+                request.as_vnpu_config(),
+                owner=request.owner,
+                m=request.m,
+                v=request.v,
+                priority=request.priority,
+            )
+            self._placements[request_id] = Placement(
+                request=request, host=placement.host, vnpu_id=handle.vnpu_id
+            )
+            return None
         moved = Placement(
-            request=placement.request, host=target, vnpu_id=handle.vnpu_id
+            request=request, host=target, vnpu_id=handle.vnpu_id
         )
         self._placements[request_id] = moved
         return moved
@@ -199,6 +251,13 @@ class ClusterOrchestrator:
         out: Dict[str, List[str]] = {h.name: [] for h in self.hosts}
         for placement in self._placements.values():
             out[placement.host.name].append(placement.request.owner)
+        return out
+
+    def rejection_cause_counts(self) -> Dict[str, int]:
+        """Rejections per cause (empty when everything was admitted)."""
+        out: Dict[str, int] = {}
+        for cause in self.rejection_causes.values():
+            out[cause] = out.get(cause, 0) + 1
         return out
 
     def admission_rate(self) -> float:

@@ -1,0 +1,111 @@
+"""Virtualization control-plane configuration and telemetry.
+
+The cluster serving simulator always places tenants through each host's
+:class:`~repro.runtime.hypervisor.Hypervisor` (the paper's SectionIII-F
+control plane: SR-IOV VFs, IOMMU windows, the three hypercalls).  A
+:class:`VirtualizationSpec` makes that control plane *bind*: it sizes
+the per-host SR-IOV VF pools (optionally per host pool), attaches a
+modelled latency to every hypercall, and turns on the telemetry the
+driver aggregates into a :class:`VirtualizationSummary` -- hypercall
+counts by type, VF-occupancy timelines, IOMMU mapping counts, VF
+exhaustion as a first-class admission-rejection cause, and the total
+onboarding delay charged to tenants.
+
+With no spec configured (the default), hosts keep their default VF
+pools, hypercalls are free, and results are bit-identical to releases
+that predate this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.errors import ConfigError
+
+#: Rejection causes recorded by the orchestrator.
+REJECT_CAPACITY = "capacity"
+REJECT_VF_EXHAUSTED = "vf-exhausted"
+REJECT_HYPERCALL = "hypercall-rejected"
+
+
+@dataclass(frozen=True)
+class VirtualizationSpec:
+    """Control-plane knobs for a cluster serving run.
+
+    ``num_vfs`` sizes every host's SR-IOV VF pool;
+    ``pool_num_vfs`` overrides it for named host pools.
+    ``hypercall_cost_s`` is the modelled control-plane latency of one
+    hypercall: tenant onboarding (one ``create``) and migration (one
+    ``destroy`` + one ``create``) hold the tenant's arrivals back by
+    the corresponding time.
+    """
+
+    num_vfs: int = 16
+    pool_num_vfs: Mapping[str, int] = field(default_factory=dict)
+    hypercall_cost_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_vfs < 1:
+            raise ConfigError("virtualization needs at least one VF per host")
+        object.__setattr__(self, "pool_num_vfs", dict(self.pool_num_vfs))
+        for pool, vfs in self.pool_num_vfs.items():
+            if vfs < 1:
+                raise ConfigError(
+                    f"pool {pool!r}: num_vfs must be positive, got {vfs}"
+                )
+        if self.hypercall_cost_s < 0:
+            raise ConfigError("hypercall cost cannot be negative")
+
+    def vfs_for(self, pool: str) -> int:
+        """VF pool size for hosts of ``pool``."""
+        return self.pool_num_vfs.get(pool, self.num_vfs)
+
+
+@dataclass
+class VirtualizationSummary:
+    """What the control plane did over one cluster serving run."""
+
+    #: Hypercall totals by type over every host that ever existed.
+    hypercalls: Dict[str, int]
+    #: ``(segment start time, VFs in use, VF capacity)`` over the run's
+    #: *active* hosts, one entry per simulated segment.
+    vf_occupancy_timeline: List[Tuple[float, int, int]]
+    peak_vf_in_use: int
+    #: Admission attempts turned away because every EU-feasible host had
+    #: an empty VF pool (counted per request, matching ``rejected``).
+    vf_exhaustion_rejections: int
+    #: Rejected tenant name -> last rejection cause (see ``REJECT_*``).
+    rejection_causes: Dict[str, str]
+    #: Cumulative IOMMU activity (segment windows attached, DMA buffers
+    #: registered) and what is still mapped at the end of the run.
+    iommu_windows_attached: int
+    iommu_dma_registrations: int
+    final_iommu_mappings: int
+    final_vf_in_use: int
+    #: Total simulated seconds of tenant serving time consumed by
+    #: hypercall latency (admissions and migrations).
+    onboarding_delay_s: float
+    hypercall_cost_s: float
+
+    @property
+    def hypercall_total(self) -> int:
+        return sum(self.hypercalls.values())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hypercalls": dict(self.hypercalls),
+            "hypercall_total": self.hypercall_total,
+            "vf_occupancy_timeline": [
+                [t, used, cap] for t, used, cap in self.vf_occupancy_timeline
+            ],
+            "peak_vf_in_use": self.peak_vf_in_use,
+            "vf_exhaustion_rejections": self.vf_exhaustion_rejections,
+            "rejection_causes": dict(self.rejection_causes),
+            "iommu_windows_attached": self.iommu_windows_attached,
+            "iommu_dma_registrations": self.iommu_dma_registrations,
+            "final_iommu_mappings": self.final_iommu_mappings,
+            "final_vf_in_use": self.final_vf_in_use,
+            "onboarding_delay_s": self.onboarding_delay_s,
+            "hypercall_cost_s": self.hypercall_cost_s,
+        }

@@ -82,7 +82,22 @@ class VnpuManager:
             config=config, owner=old.owner, priority=old.priority,
             vnpu_id=vnpu_id,
         )
-        self.mapper.map(replacement)
+        try:
+            self.mapper.map(replacement)
+        except Exception:
+            # Remap the old configuration (its resources were just
+            # freed, so this cannot fail) -- a rejected reconfigure must
+            # not destroy the tenant's live vNPU.  ``unmap`` retired the
+            # old instance object, so rebuild one under the same id.
+            restored = VnpuInstance(
+                config=old.config, owner=old.owner, priority=old.priority,
+                vnpu_id=vnpu_id,
+            )
+            self.mapper.map(restored)
+            if was_active:
+                restored.transition(VnpuState.ACTIVE)
+            self._instances[vnpu_id] = restored
+            raise
         if was_active:
             replacement.transition(VnpuState.ACTIVE)
         self._instances[vnpu_id] = replacement

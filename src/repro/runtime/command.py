@@ -75,10 +75,13 @@ class CommandRing:
         if self._count == 0:
             return None
         command = self._slots[self._head]
+        if command is None:
+            raise CommandRingError(
+                f"ring slot {self._head} empty with {self._count} pending"
+            )
         self._slots[self._head] = None
         self._head = (self._head + 1) % self.capacity
         self._count -= 1
-        assert command is not None
         return command
 
     def complete(self, command: Command) -> None:

@@ -62,20 +62,70 @@ class VnpuDriver:
     # Lifecycle
     # ------------------------------------------------------------------
     def open(self, config: VnpuConfig, priority: float = 1.0) -> VnpuHandle:
-        """Request a vNPU and set up the data path."""
+        """Request a vNPU and set up the data path.
+
+        All-or-nothing: if any data-path setup step fails after the
+        create hypercall succeeded (DMA buffer allocation, IOMMU
+        registration), the vNPU is destroyed again so hypervisor state
+        is exactly what it was before the call, and the driver stays
+        unbound and reusable.
+        """
         if self.handle is not None:
             raise VirtualizationError("driver already bound to a vNPU")
-        self.handle = self.hypervisor.hypercall_create(
+        handle = self.hypervisor.hypercall_create(
             config, owner=self.vm.name, priority=priority
         )
-        self._bar = self.hypervisor.bar_of(self.handle.vnpu_id)
-        self._bar.doorbell_handler = self._on_doorbell
-        self.dma_buffer = self.vm.alloc(self.dma_buffer_bytes, label="dma")
-        self.hypervisor.iommu.register_dma_buffer(
-            self.handle.vnpu_id, self.dma_buffer.addr, self.dma_buffer.size
-        )
-        self._bar.set_status(DeviceStatus.IDLE)
+        dma_buffer = None
+        try:
+            bar = self.hypervisor.bar_of(handle.vnpu_id)
+            bar.doorbell_handler = self._on_doorbell
+            dma_buffer = self.vm.alloc(self.dma_buffer_bytes, label="dma")
+            self.hypervisor.iommu.register_dma_buffer(
+                handle.vnpu_id, dma_buffer.addr, dma_buffer.size
+            )
+            bar.set_status(DeviceStatus.IDLE)
+        except Exception:
+            # Unwind: the destroy hypercall releases the VF and detaches
+            # every IOMMU entry (windows and DMA registrations).
+            if dma_buffer is not None:
+                self.vm.free(dma_buffer)
+            self.hypervisor.hypercall_destroy(handle.vnpu_id)
+            raise
+        # Bind only once every step succeeded: a failed open never
+        # leaves the driver half-bound.
+        self.handle = handle
+        self._bar = bar
+        self.dma_buffer = dma_buffer
         return self.handle
+
+    def reconfigure(self, config: VnpuConfig) -> VnpuHandle:
+        """Resize the bound vNPU and re-bind the data path.
+
+        The reconfigure hypercall re-assigns the virtual function, so
+        the driver must pick up the new BAR and re-arm its doorbell;
+        the DMA buffer and its IOMMU registration survive untouched.
+        On rejection the old binding is restored and remains usable.
+        """
+        if self.handle is None or self._bar is None:
+            raise VirtualizationError("driver is not bound to a vNPU")
+        old_bar = self._bar
+        try:
+            handle = self.hypervisor.hypercall_reconfigure(
+                self.handle.vnpu_id, config
+            )
+        except Exception:
+            # A rejected reconfigure rewired the old VF; re-arm it.
+            self._bar = self.hypervisor.bar_of(self.handle.vnpu_id)
+            self._bar.doorbell_handler = self._on_doorbell
+            self._bar.set_status(DeviceStatus.IDLE)
+            raise
+        finally:
+            old_bar.doorbell_handler = None
+        self.handle = handle
+        self._bar = self.hypervisor.bar_of(handle.vnpu_id)
+        self._bar.doorbell_handler = self._on_doorbell
+        self._bar.set_status(DeviceStatus.IDLE)
+        return handle
 
     def close(self) -> None:
         if self.handle is None:
@@ -153,7 +203,8 @@ class VnpuDriver:
         """Device-side command fetch, modelled synchronously: the NPU
         drains the ring, validates DMA targets via the IOMMU, executes
         and bumps the completion counter."""
-        assert self.handle is not None and self._bar is not None
+        if self.handle is None or self._bar is None:
+            raise VirtualizationError("doorbell rang on an unbound driver")
         self._bar.set_status(DeviceStatus.RUNNING)
         while True:
             command = self.ring.pop()

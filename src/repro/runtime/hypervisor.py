@@ -10,6 +10,13 @@ On vNPU creation it also:
 - registers the guest's DMA buffer for remapping.
 
 Data-path operations (command submission, polling) bypass it entirely.
+
+Every hypercall is counted (total and per type); the cluster serving
+driver (:mod:`repro.traffic.cluster_sim`) turns those counts into a
+modelled control-plane latency charged against tenant onboarding time.
+The hypervisor also owns a :class:`~repro.runtime.vm.HostAddressSpace`,
+so guest VMs it creates get deterministic, per-host, non-aliasing
+host-physical strides.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from repro.core.vnpu import VnpuConfig, VnpuInstance, VnpuState
 from repro.errors import HypercallError
 from repro.runtime.iommu import Iommu, MemoryKind
 from repro.runtime.sriov import SriovRegistry, VirtualFunction
+from repro.runtime.vm import GuestVm, HostAddressSpace
 
 
 @dataclass
@@ -48,7 +56,42 @@ class Hypervisor:
         self.manager = VnpuManager(cores, mode=mode)
         self.iommu = Iommu()
         self.sriov = SriovRegistry(num_vfs=num_vfs)
+        self.address_space = HostAddressSpace()
         self.hypercall_count = 0
+        self.hypercall_counts: Dict[str, int] = {
+            "create": 0, "reconfigure": 0, "destroy": 0,
+        }
+
+    def _count_hypercall(self, kind: str) -> None:
+        self.hypercall_count += 1
+        self.hypercall_counts[kind] += 1
+
+    # ------------------------------------------------------------------
+    # Guest VMs
+    # ------------------------------------------------------------------
+    def create_vm(self, name: str, memory_bytes: int = 16 * 2**30) -> GuestVm:
+        """A guest VM backed by this host's own address space, so host
+        bases are deterministic per host regardless of process history."""
+        return GuestVm(name, memory_bytes, address_space=self.address_space)
+
+    # ------------------------------------------------------------------
+    # Occupancy telemetry
+    # ------------------------------------------------------------------
+    @property
+    def vf_capacity(self) -> int:
+        return self.sriov.num_vfs
+
+    @property
+    def vf_in_use(self) -> int:
+        return self.sriov.in_use
+
+    @property
+    def vf_free(self) -> int:
+        return self.sriov.num_vfs - self.sriov.in_use
+
+    @property
+    def iommu_mapping_count(self) -> int:
+        return self.iommu.mapping_count
 
     # ------------------------------------------------------------------
     # Hypercalls
@@ -63,7 +106,7 @@ class Hypervisor:
     ) -> VnpuHandle:
         """Create a vNPU; with ``profile`` + ``total_eus`` the allocator
         overrides the requested ME/VE split."""
-        self.hypercall_count += 1
+        self._count_hypercall("create")
         try:
             if profile is not None and total_eus is not None:
                 vnpu = self.manager.create_for_workload(
@@ -73,31 +116,51 @@ class Hypervisor:
                 vnpu = self.manager.create(config, owner=owner, priority=priority)
         except Exception as exc:
             raise HypercallError(f"vNPU creation rejected: {exc}") from exc
-        self._wire_device(vnpu)
+        try:
+            vf = self._wire_device(vnpu)
+        except Exception as exc:
+            # The vNPU was mapped but could not be wired (typically VF
+            # exhaustion): unwind the manager state so a rejected create
+            # leaves the host exactly as it found it.
+            self._unwire_device(vnpu)
+            self.manager.destroy(vnpu.vnpu_id)
+            raise HypercallError(f"vNPU creation rejected: {exc}") from exc
         vnpu.transition(VnpuState.ACTIVE)
-        vf = self.sriov.vf_of(vnpu.vnpu_id)
-        assert vf is not None
         return VnpuHandle(vnpu_id=vnpu.vnpu_id, vf_bdf=vf.bdf, config=vnpu.config)
 
     def hypercall_reconfigure(self, vnpu_id: int, config: VnpuConfig) -> VnpuHandle:
-        self.hypercall_count += 1
+        """Resize a live vNPU.  The guest's DMA registrations survive
+        (its DMA buffer is unchanged); the VF and segment windows are
+        re-assigned, so a guest driver must re-query its BAR (see
+        :meth:`repro.runtime.driver.VnpuDriver.reconfigure`)."""
+        self._count_hypercall("reconfigure")
+        unwired = False
         try:
-            self._unwire_device(self.manager.get(vnpu_id))
+            old = self.manager.get(vnpu_id)
+            self._unwire_device(old, keep_dma=True)
+            unwired = True
             vnpu = self.manager.reconfigure(vnpu_id, config)
         except HypercallError:
             raise
         except Exception as exc:
+            if unwired:
+                # The manager restored (or kept) a mapping under this id;
+                # rewire it so a rejected reconfigure is a no-op.
+                try:
+                    survivor = self.manager.get(vnpu_id)
+                except Exception:
+                    survivor = None
+                if survivor is not None and self.sriov.vf_of(vnpu_id) is None:
+                    self._wire_device(survivor)
             raise HypercallError(f"vNPU reconfigure rejected: {exc}") from exc
-        self._wire_device(vnpu)
+        vf = self._wire_device(vnpu)
         if vnpu.state is not VnpuState.ACTIVE:
             vnpu.transition(VnpuState.ACTIVE)
-        vf = self.sriov.vf_of(vnpu.vnpu_id)
-        assert vf is not None
         return VnpuHandle(vnpu_id=vnpu.vnpu_id, vf_bdf=vf.bdf, config=vnpu.config)
 
     def hypercall_destroy(self, vnpu_id: int) -> None:
         """Clean up the vNPU context and remove its DMA setup."""
-        self.hypercall_count += 1
+        self._count_hypercall("destroy")
         try:
             vnpu = self.manager.get(vnpu_id)
             self._unwire_device(vnpu)
@@ -138,10 +201,13 @@ class Hypervisor:
             )
         return vf
 
-    def _unwire_device(self, vnpu: VnpuInstance) -> None:
+    def _unwire_device(self, vnpu: VnpuInstance, keep_dma: bool = False) -> None:
         if self.sriov.vf_of(vnpu.vnpu_id) is not None:
             self.sriov.release(vnpu.vnpu_id)
-        self.iommu.detach(vnpu.vnpu_id)
+        if keep_dma:
+            self.iommu.detach_windows(vnpu.vnpu_id)
+        else:
+            self.iommu.detach(vnpu.vnpu_id)
 
     # ------------------------------------------------------------------
     def bar_of(self, vnpu_id: int):

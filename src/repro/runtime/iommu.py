@@ -52,6 +52,28 @@ class Iommu:
         self._windows: Dict[Tuple[int, MemoryKind], SegmentWindow] = {}
         self._dma_buffers: Dict[int, List[Tuple[int, int]]] = {}
         self.fault_count = 0
+        #: Cumulative counters (never decremented) for control-plane
+        #: telemetry; the live table sizes are the ``*_count`` properties.
+        self.windows_attached_total = 0
+        self.dma_registrations_total = 0
+
+    # ------------------------------------------------------------------
+    # Occupancy telemetry
+    # ------------------------------------------------------------------
+    @property
+    def window_count(self) -> int:
+        """Live SRAM/HBM segment windows across all vNPUs."""
+        return len(self._windows)
+
+    @property
+    def dma_buffer_count(self) -> int:
+        """Live registered DMA buffers across all vNPUs."""
+        return sum(len(v) for v in self._dma_buffers.values())
+
+    @property
+    def mapping_count(self) -> int:
+        """Total live IOMMU entries (segment windows + DMA buffers)."""
+        return self.window_count + self.dma_buffer_count
 
     # ------------------------------------------------------------------
     # Segment windows (NPU-side SRAM/HBM isolation)
@@ -66,13 +88,20 @@ class Iommu:
             num_segments=num_segments,
             segment_bytes=kind.segment_bytes,
         )
+        if (vnpu_id, kind) not in self._windows:
+            self.windows_attached_total += 1
         self._windows[(vnpu_id, kind)] = window
         return window
 
     def detach(self, vnpu_id: int) -> None:
+        self.detach_windows(vnpu_id)
+        self._dma_buffers.pop(vnpu_id, None)
+
+    def detach_windows(self, vnpu_id: int) -> None:
+        """Drop the segment windows but keep DMA registrations (used by
+        reconfigure, where the guest's DMA buffer stays valid)."""
         for key in [k for k in self._windows if k[0] == vnpu_id]:
             del self._windows[key]
-        self._dma_buffers.pop(vnpu_id, None)
 
     def translate(self, vnpu_id: int, kind: MemoryKind, virt_addr: int) -> int:
         """Virtual (vNPU-local) address -> physical byte address.
@@ -108,6 +137,7 @@ class Iommu:
         if size <= 0 or guest_addr < 0:
             raise DmaFault("invalid DMA buffer registration")
         self._dma_buffers.setdefault(vnpu_id, []).append((guest_addr, size))
+        self.dma_registrations_total += 1
 
     def check_dma(self, vnpu_id: int, guest_addr: int, size: int) -> None:
         """Validate a device DMA against the vNPU's registered buffers."""

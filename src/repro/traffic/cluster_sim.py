@@ -8,6 +8,18 @@ cut at churn events; within each segment the tenant population is fixed,
 so the per-host fluid simulation is exact, and the per-tenant metrics
 are merged across segments into one :class:`SloReport` each.
 
+Tenant admission, departure and migration go through each host's real
+virtualization control plane (:mod:`repro.runtime`): placement opens a
+guest driver -- a create hypercall, an SR-IOV virtual function, IOMMU
+DMA registration -- and release closes it again.  A
+:class:`~repro.cluster.virt.VirtualizationSpec` makes that control
+plane bind: per-pool VF budgets turn SR-IOV exhaustion into an
+admission-rejection cause, per-hypercall latency holds a tenant's
+arrivals back while it onboards, and the run reports hypercall counts,
+VF-occupancy timelines and IOMMU mapping counts (also fed to the
+autoscaler through :class:`SegmentObservation`).  Without a spec the
+driver behaves exactly as before virtualization was wired in.
+
 When :attr:`ClusterTrafficConfig.autoscaler` is set the loop closes:
 after every segment the controller receives a
 :class:`~repro.cluster.autoscale.SegmentObservation` (attainment,
@@ -45,6 +57,12 @@ from repro.cluster.autoscale import (
 from repro.cluster.host import Host
 from repro.cluster.orchestrator import ClusterOrchestrator, PlacementRequest
 from repro.cluster.placement import PlacementPolicy
+from repro.cluster.virt import (
+    REJECT_CAPACITY,
+    REJECT_VF_EXHAUSTED,
+    VirtualizationSpec,
+    VirtualizationSummary,
+)
 from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig, spawn_rng
 from repro.errors import ConfigError
 from repro.parallel import parallel_map
@@ -119,6 +137,10 @@ class ClusterTrafficConfig:
     #: controller acts even between churn events (None = churn cuts
     #: only).  Ignored without an autoscaler.
     autoscale_interval_s: Optional[float] = None
+    #: Virtualization control-plane knobs (None = default VF pools,
+    #: free hypercalls, no control-plane telemetry on the result --
+    #: the exact pre-virtualization code path).
+    virtualization: Optional[VirtualizationSpec] = None
 
     def __post_init__(self) -> None:
         if self.num_hosts < 1 or self.cores_per_host < 1:
@@ -152,6 +174,9 @@ class ClusterTrafficResult:
     host_count_timeline: List[Tuple[float, int]] = field(default_factory=list)
     #: Time-weighted mean live host count over the run.
     mean_active_hosts: float = 0.0
+    #: Control-plane telemetry (None unless
+    #: :attr:`ClusterTrafficConfig.virtualization` was configured).
+    virtualization: Optional[VirtualizationSummary] = None
 
     @property
     def cluster_me_utilization(self) -> float:
@@ -305,12 +330,24 @@ class _Fleet:
         pools: Sequence[HostPoolSpec],
         core: NpuCoreConfig,
         policy: Optional[PlacementPolicy],
+        virtualization: Optional[VirtualizationSpec] = None,
     ) -> None:
         self.pools = {p.name: p for p in pools}
+
+        def host_kwargs(pool: HostPoolSpec) -> Dict[str, int]:
+            # No spec -> no kwarg, so Host's own default VF pool applies.
+            if virtualization is None:
+                return {}
+            return {"num_vfs": virtualization.vfs_for(pool.name)}
+
         #: Every host the pools could ever provide, in activation order.
         self.hosts: Dict[str, List[Host]] = {
             p.name: [
-                Host(f"{p.name}{i}", [core] * p.cores_per_host)
+                Host(
+                    f"{p.name}{i}",
+                    [core] * p.cores_per_host,
+                    **host_kwargs(p),
+                )
                 for i in range(p.max_hosts)
             ]
             for p in pools
@@ -344,6 +381,10 @@ class _Fleet:
             flags = self.active[name]
             out.extend(h for h, live in zip(hosts, flags) if live)
         return out
+
+    def all_hosts(self) -> List[Host]:
+        """Every host of every pool, live or not (telemetry sums)."""
+        return [h for hosts in self.hosts.values() for h in hosts]
 
     def active_count(self, pool: Optional[str] = None) -> int:
         if pool is None:
@@ -518,12 +559,28 @@ def run_cluster_traffic(
         cfg.core.num_mes * cfg.cores_per_host,
         cfg.core.num_ves * cfg.cores_per_host,
     )
-    fleet = _Fleet(_default_pools(cfg), cfg.core, cfg.policy)
+    pools = _default_pools(cfg)
+    virt = cfg.virtualization
+    if virt is not None:
+        unknown = set(virt.pool_num_vfs) - {p.name for p in pools}
+        if unknown:
+            known = ", ".join(sorted(p.name for p in pools))
+            raise ConfigError(
+                f"virtualization names unknown pool(s) {sorted(unknown)}; "
+                f"known: {known}"
+            )
+    virt_cost = virt.hypercall_cost_s if virt is not None else 0.0
+    fleet = _Fleet(pools, cfg.core, cfg.policy, virt)
     orch = fleet.orch
 
     ordered = sorted(events, key=lambda e: (e.time_s, e.action != ACTION_DEPART))
     residents: Dict[str, _Resident] = {}
     rejected: List[str] = []
+    rejection_causes: Dict[str, str] = {}
+    #: Simulated time until which a tenant's arrivals are held back by
+    #: control-plane latency (admission / migration hypercalls).
+    onboard_until: Dict[str, float] = {}
+    onboarding_delay_s = 0.0
     reports: Dict[str, SloReport] = {}
     busy: Dict[str, Tuple[float, float]] = {
         h.name: (0.0, 0.0) for h in fleet.ever_active
@@ -537,13 +594,15 @@ def run_cluster_traffic(
             if ev.action == ACTION_ARRIVE:
                 if ev.name in residents:
                     raise ConfigError(f"tenant {ev.name!r} is already resident")
-                placement = orch.submit(
-                    PlacementRequest(
-                        owner=ev.name, num_mes=ev.num_mes, num_ves=ev.num_ves
-                    )
+                request = PlacementRequest(
+                    owner=ev.name, num_mes=ev.num_mes, num_ves=ev.num_ves
                 )
+                placement = orch.submit(request)
                 if placement is None:
                     rejected.append(ev.name)
+                    rejection_causes[ev.name] = orch.rejection_causes.get(
+                        request.request_id, REJECT_CAPACITY
+                    )
                     continue
                 residents[ev.name] = _Resident(
                     request_id=placement.request.request_id,
@@ -552,6 +611,10 @@ def run_cluster_traffic(
                     num_mes=ev.num_mes,
                     num_ves=ev.num_ves,
                 )
+                if virt_cost > 0:
+                    # One create hypercall stands between admission and
+                    # the tenant's first served request.
+                    onboard_until[ev.name] = at + virt_cost
             else:
                 resident = residents.pop(ev.name, None)
                 if resident is None:
@@ -559,6 +622,7 @@ def run_cluster_traffic(
                         continue  # never admitted; nothing to release
                     raise ConfigError(f"tenant {ev.name!r} is not resident")
                 orch.release(resident.request_id)
+                onboard_until.pop(ev.name, None)
 
     interval = cfg.autoscale_interval_s if cfg.autoscaler is not None else None
     boundaries = _segment_boundaries(ordered, cfg.end_s, interval)
@@ -598,6 +662,16 @@ def run_cluster_traffic(
                 if not done:
                     break
 
+    #: Control-plane telemetry is only consumed by the virtualization
+    #: summary and the autoscaler's observations; skip the per-segment
+    #: fleet walks entirely on the plain path.
+    track_control_plane = virt is not None or cfg.autoscaler is not None
+    #: Fleet-wide hypercall reading at the previous segment start, for
+    #: per-segment deltas (boundary churn is attributed to the segment
+    #: it opens).
+    last_hypercalls = 0
+    vf_timeline: List[Tuple[float, int, int]] = []
+
     for seg_index, (t0, t1) in enumerate(zip(boundaries, boundaries[1:])):
         if cfg.autoscaler is not None and seg_stats is not None:
             obs = SegmentObservation(
@@ -612,8 +686,23 @@ def run_cluster_traffic(
                 ve_utilization=seg_stats["ve_utilization"],
                 offered=int(seg_stats["offered"]),
                 attained=int(seg_stats["attained"]),
+                hypercalls=int(seg_stats["hypercalls"]),
+                vf_in_use=int(seg_stats["vf_in_use"]),
+                vf_capacity=int(seg_stats["vf_capacity"]),
+                iommu_mappings=int(seg_stats["iommu_mappings"]),
             )
+            events_before = len(autoscale_events)
             apply_actions(cfg.autoscaler.observe(obs), t0)
+            if virt_cost > 0:
+                # A migration is one destroy plus one create hypercall;
+                # the moved tenant is off the air for both.
+                for aev in autoscale_events[events_before:]:
+                    for tenant, _src, _dst in aev.migrations:
+                        if tenant in residents:
+                            onboard_until[tenant] = max(
+                                onboard_until.get(tenant, 0.0),
+                                t0 + 2 * virt_cost,
+                            )
         rejected_before_segment = len(rejected)
         apply_events(t0)
         seg_s = t1 - t0
@@ -623,6 +712,20 @@ def run_cluster_traffic(
         active = fleet.active_hosts()
         host_count_timeline.append((t0, len(active)))
         host_seconds += len(active) * seg_s
+        seg_vf_in_use = seg_vf_capacity = seg_iommu = seg_hypercalls = 0
+        if track_control_plane:
+            # Control-plane occupancy over the live hosts at segment
+            # start; hypercall delta over the whole fleet.
+            seg_vf_in_use = sum(h.hypervisor.vf_in_use for h in active)
+            seg_vf_capacity = sum(h.hypervisor.vf_capacity for h in active)
+            seg_iommu = sum(h.hypervisor.iommu_mapping_count for h in active)
+            if virt is not None:  # only the summary consumes the timeline
+                vf_timeline.append((t0, seg_vf_in_use, seg_vf_capacity))
+            hypercalls_now = sum(
+                h.hypervisor.hypercall_count for h in fleet.all_hosts()
+            )
+            seg_hypercalls = hypercalls_now - last_hypercalls
+            last_hypercalls = hypercalls_now
         seg_cycles = cfg.core.seconds_to_cycles(seg_s)
         by_host: Dict[str, List[Tuple[str, _Resident]]] = {}
         for name, resident in residents.items():
@@ -650,6 +753,15 @@ def run_cluster_traffic(
                 process = arrival_process_for(spec, ol_cfg, svc, seg_cycles)
                 rng = spawn_rng(cfg.seed, name, seg_index)
                 arrivals = process.generate(seg_cycles, rng)
+                hold_s = onboard_until.get(name, 0.0) - t0
+                if hold_s > 0:
+                    # Requests landing while the control plane is still
+                    # onboarding the tenant queue until it comes up:
+                    # the hypercall latency is paid in queueing delay.
+                    hold_s = min(hold_s, seg_s)
+                    hold_cycles = cfg.core.seconds_to_cycles(hold_s)
+                    arrivals = [max(a, hold_cycles) for a in arrivals]
+                    onboarding_delay_s += hold_s
                 tenant_jobs.append(
                     _TenantJob(
                         name=name,
@@ -703,7 +815,46 @@ def run_cluster_traffic(
             "ve_utilization": seg_ve / denom,
             "offered": seg_offered,
             "attained": seg_attained,
+            "hypercalls": seg_hypercalls,
+            "vf_in_use": seg_vf_in_use,
+            "vf_capacity": seg_vf_capacity,
+            "iommu_mappings": seg_iommu,
         }
+
+    virt_summary: Optional[VirtualizationSummary] = None
+    if virt is not None:
+        hypercalls: Dict[str, int] = {"create": 0, "reconfigure": 0, "destroy": 0}
+        for host in fleet.all_hosts():
+            for kind, count in host.hypervisor.hypercall_counts.items():
+                hypercalls[kind] = hypercalls.get(kind, 0) + count
+        virt_summary = VirtualizationSummary(
+            hypercalls=hypercalls,
+            vf_occupancy_timeline=vf_timeline,
+            peak_vf_in_use=max((used for _, used, _ in vf_timeline), default=0),
+            # Counted per rejected *request* (a tenant retried after a
+            # rejection counts each attempt, matching ``rejected``);
+            # ``rejection_causes`` keeps the last cause per tenant name.
+            vf_exhaustion_rejections=orch.rejection_cause_counts().get(
+                REJECT_VF_EXHAUSTED, 0
+            ),
+            rejection_causes=dict(rejection_causes),
+            iommu_windows_attached=sum(
+                h.hypervisor.iommu.windows_attached_total
+                for h in fleet.all_hosts()
+            ),
+            iommu_dma_registrations=sum(
+                h.hypervisor.iommu.dma_registrations_total
+                for h in fleet.all_hosts()
+            ),
+            final_iommu_mappings=sum(
+                h.hypervisor.iommu_mapping_count for h in fleet.all_hosts()
+            ),
+            final_vf_in_use=sum(
+                h.hypervisor.vf_in_use for h in fleet.all_hosts()
+            ),
+            onboarding_delay_s=onboarding_delay_s,
+            hypercall_cost_s=virt.hypercall_cost_s,
+        )
 
     total_s = cfg.end_s
     return ClusterTrafficResult(
@@ -723,4 +874,5 @@ def run_cluster_traffic(
         autoscale_events=autoscale_events,
         host_count_timeline=host_count_timeline,
         mean_active_hosts=host_seconds / total_s,
+        virtualization=virt_summary,
     )

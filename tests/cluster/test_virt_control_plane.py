@@ -1,0 +1,200 @@
+"""Cluster placement through the real virtualization control plane:
+VF budgets as admission constraints, rejection causes, and churn that
+always returns VF/IOMMU occupancy to zero."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterOrchestrator,
+    Host,
+    LeastLoadedPolicy,
+    PlacementRequest,
+)
+from repro.cluster.virt import (
+    REJECT_CAPACITY,
+    REJECT_VF_EXHAUSTED,
+    VirtualizationSpec,
+)
+from repro.config import NpuCoreConfig
+from repro.errors import ConfigError
+
+CORE = NpuCoreConfig()
+
+
+def _req(owner, mes=1, ves=1):
+    return PlacementRequest(owner=owner, num_mes=mes, num_ves=ves)
+
+
+# ----------------------------------------------------------------------
+# VirtualizationSpec
+# ----------------------------------------------------------------------
+def test_spec_pool_overrides_and_validation():
+    spec = VirtualizationSpec(num_vfs=8, pool_num_vfs={"edge": 2})
+    assert spec.vfs_for("edge") == 2
+    assert spec.vfs_for("core") == 8
+    with pytest.raises(ConfigError):
+        VirtualizationSpec(num_vfs=0)
+    with pytest.raises(ConfigError):
+        VirtualizationSpec(pool_num_vfs={"edge": 0})
+    with pytest.raises(ConfigError):
+        VirtualizationSpec(hypercall_cost_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Host-level VF accounting
+# ----------------------------------------------------------------------
+def test_host_fits_accounts_for_vf_pool():
+    host = Host("h", [CORE], num_vfs=1)
+    assert host.fits(1, 1)
+    host.place(_req("a").as_vnpu_config(), owner="a")
+    # Engines are still free, but the single VF is taken.
+    assert host.fits_engines(1, 1)
+    assert not host.fits(1, 1)
+    assert host.free_vfs == 0
+
+
+def test_placement_drives_the_guest_control_plane():
+    host = Host("h", [CORE], num_vfs=4)
+    handle = host.place(_req("a").as_vnpu_config(), owner="a")
+    hv = host.hypervisor
+    assert hv.vf_in_use == 1
+    assert hv.iommu.dma_buffer_count == 1  # the guest driver's DMA buffer
+    assert hv.hypercall_counts["create"] == 1
+    host.release(handle.vnpu_id)
+    assert hv.vf_in_use == 0
+    assert hv.iommu.mapping_count == 0
+    assert hv.hypercall_counts["destroy"] == 1
+
+
+# ----------------------------------------------------------------------
+# Orchestrator rejection causes
+# ----------------------------------------------------------------------
+def test_vf_exhaustion_is_a_first_class_rejection_cause():
+    orch = ClusterOrchestrator(
+        [Host("h0", [CORE], num_vfs=1)], LeastLoadedPolicy()
+    )
+    assert orch.submit(_req("a")) is not None
+    rejected = _req("b")
+    assert orch.submit(rejected) is None
+    assert orch.rejection_causes[rejected.request_id] == REJECT_VF_EXHAUSTED
+    assert orch.rejection_cause_counts() == {REJECT_VF_EXHAUSTED: 1}
+
+
+def test_capacity_rejection_keeps_its_own_cause():
+    orch = ClusterOrchestrator([Host("h0", [CORE], num_vfs=16)])
+    assert orch.submit(_req("a", mes=4, ves=4)) is not None
+    rejected = _req("b", mes=4, ves=4)
+    assert orch.submit(rejected) is None
+    assert orch.rejection_causes[rejected.request_id] == REJECT_CAPACITY
+
+
+def test_vf_freed_by_departure_readmits():
+    orch = ClusterOrchestrator([Host("h0", [CORE], num_vfs=1)])
+    first = orch.submit(_req("a"))
+    assert orch.submit(_req("b")) is None
+    orch.release(first.request.request_id)
+    assert orch.submit(_req("c")) is not None
+
+
+# ----------------------------------------------------------------------
+# Churn lifecycle: occupancy always returns to zero
+# ----------------------------------------------------------------------
+def _assert_control_plane_empty(host: Host) -> None:
+    hv = host.hypervisor
+    assert hv.vf_in_use == 0, host.name
+    assert hv.iommu.mapping_count == 0, host.name
+    assert not hv.manager.instances(), host.name
+    assert host.committed_mes == 0 and host.committed_ves == 0, host.name
+
+
+def test_churn_with_migration_returns_occupancy_to_zero():
+    hosts = [Host(f"h{i}", [CORE], num_vfs=4) for i in range(3)]
+    orch = ClusterOrchestrator(hosts, LeastLoadedPolicy())
+    for round_idx in range(5):
+        placements = [
+            orch.submit(_req(f"r{round_idx}-{i}")) for i in range(6)
+        ]
+        assert all(p is not None for p in placements)
+        # Drain h0 by migrating its residents elsewhere.
+        for placement in list(orch.placements()):
+            if placement.host.name == "h0":
+                moved = orch.migrate(
+                    placement.request.request_id, exclude=("h0",)
+                )
+                assert moved is not None and moved.host.name != "h0"
+        assert not hosts[0].resident
+        _assert_control_plane_empty(hosts[0])
+        for placement in orch.placements():
+            orch.release(placement.request.request_id)
+        for host in hosts:
+            _assert_control_plane_empty(host)
+    # Hypercalls happened on every host (creates + destroys + moves).
+    assert all(h.hypervisor.hypercall_count > 0 for h in hosts)
+
+
+def test_migration_moves_the_vf_and_dma_registration():
+    src = Host("src", [CORE], num_vfs=4)
+    dst = Host("dst", [CORE], num_vfs=4)
+    orch = ClusterOrchestrator([src, dst], LeastLoadedPolicy())
+    placement = orch.submit(_req("a"))
+    origin = placement.host
+    other = dst if origin is src else src
+    moved = orch.migrate(placement.request.request_id)
+    assert moved.host is other
+    _assert_control_plane_empty(origin)
+    assert other.hypervisor.vf_in_use == 1
+    assert other.hypervisor.iommu.dma_buffer_count == 1
+
+
+def test_failed_migration_restores_the_tenant_on_its_source():
+    """A policy that skips the feasibility check and targets a VF-full
+    host must not lose the tenant: the migration fails, the tenant is
+    re-placed on its source, and its placement record stays valid."""
+    from repro.cluster import PlacementPolicy
+
+    src = Host("src", [CORE], num_vfs=2)
+    dst = Host("dst", [CORE], num_vfs=1)
+
+    class PinToDst(PlacementPolicy):
+        def choose(self, hosts, request):  # no fits() filter, on purpose
+            return next((h for h in hosts if h.name == "dst"), hosts[0])
+
+    orch = ClusterOrchestrator([src, dst], PinToDst())
+    blocker = orch.submit(_req("blocker"))  # takes dst's only VF
+    assert blocker.host is dst
+    victim = orch.submit(_req("victim"))  # policy pins dst; place raises...
+    assert victim is None  # ...and submit records it as a rejection
+    orch.rejection_causes.clear()
+    # Place the victim on src directly, then try to migrate it to dst.
+    class PinToSrc(PlacementPolicy):
+        def choose(self, hosts, request):
+            return next((h for h in hosts if h.name == "src"), hosts[0])
+
+    orch.policy = PinToSrc()
+    placed = orch.submit(_req("tenant"))
+    assert placed.host is src
+    orch.policy = PinToDst()
+    moved = orch.migrate(placed.request.request_id)
+    assert moved is None  # dst refused; tenant kept running
+    restored = {
+        p.request.request_id: p for p in orch.placements()
+    }[placed.request.request_id]
+    assert restored.host is src
+    assert restored.vnpu_id in src.resident
+    orch.release(placed.request.request_id)  # record still valid
+    _assert_control_plane_empty(src)
+
+
+def test_host_bases_are_per_host_deterministic():
+    """Every host hands its first tenant the same guest-physical base,
+    however many placements other hosts saw first."""
+    h0 = Host("h0", [CORE], num_vfs=8)
+    for i in range(3):
+        h0.place(_req(f"w{i}").as_vnpu_config(), owner=f"w{i}")
+    h1 = Host("h1", [CORE], num_vfs=8)
+    h1.place(_req("x").as_vnpu_config(), owner="x")
+    base_of = lambda host: min(
+        base for bufs in host.hypervisor.iommu._dma_buffers.values()
+        for base, _size in bufs
+    )
+    assert base_of(h1) == base_of(h0)

@@ -1,0 +1,212 @@
+"""Control-plane lifecycle regressions: deterministic host addressing,
+all-or-nothing ``driver.open``, and typed errors that survive ``-O``."""
+
+import pytest
+
+from repro.config import GiB, MiB, NpuCoreConfig
+from repro.core.vnpu import VnpuConfig
+from repro.errors import HypercallError, VirtualizationError
+from repro.runtime.driver import VnpuDriver
+from repro.runtime.hypervisor import Hypervisor
+from repro.runtime.vm import (
+    HOST_STRIDE,
+    GuestVm,
+    HostAddressSpace,
+)
+
+CORE = NpuCoreConfig()
+
+
+def _cfg(mes=2, ves=2, sram=32 * MiB, hbm=8 * GiB):
+    return VnpuConfig(
+        num_mes_per_core=mes,
+        num_ves_per_core=ves,
+        sram_bytes_per_core=sram,
+        hbm_bytes_per_core=hbm,
+    )
+
+
+# ----------------------------------------------------------------------
+# Host address space ownership
+# ----------------------------------------------------------------------
+def test_address_space_is_deterministic_and_resettable():
+    space = HostAddressSpace()
+    a = GuestVm("a", address_space=space)
+    b = GuestVm("b", address_space=space)
+    assert a.host_base == 0
+    assert b.host_base == HOST_STRIDE
+    assert space.slots_allocated == 2
+    space.reset()
+    assert GuestVm("c", address_space=space).host_base == 0
+
+
+def test_hypervisor_scoped_vms_do_not_depend_on_process_history():
+    """Two hypervisors hand out identical host bases regardless of how
+    many VMs any other owner created before them."""
+    GuestVm("noise")  # default-space allocation must not leak into owners
+    hv1 = Hypervisor([CORE])
+    hv2 = Hypervisor([CORE])
+    bases1 = [hv1.create_vm(f"t{i}").host_base for i in range(3)]
+    bases2 = [hv2.create_vm(f"t{i}").host_base for i in range(3)]
+    assert bases1 == bases2 == [0, HOST_STRIDE, 2 * HOST_STRIDE]
+
+
+def test_vms_of_one_space_never_alias():
+    space = HostAddressSpace()
+    vms = [GuestVm(f"t{i}", address_space=space) for i in range(4)]
+    allocs = [vm.alloc(64 * MiB) for vm in vms]
+    spans = sorted((a.addr, a.addr + a.size) for a in allocs)
+    for (_, hi), (lo, _) in zip(spans, spans[1:]):
+        assert hi <= lo
+
+
+# ----------------------------------------------------------------------
+# driver.open unwinds on partial failure
+# ----------------------------------------------------------------------
+def _control_plane_idle(hv: Hypervisor) -> bool:
+    return (
+        hv.vf_in_use == 0
+        and hv.iommu.mapping_count == 0
+        and not hv.manager.instances()
+    )
+
+
+def test_open_unwinds_when_dma_alloc_fails():
+    hv = Hypervisor([CORE])
+    # 16 MiB of guest memory cannot hold the 256 MiB DMA buffer.
+    vm = hv.create_vm("t", memory_bytes=16 * MiB)
+    driver = VnpuDriver(vm, hv)
+    with pytest.raises(VirtualizationError):
+        driver.open(_cfg())
+    assert _control_plane_idle(hv)
+    assert driver.handle is None and driver.dma_buffer is None
+    with pytest.raises(VirtualizationError):
+        driver.query_hierarchy()  # still unbound, not half-bound
+    assert vm.allocations == []
+
+
+def test_open_unwinds_when_dma_registration_fails(monkeypatch):
+    hv = Hypervisor([CORE])
+    vm = hv.create_vm("t")
+    driver = VnpuDriver(vm, hv)
+
+    def boom(vnpu_id, addr, size):
+        raise VirtualizationError("injected registration failure")
+
+    monkeypatch.setattr(hv.iommu, "register_dma_buffer", boom)
+    with pytest.raises(VirtualizationError):
+        driver.open(_cfg())
+    assert _control_plane_idle(hv)
+    assert vm.allocations == []  # the DMA buffer was freed again
+    # The driver is reusable once the fault is gone.
+    monkeypatch.undo()
+    handle = driver.open(_cfg())
+    assert hv.sriov.vf_of(handle.vnpu_id) is not None
+    driver.close()
+    assert _control_plane_idle(hv)
+
+
+def test_failed_open_restores_hypervisor_state_exactly():
+    hv = Hypervisor([CORE])
+    good = VnpuDriver(hv.create_vm("good"), hv)
+    good.open(_cfg())
+    vf_used = hv.vf_in_use
+    mappings = hv.iommu.mapping_count
+    bad = VnpuDriver(hv.create_vm("bad", memory_bytes=16 * MiB), hv)
+    with pytest.raises(VirtualizationError):
+        bad.open(_cfg())
+    assert hv.vf_in_use == vf_used
+    assert hv.iommu.mapping_count == mappings
+    assert len(hv.manager.instances()) == 1
+
+
+# ----------------------------------------------------------------------
+# Typed errors instead of asserts (python -O safety)
+# ----------------------------------------------------------------------
+def test_vf_exhaustion_raises_hypercall_error_and_does_not_leak():
+    hv = Hypervisor([CORE], num_vfs=1)
+    hv.hypercall_create(_cfg(mes=1, ves=1, sram=0, hbm=0))
+    with pytest.raises(HypercallError):
+        hv.hypercall_create(_cfg(mes=1, ves=1, sram=0, hbm=0))
+    # The rejected create must not leak a mapped vNPU in the manager.
+    assert len(hv.manager.instances()) == 1
+    assert hv.vf_in_use == 1
+
+
+def test_vf_exhaustion_frees_capacity_for_retry():
+    hv = Hypervisor([CORE], num_vfs=1)
+    first = hv.hypercall_create(_cfg(mes=1, ves=1, sram=0, hbm=0))
+    with pytest.raises(HypercallError):
+        hv.hypercall_create(_cfg(mes=1, ves=1, sram=0, hbm=0))
+    hv.hypercall_destroy(first.vnpu_id)
+    retry = hv.hypercall_create(_cfg(mes=1, ves=1, sram=0, hbm=0))
+    assert hv.sriov.vf_of(retry.vnpu_id) is not None
+
+
+def test_rejected_reconfigure_is_a_no_op():
+    hv = Hypervisor([CORE])
+    handle = hv.hypercall_create(_cfg())
+    with pytest.raises(HypercallError):
+        # More MEs than the physical core has: infeasible.
+        hv.hypercall_reconfigure(
+            handle.vnpu_id, _cfg(mes=CORE.num_mes + 1)
+        )
+    survivor = hv.manager.get(handle.vnpu_id)
+    assert survivor.config == handle.config
+    assert hv.sriov.vf_of(handle.vnpu_id) is not None  # rewired
+    assert hv.bar_of(handle.vnpu_id) is not None
+    hv.hypercall_destroy(handle.vnpu_id)
+    assert _control_plane_idle(hv)
+
+
+def test_driver_reconfigure_keeps_the_data_path_alive():
+    """Reconfigure re-assigns the VF but must not sever the DMA path:
+    registrations survive and the driver re-arms the new BAR."""
+    hv = Hypervisor([CORE])
+    driver = VnpuDriver(hv.create_vm("t"), hv)
+    driver.open(_cfg())
+    assert hv.iommu.dma_buffer_count == 1
+    handle = driver.reconfigure(_cfg(mes=1, ves=1))
+    assert handle.config.num_mes_per_core == 1
+    assert hv.iommu.dma_buffer_count == 1  # registration survived
+    driver.memcpy_to_device(0, 4096, 0)  # would DmaFault if it had not
+    driver.sync()
+    assert driver.poll_completed() == 2
+    assert driver.query_hierarchy().num_mes_per_core == 1  # fresh BAR
+    driver.close()
+    assert _control_plane_idle(hv)
+
+
+def test_driver_rejected_reconfigure_leaves_binding_usable():
+    hv = Hypervisor([CORE])
+    driver = VnpuDriver(hv.create_vm("t"), hv)
+    driver.open(_cfg())
+    with pytest.raises(HypercallError):
+        driver.reconfigure(_cfg(mes=CORE.num_mes + 1))
+    # Old shape, live doorbell, intact DMA registration.
+    assert driver.query_hierarchy().num_mes_per_core == 2
+    driver.memcpy_to_device(0, 4096, 0)
+    assert driver.poll_completed() == 1
+    driver.close()
+    assert _control_plane_idle(hv)
+
+
+def test_doorbell_on_unbound_driver_raises():
+    hv = Hypervisor([CORE])
+    driver = VnpuDriver(hv.create_vm("t"), hv)
+    with pytest.raises(VirtualizationError):
+        driver._on_doorbell(1)
+
+
+# ----------------------------------------------------------------------
+# Hypercall telemetry
+# ----------------------------------------------------------------------
+def test_hypercall_counts_by_type():
+    hv = Hypervisor([CORE])
+    handle = hv.hypercall_create(_cfg())
+    hv.hypercall_reconfigure(handle.vnpu_id, _cfg(mes=1, ves=1))
+    hv.hypercall_destroy(handle.vnpu_id)
+    assert hv.hypercall_counts == {
+        "create": 1, "reconfigure": 1, "destroy": 1,
+    }
+    assert hv.hypercall_count == 3

@@ -120,6 +120,21 @@ def generate() -> str:
         [(name, info.description) for name, info in AUTOSCALERS.items()],
     ))
 
+    from repro.api import VIRTUALIZATION_FIELD_DOCS
+
+    lines.append("\n## Virtualization control plane (`virtualization:`)\n")
+    lines.append("Cluster scenarios opt into binding SR-IOV/hypercall "
+                 "semantics with a `virtualization:` block; its presence "
+                 "enables the control-plane metrics (hypercall counts, "
+                 "VF-occupancy timeline, VF-exhaustion rejections) on the "
+                 "result, and omitting it keeps results bit-identical to "
+                 "pre-virtualization releases (see "
+                 "[architecture.md](architecture.md)):\n")
+    lines.extend(_table(
+        ("field", "meaning"),
+        [(name, blurb) for name, blurb in VIRTUALIZATION_FIELD_DOCS.items()],
+    ))
+
     lines.append("")
     return "\n".join(lines)
 
