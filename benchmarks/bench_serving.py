@@ -19,7 +19,13 @@ each, how fast the simulator chews through simulated time:
   tenant wave admitted against VF-constrained SR-IOV pools (a
   ``virtualization:`` block) vs. unconstrained hosts, reporting
   hypercall counts, VF-exhaustion rejections and the attainment of
-  what was admitted.
+  what was admitted;
+- ``llm_kv``          -- continuous-batching LLM serving (``kind:
+  llm``) under a shrinking HBM KV budget: the same traffic served at
+  ample, constrained and tight ``m_total``, reporting preemptions,
+  tokens/s goodput and TTFT attainment at each point (the constrained
+  points must preempt, and goodput/attainment must degrade
+  monotonically as headroom shrinks).
 
 Every mode is a declarative :class:`repro.api.Scenario` executed through
 :func:`repro.api.run_scenario` -- the same path ``repro run`` takes --
@@ -49,6 +55,8 @@ from repro.api import (
     Scenario,
     ScenarioAutoscaler,
     ScenarioChurn,
+    ScenarioLlm,
+    ScenarioLlmTenant,
     ScenarioPool,
     ScenarioTenant,
     ScenarioVirtualization,
@@ -364,6 +372,83 @@ def bench_cluster_virt(quick: bool, repeats: int) -> Dict:
     }
 
 
+#: Ample -> constrained -> tight HBM KV budgets (tokens).  The ample
+#: point never preempts; the constrained points must.
+LLM_KV_BUDGETS = (16_384, 4_096, 2_048)
+
+
+def _llm_scenario(m_total: int, duration_s: float) -> Scenario:
+    """Two LLM tenants at load 0.9; step costs calibrated on the sim."""
+    return Scenario(
+        name=f"bench-llm-kv-m{m_total}",
+        kind="llm",
+        scheme=SCHEME,
+        arrival="poisson",
+        load=0.9,
+        duration_s=duration_s,
+        seed=SEED,
+        drain=True,
+        llm=ScenarioLlm(
+            tenants=(
+                ScenarioLlmTenant(name="chat", prompt_tokens=256,
+                                  decode_tokens=64),
+                ScenarioLlmTenant(name="code", prompt_tokens=512,
+                                  decode_tokens=128, weight=0.5),
+            ),
+            batch_tokens=1024,
+            m_total=m_total,
+        ),
+    )
+
+
+def bench_llm_kv(quick: bool, repeats: int) -> Dict:
+    duration_s = 0.25 if quick else 0.5
+    ample, *constrained = LLM_KV_BUDGETS
+    tightest = constrained[-1]
+    result, wall = _timed(
+        lambda: run_scenario(_llm_scenario(tightest, duration_s)), repeats
+    )
+    cycles = result.metrics["simulated_cycles"]
+    # The same traffic at every headroom point (ample first).
+    points = {tightest: result}
+    for m_total in LLM_KV_BUDGETS:
+        if m_total not in points:
+            points[m_total] = run_scenario(_llm_scenario(m_total, duration_s))
+
+    def ttft_attainment(res) -> float:
+        tenants = res.metrics["tenants"].values()
+        return min(t["ttft_attainment"] for t in tenants)
+
+    return {
+        "mode": "llm_kv",
+        "scheme": SCHEME,
+        "preemption_mode": "swap",
+        "victim_policy": "lifo",
+        "batch_tokens": 1024,
+        "m_total_points": list(LLM_KV_BUDGETS),
+        "horizon_simulated_s": duration_s,
+        "wall_s": wall,
+        "steps": result.metrics["steps"],
+        "preemptions_by_m_total": {
+            str(m): points[m].metrics["preemption"]["count"]
+            for m in LLM_KV_BUDGETS
+        },
+        "goodput_tokens_per_s_by_m_total": {
+            str(m): points[m].metrics["goodput_tokens_per_s"]
+            for m in LLM_KV_BUDGETS
+        },
+        "ttft_attainment_by_m_total": {
+            str(m): ttft_attainment(points[m]) for m in LLM_KV_BUDGETS
+        },
+        "constrained_preemptions": sum(
+            points[m].metrics["preemption"]["count"] for m in constrained
+        ),
+        "simulated_cycles": cycles,
+        "simulated_s": DEFAULT_CORE.cycles_to_seconds(cycles),
+        "simulated_cycles_per_wall_s": cycles / wall,
+    }
+
+
 SCENARIOS = {
     "closed_loop": bench_closed_loop,
     "poisson": bench_poisson,
@@ -371,6 +456,7 @@ SCENARIOS = {
     "cluster_churn": bench_cluster_churn,
     "cluster_autoscale": bench_cluster_autoscale,
     "cluster_virt": bench_cluster_virt,
+    "llm_kv": bench_llm_kv,
 }
 
 

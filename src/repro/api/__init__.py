@@ -2,8 +2,9 @@
 
 One declarative, serialisable :class:`Scenario` spec describes any run
 the repo models (closed-loop collocation, open-loop traffic, cluster
-churn, paper figures); string-keyed registries make schedulers, arrival
-processes, workloads and figure experiments pluggable; every run
+churn, continuous-batching LLM serving, paper figures); string-keyed
+registries make schedulers, arrival processes, workloads, autoscalers,
+preemption victim policies and figure experiments pluggable; every run
 returns the same structured :class:`RunResult`.
 
 Typical use::
@@ -29,10 +30,12 @@ from repro.api.figures import FIGURES, FigureInfo, figure_names
 from repro.api.registries import (
     ARRIVALS,
     AUTOSCALERS,
+    PREEMPTION,
     SCHEDULERS,
     WORKLOADS,
     ArrivalInfo,
     AutoscalerInfo,
+    PreemptionInfo,
     SchedulerInfo,
     all_scheme_names,
     arrival_kind_names,
@@ -40,8 +43,10 @@ from repro.api.registries import (
     default_scheme_names,
     make_autoscaler,
     make_scheduler,
+    make_victim_policy,
     scheme_isa,
     scheme_isa_map,
+    victim_policy_names,
     workload_names,
 )
 from repro.api.registry import Registry
@@ -53,11 +58,14 @@ from repro.api.result import (
 )
 from repro.api.runner import run_scenario, sweep_scenario, sweep_variants
 from repro.api.scenario import (
+    LLM_FIELD_DOCS,
     SCENARIO_KINDS,
     VIRTUALIZATION_FIELD_DOCS,
     Scenario,
     ScenarioAutoscaler,
     ScenarioChurn,
+    ScenarioLlm,
+    ScenarioLlmTenant,
     ScenarioPool,
     ScenarioTenant,
     ScenarioVirtualization,
@@ -75,6 +83,9 @@ __all__ = [
     "AutoscalerInfo",
     "FIGURES",
     "FigureInfo",
+    "LLM_FIELD_DOCS",
+    "PREEMPTION",
+    "PreemptionInfo",
     "RESULT_SCHEMA_VERSION",
     "Registry",
     "RunResult",
@@ -83,6 +94,8 @@ __all__ = [
     "Scenario",
     "ScenarioAutoscaler",
     "ScenarioChurn",
+    "ScenarioLlm",
+    "ScenarioLlmTenant",
     "ScenarioPool",
     "ScenarioTenant",
     "ScenarioVirtualization",
@@ -100,6 +113,7 @@ __all__ = [
     "load_scenarios",
     "make_autoscaler",
     "make_scheduler",
+    "make_victim_policy",
     "parse_scenarios",
     "run_scenario",
     "save_scenario",
@@ -108,5 +122,6 @@ __all__ = [
     "sweep_scenario",
     "sweep_variants",
     "validate_run_result",
+    "victim_policy_names",
     "workload_names",
 ]

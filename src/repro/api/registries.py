@@ -14,6 +14,9 @@ These are the single source of truth for the names every front-end
 - :data:`AUTOSCALERS` -- cluster autoscaling policies
   (:mod:`repro.cluster.autoscale` controllers for ``kind: cluster``
   scenarios with an ``autoscaler:`` block).
+- :data:`PREEMPTION` -- LLM-serving victim policies
+  (:mod:`repro.llmserve.preemption` selectors for ``kind: llm``
+  scenarios; who gets evicted under KV-cache pressure).
 
 Built-ins are registered lazily on first lookup, so importing this
 module costs nothing; third-party policies extend the system with e.g.
@@ -117,6 +120,23 @@ def _load_workloads(reg: Registry) -> None:
         reg.add(info.name, info)
 
 
+@dataclass(frozen=True)
+class PreemptionInfo:
+    """Registry entry for one LLM-serving victim policy.
+
+    ``factory()`` builds a fresh
+    :class:`repro.llmserve.preemption.VictimPolicy`; selection itself is
+    driven by the engine's seeded RNG, so policies stay stateless.
+    """
+
+    name: str
+    factory: Callable[[], object]
+    description: str = ""
+
+    def make(self) -> object:
+        return self.factory()
+
+
 def _load_autoscalers(reg: Registry) -> None:
     from repro.cluster import autoscale
 
@@ -134,10 +154,23 @@ def _load_autoscalers(reg: Registry) -> None:
         reg.add(cls.name, AutoscalerInfo(cls.name, cls, description))
 
 
+def _load_preemption(reg: Registry) -> None:
+    from repro.llmserve.preemption import VICTIM_POLICIES
+
+    descriptions = {
+        "lifo": "evict the newest running request (least sunk work)",
+        "fifo": "evict the oldest running request",
+        "random": "evict a seeded uniform pick (reproducible)",
+    }
+    for name, cls in VICTIM_POLICIES.items():
+        reg.add(name, PreemptionInfo(name, cls, descriptions.get(name, "")))
+
+
 SCHEDULERS = Registry("scheduler scheme", loader=_load_schedulers)
 ARRIVALS = Registry("arrival process", loader=_load_arrivals)
 WORKLOADS = Registry("workload", loader=_load_workloads)
 AUTOSCALERS = Registry("autoscaler policy", loader=_load_autoscalers)
+PREEMPTION = Registry("victim policy", loader=_load_preemption)
 
 
 # ----------------------------------------------------------------------
@@ -195,3 +228,13 @@ def make_autoscaler(policy: str, **params) -> object:
 
 def autoscaler_names() -> Tuple[str, ...]:
     return AUTOSCALERS.names()
+
+
+def make_victim_policy(policy: str) -> object:
+    """Instantiate a fresh LLM victim policy (registry-backed)."""
+    info = PREEMPTION.get(policy)
+    return info.make()
+
+
+def victim_policy_names() -> Tuple[str, ...]:
+    return PREEMPTION.names()

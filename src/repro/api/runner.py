@@ -7,6 +7,7 @@ engines the bespoke entry points used to call directly:
 - ``serving``   -> :func:`repro.serving.server.run_collocation`
 - ``open_loop`` -> :func:`repro.traffic.openloop.run_open_loop`
 - ``cluster``   -> :func:`repro.traffic.cluster_sim.run_cluster_traffic`
+- ``llm``       -> :func:`repro.llmserve.engine.run_llm_serving`
 - ``figure``    -> the :data:`repro.api.figures.FIGURES` registry
 
 ``sweep_scenario`` fans scenario variants out over
@@ -268,6 +269,43 @@ def _to_churn_event(event: ScenarioChurn):
     )
 
 
+def _run_llm(scenario: Scenario) -> RunResult:
+    from repro.llmserve.engine import LlmServeConfig, run_llm_serving
+
+    block = scenario.llm
+    cfg = LlmServeConfig(
+        core=scenario.core(),
+        scheme=scenario.scheme,
+        seed=scenario.seed,
+        duration_s=scenario.duration_s,
+        load=scenario.load,
+        arrival=scenario.arrival,
+        batch_tokens=block.batch_tokens,
+        m_total=block.m_total,
+        preemption_mode=block.preemption_mode,
+        victim_policy=block.victim_policy,
+        drain=scenario.drain,
+        ttft_slo_scale=block.ttft_slo_scale,
+        tpot_slo_scale=block.tpot_slo_scale,
+        step_overhead_cycles=block.step_overhead_cycles,
+        cycles_per_token=block.cycles_per_token,
+        swap_cycles_per_token=block.swap_cycles_per_token,
+    )
+    result = run_llm_serving(block.tenant_specs(), cfg)
+    metrics = result.metrics()
+    metrics["simulated_cycles"] = result.duration_cycles
+    metadata = {
+        "arrival": scenario.arrival,
+        "load": scenario.load,
+        "duration_s": scenario.duration_s,
+        "drain": scenario.drain,
+        "tenants": [t.name for t in block.tenants],
+        "calibrated": block.step_overhead_cycles is None
+        or block.cycles_per_token is None,
+    }
+    return _wrap(scenario, metrics, metadata)
+
+
 def _run_figure(scenario: Scenario) -> RunResult:
     from repro.api.figures import FIGURES
 
@@ -286,6 +324,7 @@ _KIND_RUNNERS = {
     "serving": _run_serving,
     "open_loop": _run_open_loop,
     "cluster": _run_cluster,
+    "llm": _run_llm,
     "figure": _run_figure,
 }
 

@@ -7,7 +7,7 @@ duration and SLOs -- as *data*.  The same spec runs through
 (``repro run scenario.yaml``), a benchmark suite, or was built inline by
 an example script.
 
-Four kinds cover the repo's workloads:
+Five kinds cover the repo's workloads:
 
 ======== ==============================================================
 serving   closed-loop collocation (the paper's methodology: run until
@@ -17,6 +17,8 @@ open_loop open-loop traffic on one core: arrivals at ``load`` x
 cluster   open-loop traffic across a cluster with tenant churn and,
           optionally, a closed-loop autoscaler over elastic host pools
           (``autoscaler:`` / ``pools:`` blocks)
+llm       continuous-batching LLM serving under a KV-cache HBM budget
+          with pluggable preemption (the ``llm:`` block)
 figure    a registered paper-figure experiment (``figure:`` names it)
 ======== ==============================================================
 
@@ -45,7 +47,7 @@ from repro.api.result import canonical_digest
 from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig
 from repro.errors import ConfigError
 
-SCENARIO_KINDS = ("serving", "open_loop", "cluster", "figure")
+SCENARIO_KINDS = ("serving", "open_loop", "cluster", "llm", "figure")
 
 
 def _require_yaml():
@@ -247,6 +249,107 @@ class ScenarioVirtualization:
 
 
 @dataclass(frozen=True)
+class ScenarioLlmTenant:
+    """One open-loop LLM tenant inside an ``llm:`` block."""
+
+    name: str
+    prompt_tokens: int = 512
+    decode_tokens: int = 64
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        # Delegate range checking to the engine-layer spec so the two
+        # descriptions cannot drift apart.
+        self.to_spec()
+
+    def to_spec(self):
+        from repro.llmserve.engine import LlmTenantSpec
+
+        return LlmTenantSpec(
+            name=self.name,
+            prompt_tokens=self.prompt_tokens,
+            decode_tokens=self.decode_tokens,
+            weight=self.weight,
+        )
+
+
+#: One-line docs per ``llm:`` field, rendered by ``repro list`` and
+#: ``tools/gen_docs.py``; a test pins its keys to the
+#: :class:`ScenarioLlm` fields so they cannot drift.
+LLM_FIELD_DOCS = {
+    "tenants": "open-loop LLM tenants: "
+               "{name, prompt_tokens, decode_tokens, weight}",
+    "batch_tokens": "per-step batch token budget b "
+                    "(decodes count 1, prefills their full prompt)",
+    "m_total": "device HBM KV budget in tokens; "
+               "overflow preempts running requests",
+    "preemption_mode": "victim KV handling: 'swap' (preserve off-device, "
+                       "pay reload) or 'sacrifice' (drop, restart)",
+    "victim_policy": "PREEMPTION registry entry picking who is evicted "
+                     "(lifo, fifo, random)",
+    "ttft_slo_scale": "TTFT target as a multiple of the unqueued "
+                      "prefill step time",
+    "tpot_slo_scale": "TPOT target as a multiple of a full-batch "
+                      "decode step time",
+    "step_overhead_cycles": "explicit step overhead d0 override "
+                            "(with cycles_per_token, skips calibration)",
+    "cycles_per_token": "explicit marginal cost d1 override "
+                        "(with step_overhead_cycles, skips calibration)",
+    "swap_cycles_per_token": "KV reload cost per token on swap-in "
+                             "(default: HBM streaming time)",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioLlm:
+    """Declarative ``llm:`` block of an ``llm`` scenario.
+
+    Configures the :mod:`repro.llmserve` continuous-batching engine:
+    open-loop tenants (prompt/decode geometry), the per-step batch token
+    budget ``batch_tokens``, the device HBM KV budget ``m_total``, and
+    how memory pressure is resolved (``preemption_mode`` x
+    ``victim_policy``, the latter a
+    :data:`repro.api.registries.PREEMPTION` entry).  Step costs come
+    from simulator calibration unless both explicit overrides are set.
+    """
+
+    tenants: Tuple[ScenarioLlmTenant, ...] = ()
+    batch_tokens: int = 2048
+    m_total: int = 8192
+    preemption_mode: str = "swap"
+    victim_policy: str = "lifo"
+    ttft_slo_scale: float = 5.0
+    tpot_slo_scale: float = 1.5
+    step_overhead_cycles: Optional[float] = None
+    cycles_per_token: Optional[float] = None
+    swap_cycles_per_token: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        from repro.llmserve.preemption import check_preemption_mode
+
+        check_preemption_mode(self.preemption_mode)
+        if self.batch_tokens < 1 or self.m_total < 1:
+            raise ConfigError("batch_tokens and m_total must be positive")
+        for tenant in self.tenants:
+            if tenant.prompt_tokens > self.batch_tokens:
+                raise ConfigError(
+                    f"llm tenant {tenant.name!r} prompt "
+                    f"({tenant.prompt_tokens}) exceeds "
+                    f"batch_tokens={self.batch_tokens}"
+                )
+            if tenant.prompt_tokens + tenant.decode_tokens > self.m_total:
+                raise ConfigError(
+                    f"llm tenant {tenant.name!r} peak KV "
+                    f"({tenant.prompt_tokens + tenant.decode_tokens}) "
+                    f"exceeds m_total={self.m_total}"
+                )
+
+    def tenant_specs(self):
+        return tuple(t.to_spec() for t in self.tenants)
+
+
+@dataclass(frozen=True)
 class SweepSpec:
     """Declarative sweep: vary one scenario field over several values."""
 
@@ -284,6 +387,8 @@ class Scenario:
       ``pools``), ``arrival``, ``load``, ``duration_s``, the optional
       ``autoscaler`` control loop, and the optional ``virtualization``
       control plane (VF budgets, hypercall cost);
+    - ``llm``: the ``llm`` block (tenants, token budgets, preemption),
+      plus ``arrival``, ``load``, ``duration_s``, ``drain``;
     - ``figure``: ``figure`` (the experiment name) and ``params``.
 
     Example::
@@ -326,6 +431,8 @@ class Scenario:
     #: pools, free hypercalls, no control-plane metrics -- bit-identical
     #: to pre-virtualization runs).
     virtualization: Optional[ScenarioVirtualization] = None
+    #: Continuous-batching LLM serving block (llm kind only).
+    llm: Optional[ScenarioLlm] = None
     #: Figure experiment name (kind == "figure").
     figure: Optional[str] = None
     #: Extra keyword parameters for the figure runner.
@@ -354,6 +461,22 @@ class Scenario:
         if self.kind in ("serving", "open_loop") and not self.tenants:
             raise ConfigError(
                 f"{self.kind} scenario {self.name!r} needs at least one tenant"
+            )
+        if self.kind == "llm":
+            if self.llm is None or not self.llm.tenants:
+                raise ConfigError(
+                    f"llm scenario {self.name!r} needs an 'llm' block "
+                    "with at least one tenant"
+                )
+            if self.tenants:
+                raise ConfigError(
+                    f"llm scenario {self.name!r}: tenants go inside the "
+                    "'llm' block, not the top-level 'tenants' list"
+                )
+        elif self.llm is not None:
+            raise ConfigError(
+                f"{self.kind} scenario {self.name!r}: "
+                "'llm' only applies to kind: llm"
             )
         if self.kind == "cluster" and not self.churn:
             raise ConfigError(
@@ -407,10 +530,12 @@ class Scenario:
             FIGURES.get(self.figure)
             return
         registries.SCHEDULERS.get(self.scheme)
-        if self.kind in ("open_loop", "cluster"):
+        if self.kind in ("open_loop", "cluster", "llm"):
             registries.ARRIVALS.get(self.arrival)
         if self.autoscaler is not None:
             registries.AUTOSCALERS.get(self.autoscaler.policy)
+        if self.llm is not None:
+            registries.PREEMPTION.get(self.llm.victim_policy)
         for tenant in self.tenants:
             model_info(tenant.model)
             if tenant.arrival is not None:
@@ -495,6 +620,13 @@ class Scenario:
             out["autoscaler"] = block
         if self.virtualization is not None:
             out["virtualization"] = _nondefault_dict(self.virtualization)
+        if self.llm is not None:
+            block = _nondefault_dict(self.llm)
+            block["tenants"] = [
+                _nondefault_dict(t) | {"name": t.name}
+                for t in self.llm.tenants
+            ]
+            out["llm"] = block
         if self.hardware:
             out["hardware"] = dict(self.hardware)
         if self.params:
@@ -543,6 +675,26 @@ class Scenario:
             if virtualization_raw is not None
             else None
         )
+        llm_raw = data.pop("llm", None)
+        llm = None
+        if llm_raw is not None:
+            if not isinstance(llm_raw, Mapping):
+                raise ConfigError(
+                    f"llm block must be a mapping, got {type(llm_raw).__name__}"
+                )
+            llm_data = dict(llm_raw)
+            llm_tenants = tuple(
+                _from_mapping(ScenarioLlmTenant, t, "llm tenant")
+                for t in llm_data.pop("tenants", ())
+            )
+            known_llm = {f.name for f in dataclasses.fields(ScenarioLlm)}
+            unknown_llm = set(llm_data) - known_llm
+            if unknown_llm:
+                raise ConfigError(
+                    f"unknown llm key(s) {sorted(unknown_llm)}; "
+                    f"known: {sorted(known_llm)}"
+                )
+            llm = ScenarioLlm(tenants=llm_tenants, **llm_data)
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -556,7 +708,7 @@ class Scenario:
         return cls(
             tenants=tenants, churn=churn, sweep=sweep,
             pools=pools, autoscaler=autoscaler,
-            virtualization=virtualization, **data,
+            virtualization=virtualization, llm=llm, **data,
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

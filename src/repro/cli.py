@@ -53,9 +53,15 @@ _TENANT_COLUMNS = (
     # (metrics key, header, format)
     ("name", "tenant", "{}"),
     ("offered", "offered", "{}"),
+    ("arrived", "offered", "{}"),
     ("completed", "done", "{}"),
     ("completed_requests", "done", "{}"),
     ("attainment", "attain", "{:.1%}"),
+    ("ttft_attainment", "ttft", "{:.1%}"),
+    ("tpot_attainment", "tpot", "{:.1%}"),
+    ("generated_tokens", "tokens", "{}"),
+    ("swaps", "swaps", "{}"),
+    ("sacrifices", "sacr", "{}"),
     ("goodput_rps", "goodput/s", "{:.0f}"),
     ("throughput_rps", "thr/s", "{:.0f}"),
     ("p95_latency_cycles", "p95(cyc)", "{:.0f}"),
@@ -88,18 +94,36 @@ def _print_result(result) -> None:
     scheme = f" scheme={result.scheme}" if result.scheme else ""
     print(f"==== {result.scenario} [{result.kind}]{scheme}")
     metrics = dict(result.metrics)
-    tenants = metrics.pop("tenants", None)
+    tenants = metrics.get("tenants")
     if isinstance(tenants, list) and tenants:
+        metrics.pop("tenants")
         _print_tenant_table(tenants)
+    elif isinstance(tenants, dict) and tenants:
+        # llm results key tenant reports by name; tabulate the values.
+        metrics.pop("tenants")
+        _print_tenant_table(
+            [{"name": name, **rep} for name, rep in tenants.items()]
+        )
     for key, value in metrics.items():
         if isinstance(value, float):
             print(f"  {key}: {value:.6g}")
         elif isinstance(value, (int, str, bool)) or value is None:
             print(f"  {key}: {value}")
         else:
+            value = _summarize_long_series(value)
             blob = json.dumps(value, indent=2, default=list)
             indented = "\n".join("    " + line for line in blob.splitlines())
             print(f"  {key}:\n{indented}")
+
+
+def _summarize_long_series(value, limit: int = 8):
+    """Text mode elides long sample lists (KV timelines and the like);
+    the full series stays available under ``--json``."""
+    if isinstance(value, dict):
+        return {k: _summarize_long_series(v, limit) for k, v in value.items()}
+    if isinstance(value, list) and len(value) > limit:
+        return [*value[:3], f"... {len(value) - 4} more ...", value[-1]]
+    return value
 
 
 def _emit(results: List, as_json: bool, output: Optional[str] = None) -> None:
@@ -180,6 +204,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
         ARRIVALS,
         AUTOSCALERS,
         FIGURES,
+        LLM_FIELD_DOCS,
+        PREEMPTION,
         SCHEDULERS,
         SCENARIO_KINDS,
         VIRTUALIZATION_FIELD_DOCS,
@@ -203,8 +229,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
             "autoscalers": {
                 name: info.description for name, info in AUTOSCALERS.items()
             },
+            "preemption_policies": {
+                name: info.description for name, info in PREEMPTION.items()
+            },
             "scenario_kinds": list(SCENARIO_KINDS),
             "virtualization": VIRTUALIZATION_FIELD_DOCS,
+            "llm": LLM_FIELD_DOCS,
         }, indent=2))
         return 0
     print("Scenario kinds (for `repro run <file.yaml>`):")
@@ -227,6 +257,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("Virtualization control plane (cluster scenarios, "
           "`virtualization:` block):")
     for field_name, blurb in VIRTUALIZATION_FIELD_DOCS.items():
+        print(f"  {field_name:20s} {blurb}")
+    print("Preemption victim policies (llm scenarios, "
+          "`llm.victim_policy`):")
+    for name, info in PREEMPTION.items():
+        print(f"  {name:20s} {info.description}")
+    print("LLM serving (llm scenarios, `llm:` block):")
+    for field_name, blurb in LLM_FIELD_DOCS.items():
         print(f"  {field_name:20s} {blurb}")
     print("Legacy: traffic  (open-loop flags; prefer `run` with an "
           "open_loop scenario)")
@@ -407,7 +444,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "  repro run examples/scenarios/showcase.yaml"
             " --scenario cluster-autoscale-demo\n"
             "scenario files are YAML/JSON Scenario specs (kind: serving |\n"
-            "open_loop | cluster | figure); see docs/scenario-reference.md"
+            "open_loop | cluster | llm | figure); "
+            "see docs/scenario-reference.md"
         ),
     )
     p_run.add_argument("scenario_file")

@@ -6,6 +6,12 @@ the collocated compute-intensive workload cannot use them (temporal
 sharing).  Under Neu10 the collocated workload harvests the spare
 MEs/VEs -- "throughput improvement by up to 1.6x" -- while LLaMA suffers
 negligible slowdown.
+
+The LLaMA tenant here is the parameterized
+:func:`repro.workloads.llm.build_llama` at its defaults (``context=512``,
+``decode_steps=4``), i.e. the paper's fixed-batch closed-loop framing;
+:mod:`repro.llmserve` reuses the same builder at other sequence
+geometries for continuous-batching serving under KV-cache pressure.
 """
 
 from __future__ import annotations
@@ -56,7 +62,8 @@ def run(
 
     ``target_requests`` applies to LLaMA (long requests); the collocated
     model inherits the same target, completing many more requests while
-    LLaMA runs (closed loop).
+    LLaMA runs (closed loop).  Each LLaMA request is one default-geometry
+    ``build_llama(batch)`` graph (512-token context, 4 decode steps).
     """
     del collocated_requests  # both tenants share one target (closed loop)
     cfg = ServingConfig(core=core, target_requests=target_requests)

@@ -1,0 +1,59 @@
+"""Continuous-batching LLM serving under KV-cache pressure.
+
+Builds on the parameterized :func:`repro.workloads.llm.build_llama`
+workload: step costs are *calibrated* on the cycle-accurate NPU core
+(:mod:`repro.llmserve.cost`), then an iteration-level engine
+(:mod:`repro.llmserve.engine`) serves open-loop traffic under a per-step
+batch token budget and a device HBM KV budget, preempting via pluggable
+modes and victim policies (:mod:`repro.llmserve.preemption`).
+
+Scenario integration lives in :mod:`repro.api` (``llm:`` block,
+``kind: llm``); victim policies are exposed through the
+:data:`repro.api.registries.PREEMPTION` registry.
+"""
+
+from repro.llmserve.cost import (
+    KV_BYTES_PER_TOKEN,
+    LlmCostModel,
+    calibrate_llm_cost,
+    default_swap_cycles_per_token,
+)
+from repro.llmserve.engine import (
+    LlmServeConfig,
+    LlmServeResult,
+    LlmTenantReport,
+    LlmTenantSpec,
+    run_llm_serving,
+)
+from repro.llmserve.preemption import (
+    PREEMPTION_MODES,
+    VICTIM_POLICIES,
+    FifoVictimPolicy,
+    LifoVictimPolicy,
+    PreemptionEvent,
+    RandomVictimPolicy,
+    VictimPolicy,
+    check_preemption_mode,
+)
+from repro.llmserve.requests import LlmRequest
+
+__all__ = [
+    "KV_BYTES_PER_TOKEN",
+    "LlmCostModel",
+    "calibrate_llm_cost",
+    "default_swap_cycles_per_token",
+    "LlmServeConfig",
+    "LlmServeResult",
+    "LlmTenantReport",
+    "LlmTenantSpec",
+    "run_llm_serving",
+    "PREEMPTION_MODES",
+    "VICTIM_POLICIES",
+    "FifoVictimPolicy",
+    "LifoVictimPolicy",
+    "PreemptionEvent",
+    "RandomVictimPolicy",
+    "VictimPolicy",
+    "check_preemption_mode",
+    "LlmRequest",
+]

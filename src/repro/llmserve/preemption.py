@@ -1,0 +1,133 @@
+"""Pluggable preemption for the continuous-batching engine.
+
+When the running batch's KV growth would exceed the ``m_total`` HBM
+token budget, the engine preempts victims until the survivors fit.  Two
+orthogonal choices parameterize that moment (mirroring the
+swap-vs-sacrifice design of fluid-ODE LLM serving models):
+
+- the **mode** decides what happens to the victim's KV cache --
+  ``swap`` preserves it off-device (progress kept, reload paid on
+  re-admission), ``sacrifice`` drops it (request restarts from prefill);
+- the **victim policy** decides *who* is preempted -- ``lifo`` (newest
+  running request, vLLM's default), ``fifo`` (oldest), or ``random``
+  (seeded draw).
+
+Victim policies are plain factories behind
+:data:`repro.api.registries.PREEMPTION`, so third-party policies (e.g.
+smallest-KV-first) plug in by name exactly like schedulers and arrival
+processes do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence
+
+from repro.errors import ConfigError
+from repro.llmserve.requests import LlmRequest
+
+#: What happens to a victim's KV cache.
+PREEMPTION_MODES = ("swap", "sacrifice")
+
+
+def check_preemption_mode(mode: str) -> str:
+    if mode not in PREEMPTION_MODES:
+        raise ConfigError(
+            f"unknown preemption mode {mode!r}; "
+            f"known: {', '.join(PREEMPTION_MODES)}"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class PreemptionEvent:
+    """One audit-log entry: the engine evicted a running request."""
+
+    step: int
+    time_cycles: float
+    rid: int
+    tenant: str
+    mode: str
+    policy: str
+    #: Device KV tokens freed by the eviction.
+    kv_freed: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "step": self.step,
+            "time_cycles": self.time_cycles,
+            "rid": self.rid,
+            "tenant": self.tenant,
+            "mode": self.mode,
+            "policy": self.policy,
+            "kv_freed": self.kv_freed,
+        }
+
+
+class VictimPolicy:
+    """Base class: pick which running request to evict under pressure."""
+
+    name = "base"
+
+    def select(
+        self, running: Sequence[LlmRequest], rng: random.Random
+    ) -> LlmRequest:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(running: Sequence[LlmRequest]) -> None:
+        if not running:
+            raise ConfigError("victim selection needs a non-empty batch")
+
+
+class LifoVictimPolicy(VictimPolicy):
+    """Evict the request that entered the running batch last (vLLM's
+    default: the newest request has the least sunk work)."""
+
+    name = "lifo"
+
+    def select(
+        self, running: Sequence[LlmRequest], rng: random.Random
+    ) -> LlmRequest:
+        self._check(running)
+        del rng
+        return max(running, key=lambda r: (r.enter_running_cycles, r.rid))
+
+
+class FifoVictimPolicy(VictimPolicy):
+    """Evict the request that entered the running batch first."""
+
+    name = "fifo"
+
+    def select(
+        self, running: Sequence[LlmRequest], rng: random.Random
+    ) -> LlmRequest:
+        self._check(running)
+        del rng
+        return min(running, key=lambda r: (r.enter_running_cycles, r.rid))
+
+
+class RandomVictimPolicy(VictimPolicy):
+    """Evict a uniformly random running request (seeded, reproducible).
+
+    Candidates are scanned in a deterministic order (rid), so the same
+    seed picks the same victim regardless of how the engine happened to
+    order its internal batch list.
+    """
+
+    name = "random"
+
+    def select(
+        self, running: Sequence[LlmRequest], rng: random.Random
+    ) -> LlmRequest:
+        self._check(running)
+        ordered = sorted(running, key=lambda r: r.rid)
+        return ordered[rng.randrange(len(ordered))]
+
+
+#: Built-in policies; the single source the PREEMPTION registry loads.
+VICTIM_POLICIES = {
+    cls.name: cls
+    for cls in (LifoVictimPolicy, FifoVictimPolicy, RandomVictimPolicy)
+}

@@ -1,0 +1,82 @@
+"""LLM serving requests with a growing KV-cache footprint.
+
+A request arrives with a prompt, is *prefilled* (the whole prompt is
+processed in one engine step, producing the first output token and a
+``prompt_tokens + 1``-token KV cache), then *decodes* one token per
+engine step -- its KV cache growing by one token each time -- until
+``decode_tokens`` have been generated.  The device-resident KV cache is
+what :mod:`repro.llmserve.engine` charges against the ``m_total`` HBM
+token budget; preemption moves it off-device (swap) or drops it
+(sacrifice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigError
+
+#: Request lifecycle states (vLLM-style continuous batching).
+WAITING = "waiting"
+RUNNING = "running"
+SWAPPED = "swapped"
+FINISHED = "finished"
+
+
+@dataclass
+class LlmRequest:
+    """One in-flight request of a continuous-batching LLM engine."""
+
+    rid: int
+    tenant: str
+    arrival_cycles: float
+    prompt_tokens: int
+    decode_tokens: int
+
+    # -- runtime state mutated by the engine -------------------------------
+    state: str = WAITING
+    #: Output tokens generated so far (1 after the prefill step).
+    decoded: int = 0
+    #: Device-resident KV-cache footprint in tokens (0 while waiting or
+    #: swapped; the swapped copy lives off-device in ``kv_saved``).
+    kv_tokens: int = 0
+    #: Off-device KV tokens preserved by a swap preemption.
+    kv_saved: int = 0
+    #: Cycle the request last entered the running batch (victim order).
+    enter_running_cycles: float = 0.0
+    first_token_cycles: Optional[float] = None
+    finish_cycles: Optional[float] = None
+    swaps: int = 0
+    sacrifices: int = 0
+
+    def __post_init__(self) -> None:
+        if self.prompt_tokens < 1 or self.decode_tokens < 1:
+            raise ConfigError("request needs positive prompt/decode tokens")
+
+    # ------------------------------------------------------------------
+    # Derived accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_tokens(self) -> int:
+        """Peak KV footprint: the whole prompt plus every output token."""
+        return self.prompt_tokens + self.decode_tokens
+
+    @property
+    def finished(self) -> bool:
+        return self.state == FINISHED
+
+    @property
+    def ttft_cycles(self) -> Optional[float]:
+        """Time to first token (set once; survives later sacrifices)."""
+        if self.first_token_cycles is None:
+            return None
+        return self.first_token_cycles - self.arrival_cycles
+
+    @property
+    def tpot_cycles(self) -> Optional[float]:
+        """Mean time per output token after the first (incl. redone work)."""
+        if self.finish_cycles is None or self.first_token_cycles is None:
+            return None
+        steps = max(1, self.decode_tokens - 1)
+        return (self.finish_cycles - self.first_token_cycles) / steps

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.compiler.graph import Graph
 from repro.compiler.operators import Elementwise, ElementwiseKind, Softmax
+from repro.errors import ConfigError
 from repro.workloads.spec import layer_norm, linear
 
 LLAMA_LAYERS = 40
@@ -27,12 +28,31 @@ LLAMA_VOCAB = 32_000
 LLAMA_DECODE_STEPS = 4
 
 
-def build_llama(batch: int) -> Graph:
-    """LLaMA2-13B decode steps for one serving request."""
-    graph = Graph(f"llama13b-b{batch}")
-    for step in range(LLAMA_DECODE_STEPS):
-        ctx = LLAMA_CONTEXT + step
-        for layer in range(LLAMA_LAYERS):
+def build_llama(
+    batch: int,
+    context: int = LLAMA_CONTEXT,
+    decode_steps: int = LLAMA_DECODE_STEPS,
+    layers: int = LLAMA_LAYERS,
+) -> Graph:
+    """LLaMA2-13B decode steps for one serving request.
+
+    ``context`` and ``decode_steps`` parameterize the sequence geometry
+    (the module constants stay the defaults, so the Table I catalog and
+    Fig. 27 keep building the exact paper workload); ``layers`` scales
+    the depth for cheap calibration probes.  Non-default geometry gets
+    its own graph name so traces never collide in the memo caches.
+    """
+    if context < 1 or decode_steps < 1 or layers < 1:
+        raise ConfigError("llama geometry must be positive")
+    name = f"llama13b-b{batch}"
+    if (context, decode_steps, layers) != (
+        LLAMA_CONTEXT, LLAMA_DECODE_STEPS, LLAMA_LAYERS
+    ):
+        name = f"{name}-c{context}-d{decode_steps}-l{layers}"
+    graph = Graph(name)
+    for step in range(decode_steps):
+        ctx = context + step
+        for layer in range(layers):
             name = f"s{step}.l{layer}"
             layer_norm(graph, f"{name}.ln1", batch, LLAMA_HIDDEN)
             linear(graph, f"{name}.qkv", batch, LLAMA_HIDDEN, 3 * LLAMA_HIDDEN)

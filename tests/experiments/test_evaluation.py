@@ -4,6 +4,8 @@ These run scaled-down versions (small request targets, subset pairs) and
 assert the *shape* claims the paper makes, not absolute numbers.
 """
 
+import functools
+
 import pytest
 
 from repro.experiments import expected
@@ -120,8 +122,13 @@ def test_fig24_me_assignment_fluctuates():
 # ----------------------------------------------------------------------
 # Fig. 27: LLM collocation
 # ----------------------------------------------------------------------
+@functools.lru_cache(maxsize=1)
+def _fig27_bert():
+    return fig27_run("BERT", target_requests=1)
+
+
 def test_fig27_llm_collocation_gain():
-    result = fig27_run("BERT", target_requests=1)
+    result = _fig27_bert()
     assert result.collocated_gain() > 1.1
     assert result.llm_slowdown() > 0.85
     # Neu10 lifts total ME utilization (paper Fig. 27 right side).
@@ -129,3 +136,10 @@ def test_fig27_llm_collocation_gain():
         result.utilization[SCHEME_NEU10][0]
         >= result.utilization[SCHEME_V10][0] * 0.95
     )
+
+
+def test_fig27_pinned_after_llama_parameterization():
+    """`build_llama` grew (batch, context, decode_steps) parameters for
+    repro.llmserve calibration; at its defaults it must stay
+    bit-identical to the fixed-shape builder Fig. 27 always used."""
+    assert _fig27_bert().collocated_gain() == 1.3056018428680751

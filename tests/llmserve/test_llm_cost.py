@@ -1,0 +1,62 @@
+"""The affine step-cost model and its simulator calibration."""
+
+import pytest
+
+from repro.config import DEFAULT_CORE
+from repro.errors import ConfigError
+from repro.llmserve.cost import (
+    KV_BYTES_PER_TOKEN,
+    LlmCostModel,
+    calibrate_llm_cost,
+    default_swap_cycles_per_token,
+)
+from repro.workloads.llm import LLAMA_HIDDEN, LLAMA_LAYERS
+
+
+def test_model_is_affine():
+    cost = LlmCostModel(
+        step_overhead_cycles=100.0, cycles_per_token=3.0,
+        swap_cycles_per_token=1.0,
+    )
+    assert cost.batch_cycles(1) == 103.0
+    assert cost.batch_cycles(10) == 130.0
+    assert cost.token_capacity_per_cycle(10) == pytest.approx(10 / 130.0)
+
+
+def test_model_validation():
+    with pytest.raises(ConfigError):
+        LlmCostModel(step_overhead_cycles=-1.0, cycles_per_token=1.0,
+                     swap_cycles_per_token=0.0)
+    with pytest.raises(ConfigError):
+        LlmCostModel(step_overhead_cycles=0.0, cycles_per_token=0.0,
+                     swap_cycles_per_token=0.0)
+    cost = LlmCostModel(step_overhead_cycles=0.0, cycles_per_token=1.0,
+                        swap_cycles_per_token=0.0)
+    with pytest.raises(ConfigError):
+        cost.batch_cycles(0)
+
+
+def test_default_swap_cost_is_hbm_streaming_time():
+    assert KV_BYTES_PER_TOKEN == 2 * LLAMA_LAYERS * LLAMA_HIDDEN * 2
+    expected = KV_BYTES_PER_TOKEN / DEFAULT_CORE.hbm_bytes_per_cycle
+    assert default_swap_cycles_per_token(DEFAULT_CORE) == pytest.approx(
+        expected
+    )
+
+
+def test_calibration_fits_a_positive_line():
+    """The two simulator probes must yield d1 > 0 (bigger batches cost
+    more) and a plausibly large per-step overhead; memoisation makes a
+    second call free and bit-identical."""
+    cost = calibrate_llm_cost()
+    assert cost.cycles_per_token > 0
+    assert cost.step_overhead_cycles >= 0
+    # Decode steps of a 13B model take milliseconds-of-cycles, not tens.
+    assert cost.batch_cycles(1) > 1e6
+    again = calibrate_llm_cost()
+    assert again == cost
+
+
+def test_calibration_swap_override_passes_through():
+    cost = calibrate_llm_cost(swap_cycles_per_token=3.5)
+    assert cost.swap_cycles_per_token == 3.5

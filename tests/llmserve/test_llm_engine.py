@@ -1,0 +1,200 @@
+"""The continuous-batching engine: budgets, preemption, accounting.
+
+Every test pins the step-cost model explicitly (no simulator
+calibration), so the engine's scheduling logic is exercised in
+microseconds with exact, deterministic arithmetic.
+"""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.llmserve import (
+    LlmServeConfig,
+    LlmTenantSpec,
+    run_llm_serving,
+)
+
+#: Cheap, exact step costs: step = 1000 + 10 * tokens cycles.
+CHEAP = dict(
+    step_overhead_cycles=1000.0,
+    cycles_per_token=10.0,
+    swap_cycles_per_token=2.0,
+)
+
+SPECS = (
+    LlmTenantSpec(name="chat", prompt_tokens=64, decode_tokens=64),
+    LlmTenantSpec(name="code", prompt_tokens=128, decode_tokens=128,
+                  weight=0.5),
+)
+
+
+def _cfg(**overrides):
+    params = dict(
+        seed=11, duration_s=1e-4, load=0.9, arrival="poisson",
+        batch_tokens=256, m_total=16384, **CHEAP,
+    )
+    params.update(overrides)
+    return LlmServeConfig(**params)
+
+
+# ----------------------------------------------------------------------
+# Core serving behaviour
+# ----------------------------------------------------------------------
+def test_drain_completes_every_arrival():
+    result = run_llm_serving(SPECS, _cfg())
+    assert result.arrived > 0
+    assert result.completed == result.arrived
+    assert result.preemption_count == 0  # loose budget: no pressure
+    assert result.peak_kv_tokens <= result.m_total
+    assert result.kv_timeline[-1][1] == 0  # fully drained
+    assert result.goodput_tokens_per_s > 0
+
+
+def test_kv_pressure_preempts_but_never_overflows():
+    result = run_llm_serving(SPECS, _cfg(m_total=384))
+    assert result.preemption_count > 0
+    assert result.peak_kv_tokens <= 384
+    # Swap preserves progress: everything still completes.
+    assert result.completed == result.arrived
+    assert result.swap_count == result.preemption_count
+    assert result.sacrifice_count == 0
+    for event in result.events:
+        assert event.mode == "swap"
+        assert event.policy == "lifo"
+        assert event.kv_freed > 0
+
+
+def test_goodput_degrades_as_the_kv_budget_tightens():
+    goodputs = [
+        run_llm_serving(SPECS, _cfg(m_total=m)).goodput_tokens_per_s
+        for m in (4096, 1024, 384)
+    ]
+    assert goodputs == sorted(goodputs, reverse=True)
+
+
+def test_sacrifice_redoes_work():
+    swap = run_llm_serving(SPECS, _cfg(m_total=384))
+    sac = run_llm_serving(
+        SPECS, _cfg(m_total=384, preemption_mode="sacrifice")
+    )
+    assert sac.sacrifice_count > 0
+    assert sac.swap_count == 0
+    assert sac.completed == sac.arrived
+    # Same arrivals (the seed streams are independent of the mode) but
+    # redone prefills cost extra steps and stretch the makespan.
+    assert sac.arrived == swap.arrived
+    assert sac.steps >= swap.steps
+    assert sac.goodput_tokens_per_s <= swap.goodput_tokens_per_s
+    # Goodput never double-counts sacrificed work: generated tokens are
+    # each completed request's decode_tokens, counted once.
+    for name, report in sac.tenants.items():
+        spec = {s.name: s for s in SPECS}[name]
+        assert report.generated_tokens == report.completed * spec.decode_tokens
+
+
+def test_tenant_accounting_sums_to_run_totals():
+    result = run_llm_serving(SPECS, _cfg(m_total=384))
+    assert sum(r.arrived for r in result.tenants.values()) == result.arrived
+    assert (
+        sum(r.completed for r in result.tenants.values()) == result.completed
+    )
+    assert (
+        sum(r.swaps for r in result.tenants.values()) == result.swap_count
+    )
+    for report in result.tenants.values():
+        assert 0.0 <= report.ttft_attainment <= 1.0
+        assert 0.0 <= report.tpot_attainment <= 1.0
+
+
+def test_horizon_stop_vs_drain():
+    drained = run_llm_serving(SPECS, _cfg())
+    stopped = run_llm_serving(SPECS, _cfg(drain=False))
+    assert stopped.steps <= drained.steps
+    assert stopped.completed <= drained.completed
+    assert drained.completed == drained.arrived
+
+
+def test_metrics_block_is_json_shaped():
+    import json
+
+    result = run_llm_serving(SPECS, _cfg(m_total=384))
+    metrics = json.loads(json.dumps(result.metrics()))
+    assert metrics["preemption"]["count"] == result.preemption_count
+    assert metrics["requests"] == {
+        "arrived": result.arrived, "completed": result.completed,
+    }
+    assert metrics["kv"]["peak_tokens"] == result.peak_kv_tokens
+    assert 0 < len(metrics["kv"]["timeline"]) <= 200
+    assert set(metrics["tenants"]) == {"chat", "code"}
+
+
+# ----------------------------------------------------------------------
+# Validation and guard rails
+# ----------------------------------------------------------------------
+def test_unschedulable_tenants_rejected_up_front():
+    with pytest.raises(ConfigError, match="exceeds the step budget"):
+        run_llm_serving(
+            (LlmTenantSpec(name="big", prompt_tokens=512),),
+            _cfg(batch_tokens=256),
+        )
+    with pytest.raises(ConfigError, match="could never finish"):
+        run_llm_serving(
+            (LlmTenantSpec(name="big", prompt_tokens=200, decode_tokens=100),),
+            _cfg(batch_tokens=256, m_total=256),
+        )
+    with pytest.raises(ConfigError, match="duplicate"):
+        run_llm_serving(
+            (LlmTenantSpec(name="a"), LlmTenantSpec(name="a")), _cfg()
+        )
+    with pytest.raises(ConfigError, match="at least one tenant"):
+        run_llm_serving((), _cfg())
+
+
+def test_spec_and_config_validation():
+    with pytest.raises(ConfigError):
+        LlmTenantSpec(name="")
+    with pytest.raises(ConfigError):
+        LlmTenantSpec(name="x", prompt_tokens=0)
+    with pytest.raises(ConfigError):
+        LlmTenantSpec(name="x", weight=0.0)
+    with pytest.raises(ConfigError):
+        _cfg(preemption_mode="drop")
+    with pytest.raises(ConfigError):
+        _cfg(batch_tokens=0)
+    with pytest.raises(ConfigError):
+        _cfg(duration_s=0.0)
+
+
+def test_unknown_victim_policy_fails_with_the_registry_list():
+    with pytest.raises(ConfigError, match="lifo"):
+        run_llm_serving(SPECS, _cfg(victim_policy="ghost"))
+
+
+def test_max_steps_guard_raises_typed_error():
+    with pytest.raises(SimulationError, match="max_steps"):
+        run_llm_serving(SPECS, _cfg(max_steps=1))
+
+
+# ----------------------------------------------------------------------
+# Pluggable victim policies (the PREEMPTION registry)
+# ----------------------------------------------------------------------
+def test_third_party_victim_policy_plugs_in():
+    from repro.api import PREEMPTION, PreemptionInfo
+    from repro.llmserve import VictimPolicy
+
+    class MostKv(VictimPolicy):
+        name = "most-kv"
+
+        def select(self, running, rng):
+            return max(running, key=lambda r: (r.kv_tokens, r.rid))
+
+    PREEMPTION.add("most-kv", PreemptionInfo(
+        "most-kv", MostKv, "evict the largest KV holder"))
+    try:
+        result = run_llm_serving(
+            SPECS, _cfg(m_total=384, victim_policy="most-kv")
+        )
+        assert result.preemption_count > 0
+        assert all(e.policy == "most-kv" for e in result.events)
+    finally:
+        PREEMPTION.remove("most-kv")

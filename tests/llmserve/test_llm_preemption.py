@@ -1,0 +1,84 @@
+"""Victim policies and preemption plumbing."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.llmserve.preemption import (
+    PREEMPTION_MODES,
+    VICTIM_POLICIES,
+    FifoVictimPolicy,
+    LifoVictimPolicy,
+    PreemptionEvent,
+    RandomVictimPolicy,
+    check_preemption_mode,
+)
+from repro.llmserve.requests import LlmRequest
+
+
+def _req(rid, entered):
+    req = LlmRequest(
+        rid=rid, tenant="t", arrival_cycles=0.0,
+        prompt_tokens=8, decode_tokens=8,
+    )
+    req.enter_running_cycles = entered
+    return req
+
+
+def test_mode_check():
+    assert PREEMPTION_MODES == ("swap", "sacrifice")
+    for mode in PREEMPTION_MODES:
+        assert check_preemption_mode(mode) == mode
+    with pytest.raises(ConfigError, match="unknown preemption mode"):
+        check_preemption_mode("evaporate")
+
+
+def test_lifo_picks_newest_fifo_oldest():
+    running = [_req(0, 10.0), _req(1, 30.0), _req(2, 20.0)]
+    rng = random.Random(0)
+    assert LifoVictimPolicy().select(running, rng).rid == 1
+    assert FifoVictimPolicy().select(running, rng).rid == 0
+
+
+def test_entry_time_ties_break_on_rid():
+    running = [_req(3, 10.0), _req(1, 10.0), _req(2, 10.0)]
+    rng = random.Random(0)
+    assert LifoVictimPolicy().select(running, rng).rid == 3
+    assert FifoVictimPolicy().select(running, rng).rid == 1
+
+
+def test_random_is_seeded_and_batch_order_independent():
+    running = [_req(i, float(i)) for i in range(5)]
+    picks = [
+        RandomVictimPolicy().select(running, random.Random(7)).rid
+        for _ in range(3)
+    ]
+    assert len(set(picks)) == 1  # same seed, same pick
+    shuffled = list(reversed(running))
+    assert (
+        RandomVictimPolicy().select(shuffled, random.Random(7)).rid
+        == picks[0]
+    )
+
+
+def test_empty_batch_rejected():
+    with pytest.raises(ConfigError, match="non-empty"):
+        LifoVictimPolicy().select([], random.Random(0))
+
+
+def test_builtin_policy_table():
+    assert set(VICTIM_POLICIES) == {"lifo", "fifo", "random"}
+    for name, cls in VICTIM_POLICIES.items():
+        assert cls.name == name
+
+
+def test_event_serializes():
+    event = PreemptionEvent(
+        step=3, time_cycles=1.5, rid=7, tenant="chat",
+        mode="swap", policy="lifo", kv_freed=42,
+    )
+    assert event.to_dict() == {
+        "step": 3, "time_cycles": 1.5, "rid": 7, "tenant": "chat",
+        "mode": "swap", "policy": "lifo", "kv_freed": 42,
+    }

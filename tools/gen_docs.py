@@ -33,11 +33,13 @@ HEADER = """\
 
 Everything in this file is read from the live plugin registries
 (`repro.api.SCHEDULERS` / `ARRIVALS` / `WORKLOADS` / `FIGURES` /
-`AUTOSCALERS`), the same source `repro list --json` reports, so it
-cannot drift from the code.  Third-party plugins registered at runtime
-extend these tables without any documentation edit -- see
-[architecture.md](architecture.md) for how the registries fit together
-and [autoscaling.md](autoscaling.md) for the autoscaler how-to.
+`AUTOSCALERS` / `PREEMPTION`), the same source `repro list --json`
+reports, so it cannot drift from the code.  Third-party plugins
+registered at runtime extend these tables without any documentation
+edit -- see [architecture.md](architecture.md) for how the registries
+fit together, [autoscaling.md](autoscaling.md) for the autoscaler
+how-to and [llm-serving.md](llm-serving.md) for the LLM serving
+subsystem.
 """
 
 
@@ -71,6 +73,8 @@ def generate() -> str:
                      "per-tenant SLOs",
         "cluster": "open-loop traffic across an (optionally autoscaled) "
                    "cluster with tenant churn",
+        "llm": "continuous-batching LLM serving under a KV-cache HBM "
+               "budget with pluggable preemption (`llm:` block)",
         "figure": "a registered paper-figure experiment (`figure:` names "
                   "it)",
     }
@@ -133,6 +137,28 @@ def generate() -> str:
     lines.extend(_table(
         ("field", "meaning"),
         [(name, blurb) for name, blurb in VIRTUALIZATION_FIELD_DOCS.items()],
+    ))
+
+    from repro.api import LLM_FIELD_DOCS, PREEMPTION
+
+    lines.append("\n## Preemption victim policies (`llm.victim_policy`)\n")
+    lines.append("LLM scenarios resolve who gets evicted under KV-cache "
+                 "pressure through the `PREEMPTION` registry "
+                 "(see [llm-serving.md](llm-serving.md)):\n")
+    lines.extend(_table(
+        ("name", "description"),
+        [(name, info.description) for name, info in PREEMPTION.items()],
+    ))
+
+    lines.append("\n## LLM serving (`llm:`)\n")
+    lines.append("`kind: llm` scenarios drive the continuous-batching "
+                 "engine (`repro.llmserve`): open-loop tenants decode "
+                 "against a per-step batch token budget and a device HBM "
+                 "KV budget, preempting under pressure (see "
+                 "[llm-serving.md](llm-serving.md)):\n")
+    lines.extend(_table(
+        ("field", "meaning"),
+        [(name, blurb) for name, blurb in LLM_FIELD_DOCS.items()],
     ))
 
     lines.append("")
