@@ -25,7 +25,12 @@ each, how fast the simulator chews through simulated time:
   ample, constrained and tight ``m_total``, reporting preemptions,
   tokens/s goodput and TTFT attainment at each point (the constrained
   points must preempt, and goodput/attainment must degrade
-  monotonically as headroom shrinks).
+  monotonically as headroom shrinks);
+- ``mega_batch``      -- a 256-point open-loop seed sweep co-stepped by
+  the ``repro.megabatch`` struct-of-arrays engine, timed against the
+  same sweep with ``REPRO_SIM_MEGABATCH=0`` (the per-point path) at
+  ``max_workers=1``; reports the speedup and fails loudly if the two
+  paths disagree on total simulated cycles.
 
 Every mode is a declarative :class:`repro.api.Scenario` executed through
 :func:`repro.api.run_scenario` -- the same path ``repro run`` takes --
@@ -449,6 +454,71 @@ def bench_llm_kv(quick: bool, repeats: int) -> Dict:
     }
 
 
+def bench_mega_batch(quick: bool, repeats: int) -> Dict:
+    """Seed sweep through the mega-batch struct-of-arrays engine.
+
+    A many-point open-loop sweep is exactly the shape
+    ``repro.megabatch`` accelerates: hundreds of independent windows of
+    the same scenario, differing only in their arrival draws, co-stepped
+    in 64-lane chunks with memoized epoch skip-ahead.  The mode times
+    the same sweep twice -- engine on (default) and forced off via the
+    ``REPRO_SIM_MEGABATCH=0`` escape hatch, i.e. the per-point
+    ``run_scenario`` path -- with ``max_workers=1`` on both sides so
+    the ratio isolates the engine rather than pool scaling.  Totals
+    must match bit-for-bit; the headline rate (and the CI floor) is
+    the engine-on rate.
+    """
+    import os
+
+    from repro.megabatch import MEGABATCH_ENV
+
+    points = 64 if quick else 256
+    # Full mode uses a longer window so per-point setup (scenario
+    # parse, calibration-cache lookups, arrival generation -- paid
+    # identically on both sides) doesn't dilute the engine ratio.
+    window_s = QUICK_WINDOW_S if quick else 0.004
+    base = _poisson_scenario(window_s)
+    seeds = list(range(points))
+
+    def sweep() -> float:
+        results = sweep_scenario(base, param="seed", values=seeds,
+                                 max_workers=1)
+        return sum(r.metrics["simulated_cycles"] for r in results)
+
+    saved = os.environ.get(MEGABATCH_ENV)
+    try:
+        os.environ[MEGABATCH_ENV] = "1"
+        cycles, wall = _timed(sweep, repeats)
+        os.environ[MEGABATCH_ENV] = "0"
+        # The scalar path is ~4x slower; one timed run (after the
+        # warm-up _timed always does) keeps the mode affordable.
+        scalar_cycles, scalar_wall = _timed(sweep, 1)
+    finally:
+        if saved is None:
+            os.environ.pop(MEGABATCH_ENV, None)
+        else:
+            os.environ[MEGABATCH_ENV] = saved
+    if cycles != scalar_cycles:
+        raise RuntimeError(
+            f"mega-batch sweep diverged from the scalar path: "
+            f"{cycles} vs {scalar_cycles} simulated cycles"
+        )
+    return {
+        "mode": "mega_batch",
+        "scheme": SCHEME,
+        "sweep_param": "seed",
+        "sweep_points": points,
+        "window_simulated_s_per_point": window_s,
+        "wall_s": wall,
+        "scalar_wall_s": scalar_wall,
+        "speedup_vs_per_point": scalar_wall / wall,
+        "simulated_cycles": cycles,
+        "simulated_s": DEFAULT_CORE.cycles_to_seconds(cycles),
+        "simulated_cycles_per_wall_s": cycles / wall,
+        "scalar_simulated_cycles_per_wall_s": scalar_cycles / scalar_wall,
+    }
+
+
 SCENARIOS = {
     "closed_loop": bench_closed_loop,
     "poisson": bench_poisson,
@@ -457,6 +527,7 @@ SCENARIOS = {
     "cluster_autoscale": bench_cluster_autoscale,
     "cluster_virt": bench_cluster_virt,
     "llm_kv": bench_llm_kv,
+    "mega_batch": bench_mega_batch,
 }
 
 

@@ -81,15 +81,25 @@ def _slo_report_metrics(report) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # Kind runners
 # ----------------------------------------------------------------------
-def _run_serving(scenario: Scenario) -> RunResult:
-    from repro.serving.server import ServingConfig, run_collocation
+def _serving_config(scenario: Scenario):
+    from repro.serving.server import ServingConfig
 
-    cfg = ServingConfig(
+    return ServingConfig(
         core=scenario.core(),
         target_requests=scenario.target_requests,
     )
+
+
+def _run_serving(scenario: Scenario) -> RunResult:
+    from repro.serving.server import run_collocation
+
+    cfg = _serving_config(scenario)
     specs = [_to_workload_spec(t) for t in scenario.tenants]
     pair = run_collocation(specs, scenario.scheme, cfg)
+    return _serving_run_result(scenario, pair)
+
+
+def _serving_run_result(scenario: Scenario, pair) -> RunResult:
     metrics: Dict[str, Any] = {
         "pair": pair.pair,
         "tenants": [
@@ -117,10 +127,10 @@ def _run_serving(scenario: Scenario) -> RunResult:
     return _wrap(scenario, metrics, metadata)
 
 
-def _run_open_loop(scenario: Scenario) -> RunResult:
-    from repro.traffic.openloop import OpenLoopConfig, run_open_loop
+def _open_loop_config(scenario: Scenario):
+    from repro.traffic.openloop import OpenLoopConfig
 
-    cfg = OpenLoopConfig(
+    return OpenLoopConfig(
         core=scenario.core(),
         duration_s=scenario.duration_s,
         load=scenario.load,
@@ -128,8 +138,18 @@ def _run_open_loop(scenario: Scenario) -> RunResult:
         seed=scenario.seed,
         drain=scenario.drain,
     )
+
+
+def _run_open_loop(scenario: Scenario) -> RunResult:
+    from repro.traffic.openloop import run_open_loop
+
+    cfg = _open_loop_config(scenario)
     specs = [_to_traffic_spec(t) for t in scenario.tenants]
     result = run_open_loop(specs, scenario.scheme, cfg)
+    return _open_loop_run_result(scenario, result)
+
+
+def _open_loop_run_result(scenario: Scenario, result) -> RunResult:
     metrics: Dict[str, Any] = {
         "tenants": [_slo_report_metrics(r) for r in result.reports],
         "min_attainment": result.min_attainment,
@@ -388,6 +408,77 @@ def _run_scenario_payload(payload: str) -> Dict[str, Any]:
     return run_scenario(scenario).to_dict()
 
 
+#: Sweep points per mega-batch: enough lanes to amortise the batch
+#: engine's round overhead, small enough that a multi-process sweep
+#: still spreads chunks across its pool.
+_SWEEP_BATCH = 64
+
+
+def _prepare_batchable(scenario: Scenario):
+    """``(simulator, finalize)`` when the scenario's engine supports the
+    build/step/summarise split the mega-batch core needs, else None.
+
+    Covered kinds: ``open_loop`` and ``serving`` -- single-simulator
+    runs whose construction is deterministic and independent of the
+    stepping driver.  Other kinds (cluster, llm, figure) orchestrate
+    their own multi-stage drivers and fall back to ``run_scenario``.
+    """
+    if scenario.kind == "open_loop":
+        from repro.traffic.openloop import finalize_open_loop, prepare_open_loop
+
+        prep = prepare_open_loop(
+            [_to_traffic_spec(t) for t in scenario.tenants],
+            scenario.scheme,
+            _open_loop_config(scenario),
+        )
+        return prep.sim, (
+            lambda result: _open_loop_run_result(
+                scenario, finalize_open_loop(prep, result)
+            )
+        )
+    if scenario.kind == "serving":
+        from repro.serving.server import (
+            finalize_collocation,
+            prepare_collocation,
+        )
+
+        prep = prepare_collocation(
+            [_to_workload_spec(t) for t in scenario.tenants],
+            scenario.scheme,
+            _serving_config(scenario),
+        )
+        return prep.sim, (
+            lambda result: _serving_run_result(
+                scenario, finalize_collocation(prep, result)
+            )
+        )
+    return None
+
+
+def _run_scenario_batch_payload(payloads: Sequence[str]) -> List[Dict[str, Any]]:
+    """Picklable sweep worker: co-step one chunk of sweep points through
+    a single :class:`repro.megabatch.MegaBatchEngine` batch.
+
+    Batchable scenarios become lanes of one engine; the rest run through
+    ``run_scenario`` unchanged.  Output order matches input order, and
+    every metric is bit-identical to the per-point worker's."""
+    scenarios = [Scenario.from_dict(json.loads(p)) for p in payloads]
+    prepared = [_prepare_batchable(sc) for sc in scenarios]
+    sims = [pf[0] for pf in prepared if pf is not None]
+    if len(sims) > 1:
+        from repro.megabatch import run_simulators
+
+        lane_results = iter(run_simulators(sims))
+        out = []
+        for scenario, pf in zip(scenarios, prepared):
+            if pf is None:
+                out.append(run_scenario(scenario).to_dict())
+            else:
+                out.append(pf[1](next(lane_results)).to_dict())
+        return out
+    return [run_scenario(sc).to_dict() for sc in scenarios]
+
+
 def sweep_variants(
     scenario: Scenario,
     param: Optional[str] = None,
@@ -455,7 +546,23 @@ def sweep_scenario(
     for variant in variants:
         variant.validate()  # fail fast, before spawning workers
     payloads = [json.dumps(v.to_dict()) for v in variants]
-    results = parallel_map(
-        _run_scenario_payload, payloads, max_workers=max_workers
-    )
+    from repro.megabatch import megabatch_default
+
+    if megabatch_default() and len(payloads) > 1:
+        # Mega-batch path: chunk the sweep and co-step each chunk's
+        # simulations through one struct-of-arrays engine per worker.
+        # Bit-identical to the per-point path (the REPRO_SIM_MEGABATCH=0
+        # escape hatch) for any chunking or worker count.
+        chunks = [
+            payloads[i : i + _SWEEP_BATCH]
+            for i in range(0, len(payloads), _SWEEP_BATCH)
+        ]
+        chunked = parallel_map(
+            _run_scenario_batch_payload, chunks, max_workers=max_workers
+        )
+        results = [r for chunk in chunked for r in chunk]
+    else:
+        results = parallel_map(
+            _run_scenario_payload, payloads, max_workers=max_workers
+        )
     return [RunResult.from_dict(r) for r in results]

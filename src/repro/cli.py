@@ -8,6 +8,7 @@ Subcommands (``python -m repro.cli ...`` or the installed ``repro``)::
     fig fig19 fig22 [--json]          # paper-figure experiments
     fig --all                         # every figure (nonzero on failure)
     bench scenario.yaml [--repeats 3] # time a scenario, report cycles/s
+    bench scenario.yaml --profile     # + cProfile top-25 (cumulative)
     traffic ...                       # legacy open-loop flags (deprecated)
 
 ``--json`` emits the uniform :class:`repro.api.RunResult` schema on
@@ -341,6 +342,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             t0 = time.perf_counter()
             last = run_scenario(scenario)
             best = min(best, time.perf_counter() - t0)
+        if args.profile:
+            import cProfile
+            import io
+            import pstats
+
+            prof = cProfile.Profile()
+            prof.runcall(run_scenario, scenario)
+            buf = io.StringIO()
+            stats = pstats.Stats(prof, stream=buf)
+            stats.sort_stats("cumulative").print_stats(args.profile)
+            print(f"---- profile: {scenario.name} "
+                  f"(top {args.profile} by cumulative time)",
+                  file=sys.stderr)
+            print(buf.getvalue(), file=sys.stderr)
         cycles = last.metrics.get("simulated_cycles")
         metrics: Dict[str, Any] = {"wall_s": best}
         if isinstance(cycles, (int, float)) and cycles > 0:
@@ -521,6 +536,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("scenario_file")
     p_bench.add_argument("--scenario", default=None)
+    p_bench.add_argument("--profile", nargs="?", const=25, default=None,
+                         type=int, metavar="N",
+                         help="also run each scenario once under cProfile "
+                              "and print the top N functions by cumulative "
+                              "time to stderr (default N=25)")
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="timed repetitions, best wins (default 3)")
     add_io_flags(p_bench)

@@ -32,7 +32,15 @@ WORKERS_ENV = "REPRO_PARALLEL_WORKERS"
 
 
 def default_workers() -> int:
-    """Pool size: ``REPRO_PARALLEL_WORKERS`` if set, else the CPU count."""
+    """Pool size: ``REPRO_PARALLEL_WORKERS`` if set, else the number of
+    CPUs this process may actually run on.
+
+    Containerized CI typically pins the process to a subset of the
+    machine's cores (cgroup cpusets); ``os.cpu_count()`` reports the
+    machine, so a pool sized by it oversubscribes the pinned cores.  The
+    scheduling affinity mask is the honest capacity where the platform
+    exposes it.
+    """
     env = os.environ.get(WORKERS_ENV)
     if env is not None:
         try:
@@ -44,6 +52,11 @@ def default_workers() -> int:
         if value < 1:
             raise ConfigError(f"{WORKERS_ENV} must be >= 1, got {value}")
         return value
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
     return os.cpu_count() or 1
 
 

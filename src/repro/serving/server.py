@@ -121,12 +121,23 @@ def _to_metrics(result: SimResult, scheme: str, pair_label: str) -> PairMetrics:
     )
 
 
-def run_collocation(
+@dataclass
+class PreparedCollocation:
+    """A built-but-unrun collocation measurement: step ``sim`` with any
+    driver (``sim.run()`` or a mega-batch engine) and summarise the
+    result with :func:`finalize_collocation`."""
+
+    sim: Simulator
+    scheme: str
+    pair_label: str
+
+
+def prepare_collocation(
     specs: Sequence[WorkloadSpec],
     scheme: str,
     cfg: Optional[ServingConfig] = None,
-) -> PairMetrics:
-    """Run collocated workloads under ``scheme`` and summarise."""
+) -> PreparedCollocation:
+    """Build the simulator for one collocation run."""
     cfg = cfg if cfg is not None else ServingConfig()
     tenants = _build_tenants(specs, scheme, cfg)
     sim = Simulator(
@@ -138,9 +149,25 @@ def run_collocation(
         record_ops=cfg.record_ops,
         record_bandwidth=cfg.record_bandwidth,
     )
-    result = sim.run()
     pair_label = "+".join(t.name for t in tenants)
-    return _to_metrics(result, scheme, pair_label)
+    return PreparedCollocation(sim=sim, scheme=scheme, pair_label=pair_label)
+
+
+def finalize_collocation(
+    prep: PreparedCollocation, result: SimResult
+) -> PairMetrics:
+    """Summarise a finished collocation run."""
+    return _to_metrics(result, prep.scheme, prep.pair_label)
+
+
+def run_collocation(
+    specs: Sequence[WorkloadSpec],
+    scheme: str,
+    cfg: Optional[ServingConfig] = None,
+) -> PairMetrics:
+    """Run collocated workloads under ``scheme`` and summarise."""
+    prep = prepare_collocation(specs, scheme, cfg)
+    return finalize_collocation(prep, prep.sim.run())
 
 
 def run_solo(

@@ -670,9 +670,16 @@ class Simulator:
             self._decision_memo = _PLAN_MEMOS.setdefault(ctx, {})
         else:
             self._decision_memo = {}
+        self._memo_ctx = ctx if memo_ctx is not None else None
         self._dirty = True
         self._reusable = False
         self._fp_capable = False
+        #: Memo key of the current plan when it was replayed from (or
+        #: stored into) the decision memo, else None.  Consumed by the
+        #: mega-batch engine to bind a lane to a shared chain node.
+        self._plan_key = None
+        #: Fingerprint-ordered unit list matching ``_plan_key``.
+        self._fp_units: Optional[List[ExecUnit]] = None
         self._finished_units: List[ExecUnit] = []
         self._prev_rates: List[Tuple[ExecUnit, float, int]] = []
         self._prev_ve_exec: List[Tuple[ExecUnit, float]] = []
@@ -693,10 +700,16 @@ class Simulator:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self) -> SimResult:
+    def start(self) -> None:
+        """Bootstrap every tenant's request stream (idempotent prefix of
+        :meth:`run`; the mega-batch engine calls it separately so it can
+        own the epoch loop)."""
         for tenant in self.tenants:
             tenant.bootstrap(self.now)
             tenant.start_pending_work(self.now, self.stats)
+
+    def run(self) -> SimResult:
+        self.start()
         epochs = 0
         max_epochs = self.max_epochs
         # The epoch loop allocates heavily but acyclically (tuples,
@@ -735,6 +748,13 @@ class Simulator:
         return True
 
     def _step(self) -> None:
+        plan, had_preempt = self._next_plan()
+        self._finish_step(plan, had_preempt)
+
+    def _next_plan(self):
+        """First half of an epoch: expire reclaims, admit arrivals and
+        pending work, then select this epoch's plan (fused reuse, memo
+        replay, or a fresh decision)."""
         before = len(self.reclaims)
         self._expire_reclaims()
         dirty = self._dirty or len(self.reclaims) != before
@@ -755,11 +775,12 @@ class Simulator:
             # previous decision, grants, progress rates, and accounting
             # sets hold verbatim -- fast-forward straight to the next
             # event.
-            plan = self._prev_plan
-            had_preempt = False
-        else:
-            plan, had_preempt = self._plan_epoch()
+            return self._prev_plan, False
+        return self._plan_epoch()
 
+    def _finish_step(self, plan: "_EpochPlan", had_preempt: bool) -> None:
+        """Second half of an epoch: advance to the next event and retire
+        completed units."""
         next_at = plan.next_at
         delta = self._pick_delta(next_at, plan.rates, plan.ve_exec)
         self._advance(delta, plan)
@@ -794,9 +815,13 @@ class Simulator:
         """
         fp = self.scheduler.state_fingerprint(self) if self.fast_path else None
         self._fp_capable = fp is not None
+        self._plan_key = None
+        self._fp_units = None
         if fp is not None:
             entry = self._decision_memo.get(fp[0])
             if entry is not None:
+                self._plan_key = fp[0]
+                self._fp_units = fp[1]
                 return self._replay_plan(entry, fp[1])
 
         decision = self.scheduler.decide(self)
@@ -846,6 +871,8 @@ class Simulator:
             self._decision_memo[fp[0]] = _encode_plan(
                 fp[1], preempt_effects, plan, self.tenants
             )
+            self._plan_key = fp[0]
+            self._fp_units = fp[1]
         return plan, bool(decision.preempt)
 
     def _replay_plan(self, entry: Tuple, units: List[ExecUnit]):

@@ -65,6 +65,7 @@ from repro.cluster.virt import (
 )
 from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig, spawn_rng
 from repro.errors import ConfigError
+from repro.megabatch import megabatch_default
 from repro.parallel import parallel_map
 from repro.api.registries import SCHEDULERS, scheme_isa
 from repro.serving.server import make_scheduler
@@ -243,10 +244,8 @@ class _HostSegmentJob:
     tenants: Tuple[_TenantJob, ...]
 
 
-def _simulate_host_segment(
-    job: _HostSegmentJob,
-) -> Tuple[str, float, float, float, List[Tuple[str, SloReport]]]:
-    """Worker entry point: simulate one host over one segment."""
+def _build_host_segment(job: _HostSegmentJob) -> Simulator:
+    """Construct the one-host simulator for a segment job."""
     isa = scheme_isa(job.scheme)
     tenants: List[Tenant] = []
     for idx, tj in enumerate(job.tenants):
@@ -263,14 +262,19 @@ def _simulate_host_segment(
                 arrivals=list(tj.arrivals),
             )
         )
-    sim = Simulator(
+    return Simulator(
         job.host_core,
         make_scheduler(job.scheme),
         tenants,
         horizon_cycles=job.seg_cycles,
         record_ops=False,
     )
-    result = sim.run()
+
+
+def _finalize_host_segment(
+    job: _HostSegmentJob, result
+) -> Tuple[str, float, float, float, List[Tuple[str, SloReport]]]:
+    """Score a finished segment simulation into the merge tuple."""
     # Drain can end the simulation before the segment boundary;
     # utilization only covers the cycles actually simulated.
     simulated_s = min(
@@ -293,6 +297,38 @@ def _simulate_host_segment(
         min(result.total_cycles, job.seg_cycles),
         reports,
     )
+
+
+def _simulate_host_segment(
+    job: _HostSegmentJob,
+) -> Tuple[str, float, float, float, List[Tuple[str, SloReport]]]:
+    """Worker entry point: simulate one host over one segment."""
+    return _finalize_host_segment(job, _build_host_segment(job).run())
+
+
+#: Host segments co-stepped per mega-batch worker (see
+#: ``repro.megabatch``); chunking keeps multi-process fan-out useful on
+#: big fleets while each worker amortises its batch engine.
+_SEGMENT_BATCH = 64
+
+
+def _simulate_host_segment_batch(
+    jobs: Sequence[_HostSegmentJob],
+) -> List[Tuple[str, float, float, float, List[Tuple[str, SloReport]]]]:
+    """Worker entry point: co-step one chunk of host segments through a
+    single mega-batch engine.  Bit-identical to mapping
+    ``_simulate_host_segment`` over the chunk."""
+    sims = [_build_host_segment(job) for job in jobs]
+    if len(sims) > 1:
+        from repro.megabatch import run_simulators
+
+        results = run_simulators(sims)
+    else:
+        results = [sim.run() for sim in sims]
+    return [
+        _finalize_host_segment(job, result)
+        for job, result in zip(jobs, results)
+    ]
 
 
 def _segment_boundaries(
@@ -788,10 +824,27 @@ def run_cluster_traffic(
             )
 
         # Hosts are independent within a stable segment: fan out, then
-        # merge in deterministic host order.
-        outcomes = parallel_map(
-            _simulate_host_segment, jobs, max_workers=cfg.max_workers
-        )
+        # merge in deterministic host order.  The mega-batch path
+        # co-steps each chunk's hosts through one engine per worker;
+        # REPRO_SIM_MEGABATCH=0 restores the one-sim-per-job fan-out.
+        if megabatch_default() and len(jobs) > 1:
+            chunks = [
+                jobs[i : i + _SEGMENT_BATCH]
+                for i in range(0, len(jobs), _SEGMENT_BATCH)
+            ]
+            outcomes = [
+                outcome
+                for chunk in parallel_map(
+                    _simulate_host_segment_batch,
+                    chunks,
+                    max_workers=cfg.max_workers,
+                )
+                for outcome in chunk
+            ]
+        else:
+            outcomes = parallel_map(
+                _simulate_host_segment, jobs, max_workers=cfg.max_workers
+            )
         seg_me = seg_ve = 0.0
         seg_offered = seg_attained = 0
         for host_name, me_seconds, ve_seconds, cycles, host_reports in outcomes:

@@ -161,12 +161,32 @@ def arrival_process_for(
     )
 
 
-def run_open_loop(
+@dataclass
+class PreparedOpenLoop:
+    """A built-but-unrun open-loop window.
+
+    ``prepare_open_loop`` front-loads everything stochastic or
+    structural (calibration, arrival streams, tenant construction) so
+    the simulator can be stepped by any driver -- ``sim.run()`` alone
+    or co-stepped with other windows in a
+    :class:`repro.megabatch.MegaBatchEngine` batch -- and scored
+    afterwards with :func:`finalize_open_loop`.  Results are identical
+    either way.
+    """
+
+    sim: Simulator
+    scheme: str
+    cfg: OpenLoopConfig
+    tenants: List[Tenant]
+    targets: Dict[int, float]
+
+
+def prepare_open_loop(
     specs: Sequence[TrafficTenantSpec],
     scheme: str,
     cfg: Optional[OpenLoopConfig] = None,
-) -> OpenLoopResult:
-    """Simulate one open-loop window and score every tenant's SLO."""
+) -> PreparedOpenLoop:
+    """Build the simulator and SLO targets for one open-loop window."""
     if not specs:
         raise ConfigError("open-loop run needs at least one tenant")
     cfg = cfg if cfg is not None else OpenLoopConfig()
@@ -213,27 +233,42 @@ def run_open_loop(
         horizon_cycles=float("inf") if cfg.drain else duration_cycles,
         record_ops=cfg.record_ops,
     )
-    result = sim.run()
+    return PreparedOpenLoop(
+        sim=sim, scheme=scheme, cfg=cfg, tenants=tenants, targets=targets
+    )
 
+
+def finalize_open_loop(prep: PreparedOpenLoop, result) -> OpenLoopResult:
+    """Score a finished window's :class:`SimResult` into reports."""
     reports = [
         build_slo_report(
             tenant.name,
-            scheme,
-            targets[tenant.tenant_id],
+            prep.scheme,
+            prep.targets[tenant.tenant_id],
             result.tenant(tenant.tenant_id),
-            cfg.duration_s,
+            prep.cfg.duration_s,
         )
-        for tenant in tenants
+        for tenant in prep.tenants
     ]
     return OpenLoopResult(
-        scheme=scheme,
-        load=cfg.load,
-        duration_s=cfg.duration_s,
+        scheme=prep.scheme,
+        load=prep.cfg.load,
+        duration_s=prep.cfg.duration_s,
         reports=reports,
         me_utilization=result.stats.me_utilization(),
         ve_utilization=result.stats.ve_utilization(),
         total_cycles=result.total_cycles,
     )
+
+
+def run_open_loop(
+    specs: Sequence[TrafficTenantSpec],
+    scheme: str,
+    cfg: Optional[OpenLoopConfig] = None,
+) -> OpenLoopResult:
+    """Simulate one open-loop window and score every tenant's SLO."""
+    prep = prepare_open_loop(specs, scheme, cfg)
+    return finalize_open_loop(prep, prep.sim.run())
 
 
 def sweep_load(

@@ -1,0 +1,313 @@
+"""Differential tests: the mega-batch engine must be bit-identical to
+stepping each simulator alone.
+
+Every test builds the *same* simulator configurations twice -- once run
+individually through ``Simulator.run()`` (itself already differentially
+tested against ``fast_path=False``) and once co-stepped through
+``MegaBatchEngine`` -- and compares every observable exactly: stats
+integrals, counters, per-request latencies, queueing delays, op
+records.  No tolerance anywhere: the batch engine only replays memoised
+epochs the scalar engine planned, so any drift is a bug.
+
+The engine must be order-insensitive (lanes grouped by structural
+fingerprint, not position), size-insensitive (a batch of one, a batch
+that is mostly one scheme plus a straggler, a 64-lane batch), and
+mix-insensitive (open-loop and closed-loop lanes co-stepped in one
+batch).
+"""
+
+import json
+
+import pytest
+
+from repro.config import NpuCoreConfig, spawn_rng
+from repro.megabatch import MEGABATCH_ENV, MegaBatchEngine, megabatch_default
+from repro.serving.server import (
+    ALL_SCHEMES,
+    SCHEME_ISA,
+    SCHEME_TEMPORAL,
+    make_scheduler,
+)
+from repro.sim.engine import Simulator, Tenant
+from repro.traffic.arrivals import PoissonProcess
+from repro.workloads.traces import build_trace
+
+CORE = NpuCoreConfig()
+SCHEMES = list(ALL_SCHEMES) + [SCHEME_TEMPORAL]
+
+
+def _closed_loop_tenants(scheme, target_requests=4):
+    isa = SCHEME_ISA[scheme]
+    tenants = []
+    for idx, (model, batch) in enumerate([("MNIST", 8), ("DLRM", 8)]):
+        trace = build_trace(model, batch, core=CORE)
+        tenants.append(
+            Tenant(
+                tenant_id=idx,
+                name=f"{model}#{idx}",
+                graph=trace.compiled(isa),
+                alloc_mes=2,
+                alloc_ves=2,
+                target_requests=target_requests,
+            )
+        )
+    return tenants
+
+
+def _open_loop_tenants(scheme, duration_cycles, seed=33, rate=1.0 / 120_000.0):
+    isa = SCHEME_ISA[scheme]
+    tenants = []
+    for idx, (model, batch) in enumerate([("MNIST", 8), ("DLRM", 8)]):
+        trace = build_trace(model, batch, core=CORE)
+        arrivals = PoissonProcess(rate).generate(
+            duration_cycles, spawn_rng(seed, scheme, model, idx)
+        )
+        tenants.append(
+            Tenant(
+                tenant_id=idx,
+                name=f"{model}#{idx}",
+                graph=trace.compiled(isa),
+                alloc_mes=2,
+                alloc_ves=2,
+                target_requests=None,
+                arrivals=arrivals,
+            )
+        )
+    return tenants
+
+
+HORIZON = 1_000_000.0
+
+
+def _make_sim(scheme, kind, seed=33, record_ops=False):
+    """One simulator; ``kind`` picks closed- or open-loop tenants."""
+    if kind == "closed":
+        return Simulator(
+            CORE,
+            make_scheduler(scheme),
+            _closed_loop_tenants(scheme),
+            record_ops=record_ops,
+        )
+    return Simulator(
+        CORE,
+        make_scheduler(scheme),
+        _open_loop_tenants(scheme, HORIZON, seed=seed),
+        horizon_cycles=HORIZON,
+        record_ops=record_ops,
+    )
+
+
+def _snapshot(result):
+    stats = result.stats
+    return {
+        "total_cycles": stats.total_cycles,
+        "me_busy_integral": stats.me_busy_integral,
+        "ve_busy_integral": stats.ve_busy_integral,
+        "me_busy_per_tenant": dict(stats.me_busy_per_tenant),
+        "ve_busy_per_tenant": dict(stats.ve_busy_per_tenant),
+        "harvested_me_integral": dict(stats.harvested_me_integral),
+        "blocked_cycles_per_tenant": dict(stats.blocked_cycles_per_tenant),
+        "preemption_count": stats.preemption_count,
+        "reclaim_penalty_cycles": stats.reclaim_penalty_cycles,
+        "op_records": [
+            (r.tenant_id, r.op_index, r.request_id, r.start_cycle,
+             r.end_cycle, r.blocked_cycles, r.harvested_engine_cycles)
+            for r in stats.op_records
+        ],
+        "tenants": {
+            tid: (
+                tr.latencies_cycles,
+                tr.queueing_cycles,
+                tr.completed_requests,
+                tr.offered_requests,
+                tr.me_utilization,
+                tr.ve_utilization,
+                tr.blocked_fraction,
+            )
+            for tid, tr in result.tenants.items()
+        },
+    }
+
+
+def _assert_batch_matches_scalar(specs, numpy_min_lanes=None):
+    """Build each spec twice; batch run must equal per-sim runs exactly.
+
+    ``specs`` is a list of ``(scheme, kind, seed, record_ops)`` tuples;
+    the scalar reference preserves list order, so this also checks the
+    engine returns results in input order.
+    """
+    scalar = [_snapshot(_make_sim(*spec).run()) for spec in specs]
+    sims = [_make_sim(*spec) for spec in specs]
+    engine = MegaBatchEngine(sims, numpy_min_lanes=numpy_min_lanes)
+    batched = [_snapshot(result) for result in engine.run()]
+    assert batched == scalar
+    return engine
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("batch_size", [1, 7])
+def test_homogeneous_batch_bit_identical(scheme, batch_size):
+    """N divergent-seed open-loop lanes of one scheme, any batch size."""
+    specs = [(scheme, "open", 100 + i, False) for i in range(batch_size)]
+    _assert_batch_matches_scalar(specs)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_closed_loop_batch_bit_identical(scheme):
+    specs = [(scheme, "closed", 33, False) for _ in range(5)]
+    _assert_batch_matches_scalar(specs)
+
+
+def test_large_batch_bit_identical():
+    """64 lanes -- the production chunk size -- across divergent seeds."""
+    specs = [("neu10", "open", i, False) for i in range(64)]
+    engine = _assert_batch_matches_scalar(specs)
+    # The whole point of the engine: steady-state epochs replay through
+    # chain nodes, not the scalar planner.
+    assert engine.group_stats["array_epochs"] > 0
+
+
+def test_mixed_schemes_and_kinds_in_one_batch():
+    """Open- and closed-loop lanes of different schemes co-stepped."""
+    specs = [
+        ("neu10", "open", 1, False),
+        ("v10", "closed", 33, False),
+        ("neu10", "closed", 33, False),
+        ("neu10-nh", "open", 2, False),
+        ("pmt", "closed", 33, False),
+        ("neu10", "open", 3, False),
+        ("neu10-temporal", "closed", 33, False),
+    ]
+    _assert_batch_matches_scalar(specs)
+
+
+def test_lane_order_does_not_change_any_lane():
+    """Reversing and interleaving the batch permutes results exactly."""
+    specs = [("neu10", "open", i, False) for i in range(6)]
+    specs += [("v10", "open", i, False) for i in range(3)]
+    base = {
+        spec: _snapshot(res)
+        for spec, res in zip(
+            specs, MegaBatchEngine([_make_sim(*s) for s in specs]).run()
+        )
+    }
+    for order in (list(reversed(specs)), specs[1::2] + specs[0::2]):
+        results = MegaBatchEngine([_make_sim(*s) for s in order]).run()
+        for spec, res in zip(order, results):
+            assert _snapshot(res) == base[spec]
+
+
+def test_numpy_bucket_path_bit_identical():
+    """numpy_min_lanes=2 forces the vectorised bucket kernel (the
+    default keeps it opt-in); results must not move by a bit."""
+    specs = [("neu10", "open", i, False) for i in range(8)]
+    specs += [("neu10", "closed", 33, False) for _ in range(4)]
+    _assert_batch_matches_scalar(specs, numpy_min_lanes=2)
+
+
+def test_record_ops_lanes_bit_identical():
+    """Serving-style lanes (record_ops=True) never enter the chain path
+    but must still co-step correctly through the object engine."""
+    specs = [("neu10", "closed", 33, True) for _ in range(3)]
+    specs += [("neu10", "open", 5, True)]
+    _assert_batch_matches_scalar(specs)
+
+
+def test_empty_and_single_batches():
+    from repro.megabatch import run_simulators
+
+    assert run_simulators([]) == []
+    solo = _snapshot(run_simulators([_make_sim("neu10", "open", 9, False)])[0])
+    assert solo == _snapshot(_make_sim("neu10", "open", 9, False).run())
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the wired call sites with the escape hatch toggled
+# ----------------------------------------------------------------------
+def _run_result_dicts(results):
+    return [json.loads(json.dumps(r.to_dict(), sort_keys=True))
+            for r in results]
+
+
+def test_megabatch_default_env_gate(monkeypatch):
+    monkeypatch.delenv(MEGABATCH_ENV, raising=False)
+    assert megabatch_default() is True
+    for off in ("0", "false", "off"):
+        monkeypatch.setenv(MEGABATCH_ENV, off)
+        assert megabatch_default() is False
+    monkeypatch.setenv(MEGABATCH_ENV, "1")
+    assert megabatch_default() is True
+
+
+def test_sweep_scenario_on_off_identical(monkeypatch):
+    from repro.api import Scenario, ScenarioTenant, sweep_scenario
+
+    base = Scenario(
+        name="mb-sweep",
+        kind="open_loop",
+        scheme="neu10",
+        tenants=(
+            ScenarioTenant(model="MNIST", batch=8),
+            ScenarioTenant(model="DLRM", batch=8),
+        ),
+        arrival="poisson",
+        load=0.8,
+        duration_s=0.0015,
+        seed=11,
+    )
+    seeds = list(range(9))
+    monkeypatch.setenv(MEGABATCH_ENV, "1")
+    on = sweep_scenario(base, param="seed", values=seeds, max_workers=1)
+    monkeypatch.setenv(MEGABATCH_ENV, "0")
+    off = sweep_scenario(base, param="seed", values=seeds, max_workers=1)
+    assert _run_result_dicts(on) == _run_result_dicts(off)
+
+
+def test_sweep_scenario_serving_kind_on_off_identical(monkeypatch):
+    from repro.api import Scenario, ScenarioTenant, sweep_scenario
+
+    base = Scenario(
+        name="mb-serving-sweep",
+        kind="serving",
+        scheme="neu10",
+        tenants=(
+            ScenarioTenant(model="MNIST", batch=8),
+            ScenarioTenant(model="DLRM", batch=8),
+        ),
+        target_requests=4,
+    )
+    values = [3, 4, 5]
+    monkeypatch.setenv(MEGABATCH_ENV, "1")
+    on = sweep_scenario(base, param="target_requests", values=values,
+                        max_workers=1)
+    monkeypatch.setenv(MEGABATCH_ENV, "0")
+    off = sweep_scenario(base, param="target_requests", values=values,
+                         max_workers=1)
+    assert _run_result_dicts(on) == _run_result_dicts(off)
+
+
+def test_cluster_scenario_on_off_identical(monkeypatch):
+    from repro.api import Scenario, ScenarioChurn, run_scenario
+
+    end_s = 0.002
+    scenario = Scenario(
+        name="mb-cluster",
+        kind="cluster",
+        scheme="neu10",
+        arrival="poisson",
+        load=0.8,
+        duration_s=end_s,
+        seed=11,
+        hosts=2,
+        churn=(
+            ScenarioChurn(0.0, "arrive", "a", model="MNIST", batch=8),
+            ScenarioChurn(0.0, "arrive", "b", model="DLRM", batch=8),
+            ScenarioChurn(end_s / 2, "arrive", "c", model="MNIST", batch=8),
+            ScenarioChurn(end_s * 0.75, "depart", "b"),
+        ),
+    )
+    monkeypatch.setenv(MEGABATCH_ENV, "1")
+    on = run_scenario(scenario)
+    monkeypatch.setenv(MEGABATCH_ENV, "0")
+    off = run_scenario(scenario)
+    assert _run_result_dicts([on]) == _run_result_dicts([off])

@@ -210,3 +210,64 @@ def test_vectorized_waterfill_rejects_negative():
         maxmin_fair_vectorized([1.0, -2.0], 10.0)
     with pytest.raises(SimulationError):
         maxmin_fair_vectorized([1.0], -1.0)
+
+
+def test_vectorized_empty_demand_vector():
+    assert maxmin_fair_vectorized([], 100.0) == ()
+    assert maxmin_fair_vectorized([], 0.0) == ()
+
+
+def test_vectorized_single_tenant():
+    # len < 2 takes the scalar fallback inside the vectorized entry point.
+    assert maxmin_fair_vectorized([10.0], 100.0) == (10.0,)
+    assert maxmin_fair_vectorized([10.0], 4.0) == (4.0,)
+    assert maxmin_fair_vectorized([0.0], 4.0) == (0.0,)
+
+
+def test_vectorized_all_equal_demands():
+    # Contended equal demands split the channel exactly evenly; the even
+    # share must match the scalar waterfill bit-for-bit on these inputs.
+    n = 8
+    vector = maxmin_fair_vectorized([50.0] * n, 100.0)
+    scalar = maxmin_fair(dict(enumerate([50.0] * n)), 100.0)
+    assert vector == tuple(scalar[i] for i in range(n))
+    assert sum(vector) == pytest.approx(100.0)
+    assert len(set(vector)) == 1  # no tenant favoured over another
+    # Uncontended: everyone gets their full demand.
+    assert maxmin_fair_vectorized([5.0] * n, 100.0) == (5.0,) * n
+
+
+@pytest.mark.parametrize(
+    "demands, capacity",
+    [
+        ([10.0, 200.0, 0.0, 10.0], 100.0),   # zeros interleaved
+        ([100.0, 100.0, 100.0], 90.0),        # all above the waterline
+        ([10.0, 20.0, 30.0], 60.0),           # capacity == total demand
+        ([30.0, 20.0, 10.0], 60.0),           # same set, reversed order
+        ([1e-12, 1e6, 1e-12], 5.0),           # extreme spread
+        ([7.0, 7.0, 7.0, 50.0], 0.0),         # zero capacity
+    ],
+)
+def test_vectorized_matches_scalar_elementwise(demands, capacity):
+    scalar = maxmin_fair(dict(enumerate(demands)), capacity)
+    vector = maxmin_fair_vectorized(demands, capacity)
+    assert len(vector) == len(demands)
+    for i, demand in enumerate(demands):
+        assert vector[i] == pytest.approx(scalar[i], rel=1e-12, abs=1e-12)
+        assert vector[i] <= demand + 1e-12  # never over-allocates
+
+
+def test_factor_cache_eviction_is_fifo_not_lru():
+    # A cache hit must NOT refresh an entry's eviction rank: insertion
+    # order alone decides the victim, so the oldest entry goes even when
+    # it was just re-read.
+    cache = FairFactorCache(100.0, maxsize=2)
+    cache.factors([0], [10.0])  # oldest
+    cache.factors([0], [20.0])
+    cache.factors([0], [10.0])  # hit on the oldest entry
+    assert cache.hits == 1
+    cache.factors([0], [30.0])  # at capacity: evicts [10.0], not [20.0]
+    cache.factors([0], [20.0])  # still cached -> hit
+    assert cache.hits == 2
+    cache.factors([0], [10.0])  # evicted -> miss
+    assert cache.misses == 4
