@@ -30,7 +30,12 @@ each, how fast the simulator chews through simulated time:
   the ``repro.megabatch`` struct-of-arrays engine, timed against the
   same sweep with ``REPRO_SIM_MEGABATCH=0`` (the per-point path) at
   ``max_workers=1``; reports the speedup and fails loudly if the two
-  paths disagree on total simulated cycles.
+  paths disagree on total simulated cycles;
+- ``sweep_resume``    -- a 64-point seed sweep through the executor
+  layer (``repro.exec``) with a ``--checkpoint`` journal, timed against
+  the bare ``parallel_map`` sweep (same per-point engine on both
+  sides); reports the checkpointing overhead (low single-digit
+  percent) and the wall time of a no-op ``--resume`` replay.
 
 Every mode is a declarative :class:`repro.api.Scenario` executed through
 :func:`repro.api.run_scenario` -- the same path ``repro run`` takes --
@@ -519,6 +524,101 @@ def bench_mega_batch(quick: bool, repeats: int) -> Dict:
     }
 
 
+def bench_sweep_resume(quick: bool, repeats: int) -> Dict:
+    """Checkpointed executor sweep vs the bare ``parallel_map`` path.
+
+    A seed sweep run three ways: the legacy ``sweep_scenario`` path at
+    ``max_workers=1`` (the baseline), the same sweep through
+    ``sweep_scenario_report`` with the ``serial`` backend and a
+    ``--checkpoint`` journal (digest sharding + fsynced JSONL appends
+    are the only extra work), and a no-op ``--resume`` of the finished
+    journal.  Both timed sides force ``REPRO_SIM_MEGABATCH=0`` -- the
+    executor path is per-point by design, so the ratio must measure
+    journal overhead, not megabatch vs scalar stepping.  The headline
+    ``overhead_vs_bare`` stays in the low single-digit percent; cycle
+    totals must match bit-for-bit.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.api import sweep_scenario_report
+    from repro.megabatch import MEGABATCH_ENV
+
+    points = 16 if quick else 64
+    window_s = QUICK_WINDOW_S if quick else 0.004
+    base = _poisson_scenario(window_s)
+    seeds = list(range(points))
+
+    def bare() -> float:
+        results = sweep_scenario(base, param="seed", values=seeds,
+                                 max_workers=1)
+        return sum(r.metrics["simulated_cycles"] for r in results)
+
+    scratch = Path(tempfile.mkdtemp(prefix="bench-sweep-resume-"))
+    counter = {"n": 0}
+
+    def _next_ck() -> Path:
+        counter["n"] += 1
+        return scratch / f"ck-{counter['n']}"
+
+    def checkpointed() -> float:
+        report = sweep_scenario_report(
+            base, param="seed", values=seeds, executor="serial",
+            checkpoint=_next_ck(),
+        )
+        return sum(r.metrics["simulated_cycles"] for r in report.results)
+
+    saved = os.environ.get(MEGABATCH_ENV)
+    try:
+        os.environ[MEGABATCH_ENV] = "0"
+        bare_cycles, bare_wall = _timed(bare, repeats)
+        cycles, wall = _timed(checkpointed, repeats)
+
+        # No-op resume of the last finished journal: every shard is
+        # replayed from disk, nothing is simulated.
+        last_ck = scratch / f"ck-{counter['n']}"
+
+        def resume_noop() -> float:
+            report = sweep_scenario_report(
+                base, param="seed", values=seeds, executor="serial",
+                checkpoint=last_ck, resume=True,
+            )
+            assert report.executed == 0
+            return sum(
+                r.metrics["simulated_cycles"] for r in report.results
+            )
+
+        resume_cycles, resume_wall = _timed(resume_noop, repeats)
+    finally:
+        if saved is None:
+            os.environ.pop(MEGABATCH_ENV, None)
+        else:
+            os.environ[MEGABATCH_ENV] = saved
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    if not (cycles == bare_cycles == resume_cycles):
+        raise RuntimeError(
+            f"checkpointed sweep diverged from the bare path: "
+            f"{cycles} vs {bare_cycles} vs {resume_cycles} (resume) "
+            "simulated cycles"
+        )
+    return {
+        "mode": "sweep_resume",
+        "scheme": SCHEME,
+        "sweep_param": "seed",
+        "sweep_points": points,
+        "window_simulated_s_per_point": window_s,
+        "wall_s": wall,
+        "bare_wall_s": bare_wall,
+        "overhead_vs_bare": wall / bare_wall - 1.0,
+        "resume_noop_wall_s": resume_wall,
+        "simulated_cycles": cycles,
+        "simulated_s": DEFAULT_CORE.cycles_to_seconds(cycles),
+        "simulated_cycles_per_wall_s": cycles / wall,
+    }
+
+
 SCENARIOS = {
     "closed_loop": bench_closed_loop,
     "poisson": bench_poisson,
@@ -528,6 +628,7 @@ SCENARIOS = {
     "cluster_virt": bench_cluster_virt,
     "llm_kv": bench_llm_kv,
     "mega_batch": bench_mega_batch,
+    "sweep_resume": bench_sweep_resume,
 }
 
 

@@ -30,18 +30,22 @@ from repro.api.figures import FIGURES, FigureInfo, figure_names
 from repro.api.registries import (
     ARRIVALS,
     AUTOSCALERS,
+    EXECUTORS,
     PREEMPTION,
     SCHEDULERS,
     WORKLOADS,
     ArrivalInfo,
     AutoscalerInfo,
+    ExecutorInfo,
     PreemptionInfo,
     SchedulerInfo,
     all_scheme_names,
     arrival_kind_names,
     autoscaler_names,
     default_scheme_names,
+    executor_names,
     make_autoscaler,
+    make_executor,
     make_scheduler,
     make_victim_policy,
     scheme_isa,
@@ -56,14 +60,22 @@ from repro.api.result import (
     figure_result,
     validate_run_result,
 )
-from repro.api.runner import run_scenario, sweep_scenario, sweep_variants
+from repro.api.runner import (
+    SweepReport,
+    run_scenario,
+    sweep_scenario,
+    sweep_scenario_report,
+    sweep_variants,
+)
 from repro.api.scenario import (
+    EXECUTOR_FIELD_DOCS,
     LLM_FIELD_DOCS,
     SCENARIO_KINDS,
     VIRTUALIZATION_FIELD_DOCS,
     Scenario,
     ScenarioAutoscaler,
     ScenarioChurn,
+    ScenarioExecutor,
     ScenarioLlm,
     ScenarioLlmTenant,
     ScenarioPool,
@@ -81,6 +93,9 @@ __all__ = [
     "AUTOSCALERS",
     "ArrivalInfo",
     "AutoscalerInfo",
+    "EXECUTORS",
+    "EXECUTOR_FIELD_DOCS",
+    "ExecutorInfo",
     "FIGURES",
     "FigureInfo",
     "LLM_FIELD_DOCS",
@@ -94,12 +109,14 @@ __all__ = [
     "Scenario",
     "ScenarioAutoscaler",
     "ScenarioChurn",
+    "ScenarioExecutor",
     "ScenarioLlm",
     "ScenarioLlmTenant",
     "ScenarioPool",
     "ScenarioTenant",
     "ScenarioVirtualization",
     "SchedulerInfo",
+    "SweepReport",
     "SweepSpec",
     "VIRTUALIZATION_FIELD_DOCS",
     "WORKLOADS",
@@ -107,11 +124,13 @@ __all__ = [
     "arrival_kind_names",
     "autoscaler_names",
     "default_scheme_names",
+    "executor_names",
     "figure_names",
     "figure_result",
     "load_scenario",
     "load_scenarios",
     "make_autoscaler",
+    "make_executor",
     "make_scheduler",
     "make_victim_policy",
     "parse_scenarios",
@@ -120,6 +139,7 @@ __all__ = [
     "scheme_isa",
     "scheme_isa_map",
     "sweep_scenario",
+    "sweep_scenario_report",
     "sweep_variants",
     "validate_run_result",
     "victim_policy_names",

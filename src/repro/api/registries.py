@@ -17,6 +17,10 @@ These are the single source of truth for the names every front-end
 - :data:`PREEMPTION` -- LLM-serving victim policies
   (:mod:`repro.llmserve.preemption` selectors for ``kind: llm``
   scenarios; who gets evicted under KV-cache pressure).
+- :data:`EXECUTORS` -- sweep fan-out backends
+  (:mod:`repro.exec` executors for ``repro sweep --executor`` and
+  scenario ``executor:`` blocks; how independent simulations are
+  dispatched, retried and checkpointed).
 
 Built-ins are registered lazily on first lookup, so importing this
 module costs nothing; third-party policies extend the system with e.g.
@@ -137,6 +141,24 @@ class PreemptionInfo:
         return self.factory()
 
 
+@dataclass(frozen=True)
+class ExecutorInfo:
+    """Registry entry for one sweep fan-out backend.
+
+    ``factory(spec)`` builds a fresh :class:`repro.exec.Executor` from
+    an :class:`repro.exec.ExecSpec`; the spec carries every declarative
+    knob (worker count, timeout, retries, keep-going), so third-party
+    backends plug in with just a name and a constructor.
+    """
+
+    name: str
+    factory: Callable[..., object]
+    description: str = ""
+
+    def make(self, spec: object) -> object:
+        return self.factory(spec)
+
+
 def _load_autoscalers(reg: Registry) -> None:
     from repro.cluster import autoscale
 
@@ -166,11 +188,31 @@ def _load_preemption(reg: Registry) -> None:
         reg.add(name, PreemptionInfo(name, cls, descriptions.get(name, "")))
 
 
+def _load_executors(reg: Registry) -> None:
+    from repro.exec import (
+        LocalQueueExecutor,
+        PoolExecutor,
+        SerialExecutor,
+    )
+
+    entries = (
+        (SerialExecutor,
+         "in-process reference: retries, no parallelism, no timeouts"),
+        (PoolExecutor,
+         "process-pool fan-out with in-worker retries (default)"),
+        (LocalQueueExecutor,
+         "spawn-based crew: per-task timeouts, crash isolation, respawn"),
+    )
+    for cls, description in entries:
+        reg.add(cls.name, ExecutorInfo(cls.name, cls, description))
+
+
 SCHEDULERS = Registry("scheduler scheme", loader=_load_schedulers)
 ARRIVALS = Registry("arrival process", loader=_load_arrivals)
 WORKLOADS = Registry("workload", loader=_load_workloads)
 AUTOSCALERS = Registry("autoscaler policy", loader=_load_autoscalers)
 PREEMPTION = Registry("victim policy", loader=_load_preemption)
+EXECUTORS = Registry("executor backend", loader=_load_executors)
 
 
 # ----------------------------------------------------------------------
@@ -228,6 +270,20 @@ def make_autoscaler(policy: str, **params) -> object:
 
 def autoscaler_names() -> Tuple[str, ...]:
     return AUTOSCALERS.names()
+
+
+def make_executor(spec: object) -> object:
+    """Instantiate a fresh executor for ``spec.backend`` (registry-backed).
+
+    ``spec`` is an :class:`repro.exec.ExecSpec`; the entry's factory
+    receives it whole, so backend-specific knobs stay declarative.
+    """
+    info = EXECUTORS.get(spec.backend)  # type: ignore[attr-defined]
+    return info.make(spec)
+
+
+def executor_names() -> Tuple[str, ...]:
+    return EXECUTORS.names()
 
 
 def make_victim_policy(policy: str) -> object:

@@ -18,10 +18,13 @@ from its serialised spec.
 
 from __future__ import annotations
 
+import dataclasses
 import json
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.api.result import RunResult, base_provenance
+from repro.api.result import RunResult, base_provenance, canonical_digest
 from repro.api.scenario import Scenario, ScenarioChurn, ScenarioTenant
 from repro.errors import ConfigError
 from repro.parallel import parallel_map
@@ -201,6 +204,11 @@ def _run_cluster(scenario: Scenario) -> RunResult:
             else None
         ),
         virtualization=virtualization,
+        executor=(
+            scenario.executor.to_spec()
+            if scenario.executor is not None
+            else None
+        ),
     )
     result = run_cluster_traffic(events, cfg)
     metrics: Dict[str, Any] = {
@@ -262,7 +270,14 @@ def _run_cluster(scenario: Scenario) -> RunResult:
             "pool_num_vfs": dict(virtualization.pool_num_vfs),
             "hypercall_cost_s": virtualization.hypercall_cost_s,
         }
-    return _wrap(scenario, metrics, metadata)
+    wrapped = _wrap(scenario, metrics, metadata)
+    if scenario.executor is not None:
+        # Only stamped when the block is present, so executor-free runs
+        # stay bit-identical to pre-executor releases.
+        wrapped.provenance["executor"] = {
+            "backend": scenario.executor.backend
+        }
+    return wrapped
 
 
 def _to_churn_event(event: ScenarioChurn):
@@ -542,6 +557,13 @@ def sweep_scenario(
         results = sweep_scenario(sc, param="load", values=[0.5, 0.8, 1.1])
         [r.metrics["min_attainment"] for r in results]
     """
+    if scenario.executor is not None:
+        # The declarative executor block routes the sweep through the
+        # repro.exec subsystem (results are bit-identical; see
+        # sweep_scenario_report).
+        return sweep_scenario_report(
+            scenario, param=param, values=values, max_workers=max_workers
+        ).results
     variants = sweep_variants(scenario, param, values)
     for variant in variants:
         variant.validate()  # fail fast, before spawning workers
@@ -566,3 +588,223 @@ def sweep_scenario(
             _run_scenario_payload, payloads, max_workers=max_workers
         )
     return [RunResult.from_dict(r) for r in results]
+
+
+# ----------------------------------------------------------------------
+# Executor-backed sweeps: pluggable fan-out, checkpoints, resume
+# ----------------------------------------------------------------------
+#: Progress callback: ``on_progress(done, total, outcome)`` fires once
+#: per shard in completion order (``outcome`` is a
+#: :class:`repro.exec.TaskOutcome`); ``done`` counts resumed shards too.
+#: A resumed run additionally fires once up front with ``outcome=None``
+#: and ``done`` = the number of shards loaded from the checkpoint.
+ProgressHook = Callable[[int, int, Any], None]
+
+
+@dataclass
+class SweepReport:
+    """Everything an executor-backed sweep settled.
+
+    ``results`` hold the successful points in value order (all of them,
+    unless ``keep_going`` let some fail permanently -- those appear in
+    ``failures`` instead, as structured
+    :class:`repro.exec.TaskFailure`).  ``resumed`` of the ``total``
+    shards were loaded from the checkpoint journal rather than run.
+    """
+
+    results: List[RunResult] = field(default_factory=list)
+    failures: List[Any] = field(default_factory=list)
+    total: int = 0
+    executed: int = 0
+    resumed: int = 0
+    backend: str = "pool"
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _resolve_exec_spec(
+    scenario: Scenario,
+    executor: Optional[str],
+    max_workers: Optional[int],
+    task_timeout_s: Optional[float],
+    keep_going: Optional[bool],
+):
+    """Merge the scenario's ``executor:`` block with call overrides.
+
+    Overrides never touch the scenario itself: the variant digests (and
+    so the checkpoint identity) stay equal across backends, which is
+    what lets one journal serve any of them.
+    """
+    from repro.exec import ExecSpec
+
+    block = scenario.executor
+    spec = block.to_spec() if block is not None else ExecSpec()
+    changes: Dict[str, Any] = {}
+    if executor is not None:
+        changes["backend"] = executor
+    if max_workers is not None:
+        changes["max_workers"] = max_workers
+    if task_timeout_s is not None:
+        changes["task_timeout_s"] = task_timeout_s
+    if keep_going is not None:
+        changes["keep_going"] = keep_going
+    return dataclasses.replace(spec, **changes) if changes else spec
+
+
+def _sweep_identity_digest(
+    scenario: Scenario, param: str, values: Sequence[Any]
+) -> str:
+    """Canonical digest naming *which sweep this is* for the checkpoint
+    manifest: the base scenario plus what is swept.  Deliberately
+    independent of backend, worker count and CLI overrides."""
+    base = scenario.replaced(sweep=None)
+    return canonical_digest(
+        {
+            "base_scenario": base.to_dict(),
+            "param": param,
+            "values": list(values),
+        }
+    )
+
+
+def sweep_scenario_report(
+    scenario: Scenario,
+    param: Optional[str] = None,
+    values: Optional[Sequence[Any]] = None,
+    max_workers: Optional[int] = None,
+    executor: Optional[str] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    keep_going: Optional[bool] = None,
+    task_timeout_s: Optional[float] = None,
+    on_progress: Optional[ProgressHook] = None,
+) -> SweepReport:
+    """Run a sweep through a pluggable, fault-tolerant executor.
+
+    The robust superset of :func:`sweep_scenario`: each sweep point
+    becomes one shard, keyed by its variant scenario's content digest,
+    dispatched through the :data:`repro.api.registries.EXECUTORS`
+    backend chosen by ``executor`` (or the scenario's ``executor:``
+    block; default ``pool``).  With ``checkpoint`` set, every settled
+    shard is journalled to disk as it completes, and ``resume=True``
+    skips shards the journal already holds -- a killed sweep continues
+    where it stopped, and the merged results are bit-identical to an
+    uninterrupted run's (each shard is a deterministic function of its
+    spec).
+
+    ``keep_going`` turns a permanently failed point into a structured
+    entry of ``report.failures`` instead of an
+    :class:`repro.errors.ExecError` abort; ``task_timeout_s`` bounds a
+    single point's wall clock (enforced by the ``local-queue`` backend).
+    Overrides do not modify the scenario, so shard digests -- and the
+    checkpoint identity -- are the same whatever backend runs them.
+
+    Each result's provenance gains an ``executor`` block
+    (``{"backend": name}``) recording how it was dispatched; everything
+    else is byte-identical to :func:`sweep_scenario` output.
+    """
+    from repro.exec import ExecTask, SweepJournal, summarize_failures
+    from repro.api.registries import make_executor
+
+    spec = _resolve_exec_spec(
+        scenario, executor, max_workers, task_timeout_s, keep_going
+    )
+    variants = sweep_variants(scenario, param, values)
+    for variant in variants:
+        variant.validate()  # fail fast, before spawning workers
+    # Recover the effective (param, values) pair for the manifest.
+    block = scenario.sweep
+    eff_param = param if param is not None else block.param  # type: ignore[union-attr]
+    if values is None and block is not None and (
+        param is None or block.param == eff_param
+    ):
+        eff_values: Sequence[Any] = block.values
+    else:
+        eff_values = list(values)  # type: ignore[arg-type]
+
+    shard_keys = [v.digest() for v in variants]
+    journal = None
+    if checkpoint is not None:
+        journal = SweepJournal(
+            checkpoint,
+            _sweep_identity_digest(scenario, eff_param, eff_values),
+            shard_keys,
+            resume=resume,
+        )
+    elif resume:
+        raise ConfigError("--resume needs --checkpoint DIR to resume from")
+
+    report = SweepReport(
+        total=len(variants),
+        resumed=0 if journal is None else sum(
+            1 for key in shard_keys if key in journal.completed
+        ),
+        backend=spec.backend,
+    )
+    try:
+        todo = [
+            (index, key)
+            for index, key in enumerate(shard_keys)
+            if journal is None or key not in journal.completed
+        ]
+        report.executed = len(todo)
+        if resume and on_progress is not None:
+            on_progress(report.resumed, report.total, None)
+        done_box = [report.resumed]
+
+        def _on_complete(outcome) -> None:
+            if journal is not None:
+                if outcome.ok:
+                    journal.record(outcome.key, outcome.value)
+                else:
+                    journal.record_failure(
+                        outcome.key, outcome.failure.to_dict()
+                    )
+            done_box[0] += 1
+            if on_progress is not None:
+                on_progress(done_box[0], report.total, outcome)
+
+        fresh: Dict[str, Any] = {}
+        if todo:
+            tasks = [
+                ExecTask(
+                    key=key,
+                    payload=json.dumps(variants[index].to_dict()),
+                )
+                for index, key in todo
+            ]
+            backend_exec = make_executor(spec)
+            outcomes = backend_exec.map_tasks(
+                _run_scenario_payload, tasks, on_complete=_on_complete
+            )
+            for outcome in outcomes:
+                if outcome.ok:
+                    fresh[outcome.key] = outcome.value
+                else:
+                    report.failures.append(outcome.failure)
+
+        for key in shard_keys:
+            payload = (
+                journal.completed.get(key)
+                if journal is not None and key in journal.completed
+                else fresh.get(key)
+            )
+            if payload is None:
+                continue  # permanently failed under keep_going
+            result = RunResult.from_dict(payload)
+            # Dispatch provenance: stamped at collection (not in the
+            # journal), so a resumed run and an uninterrupted run of the
+            # same backend are bit-identical, and runs on different
+            # backends differ in nothing else.
+            result.provenance["executor"] = {"backend": spec.backend}
+            report.results.append(result)
+    finally:
+        if journal is not None:
+            journal.close()
+    if report.failures and keep_going is not True and not spec.keep_going:
+        # Unreachable via the built-in backends (they raise ExecError
+        # themselves when keep_going is off); guard third-party ones.
+        raise ConfigError(summarize_failures(report.failures))
+    return report

@@ -349,6 +349,76 @@ class ScenarioLlm:
         return tuple(t.to_spec() for t in self.tenants)
 
 
+#: One-line docs per ``executor:`` field, rendered by ``repro list``
+#: and ``tools/gen_docs.py``; a test pins its keys to the
+#: :class:`ScenarioExecutor` fields so they cannot drift.
+EXECUTOR_FIELD_DOCS = {
+    "backend": "EXECUTORS registry entry dispatching sweep points "
+               "(serial, pool, local-queue, or a plugin)",
+    "max_workers": "fan-out width (default: REPRO_PARALLEL_WORKERS "
+                   "or the usable CPU count)",
+    "task_timeout_s": "per-task wall-clock limit; enforced by "
+                      "local-queue, warned-and-ignored elsewhere",
+    "retries": "extra attempts after a failed/timed-out/crashed task "
+               "(default 2)",
+    "retry_backoff_s": "base delay before attempt k, doubled each "
+                       "retry (local-queue)",
+    "keep_going": "record permanently failed points as structured "
+                  "failures instead of aborting the sweep",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioExecutor:
+    """Declarative ``executor:`` block: how a sweep is fanned out.
+
+    ``backend`` names an entry of
+    :data:`repro.api.registries.EXECUTORS`; the remaining fields mirror
+    :class:`repro.exec.ExecSpec` (worker count, per-task timeout,
+    bounded retries with backoff, per-item fault isolation).  The block
+    configures *dispatch only* -- simulations are deterministic
+    functions of their spec, so results are bit-identical across
+    backends, worker counts and resumes.  Omitting the block keeps
+    sweeps on the legacy in-process path, bit-identical to releases
+    without executors.
+    """
+
+    backend: str = "pool"
+    max_workers: Optional[int] = None
+    task_timeout_s: Optional[float] = None
+    retries: Optional[int] = None
+    retry_backoff_s: Optional[float] = None
+    keep_going: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.backend:
+            raise ConfigError("executor block needs a backend name")
+        # Delegate range checking to the exec-layer spec so the two
+        # descriptions cannot drift apart.
+        self.to_spec()
+
+    def to_spec(self):
+        from repro.exec import DEFAULT_BACKOFF_S, DEFAULT_RETRIES, ExecSpec
+
+        return ExecSpec(
+            backend=self.backend,
+            max_workers=self.max_workers,
+            task_timeout_s=self.task_timeout_s,
+            retries=DEFAULT_RETRIES if self.retries is None else self.retries,
+            retry_backoff_s=(
+                DEFAULT_BACKOFF_S
+                if self.retry_backoff_s is None
+                else self.retry_backoff_s
+            ),
+            keep_going=self.keep_going,
+        )
+
+    def make(self):
+        from repro.api.registries import make_executor
+
+        return make_executor(self.to_spec())
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """Declarative sweep: vary one scenario field over several values."""
@@ -390,6 +460,10 @@ class Scenario:
     - ``llm``: the ``llm`` block (tenants, token budgets, preemption),
       plus ``arrival``, ``load``, ``duration_s``, ``drain``;
     - ``figure``: ``figure`` (the experiment name) and ``params``.
+
+    Any kind may carry an ``executor`` block choosing how its sweep (or
+    a cluster's host-segment fan-out) is dispatched; results never
+    depend on it.
 
     Example::
 
@@ -433,6 +507,9 @@ class Scenario:
     virtualization: Optional[ScenarioVirtualization] = None
     #: Continuous-batching LLM serving block (llm kind only).
     llm: Optional[ScenarioLlm] = None
+    #: Sweep fan-out backend (None = legacy in-process sweep path,
+    #: bit-identical to pre-executor runs; results never depend on it).
+    executor: Optional[ScenarioExecutor] = None
     #: Figure experiment name (kind == "figure").
     figure: Optional[str] = None
     #: Extra keyword parameters for the figure runner.
@@ -524,6 +601,8 @@ class Scenario:
         from repro.api import registries
         from repro.workloads.catalog import model_info
 
+        if self.executor is not None:
+            registries.EXECUTORS.get(self.executor.backend)
         if self.kind == "figure":
             from repro.api.figures import FIGURES
 
@@ -627,6 +706,10 @@ class Scenario:
                 for t in self.llm.tenants
             ]
             out["llm"] = block
+        if self.executor is not None:
+            out["executor"] = _nondefault_dict(self.executor) | {
+                "backend": self.executor.backend
+            }
         if self.hardware:
             out["hardware"] = dict(self.hardware)
         if self.params:
@@ -695,6 +778,12 @@ class Scenario:
                     f"known: {sorted(known_llm)}"
                 )
             llm = ScenarioLlm(tenants=llm_tenants, **llm_data)
+        executor_raw = data.pop("executor", None)
+        executor = (
+            _from_mapping(ScenarioExecutor, dict(executor_raw), "executor")
+            if executor_raw is not None
+            else None
+        )
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -708,7 +797,8 @@ class Scenario:
         return cls(
             tenants=tenants, churn=churn, sweep=sweep,
             pools=pools, autoscaler=autoscaler,
-            virtualization=virtualization, llm=llm, **data,
+            virtualization=virtualization, llm=llm, executor=executor,
+            **data,
         )
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -182,7 +182,11 @@ def _parse_value(raw: str) -> Any:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.api import load_scenario, sweep_scenario
+    from repro.api import (
+        load_scenario,
+        sweep_scenario,
+        sweep_scenario_report,
+    )
 
     scenario = load_scenario(args.scenario_file, name=args.scenario)
     values = (
@@ -190,10 +194,61 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.values is not None
         else None
     )
-    results = sweep_scenario(
-        scenario, param=args.param, values=values, max_workers=args.workers
+    executor_requested = (
+        args.executor is not None
+        or args.checkpoint is not None
+        or args.resume
+        or args.keep_going
+        or args.task_timeout is not None
+        or scenario.executor is not None
     )
-    _emit(results, args.json, args.output)
+    if not executor_requested:
+        # Bit-identical legacy path: no executor asked for anywhere.
+        results = sweep_scenario(
+            scenario, param=args.param, values=values,
+            max_workers=args.workers,
+        )
+        _emit(results, args.json, args.output)
+        return 0
+
+    progress = args.progress if args.progress is not None else not args.json
+
+    def on_progress(done: int, total: int, outcome) -> None:
+        if not progress:
+            return
+        if outcome is None:
+            print(f"  resuming {done}/{total} shard(s) from checkpoint",
+                  file=sys.stderr)
+            return
+        if outcome.ok:
+            status = "ok"
+        else:
+            status = f"FAILED ({outcome.failure.error_type})"
+        print(f"  [{done}/{total}] shard {outcome.key[:12]} {status} "
+              f"(attempt {outcome.attempts})", file=sys.stderr)
+
+    report = sweep_scenario_report(
+        scenario, param=args.param, values=values,
+        max_workers=args.workers,
+        executor=args.executor,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        keep_going=True if args.keep_going else None,
+        task_timeout_s=args.task_timeout,
+        on_progress=on_progress,
+    )
+    if progress:
+        print(f"  sweep done: {len(report.results)}/{report.total} "
+              f"point(s) ({report.resumed} resumed) "
+              f"via {report.backend}", file=sys.stderr)
+    _emit(report.results, args.json, args.output)
+    if report.failures:
+        for failure in report.failures:
+            print(f"sweep point failed: {failure.describe()}",
+                  file=sys.stderr)
+        print(f"{len(report.failures)} sweep point(s) failed permanently "
+              f"(of {report.total})", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -204,6 +259,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
     from repro.api import (
         ARRIVALS,
         AUTOSCALERS,
+        EXECUTORS,
+        EXECUTOR_FIELD_DOCS,
         FIGURES,
         LLM_FIELD_DOCS,
         PREEMPTION,
@@ -233,9 +290,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
             "preemption_policies": {
                 name: info.description for name, info in PREEMPTION.items()
             },
+            "executors": {
+                name: info.description for name, info in EXECUTORS.items()
+            },
             "scenario_kinds": list(SCENARIO_KINDS),
             "virtualization": VIRTUALIZATION_FIELD_DOCS,
             "llm": LLM_FIELD_DOCS,
+            "executor": EXECUTOR_FIELD_DOCS,
         }, indent=2))
         return 0
     print("Scenario kinds (for `repro run <file.yaml>`):")
@@ -265,6 +326,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  {name:20s} {info.description}")
     print("LLM serving (llm scenarios, `llm:` block):")
     for field_name, blurb in LLM_FIELD_DOCS.items():
+        print(f"  {field_name:20s} {blurb}")
+    print("Executor backends (sweeps, `executor:` block or "
+          "`sweep --executor`):")
+    for name, info in EXECUTORS.items():
+        print(f"  {name:20s} {info.description}")
+    print("Executor block fields (`executor:` block):")
+    for field_name, blurb in EXECUTOR_FIELD_DOCS.items():
         print(f"  {field_name:20s} {blurb}")
     print("Legacy: traffic  (open-loop flags; prefer `run` with an "
           "open_loop scenario)")
@@ -479,7 +547,11 @@ def _build_parser() -> argparse.ArgumentParser:
             " --param scheme --values pmt,neu10\n"
             "  repro sweep examples/scenarios/smoke.yaml"
             " --param hardware.num_mes --values 2,4,8 --json\n"
-            "without --param/--values the file's `sweep:` block is used"
+            "  repro sweep smoke.yaml --executor local-queue"
+            " --checkpoint /tmp/ck --task-timeout 120\n"
+            "  repro sweep smoke.yaml --checkpoint /tmp/ck --resume\n"
+            "without --param/--values the file's `sweep:` block is used;\n"
+            "executors, checkpoints and resume: docs/sweeps.md"
         ),
     )
     p_sweep.add_argument("scenario_file")
@@ -491,6 +563,33 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="comma-separated values (JSON literals)")
     p_sweep.add_argument("--workers", type=int, default=None,
                          help="process-pool width (default: auto)")
+    p_sweep.add_argument("--executor", default=None,
+                         help="fan-out backend from the EXECUTORS registry "
+                              "(serial, pool, local-queue); default: the "
+                              "scenario's `executor:` block, else the "
+                              "legacy in-process path")
+    p_sweep.add_argument("--checkpoint", default=None, metavar="DIR",
+                         help="journal completed sweep points to DIR as "
+                              "they finish (crash-safe, append-only)")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="skip points already journalled in "
+                              "--checkpoint DIR; results are bit-identical "
+                              "to an uninterrupted run")
+    p_sweep.add_argument("--keep-going", action="store_true",
+                         help="record permanently failed points as "
+                              "structured failures (exit 1) instead of "
+                              "aborting the sweep")
+    p_sweep.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-point wall-clock limit; enforced by the "
+                              "local-queue backend (kill + retry)")
+    p_sweep.add_argument("--progress", action="store_true", default=None,
+                         help="per-shard completion ticks on stderr "
+                              "(default: on for executor sweeps unless "
+                              "--json)")
+    p_sweep.add_argument("--no-progress", dest="progress",
+                         action="store_false",
+                         help="suppress the progress ticks")
     add_io_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 

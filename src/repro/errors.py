@@ -42,6 +42,10 @@ class SchedulerError(SimulationError):
     """A scheduling policy violated one of its invariants."""
 
 
+class ExecError(Neu10Error):
+    """A fan-out executor task failed permanently (retries exhausted)."""
+
+
 class VirtualizationError(Neu10Error):
     """Control-plane failure in the hypervisor/driver substrate."""
 

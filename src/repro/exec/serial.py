@@ -1,0 +1,81 @@
+"""The in-process executor: the determinism reference.
+
+Runs every task in the calling process, one at a time, in task order.
+No isolation from worker death (there are no workers) and no timeout
+enforcement -- what it *does* share with the robust backends is the
+retry loop and the per-item failure accounting, so ``serial`` is both
+the debugging backend (exceptions carry full local tracebacks under a
+debugger) and the reference every other backend's merged output must
+reproduce bit for bit.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.exec.base import (
+    CompletionHook,
+    ExecTask,
+    Executor,
+    TaskOutcome,
+    failure_from_exception,
+)
+
+
+def _warn_timeout_unenforced(backend: str) -> None:
+    warnings.warn(
+        f"executor backend {backend!r} cannot enforce task_timeout_s "
+        "(it cannot kill its worker); use the local-queue backend for "
+        "timeout enforcement",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+class SerialExecutor(Executor):
+    """In-process execution with retries and per-item fault isolation."""
+
+    name = "serial"
+
+    def map_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[ExecTask],
+        on_complete: Optional[CompletionHook] = None,
+    ) -> List[TaskOutcome]:
+        if self.spec.task_timeout_s is not None:
+            _warn_timeout_unenforced(self.name)
+        outcomes: List[TaskOutcome] = []
+        for index, task in enumerate(tasks):
+            outcome = self._run_one(fn, task, index)
+            outcomes.append(outcome)
+            self._settle(outcome, on_complete)
+        return outcomes
+
+    def _run_one(
+        self, fn: Callable[[Any], Any], task: ExecTask, index: int
+    ) -> TaskOutcome:
+        last_exc: Optional[BaseException] = None
+        for attempt in range(1, self.spec.max_attempts + 1):
+            delay = self.spec.backoff_before(attempt)
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                value = fn(task.payload)
+            except Exception as exc:  # noqa: BLE001 - isolation is the point
+                last_exc = exc
+                continue
+            return TaskOutcome(
+                key=task.key, index=index, value=value, attempts=attempt
+            )
+        assert last_exc is not None
+        return TaskOutcome(
+            key=task.key,
+            index=index,
+            failure=failure_from_exception(
+                task, index, last_exc, self.spec.max_attempts
+            ),
+            attempts=self.spec.max_attempts,
+        )

@@ -1,0 +1,92 @@
+"""Deterministic misbehaving tasks for exercising executors.
+
+Retry, timeout and crash handling are impossible to test with
+well-behaved functions, and test-local lambdas cannot cross a ``spawn``
+boundary -- so the library ships its chaos monkeys.  Each task here is
+a module-level function (picklable into any backend's workers) whose
+misbehaviour is a *deterministic* function of its payload plus a
+scratch directory used as cross-process attempt memory:
+
+- :func:`flaky_task` fails its first ``fail_times`` attempts, then
+  succeeds -- the deterministic flaky task for retry tests;
+- :func:`sleepy_task` sleeps forever (or a set time) on chosen
+  attempts -- for timeout enforcement tests;
+- :func:`crashing_task` dies via ``os._exit`` on chosen attempts -- a
+  worker death no ``except`` can catch, for fault-isolation tests;
+- :func:`echo_task` just returns its payload -- the happy path.
+
+Payloads are plain dicts so every backend (and its pickling) sees the
+same bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict
+
+
+def _attempt_number(scratch_dir: str, key: str) -> int:
+    """Record this attempt in ``scratch_dir`` and return its 1-based
+    number.  Marker files survive worker death, unlike worker memory."""
+    root = Path(scratch_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    for attempt in range(1, 10_000):
+        marker = root / f"{key}.attempt{attempt}"
+        try:
+            marker.touch(exist_ok=False)
+        except FileExistsError:
+            continue
+        return attempt
+    raise RuntimeError("attempt marker space exhausted")
+
+
+def echo_task(payload: Any) -> Any:
+    """Return the payload unchanged (the happy path)."""
+    return payload
+
+
+def flaky_task(payload: Dict[str, Any]) -> Any:
+    """Fail the first ``payload['fail_times']`` attempts, then return
+    ``payload['value']``.
+
+    Payload keys: ``scratch`` (attempt-memory dir), ``key`` (task id),
+    ``fail_times``, ``value``.
+    """
+    attempt = _attempt_number(payload["scratch"], payload["key"])
+    if attempt <= payload["fail_times"]:
+        raise RuntimeError(
+            f"deterministic flake {payload['key']} (attempt {attempt})"
+        )
+    return payload["value"]
+
+
+def sleepy_task(payload: Dict[str, Any]) -> Any:
+    """Sleep ``payload['sleep_s']`` on the first ``payload['slow_times']``
+    attempts (default: every attempt), then return ``payload['value']``.
+
+    Use a ``sleep_s`` far above the executor's ``task_timeout_s`` to
+    force timeout kills, with ``slow_times`` bounding how many attempts
+    get stuck.
+    """
+    slow_times = payload.get("slow_times")
+    if slow_times is not None:
+        attempt = _attempt_number(payload["scratch"], payload["key"])
+        if attempt > slow_times:
+            return payload["value"]
+    time.sleep(payload["sleep_s"])
+    return payload["value"]
+
+
+def crashing_task(payload: Dict[str, Any]) -> Any:
+    """Kill the worker process outright (``os._exit``) on the first
+    ``payload['crash_times']`` attempts, then return ``payload['value']``.
+
+    ``os._exit`` skips every handler and ``finally`` -- the closest
+    in-process stand-in for a segfault or OOM kill.
+    """
+    attempt = _attempt_number(payload["scratch"], payload["key"])
+    if attempt <= payload["crash_times"]:
+        os._exit(19)
+    return payload["value"]

@@ -11,14 +11,16 @@ so results are bit-identical for any worker count.
 
 Workers default to the machine's CPU count; override with the
 ``REPRO_PARALLEL_WORKERS`` environment variable (``1`` forces serial
-execution, which is also the fallback whenever a pool cannot be
-spawned).  Job functions and their arguments must be picklable --
+execution, which is also the fallback -- announced once via
+:mod:`warnings` -- whenever a pool cannot be spawned).  Job functions
+and their arguments must be picklable --
 module-level functions with plain-data arguments.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
@@ -29,6 +31,29 @@ R = TypeVar("R")
 
 #: Environment override for the default pool size.
 WORKERS_ENV = "REPRO_PARALLEL_WORKERS"
+
+_pool_fallback_warned = False
+
+
+def warn_pool_fallback(cause: BaseException) -> None:
+    """One-time warning that a process pool could not be spawned.
+
+    Falling back to serial execution keeps results bit-identical (the
+    one-worker path is the reference), but silently losing all
+    parallelism turns a 5-minute sweep into an hour-long one with no
+    explanation -- so the first degraded map names its cause.
+    """
+    global _pool_fallback_warned
+    if _pool_fallback_warned:
+        return
+    _pool_fallback_warned = True
+    warnings.warn(
+        "process pool unavailable "
+        f"({type(cause).__name__}: {cause}); falling back to serial "
+        "execution (results are unchanged, wall time is not)",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 def default_workers() -> int:
@@ -81,7 +106,8 @@ def parallel_map(
         return [fn(job) for job in jobs]
     try:
         pool = ProcessPoolExecutor(max_workers=min(workers, len(jobs)))
-    except OSError:  # pragma: no cover - constrained sandboxes
+    except OSError as exc:  # pragma: no cover - constrained sandboxes
+        warn_pool_fallback(exc)
         return [fn(job) for job in jobs]
     try:
         futures = [pool.submit(fn, job) for job in jobs]

@@ -142,6 +142,12 @@ class ClusterTrafficConfig:
     #: free hypercalls, no control-plane telemetry on the result --
     #: the exact pre-virtualization code path).
     virtualization: Optional[VirtualizationSpec] = None
+    #: Fan host segments out through a :mod:`repro.exec` backend
+    #: (an :class:`repro.exec.ExecSpec`; None = the plain
+    #: ``parallel_map`` path, bit-identical to pre-executor releases).
+    #: ``keep_going`` is coerced off: host segments are partial products
+    #: of one simulation, so a dropped segment must abort, not skew.
+    executor: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.num_hosts < 1 or self.cores_per_host < 1:
@@ -329,6 +335,51 @@ def _simulate_host_segment_batch(
         _finalize_host_segment(job, result)
         for job, result in zip(jobs, results)
     ]
+
+
+def _executor_fan_out(
+    jobs: Sequence[_HostSegmentJob], cfg: "ClusterTrafficConfig"
+) -> List[Tuple[str, float, float, float, List[Tuple[str, SloReport]]]]:
+    """Fan one segment's host jobs out through a ``repro.exec`` backend.
+
+    Mirrors the ``parallel_map`` branch exactly (same mega-batch
+    chunking, same merge order), adding the executor's retry/timeout
+    robustness.  ``keep_going`` is coerced off: unlike sweep points,
+    host segments are partial products of one simulation -- silently
+    dropping one would skew cluster metrics rather than shrink a result
+    list -- so a permanently failed segment aborts the run with
+    :class:`repro.errors.ExecError`.
+    """
+    import dataclasses
+
+    from repro.api.registries import make_executor
+    from repro.exec import ExecTask
+
+    spec = cfg.executor
+    changes = {}
+    if spec.keep_going:
+        changes["keep_going"] = False
+    if spec.max_workers is None and cfg.max_workers is not None:
+        changes["max_workers"] = cfg.max_workers
+    if changes:
+        spec = dataclasses.replace(spec, **changes)
+    executor = make_executor(spec)
+    if megabatch_default() and len(jobs) > 1:
+        chunks = [
+            jobs[i : i + _SEGMENT_BATCH]
+            for i in range(0, len(jobs), _SEGMENT_BATCH)
+        ]
+        tasks = [
+            ExecTask(key=f"chunk-{i}-{chunk[0].host_name}", payload=chunk)
+            for i, chunk in enumerate(chunks)
+        ]
+        outcomes = executor.map_tasks(_simulate_host_segment_batch, tasks)
+        return [item for o in outcomes for item in o.value]
+    tasks = [
+        ExecTask(key=f"host-{job.host_name}", payload=job) for job in jobs
+    ]
+    outcomes = executor.map_tasks(_simulate_host_segment, tasks)
+    return [o.value for o in outcomes]
 
 
 def _segment_boundaries(
@@ -827,7 +878,9 @@ def run_cluster_traffic(
         # merge in deterministic host order.  The mega-batch path
         # co-steps each chunk's hosts through one engine per worker;
         # REPRO_SIM_MEGABATCH=0 restores the one-sim-per-job fan-out.
-        if megabatch_default() and len(jobs) > 1:
+        if cfg.executor is not None and len(jobs) > 0:
+            outcomes = _executor_fan_out(jobs, cfg)
+        elif megabatch_default() and len(jobs) > 1:
             chunks = [
                 jobs[i : i + _SEGMENT_BATCH]
                 for i in range(0, len(jobs), _SEGMENT_BATCH)

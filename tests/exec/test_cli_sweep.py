@@ -1,0 +1,118 @@
+"""CLI surface of executor sweeps: flags, progress, failure accounting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+
+TINY = {
+    "name": "tiny",
+    "kind": "open_loop",
+    "scheme": "neu10",
+    "duration_s": 0.0004,
+    "load": 0.8,
+    "seed": 7,
+    "tenants": [{"model": "MNIST", "batch": 8}],
+    "sweep": {"param": "load", "values": [0.5, 1.0]},
+}
+
+
+@pytest.fixture
+def tiny_file(tmp_path):
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(TINY), encoding="utf-8")
+    return str(path)
+
+
+def test_sweep_executor_flag_json(tiny_file, capsys):
+    assert cli_main(["sweep", tiny_file, "--executor", "serial",
+                     "--json"]) == 0
+    captured = capsys.readouterr()
+    payload = json.loads(captured.out)
+    assert len(payload) == 2
+    assert all(
+        r["provenance"]["executor"] == {"backend": "serial"}
+        for r in payload
+    )
+    # --json suppresses the progress ticks by default.
+    assert "shard" not in captured.err
+
+
+def test_sweep_progress_ticks_on_stderr(tiny_file, capsys):
+    assert cli_main(["sweep", tiny_file, "--executor", "serial"]) == 0
+    err = capsys.readouterr().err
+    assert "[1/2] shard" in err and "[2/2] shard" in err
+    assert "sweep done: 2/2" in err
+
+
+def test_sweep_no_progress_flag(tiny_file, capsys):
+    assert cli_main(["sweep", tiny_file, "--executor", "serial",
+                     "--no-progress"]) == 0
+    assert "shard" not in capsys.readouterr().err
+
+
+def test_sweep_checkpoint_resume_cycle(tiny_file, tmp_path, capsys):
+    ck = str(tmp_path / "ck")
+    assert cli_main(["sweep", tiny_file, "--executor", "serial",
+                     "--checkpoint", ck, "--json"]) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert cli_main(["sweep", tiny_file, "--checkpoint", ck,
+                     "--resume", "--json"]) == 0
+    captured = capsys.readouterr()
+    again = json.loads(captured.out)
+    # Resume skipped everything; results differ only in the executor
+    # stamp (the resume run defaulted to the pool backend).
+    for a, b in zip(again, first):
+        assert a["provenance"].pop("executor") == {"backend": "pool"}
+        assert b["provenance"].pop("executor") == {"backend": "serial"}
+        assert a == b
+
+
+def test_sweep_fresh_checkpoint_refuses_old_journal(tiny_file, tmp_path,
+                                                    capsys):
+    ck = str(tmp_path / "ck")
+    assert cli_main(["sweep", tiny_file, "--executor", "serial",
+                     "--checkpoint", ck]) == 0
+    capsys.readouterr()
+    assert cli_main(["sweep", tiny_file, "--executor", "serial",
+                     "--checkpoint", ck]) == 1
+    assert "--resume" in capsys.readouterr().err
+
+
+def test_sweep_keep_going_exit_code_and_summary(tiny_file, capsys):
+    # "trace" validates (registered arrival) but fails in the worker.
+    code = cli_main(["sweep", tiny_file, "--executor", "serial",
+                     "--param", "arrival", "--values", "poisson,trace",
+                     "--keep-going", "--json"])
+    captured = capsys.readouterr()
+    assert code == 1
+    payload = json.loads(captured.out)
+    assert payload["metadata"]["arrival"] == "poisson"
+    assert "1 sweep point(s) failed permanently (of 2)" in captured.err
+    assert "sweep point failed:" in captured.err
+
+
+def test_sweep_without_keep_going_aborts(tiny_file, capsys):
+    code = cli_main(["sweep", tiny_file, "--executor", "serial",
+                     "--param", "arrival", "--values", "poisson,trace"])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_list_documents_executors(capsys):
+    assert cli_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Executor backends" in out
+    assert "local-queue" in out and "serial" in out and "pool" in out
+    assert "task_timeout_s" in out
+
+
+def test_list_json_documents_executors(capsys):
+    assert cli_main(["list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["executors"]) >= {"serial", "pool", "local-queue"}
+    assert "backend" in payload["executor"]
+    assert "keep_going" in payload["executor"]

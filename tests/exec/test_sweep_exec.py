@@ -1,0 +1,265 @@
+"""Executor-backed sweeps: bit-identical results, checkpoints, resume."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    EXECUTOR_FIELD_DOCS,
+    EXECUTORS,
+    Scenario,
+    ScenarioChurn,
+    ScenarioExecutor,
+    ScenarioTenant,
+    run_scenario,
+    sweep_scenario,
+    sweep_scenario_report,
+)
+from repro.errors import ConfigError
+
+BACKENDS = ("serial", "pool", "local-queue")
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return Scenario(
+        name="tiny", kind="open_loop", scheme="neu10",
+        tenants=(ScenarioTenant(model="MNIST", batch=8),),
+        load=0.8, duration_s=0.0004, seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tiny):
+    """The legacy sweep path's results (the bit-identity reference)."""
+    return [
+        r.to_dict()
+        for r in sweep_scenario(
+            tiny, param="load", values=[0.5, 0.9], max_workers=1
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# Differential: every backend == the legacy sweep, modulo provenance
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backend_matches_legacy_sweep(tiny, reference, backend):
+    report = sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9], executor=backend,
+        max_workers=2,
+    )
+    assert report.ok
+    assert report.backend == backend
+    assert (report.total, report.executed, report.resumed) == (2, 2, 0)
+    for got, want in zip(
+        [r.to_dict() for r in report.results], reference
+    ):
+        assert got["provenance"].pop("executor") == {"backend": backend}
+        assert got == want
+
+
+def test_sweep_scenario_routes_executor_block(tiny, reference):
+    routed = tiny.replaced(executor=ScenarioExecutor(backend="serial"))
+    results = sweep_scenario(routed, param="load", values=[0.5, 0.9])
+    assert [r.provenance["executor"] for r in results] == [
+        {"backend": "serial"}
+    ] * 2
+    # The executor block changes the spec (and so its digest) but must
+    # never change the simulated metrics.
+    assert [r.metrics for r in results] == [r["metrics"] for r in reference]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint + resume
+# ----------------------------------------------------------------------
+def test_checkpoint_then_full_resume_is_bit_identical(tiny, tmp_path):
+    ck = tmp_path / "ck"
+    first = sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9], executor="serial",
+        checkpoint=ck,
+    )
+    again = sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9], executor="serial",
+        checkpoint=ck, resume=True,
+    )
+    assert (again.resumed, again.executed) == (2, 0)
+    assert [r.to_dict() for r in again.results] == [
+        r.to_dict() for r in first.results
+    ]
+
+
+def test_partial_journal_resume_runs_only_missing(tiny, tmp_path):
+    ck = tmp_path / "ck"
+    full = sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9, 1.1], executor="serial",
+        checkpoint=ck,
+    )
+    # Drop the journal's tail line: the third shard becomes not-done.
+    journal = ck / "journal.jsonl"
+    lines = journal.read_text().splitlines()
+    journal.write_text("\n".join(lines[:2]) + "\n")
+    resumed = sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9, 1.1], executor="serial",
+        checkpoint=ck, resume=True,
+    )
+    assert (resumed.resumed, resumed.executed) == (2, 1)
+    assert [r.to_dict() for r in resumed.results] == [
+        r.to_dict() for r in full.results
+    ]
+
+
+def test_resume_across_backends_is_bit_identical(tiny, tmp_path):
+    ck = tmp_path / "ck"
+    sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9], executor="pool",
+        checkpoint=ck, max_workers=2,
+    )
+    resumed = sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9], executor="local-queue",
+        checkpoint=ck, resume=True,
+    )
+    one_shot = sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9], executor="local-queue",
+    )
+    assert resumed.executed == 0
+    assert [r.to_dict() for r in resumed.results] == [
+        r.to_dict() for r in one_shot.results
+    ]
+
+
+def test_resume_without_checkpoint_rejected(tiny):
+    with pytest.raises(ConfigError, match="--checkpoint"):
+        sweep_scenario_report(
+            tiny, param="load", values=[0.5], executor="serial",
+            resume=True,
+        )
+
+
+def test_checkpoint_guards_against_foreign_sweep(tiny, tmp_path):
+    ck = tmp_path / "ck"
+    sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9], executor="serial",
+        checkpoint=ck,
+    )
+    with pytest.raises(ConfigError, match="different\\s+sweep"):
+        sweep_scenario_report(
+            tiny, param="load", values=[0.5, 1.3], executor="serial",
+            checkpoint=ck, resume=True,
+        )
+
+
+def test_progress_hook_sees_every_shard(tiny, tmp_path):
+    ticks = []
+    sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9], executor="serial",
+        checkpoint=tmp_path / "ck",
+        on_progress=lambda done, total, outcome: ticks.append(
+            (done, total, None if outcome is None else outcome.ok)
+        ),
+    )
+    assert ticks == [(1, 2, True), (2, 2, True)]
+    ticks.clear()
+    sweep_scenario_report(
+        tiny, param="load", values=[0.5, 0.9], executor="serial",
+        checkpoint=tmp_path / "ck", resume=True,
+        on_progress=lambda done, total, outcome: ticks.append(
+            (done, total, None if outcome is None else outcome.ok)
+        ),
+    )
+    # One up-front resume tick (outcome None), nothing left to run.
+    assert ticks == [(2, 2, None)]
+
+
+# ----------------------------------------------------------------------
+# keep_going failure accounting
+# ----------------------------------------------------------------------
+def test_keep_going_isolates_failed_points(tiny):
+    # "trace" passes validation (it is a registered arrival kind) but
+    # fails inside the worker: replaying a trace needs timestamps.
+    report = sweep_scenario_report(
+        tiny, param="arrival", values=["poisson", "trace"],
+        executor="serial", keep_going=True,
+    )
+    assert len(report.results) == 1
+    assert len(report.failures) == 1
+    assert report.failures[0].error_type == "ConfigError"
+    assert report.results[0].metadata["arrival"] == "poisson"
+
+
+def test_failed_point_aborts_without_keep_going(tiny):
+    from repro.errors import ExecError
+
+    with pytest.raises(ExecError):
+        sweep_scenario_report(
+            tiny, param="arrival", values=["poisson", "trace"],
+            executor="serial",
+        )
+
+
+# ----------------------------------------------------------------------
+# Scenario surface
+# ----------------------------------------------------------------------
+def test_executor_block_round_trips(tiny):
+    sc = tiny.replaced(
+        executor=ScenarioExecutor(
+            backend="local-queue", max_workers=3, task_timeout_s=10.0,
+            retries=1, keep_going=True,
+        )
+    )
+    assert Scenario.from_dict(json.loads(sc.to_json())) == sc
+    payload = sc.to_dict()["executor"]
+    assert payload["backend"] == "local-queue"
+    assert payload["task_timeout_s"] == 10.0
+
+
+def test_executor_block_defaults_omitted_from_dict(tiny):
+    assert "executor" not in tiny.to_dict()
+    sc = tiny.replaced(executor=ScenarioExecutor())
+    assert sc.to_dict()["executor"] == {"backend": "pool"}
+
+
+def test_unknown_backend_rejected_by_validate(tiny):
+    sc = tiny.replaced(executor=ScenarioExecutor(backend="nope"))
+    with pytest.raises(ConfigError, match="nope"):
+        sc.validate()
+
+
+def test_executor_field_docs_pinned_to_fields():
+    fields = {f.name for f in dataclasses.fields(ScenarioExecutor)}
+    assert set(EXECUTOR_FIELD_DOCS) == fields
+
+
+def test_registry_lists_builtin_backends():
+    assert set(BACKENDS) <= set(EXECUTORS.names())
+
+
+# ----------------------------------------------------------------------
+# Cluster fan-out
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cluster():
+    return Scenario(
+        name="cl", kind="cluster", scheme="neu10", hosts=2,
+        duration_s=0.0008, load=0.5,
+        churn=(
+            ScenarioChurn(time_s=0.0, action="arrive", name="a",
+                          model="MNIST"),
+            ScenarioChurn(time_s=0.0, action="arrive", name="b",
+                          model="DLRM"),
+        ),
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cluster_executor_metrics_identical(cluster, backend):
+    want = run_scenario(cluster).to_dict()
+    got = run_scenario(
+        cluster.replaced(executor=ScenarioExecutor(backend=backend))
+    ).to_dict()
+    assert got["provenance"].pop("executor") == {"backend": backend}
+    assert got["metrics"] == want["metrics"]
+    assert got["metadata"] == want["metadata"]

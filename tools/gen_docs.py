@@ -38,8 +38,9 @@ reports, so it cannot drift from the code.  Third-party plugins
 registered at runtime extend these tables without any documentation
 edit -- see [architecture.md](architecture.md) for how the registries
 fit together, [autoscaling.md](autoscaling.md) for the autoscaler
-how-to and [llm-serving.md](llm-serving.md) for the LLM serving
-subsystem.
+how-to, [llm-serving.md](llm-serving.md) for the LLM serving
+subsystem and [sweeps.md](sweeps.md) for checkpointed, fault-tolerant
+sweeps.
 """
 
 
@@ -159,6 +160,30 @@ def generate() -> str:
     lines.extend(_table(
         ("field", "meaning"),
         [(name, blurb) for name, blurb in LLM_FIELD_DOCS.items()],
+    ))
+
+    from repro.api import EXECUTOR_FIELD_DOCS, EXECUTORS
+
+    lines.append("\n## Executor backends (`executor.backend`, "
+                 "`sweep --executor`)\n")
+    lines.append("Sweeps and cluster host fan-out run through a "
+                 "pluggable executor (`repro.exec`); the backend only "
+                 "changes *how* points run (parallelism, timeouts, crash "
+                 "isolation), never the simulated results (see "
+                 "[sweeps.md](sweeps.md)):\n")
+    lines.extend(_table(
+        ("name", "description"),
+        [(name, info.description) for name, info in EXECUTORS.items()],
+    ))
+
+    lines.append("\n## Executor block (`executor:`)\n")
+    lines.append("Any scenario kind may carry an `executor:` block; "
+                 "`repro sweep` flags (`--executor`, `--task-timeout`, "
+                 "`--keep-going`, `--workers`) override it per "
+                 "invocation without changing the scenario's digest:\n")
+    lines.extend(_table(
+        ("field", "meaning"),
+        [(name, blurb) for name, blurb in EXECUTOR_FIELD_DOCS.items()],
     ))
 
     lines.append("")
