@@ -69,6 +69,7 @@ from repro.api.runner import (
 )
 from repro.api.scenario import (
     EXECUTOR_FIELD_DOCS,
+    FAULT_FIELD_DOCS,
     LLM_FIELD_DOCS,
     SCENARIO_KINDS,
     VIRTUALIZATION_FIELD_DOCS,
@@ -76,6 +77,7 @@ from repro.api.scenario import (
     ScenarioAutoscaler,
     ScenarioChurn,
     ScenarioExecutor,
+    ScenarioFault,
     ScenarioLlm,
     ScenarioLlmTenant,
     ScenarioPool,
@@ -96,6 +98,7 @@ __all__ = [
     "EXECUTORS",
     "EXECUTOR_FIELD_DOCS",
     "ExecutorInfo",
+    "FAULT_FIELD_DOCS",
     "FIGURES",
     "FigureInfo",
     "LLM_FIELD_DOCS",
@@ -110,6 +113,7 @@ __all__ = [
     "ScenarioAutoscaler",
     "ScenarioChurn",
     "ScenarioExecutor",
+    "ScenarioFault",
     "ScenarioLlm",
     "ScenarioLlmTenant",
     "ScenarioPool",

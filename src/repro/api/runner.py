@@ -209,6 +209,7 @@ def _run_cluster(scenario: Scenario) -> RunResult:
             if scenario.executor is not None
             else None
         ),
+        faults=tuple(f.to_spec() for f in scenario.faults),
     )
     result = run_cluster_traffic(events, cfg)
     metrics: Dict[str, Any] = {
@@ -259,6 +260,14 @@ def _run_cluster(scenario: Scenario) -> RunResult:
                 }
                 for p in scenario.pools
             ]
+    if scenario.faults:
+        # Only stamped when faults are injected, so fault-free results
+        # stay bit-identical to releases without fault injection.
+        metrics.setdefault("cluster_attainment", result.cluster_attainment)
+        metrics["fault_events"] = [dict(e) for e in result.fault_events]
+        metadata["faults"] = [
+            {"kind": f.kind, "time_s": f.time_s} for f in scenario.faults
+        ]
     if virtualization is not None:
         # Only stamped when the control plane is configured, so
         # virtualization-free results stay bit-identical to

@@ -273,6 +273,60 @@ class ScenarioLlmTenant:
         )
 
 
+#: One-line docs per ``faults:`` field, rendered by ``repro list`` and
+#: ``tools/gen_docs.py``; a test pins its keys to the
+#: :class:`ScenarioFault` fields so they cannot drift.
+FAULT_FIELD_DOCS = {
+    "kind": "failure kind: host-crash, vf-loss, hypercall-spike or "
+            "burst-storm",
+    "time_s": "when the fault fires (a segment boundary is cut there)",
+    "duration_s": "window length for hypercall-spike / burst-storm "
+                  "(point faults use 0)",
+    "factor": "multiplier applied by window faults (hypercall latency "
+              "or offered load)",
+    "count": "SR-IOV virtual functions removed by vf-loss",
+    "host": "target host name (default: picked by load / free VFs)",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioFault:
+    """One entry of a cluster scenario's ``faults:`` block.
+
+    Mirrors :class:`repro.cluster.virt.FaultSpec`: a point failure
+    (``host-crash``, ``vf-loss``) fires at ``time_s``; a window failure
+    (``hypercall-spike``, ``burst-storm``) holds for ``duration_s``
+    multiplying hypercall latency or offered load by ``factor``.
+    Presence of the block enables the ``fault_events`` audit log on the
+    result; omitting it keeps results bit-identical to releases without
+    fault injection.
+    """
+
+    kind: str
+    time_s: float
+    duration_s: float = 0.0
+    factor: float = 4.0
+    count: int = 1
+    host: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Delegate range checking to the cluster-layer spec so the two
+        # descriptions cannot drift apart.
+        self.to_spec()
+
+    def to_spec(self):
+        from repro.cluster.virt import FaultSpec
+
+        return FaultSpec(
+            kind=self.kind,
+            time_s=self.time_s,
+            duration_s=self.duration_s,
+            factor=self.factor,
+            count=self.count,
+            host=self.host,
+        )
+
+
 #: One-line docs per ``llm:`` field, rendered by ``repro list`` and
 #: ``tools/gen_docs.py``; a test pins its keys to the
 #: :class:`ScenarioLlm` fields so they cannot drift.
@@ -455,8 +509,10 @@ class Scenario:
       ``duration_s``, ``drain``;
     - ``cluster``: ``churn``, ``hosts``/``cores_per_host`` (or
       ``pools``), ``arrival``, ``load``, ``duration_s``, the optional
-      ``autoscaler`` control loop, and the optional ``virtualization``
-      control plane (VF budgets, hypercall cost);
+      ``autoscaler`` control loop, the optional ``virtualization``
+      control plane (VF budgets, hypercall cost), and optional injected
+      ``faults`` (host crashes, VF loss, hypercall spikes, burst
+      storms);
     - ``llm``: the ``llm`` block (tenants, token budgets, preemption),
       plus ``arrival``, ``load``, ``duration_s``, ``drain``;
     - ``figure``: ``figure`` (the experiment name) and ``params``.
@@ -505,6 +561,9 @@ class Scenario:
     #: pools, free hypercalls, no control-plane metrics -- bit-identical
     #: to pre-virtualization runs).
     virtualization: Optional[ScenarioVirtualization] = None
+    #: Injected failures (cluster kind; empty = the exact fault-free
+    #: code path, bit-identical to releases without fault injection).
+    faults: Tuple[ScenarioFault, ...] = ()
     #: Continuous-batching LLM serving block (llm kind only).
     llm: Optional[ScenarioLlm] = None
     #: Sweep fan-out backend (None = legacy in-process sweep path,
@@ -520,6 +579,7 @@ class Scenario:
         object.__setattr__(self, "tenants", tuple(self.tenants))
         object.__setattr__(self, "churn", tuple(self.churn))
         object.__setattr__(self, "pools", tuple(self.pools))
+        object.__setattr__(self, "faults", tuple(self.faults))
         object.__setattr__(self, "hardware", dict(self.hardware))
         object.__setattr__(self, "params", dict(self.params))
         self._validate_shape()
@@ -573,11 +633,12 @@ class Scenario:
             raise ConfigError("cluster needs at least one host and core")
         if self.kind != "cluster" and (
             self.pools or self.autoscaler or self.virtualization
+            or self.faults
         ):
             raise ConfigError(
                 f"{self.kind} scenario {self.name!r}: 'pools', "
-                "'autoscaler' and 'virtualization' only apply to "
-                "kind: cluster"
+                "'autoscaler', 'virtualization' and 'faults' only "
+                "apply to kind: cluster"
             )
         pool_names = [p.name for p in self.pools]
         if len(set(pool_names)) != len(pool_names):
@@ -699,6 +760,11 @@ class Scenario:
             out["autoscaler"] = block
         if self.virtualization is not None:
             out["virtualization"] = _nondefault_dict(self.virtualization)
+        if self.faults:
+            out["faults"] = [
+                _nondefault_dict(f) | {"kind": f.kind, "time_s": f.time_s}
+                for f in self.faults
+            ]
         if self.llm is not None:
             block = _nondefault_dict(self.llm)
             block["tenants"] = [
@@ -758,6 +824,10 @@ class Scenario:
             if virtualization_raw is not None
             else None
         )
+        faults = tuple(
+            _from_mapping(ScenarioFault, f, "fault")
+            for f in data.pop("faults", ())
+        )
         llm_raw = data.pop("llm", None)
         llm = None
         if llm_raw is not None:
@@ -797,7 +867,8 @@ class Scenario:
         return cls(
             tenants=tenants, churn=churn, sweep=sweep,
             pools=pools, autoscaler=autoscaler,
-            virtualization=virtualization, llm=llm, executor=executor,
+            virtualization=virtualization, faults=faults,
+            llm=llm, executor=executor,
             **data,
         )
 

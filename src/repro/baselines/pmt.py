@@ -52,7 +52,7 @@ class PmtScheduler(SchedulerBase):
             or (sim.now >= self._quantum_end - 1e-9 and len(candidates) > 1)
         )
         if switch:
-            nxt = self._pick_next(candidates, current)
+            nxt = self._pick_next(sim, candidates, current)
             if current is not None and nxt is not current:
                 self._preempt_tenant(decision, current, nxt.tenant_id)
             current = nxt
@@ -93,14 +93,23 @@ class PmtScheduler(SchedulerBase):
         return None
 
     def _pick_next(
-        self, candidates: List["Tenant"], current: Optional["Tenant"]
+        self, sim: "Simulator", candidates: List["Tenant"], current: Optional["Tenant"]
     ) -> "Tenant":
         """Least-service-first, weighted by priority; avoid re-picking the
-        expiring tenant when someone else is waiting."""
+        expiring tenant when someone else is waiting.
+
+        Service is *ME cycles actually received*
+        (``stats.me_busy_per_tenant``), not time spent with a request in
+        flight: under closed-loop serving every collocated tenant is
+        active every cycle, so an active-time key ties permanently and
+        the rotation degenerates to pool order -- with three or more
+        tenants that starves whoever the order never reaches.
+        """
         pool = [t for t in candidates if t is not current] or candidates
+        served = sim.stats.me_busy_per_tenant
         return min(
             pool,
-            key=lambda t: t.active_service_cycles / max(t.priority, 1e-9),
+            key=lambda t: served.get(t.tenant_id, 0.0) / max(t.priority, 1e-9),
         )
 
     def _preempt_tenant(

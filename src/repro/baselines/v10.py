@@ -80,7 +80,7 @@ class V10Scheduler(SchedulerBase):
         capacity = sim.available_mes - penalty
 
         if running_me is None:
-            running_me = self._pick_me_unit(sim, capacity)
+            running_me = self._pick_me_unit(sim, capacity, decision.preempt)
         if running_me is not None:
             # The VLIW ISA couples the whole ME array: the operator holds
             # its compiled engine block and nothing else may use MEs.
@@ -123,15 +123,29 @@ class V10Scheduler(SchedulerBase):
                 out.append(tenant)
         return out
 
-    def _pick_me_unit(self, sim: "Simulator", capacity: int) -> Optional[ExecUnit]:
+    def _pick_me_unit(
+        self,
+        sim: "Simulator",
+        capacity: int,
+        exclude: List[ExecUnit] = (),
+    ) -> Optional[ExecUnit]:
         """Least-served tenant's pending ME operator, if it fits the
-        engines not frozen by a reclaim window."""
+        engines not frozen by a reclaim window.
+
+        ``exclude`` holds units this decision already preempts: they are
+        still RUNNING in ``active_units`` when this runs, and re-picking
+        one would make the decision preempt and run the same unit.  The
+        preempted tenant's head operator stalls, and in-order execution
+        stalls the rest of that tenant with it.
+        """
         best: Optional[ExecUnit] = None
         best_score = float("inf")
         for tenant in sim.tenants:
             for unit in tenant.active_units:
                 if not unit.is_me_unit or unit.done:
                     continue
+                if unit in exclude:
+                    break
                 if unit.me_engines_needed > capacity:
                     continue
                 score = sim.stats.me_busy_per_tenant.get(

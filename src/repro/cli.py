@@ -9,6 +9,8 @@ Subcommands (``python -m repro.cli ...`` or the installed ``repro``)::
     fig --all                         # every figure (nonzero on failure)
     bench scenario.yaml [--repeats 3] # time a scenario, report cycles/s
     bench scenario.yaml --profile     # + cProfile top-25 (cumulative)
+    fuzz --seed 0 --budget 25         # metamorphic fuzzing (exit 1 on bug)
+    fuzz --seed 0 --budget 500 --shrink --out /tmp/repros
     traffic ...                       # legacy open-loop flags (deprecated)
 
 ``--json`` emits the uniform :class:`repro.api.RunResult` schema on
@@ -34,7 +36,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import Neu10Error
 
-SUBCOMMANDS = ("run", "sweep", "list", "fig", "bench", "traffic")
+SUBCOMMANDS = ("run", "sweep", "list", "fig", "bench", "fuzz", "traffic")
 #: Legacy positional tokens accepted for backwards compatibility.
 LEGACY_EXTRA = ("all", "quickstart")
 
@@ -261,6 +263,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
         AUTOSCALERS,
         EXECUTORS,
         EXECUTOR_FIELD_DOCS,
+        FAULT_FIELD_DOCS,
         FIGURES,
         LLM_FIELD_DOCS,
         PREEMPTION,
@@ -297,6 +300,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
             "virtualization": VIRTUALIZATION_FIELD_DOCS,
             "llm": LLM_FIELD_DOCS,
             "executor": EXECUTOR_FIELD_DOCS,
+            "faults": FAULT_FIELD_DOCS,
         }, indent=2))
         return 0
     print("Scenario kinds (for `repro run <file.yaml>`):")
@@ -333,6 +337,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  {name:20s} {info.description}")
     print("Executor block fields (`executor:` block):")
     for field_name, blurb in EXECUTOR_FIELD_DOCS.items():
+        print(f"  {field_name:20s} {blurb}")
+    print("Fault injection (cluster scenarios, `faults:` list):")
+    for field_name, blurb in FAULT_FIELD_DOCS.items():
         print(f"  {field_name:20s} {blurb}")
     print("Legacy: traffic  (open-loop flags; prefer `run` with an "
           "open_loop scenario)")
@@ -441,6 +448,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ))
     _emit(results, args.json, args.output)
     return 0
+
+
+# ----------------------------------------------------------------------
+# Subcommand: fuzz
+# ----------------------------------------------------------------------
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.fuzz import FuzzConfig, fuzz_run
+
+    out_dir = Path(args.out) if args.out is not None else None
+    cfg = FuzzConfig(
+        seed=args.seed,
+        budget=args.budget,
+        tolerance=args.tolerance,
+        deep_every=args.deep_every,
+        shrink=args.shrink,
+        out_dir=out_dir,
+    )
+    log = (lambda _msg: None) if args.json else (
+        lambda msg: print(msg, file=sys.stderr)
+    )
+    report = fuzz_run(cfg, log=log)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for violation in report.violations:
+            print(f"VIOLATION {violation}")
+        for path in report.repro_paths:
+            print(f"repro written: {path}")
+        status = "ok" if report.ok else "FAILED"
+        print(
+            f"fuzz {status}: {report.scenarios} scenario(s), "
+            f"{report.checks_run} check(s), "
+            f"{len(report.violations)} violation(s) "
+            f"[seed={report.seed}] in {report.elapsed_s:.1f}s"
+        )
+    return 0 if report.ok else 1
 
 
 # ----------------------------------------------------------------------
@@ -644,6 +689,45 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="timed repetitions, best wins (default 3)")
     add_io_flags(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="fuzz the engines with random scenarios + metamorphic "
+             "invariants",
+        formatter_class=raw,
+        epilog=(
+            "examples:\n"
+            "  repro fuzz --seed 0 --budget 25           # CI smoke\n"
+            "  repro fuzz --seed 7 --budget 500 --shrink --out /tmp/repros\n"
+            "checks: serialization round-trip, request conservation,\n"
+            "determinism (repeat runs, REPRO_SIM_MEGABATCH=0/1,\n"
+            "REPRO_SIM_FAST_PATH=0/1, sweep worker counts), attainment\n"
+            "monotonicity in load and KV budget, and checkpoint resume\n"
+            "after a torn journal; exit 1 when any invariant breaks.\n"
+            "--shrink minimizes each failing spec to a replayable YAML;\n"
+            "see docs/fuzzing.md"
+        ),
+    )
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; scenario i depends only on "
+                             "(seed, i) (default 0)")
+    p_fuzz.add_argument("--budget", type=int, default=25,
+                        help="number of scenarios to generate (default 25)")
+    p_fuzz.add_argument("--shrink", action="store_true",
+                        help="greedily minimize failing scenarios and write "
+                             "repro YAMLs")
+    p_fuzz.add_argument("--out", default=None, metavar="DIR",
+                        help="directory for shrunk repro YAMLs "
+                             "(with --shrink)")
+    p_fuzz.add_argument("--tolerance", type=float, default=0.1,
+                        help="slack for monotonicity checks, absorbs "
+                             "re-drawn arrival noise (default 0.1)")
+    p_fuzz.add_argument("--deep-every", type=int, default=5,
+                        help="run the expensive differential checks on "
+                             "every Nth scenario; 0 disables (default 5)")
+    p_fuzz.add_argument("--json", action="store_true",
+                        help="emit the campaign report as JSON on stdout")
+    p_fuzz.set_defaults(func=_cmd_fuzz)
 
     return parser
 

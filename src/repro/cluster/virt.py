@@ -19,7 +19,7 @@ that predate this module.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -27,6 +27,102 @@ from repro.errors import ConfigError
 REJECT_CAPACITY = "capacity"
 REJECT_VF_EXHAUSTED = "vf-exhausted"
 REJECT_HYPERCALL = "hypercall-rejected"
+
+#: Injectable fault kinds (the ``faults:`` block of cluster scenarios).
+FAULT_HOST_CRASH = "host-crash"
+FAULT_VF_LOSS = "vf-loss"
+FAULT_HYPERCALL_SPIKE = "hypercall-spike"
+FAULT_BURST_STORM = "burst-storm"
+FAULT_KINDS = (
+    FAULT_HOST_CRASH,
+    FAULT_VF_LOSS,
+    FAULT_HYPERCALL_SPIKE,
+    FAULT_BURST_STORM,
+)
+#: Kinds that act over a window rather than at an instant.
+_WINDOW_FAULTS = (FAULT_HYPERCALL_SPIKE, FAULT_BURST_STORM)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected failure of a cluster serving run.
+
+    Point faults fire at ``time_s`` (a segment boundary is cut there):
+
+    - ``host-crash``: the named (or most-loaded) live host disappears;
+      residents are re-placed through the placement policy, tenants that
+      fit nowhere are evicted, and the host never comes back (the
+      autoscaler cannot re-activate it).
+    - ``vf-loss``: ``count`` free SR-IOV virtual functions vanish from
+      the named (or most-free) live host, shrinking its admission
+      capacity for the rest of the run.
+
+    Window faults hold from ``time_s`` for ``duration_s`` seconds:
+
+    - ``hypercall-spike``: control-plane latency is multiplied by
+      ``factor`` for admissions and migrations inside the window (binds
+      only when a :class:`VirtualizationSpec` prices hypercalls).
+    - ``burst-storm``: every tenant's offered load is multiplied by
+      ``factor`` for segments inside the window.
+    """
+
+    kind: str
+    time_s: float
+    duration_s: float = 0.0
+    factor: float = 4.0
+    count: int = 1
+    host: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"known: {', '.join(FAULT_KINDS)}"
+            )
+        if self.time_s < 0:
+            raise ConfigError("faults cannot fire before t=0")
+        if self.kind in _WINDOW_FAULTS:
+            if self.duration_s <= 0:
+                raise ConfigError(
+                    f"{self.kind} fault needs a positive duration_s"
+                )
+        elif self.duration_s != 0.0:
+            raise ConfigError(
+                f"{self.kind} is a point fault; duration_s must be 0"
+            )
+        if self.factor <= 0:
+            raise ConfigError("fault factor must be positive")
+        if self.count < 1:
+            raise ConfigError("fault count must be at least 1")
+
+    @property
+    def end_s(self) -> float:
+        return self.time_s + self.duration_s
+
+    def covers(self, t: float) -> bool:
+        """Whether the fault's window is active at time ``t``."""
+        return self.time_s <= t < self.end_s
+
+
+def remove_free_vfs(host, count: int) -> int:
+    """Shrink ``host``'s SR-IOV pool by up to ``count`` *free* VFs.
+
+    In-use functions are never revoked (the tenant holding one keeps
+    running); the pool capacity drops, so future admissions see fewer
+    slots.  Returns how many VFs were actually removed.
+    """
+    sriov = host.hypervisor.sriov
+    # The pool cannot shrink past the highest VF index currently handed
+    # out (releases leave holes; a lower capacity would let the registry
+    # re-issue an index that is still live), nor below one VF (the
+    # registry invariant even on an idle host).
+    max_index = max(sriov._vfs.keys(), default=-1)
+    floor = max(sriov.in_use, max_index + 1, 1)
+    removable = min(count, sriov.num_vfs - floor)
+    if removable <= 0:
+        return 0
+    sriov.num_vfs -= removable
+    return removable
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,61 @@
+"""``repro.fuzz`` -- grammar fuzzing with metamorphic invariants.
+
+Where the test suite pins known answers, the fuzzer explores: a seeded
+grammar (:mod:`repro.fuzz.grammar`) samples random valid scenarios
+across every kind, an invariant catalog (:mod:`repro.fuzz.invariants`)
+checks properties that must hold for *any* spec -- request conservation,
+determinism across engine toggles and worker counts, monotonicity in
+load and KV budget, bit-equal resume from torn checkpoints -- and a
+greedy shrinker (:mod:`repro.fuzz.shrink`) minimizes anything that
+breaks into a replayable repro YAML.
+
+Typical use::
+
+    from repro.fuzz import FuzzConfig, fuzz_run
+
+    report = fuzz_run(FuzzConfig(seed=0, budget=25))
+    assert report.ok, report.to_dict()
+
+or, from the CLI: ``repro fuzz --seed 0 --budget 25 --shrink``.
+"""
+
+from repro.fuzz.grammar import FuzzGrammar, generate_scenario
+from repro.fuzz.harness import FuzzConfig, FuzzReport, fuzz_run
+from repro.fuzz.invariants import (
+    CheckOutcome,
+    Violation,
+    check_conservation,
+    check_determinism,
+    check_fast_path,
+    check_kv_monotonicity,
+    check_load_monotonicity,
+    check_megabatch,
+    check_resume,
+    check_roundtrip,
+    check_scenario,
+    check_workers,
+)
+from repro.fuzz.shrink import repro_yaml, shrink_scenario, write_repro
+
+__all__ = [
+    "CheckOutcome",
+    "FuzzConfig",
+    "FuzzGrammar",
+    "FuzzReport",
+    "Violation",
+    "check_conservation",
+    "check_determinism",
+    "check_fast_path",
+    "check_kv_monotonicity",
+    "check_load_monotonicity",
+    "check_megabatch",
+    "check_resume",
+    "check_roundtrip",
+    "check_scenario",
+    "check_workers",
+    "fuzz_run",
+    "generate_scenario",
+    "repro_yaml",
+    "shrink_scenario",
+    "write_repro",
+]

@@ -1,0 +1,136 @@
+"""The fuzz loop: generate scenarios, check invariants, shrink failures.
+
+:func:`fuzz_run` drives ``budget`` iterations.  Each iteration derives a
+fresh :class:`random.Random` from ``spawn_rng(seed, "fuzz", i)``, samples
+one scenario from the grammar, and runs the invariant catalog over it.
+Every ``deep_every``-th scenario also gets the expensive differential
+checks (megabatch/fast-path toggles, monotonicity, resume after a torn
+journal).  When a scenario breaks an invariant and shrinking is on, the
+greedy shrinker minimizes it and the repro YAML lands in ``out_dir``.
+
+The loop is restartable by construction: iteration ``i`` depends only on
+``(seed, i)``, never on previous iterations, so ``--seed S --budget N``
+always revisits the same scenarios.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.config import spawn_rng
+from repro.fuzz.grammar import FuzzGrammar, generate_scenario
+from repro.fuzz.invariants import CheckOutcome, Violation, check_scenario
+from repro.fuzz.shrink import shrink_scenario, write_repro
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzz campaign."""
+
+    seed: int = 0
+    budget: int = 25
+    grammar: FuzzGrammar = field(default_factory=FuzzGrammar)
+    tolerance: float = 0.1
+    #: Every Nth scenario gets the expensive differential checks.
+    deep_every: int = 5
+    shrink: bool = False
+    #: Where shrunk repro YAMLs are written (None disables writing).
+    out_dir: Optional[Path] = None
+
+
+@dataclass
+class FuzzReport:
+    """What a campaign covered and what it broke."""
+
+    seed: int
+    budget: int
+    scenarios: int = 0
+    checks_run: int = 0
+    kind_counts: Dict[str, int] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+    repro_paths: List[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "scenarios": self.scenarios,
+            "checks_run": self.checks_run,
+            "kind_counts": dict(sorted(self.kind_counts.items())),
+            "ok": self.ok,
+            "violations": [v.to_dict() for v in self.violations],
+            "repro_paths": list(self.repro_paths),
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+def _shrink_and_write(
+    report: FuzzReport,
+    cfg: FuzzConfig,
+    violation: Violation,
+    checker: Callable[..., CheckOutcome],
+) -> None:
+    """Minimize the violating scenario and persist a repro YAML."""
+    scenario = violation.scenario
+    if scenario is None:
+        return
+    target = violation.invariant
+
+    def still_fails(candidate) -> bool:
+        rng = spawn_rng(cfg.seed, "shrink", candidate.name)
+        outcome = checker(
+            candidate, rng, tolerance=cfg.tolerance, deep=True
+        )
+        return any(v.invariant == target for v in outcome.violations)
+
+    small = shrink_scenario(scenario, still_fails)
+    violation.scenario = small
+    if cfg.out_dir is not None:
+        path = write_repro(small, violation, cfg.out_dir)
+        report.repro_paths.append(str(path))
+
+
+def fuzz_run(
+    cfg: FuzzConfig,
+    log: Optional[Callable[[str], None]] = None,
+    checker: Callable[..., CheckOutcome] = check_scenario,
+) -> FuzzReport:
+    """Run one fuzz campaign and return its report.
+
+    ``checker`` is injectable so tests can plant deliberate bugs (a
+    mutated engine) and assert the loop catches and shrinks them.
+    """
+    say = log if log is not None else (lambda _msg: None)
+    report = FuzzReport(seed=cfg.seed, budget=cfg.budget)
+    start = time.perf_counter()
+    for i in range(cfg.budget):
+        rng = spawn_rng(cfg.seed, "fuzz", i)
+        scenario = generate_scenario(rng, cfg.grammar, index=i)
+        report.scenarios += 1
+        report.kind_counts[scenario.kind] = (
+            report.kind_counts.get(scenario.kind, 0) + 1
+        )
+        deep = cfg.deep_every > 0 and i % cfg.deep_every == 0
+        outcome = checker(
+            scenario, rng, tolerance=cfg.tolerance, deep=deep
+        )
+        report.checks_run += outcome.checks_run
+        for violation in outcome.violations:
+            say(f"FAIL {violation}")
+            if cfg.shrink:
+                _shrink_and_write(report, cfg, violation, checker)
+        report.violations.extend(outcome.violations)
+    report.elapsed_s = time.perf_counter() - start
+    say(
+        f"fuzz: {report.scenarios} scenarios, {report.checks_run} checks, "
+        f"{len(report.violations)} violation(s) in {report.elapsed_s:.1f}s"
+    )
+    return report

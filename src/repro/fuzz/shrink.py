@@ -1,0 +1,138 @@
+"""Greedy scenario shrinker: minimize a failing spec, keep it failing.
+
+Given a scenario and a predicate ``fails(candidate) -> bool``, the
+shrinker repeatedly tries structural simplifications -- drop optional
+blocks, drop tenants and churn events, reset the scheme and arrival to
+their plainest values, halve the duration -- keeping each change only if
+the candidate still fails.  It loops to a fixed point, so a shrunk repro
+is *1-minimal* with respect to the candidate moves: undoing any single
+simplification makes the failure disappear or was never tried because
+the scenario no longer has that structure.
+
+The output is meant for humans: :func:`write_repro` serialises the
+shrunk spec to a small YAML whose header comment names the violated
+invariant, ready to replay with ``repro run``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, Iterator, List
+
+from repro.api.scenario import Scenario
+
+Predicate = Callable[[Scenario], bool]
+
+
+def _safe_fails(fails: Predicate, candidate: Scenario) -> bool:
+    """A candidate that cannot even run does not reproduce the failure."""
+    try:
+        return bool(fails(candidate))
+    except Exception:
+        return False
+
+
+def _without_tenant(scenario: Scenario, idx: int) -> Scenario:
+    tenants = scenario.tenants[:idx] + scenario.tenants[idx + 1:]
+    return scenario.replaced(tenants=tenants)
+
+
+def _without_churn(scenario: Scenario, name: str) -> Scenario:
+    churn = tuple(e for e in scenario.churn if e.name != name)
+    return scenario.replaced(churn=churn)
+
+
+def _without_fault(scenario: Scenario, idx: int) -> Scenario:
+    faults = scenario.faults[:idx] + scenario.faults[idx + 1:]
+    return scenario.replaced(faults=faults)
+
+
+def _without_llm_tenant(scenario: Scenario, idx: int) -> Scenario:
+    block = scenario.llm
+    tenants = block.tenants[:idx] + block.tenants[idx + 1:]
+    return scenario.replaced(llm=dataclasses.replace(block, tenants=tenants))
+
+
+def _candidates(scenario: Scenario) -> Iterator[Scenario]:
+    """Simplification moves, cheapest structural cuts first."""
+    # Optional blocks carry whole subsystems; dropping one removes the
+    # most machinery per move, so try those before element-wise cuts.
+    for blk in ("sweep", "executor", "autoscaler", "virtualization"):
+        if getattr(scenario, blk) is not None:
+            yield scenario.replaced(**{blk: None})
+    if scenario.faults:
+        for i in range(len(scenario.faults)):
+            yield _without_fault(scenario, i)
+    if scenario.pools:
+        yield scenario.replaced(pools=())
+    if len(scenario.tenants) > 1:
+        for i in range(len(scenario.tenants)):
+            yield _without_tenant(scenario, i)
+    arrivals = {e.name for e in scenario.churn if e.action == "arrive"}
+    if len(arrivals) > 1:
+        for name in sorted(arrivals):
+            yield _without_churn(scenario, name)
+    departures = [e for e in scenario.churn if e.action == "depart"]
+    if departures:
+        churn = tuple(e for e in scenario.churn if e.action != "depart")
+        yield scenario.replaced(churn=churn)
+    if scenario.llm is not None and len(scenario.llm.tenants) > 1:
+        for i in range(len(scenario.llm.tenants)):
+            yield _without_llm_tenant(scenario, i)
+    # Value resets: plainer names shrink the search space for a human.
+    if scenario.scheme != "neu10":
+        yield scenario.replaced(scheme="neu10")
+    if scenario.kind != "serving" and scenario.arrival != "poisson":
+        yield scenario.replaced(arrival="poisson")
+    if scenario.seed != 0:
+        yield scenario.replaced(seed=0)
+    if scenario.kind == "cluster" and scenario.hosts > 1:
+        yield scenario.replaced(hosts=scenario.hosts - 1)
+    if scenario.kind != "serving" and scenario.duration_s > 2e-4:
+        yield scenario.replaced(
+            duration_s=round(max(scenario.duration_s / 2, 1e-4), 6)
+        )
+
+
+def shrink_scenario(
+    scenario: Scenario, fails: Predicate, max_rounds: int = 32
+) -> Scenario:
+    """Greedily minimize ``scenario`` while ``fails`` stays true.
+
+    ``fails(scenario)`` should already be true; if it is not, the input
+    comes back unchanged (nothing to preserve).  ``max_rounds`` bounds
+    the fixed-point loop -- each round either commits at least one
+    simplification or terminates, so the bound is a safety net, not a
+    tuning knob.
+    """
+    if not _safe_fails(fails, scenario):
+        return scenario
+    current = scenario
+    for _ in range(max_rounds):
+        for candidate in _candidates(current):
+            if _safe_fails(fails, candidate):
+                current = candidate
+                break
+        else:
+            break
+    return current
+
+
+def repro_yaml(scenario: Scenario, header_lines: List[str]) -> str:
+    """The shrunk spec as YAML with a ``#``-comment header."""
+    header = "".join(f"# {line}\n" for line in header_lines)
+    return header + scenario.to_yaml()
+
+
+def write_repro(scenario: Scenario, violation, out_dir: Path) -> Path:
+    """Persist a replayable repro YAML; returns its path."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"repro-{violation.invariant}-{scenario.name}.yaml"
+    path.write_text(repro_yaml(scenario, [
+        f"fuzz repro: violated invariant {violation.invariant!r}",
+        f"detail: {violation.detail}",
+        "replay: repro run <this file>",
+    ]))
+    return path

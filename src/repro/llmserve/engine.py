@@ -342,8 +342,21 @@ def run_llm_serving(
 
         # -- KV pressure: running decodes each grow by one token ----------
         projected = device_kv + len(running)
+        sacrificed = False
         while projected > cfg.m_total:
-            victim = policy.select(running, preempt_rng)
+            # Forward-progress guarantee: the FCFS head of the batch is
+            # never a victim, so it decodes to completion no matter what
+            # the policy picks.  Without this, a policy that victimises
+            # the oldest request (fifo) re-evicts the same head each
+            # pressure event after it re-prefills, and under sacrifice
+            # mode the system repeats that wasted prefill forever.  A
+            # lone runner always fits (peak KV is validated <= m_total),
+            # so pressure with len(running) == 1 cannot happen.
+            candidates = running
+            if len(running) > 1:
+                head = min(running, key=lambda r: (r.arrival_cycles, r.rid))
+                candidates = [r for r in running if r is not head]
+            victim = policy.select(candidates, preempt_rng)
             running.remove(victim)
             freed = victim.kv_tokens
             device_kv -= freed
@@ -360,6 +373,7 @@ def run_llm_serving(
                 victim.decoded = 0
                 victim.state = WAITING
                 victim.sacrifices += 1
+                sacrificed = True
                 heapq.heappush(
                     wait_heap, (victim.arrival_cycles, victim.rid, victim)
                 )
@@ -401,7 +415,15 @@ def run_llm_serving(
         swapped = remaining_swapped
 
         # -- then waiting prefills, in (arrival, rid) order ---------------
-        while wait_heap and wait_heap[0][0] <= now:
+        # A sacrifice means KV pressure, and a sacrificed victim re-enters
+        # the heap under its original arrival key -- at or near the head.
+        # Admitting here would re-prefill it into the space its own
+        # eviction freed, only for the next pressure event to sacrifice
+        # it again: a livelock that repeats the same prefill forever
+        # (FIFO victims make it deterministic, any policy can cycle).
+        # Skipping admission for one step lets the surviving runners
+        # decode and finish, so pressure genuinely clears first.
+        while not sacrificed and wait_heap and wait_heap[0][0] <= now:
             req = wait_heap[0][2]
             if (
                 step_tokens + req.prompt_tokens > cfg.batch_tokens

@@ -58,10 +58,16 @@ from repro.cluster.host import Host
 from repro.cluster.orchestrator import ClusterOrchestrator, PlacementRequest
 from repro.cluster.placement import PlacementPolicy
 from repro.cluster.virt import (
+    FAULT_BURST_STORM,
+    FAULT_HOST_CRASH,
+    FAULT_HYPERCALL_SPIKE,
+    FAULT_VF_LOSS,
+    FaultSpec,
     REJECT_CAPACITY,
     REJECT_VF_EXHAUSTED,
     VirtualizationSpec,
     VirtualizationSummary,
+    remove_free_vfs,
 )
 from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig, spawn_rng
 from repro.errors import ConfigError
@@ -148,6 +154,10 @@ class ClusterTrafficConfig:
     #: ``keep_going`` is coerced off: host segments are partial products
     #: of one simulation, so a dropped segment must abort, not skew.
     executor: Optional[object] = None
+    #: Injected failures (host crashes, VF loss, hypercall spikes,
+    #: traffic burst storms); empty = the exact fault-free code path,
+    #: bit-identical to releases without fault injection.
+    faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_hosts < 1 or self.cores_per_host < 1:
@@ -155,6 +165,7 @@ class ClusterTrafficConfig:
         if self.end_s <= 0:
             raise ConfigError("cluster run needs a positive end time")
         self.pools = tuple(self.pools)
+        self.faults = tuple(self.faults)
         names = [p.name for p in self.pools]
         if len(set(names)) != len(names):
             raise ConfigError("host pool names must be unique")
@@ -184,6 +195,10 @@ class ClusterTrafficResult:
     #: Control-plane telemetry (None unless
     #: :attr:`ClusterTrafficConfig.virtualization` was configured).
     virtualization: Optional[VirtualizationSummary] = None
+    #: Audit log of injected faults as applied (empty without a
+    #: ``faults`` config): one dict per fault with what it actually did
+    #: (victim host, migrations, evictions, VFs removed, ...).
+    fault_events: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def cluster_me_utilization(self) -> float:
@@ -230,6 +245,11 @@ class _TenantJob:
     priority: float
     target_cycles: float
     arrivals: Tuple[float, ...]
+    #: Arrivals generated for the segment (conservation source of truth
+    #: for ``offered``; None = legacy jobs, fall back to the issued
+    #: count).  Differs from ``len(arrivals)`` never -- kept explicit so
+    #: the job stays self-describing across pickling.
+    offered: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -292,6 +312,7 @@ def _finalize_host_segment(
             build_slo_report(
                 tj.name, job.scheme, tj.target_cycles,
                 result.tenant(idx), job.seg_s,
+                offered=tj.offered,
             ),
         )
         for idx, tj in enumerate(job.tenants)
@@ -386,11 +407,17 @@ def _segment_boundaries(
     events: Sequence[ChurnEvent],
     end_s: float,
     interval_s: Optional[float] = None,
+    extra_cuts: Sequence[float] = (),
 ) -> List[float]:
     cuts = {0.0, end_s}
     for ev in events:
         if ev.time_s < end_s:
             cuts.add(ev.time_s)
+    for t in extra_cuts:
+        # Fault fire times and window edges cut the timeline exactly
+        # like churn events, so a fault never lands mid-segment.
+        if 0.0 < t < end_s:
+            cuts.add(t)
     if interval_s is not None:
         # Multiply rather than accumulate, and drop ticks that land
         # within float jitter of an existing cut: a phantom ~0-width
@@ -451,6 +478,8 @@ class _Fleet:
             p.name: [i < p.start_hosts for i in range(p.max_hosts)]
             for p in pools
         }
+        #: Crashed host indices per pool: never re-activated.
+        self.failed: Dict[str, set] = {p.name: set() for p in pools}
         initial = [
             self.hosts[p.name][i] for p in pools for i in range(p.start_hosts)
         ]
@@ -489,7 +518,13 @@ class _Fleet:
         flags = self.active[pool]
         if sum(flags) >= spec.max_hosts:
             return False
-        idx = flags.index(False)
+        failed = self.failed[pool]
+        idx = next(
+            (i for i, on in enumerate(flags) if not on and i not in failed),
+            None,
+        )
+        if idx is None:  # every spare host of the pool has crashed
+            return False
         host = self.hosts[pool][idx]
         flags[idx] = True
         self.orch.add_host(host)
@@ -546,6 +581,53 @@ class _Fleet:
             time_s, ACTION_DRAIN, victim.name, pool, reason, moved
         ))
         return True
+
+    def locate(self, host_name: str) -> Optional[Tuple[str, int]]:
+        """``(pool, index)`` of a host by name, live or not."""
+        for pool, hosts in self.hosts.items():
+            for i, host in enumerate(hosts):
+                if host.name == host_name:
+                    return pool, i
+        return None
+
+    def crash(
+        self,
+        host_name: str,
+        residents: Dict[str, "_Resident"],
+    ) -> Tuple[List[Tuple[str, str, str]], List[str]]:
+        """Fail a live host hard: re-place its residents, mark it dead.
+
+        Unlike :meth:`drain`, a crash cannot be abandoned -- tenants
+        that fit nowhere else are *evicted* (their placement released,
+        their remaining traffic lost).  The host never returns: its
+        pool index lands in :attr:`failed` so the autoscaler cannot
+        re-activate it.  Returns ``(migrated, evicted)``.
+        """
+        located = self.locate(host_name)
+        if located is None:
+            raise ConfigError(f"cannot crash unknown host {host_name!r}")
+        pool, idx = located
+        victim = self.hosts[pool][idx]
+        migrated: List[Tuple[str, str, str]] = []
+        evicted: List[str] = []
+        for tenant in sorted(
+            n for n, r in residents.items() if r.host is victim
+        ):
+            resident = residents[tenant]
+            placement = self.orch.migrate(
+                resident.request_id, exclude=(victim.name,)
+            )
+            if placement is None:
+                self.orch.release(resident.request_id)
+                del residents[tenant]
+                evicted.append(tenant)
+                continue
+            resident.host = placement.host
+            migrated.append((tenant, victim.name, placement.host.name))
+        self.orch.remove_host(victim.name)
+        self.active[pool][idx] = False
+        self.failed[pool].add(idx)
+        return migrated, evicted
 
     def rebalance(
         self,
@@ -660,6 +742,107 @@ def run_cluster_traffic(
     fleet = _Fleet(pools, cfg.core, cfg.policy, virt)
     orch = fleet.orch
 
+    #: Deterministic fault order: fire time, then kind, then target.
+    faults = sorted(
+        cfg.faults, key=lambda f: (f.time_s, f.kind, f.host or "", f.count)
+    )
+    storms = [f for f in faults if f.kind == FAULT_BURST_STORM]
+    spikes = [f for f in faults if f.kind == FAULT_HYPERCALL_SPIKE]
+    point_faults = [
+        f for f in faults if f.kind in (FAULT_HOST_CRASH, FAULT_VF_LOSS)
+    ]
+    fault_events: List[Dict[str, object]] = []
+
+    def hypercall_cost_at(at: float) -> float:
+        """Control-plane latency per hypercall at time ``at``."""
+        cost = virt_cost
+        for spike in spikes:
+            if spike.covers(at):
+                cost *= spike.factor
+        return cost
+
+    def load_multiplier(t0: float, t1: float) -> float:
+        """Offered-load factor for the segment ``[t0, t1)``.
+
+        Storm edges cut the timeline, so a segment is either fully
+        inside or fully outside every storm window; the midpoint test
+        is robust to float jitter at the edges.
+        """
+        mid = 0.5 * (t0 + t1)
+        mult = 1.0
+        for storm in storms:
+            if storm.covers(mid):
+                mult *= storm.factor
+        return mult
+
+    def apply_faults(at: float) -> None:
+        """Fire point faults scheduled at boundary ``at``."""
+        for fault in point_faults:
+            if fault.time_s != at:
+                continue
+            if fault.kind == FAULT_HOST_CRASH:
+                live = fleet.active_hosts()
+                victim = None
+                if fault.host is not None:
+                    victim = next(
+                        (h for h in live if h.name == fault.host), None
+                    )
+                elif len(live) > 1:
+                    # Most-loaded live host; name-order tiebreak.
+                    victim = max(live, key=lambda h: (h.load, h.name))
+                if victim is None or len(live) <= 1:
+                    # Never crash the last live host (the run could not
+                    # continue) or a host that is not live.
+                    fault_events.append({
+                        "time_s": at, "kind": fault.kind,
+                        "host": fault.host, "applied": False,
+                    })
+                    continue
+                migrated, evicted = fleet.crash(victim.name, residents)
+                for name in evicted:
+                    onboard_until.pop(name, None)
+                if virt_cost > 0:
+                    # Every re-placed tenant pays destroy + create.
+                    cost = hypercall_cost_at(at)
+                    for tenant, _src, _dst in migrated:
+                        onboard_until[tenant] = max(
+                            onboard_until.get(tenant, 0.0), at + 2 * cost
+                        )
+                fault_events.append({
+                    "time_s": at, "kind": fault.kind, "host": victim.name,
+                    "applied": True,
+                    "migrated": [list(m) for m in migrated],
+                    "evicted": list(evicted),
+                })
+            elif fault.kind == FAULT_VF_LOSS:
+                live = fleet.active_hosts()
+                victim = None
+                if fault.host is not None:
+                    victim = next(
+                        (h for h in live if h.name == fault.host), None
+                    )
+                elif live:
+                    # Host with the most free VFs; name-order tiebreak.
+                    victim = max(live, key=lambda h: (h.free_vfs, h.name))
+                removed = (
+                    remove_free_vfs(victim, fault.count)
+                    if victim is not None
+                    else 0
+                )
+                fault_events.append({
+                    "time_s": at, "kind": fault.kind,
+                    "host": victim.name if victim is not None else fault.host,
+                    "applied": removed > 0,
+                    "removed": removed,
+                })
+
+    for fault in storms + spikes:
+        if fault.time_s < cfg.end_s:
+            fault_events.append({
+                "time_s": fault.time_s, "kind": fault.kind, "applied": True,
+                "duration_s": fault.duration_s, "factor": fault.factor,
+            })
+
     ordered = sorted(events, key=lambda e: (e.time_s, e.action != ACTION_DEPART))
     residents: Dict[str, _Resident] = {}
     rejected: List[str] = []
@@ -701,7 +884,7 @@ def run_cluster_traffic(
                 if virt_cost > 0:
                     # One create hypercall stands between admission and
                     # the tenant's first served request.
-                    onboard_until[ev.name] = at + virt_cost
+                    onboard_until[ev.name] = at + hypercall_cost_at(at)
             else:
                 resident = residents.pop(ev.name, None)
                 if resident is None:
@@ -712,7 +895,10 @@ def run_cluster_traffic(
                 onboard_until.pop(ev.name, None)
 
     interval = cfg.autoscale_interval_s if cfg.autoscaler is not None else None
-    boundaries = _segment_boundaries(ordered, cfg.end_s, interval)
+    fault_cuts = [f.time_s for f in faults] + [
+        f.end_s for f in storms + spikes
+    ]
+    boundaries = _segment_boundaries(ordered, cfg.end_s, interval, fault_cuts)
     segments = 0
     simulated_cycles = 0.0
     autoscale_events: List[AutoscaleEvent] = []
@@ -788,10 +974,12 @@ def run_cluster_traffic(
                         if tenant in residents:
                             onboard_until[tenant] = max(
                                 onboard_until.get(tenant, 0.0),
-                                t0 + 2 * virt_cost,
+                                t0 + 2 * hypercall_cost_at(t0),
                             )
         rejected_before_segment = len(rejected)
         apply_events(t0)
+        if point_faults:
+            apply_faults(t0)
         seg_s = t1 - t0
         if seg_s <= 0:
             continue
@@ -818,10 +1006,13 @@ def run_cluster_traffic(
         for name, resident in residents.items():
             by_host.setdefault(resident.host.name, []).append((name, resident))
 
+        seg_load = cfg.load
+        if storms:
+            seg_load = cfg.load * load_multiplier(t0, t1)
         ol_cfg = OpenLoopConfig(
             core=nominal_core,
             duration_s=seg_s,
-            load=cfg.load,
+            load=seg_load,
             arrival=cfg.arrival,
             seed=cfg.seed,
         )
@@ -859,6 +1050,7 @@ def run_cluster_traffic(
                         priority=spec.priority,
                         target_cycles=spec.slo.resolve(svc),
                         arrivals=tuple(arrivals),
+                        offered=len(arrivals),
                     )
                 )
             if all(not tj.arrivals for tj in tenant_jobs):
@@ -981,4 +1173,7 @@ def run_cluster_traffic(
         host_count_timeline=host_count_timeline,
         mean_active_hosts=host_seconds / total_s,
         virtualization=virt_summary,
+        fault_events=sorted(
+            fault_events, key=lambda e: (e["time_s"], str(e["kind"]))
+        ),
     )

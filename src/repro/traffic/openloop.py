@@ -179,6 +179,10 @@ class PreparedOpenLoop:
     cfg: OpenLoopConfig
     tenants: List[Tenant]
     targets: Dict[int, float]
+    #: Arrivals *generated* per tenant for the window; the conservation
+    #: source of truth for ``offered`` (an arrival exactly on the
+    #: horizon is never issued by the engine but was still offered).
+    offered: Dict[int, int] = field(default_factory=dict)
 
 
 def prepare_open_loop(
@@ -197,6 +201,7 @@ def prepare_open_loop(
 
     tenants: List[Tenant] = []
     targets: Dict[int, float] = {}
+    offered: Dict[int, int] = {}
     model_counts: Dict[str, int] = {}
     for spec in specs:
         model_counts[spec.model] = model_counts.get(spec.model, 0) + 1
@@ -225,6 +230,7 @@ def prepare_open_loop(
             )
         )
         targets[idx] = spec.slo.resolve(svc)
+        offered[idx] = len(arrivals)
 
     sim = Simulator(
         core,
@@ -234,7 +240,8 @@ def prepare_open_loop(
         record_ops=cfg.record_ops,
     )
     return PreparedOpenLoop(
-        sim=sim, scheme=scheme, cfg=cfg, tenants=tenants, targets=targets
+        sim=sim, scheme=scheme, cfg=cfg, tenants=tenants, targets=targets,
+        offered=offered,
     )
 
 
@@ -247,6 +254,7 @@ def finalize_open_loop(prep: PreparedOpenLoop, result) -> OpenLoopResult:
             prep.targets[tenant.tenant_id],
             result.tenant(tenant.tenant_id),
             prep.cfg.duration_s,
+            offered=prep.offered.get(tenant.tenant_id),
         )
         for tenant in prep.tenants
     ]

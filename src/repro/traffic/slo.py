@@ -128,8 +128,19 @@ def build_slo_report(
     target_cycles: float,
     result: TenantResult,
     duration_s: float,
+    offered: Optional[int] = None,
 ) -> SloReport:
-    """Score one tenant's :class:`TenantResult` against its SLO."""
+    """Score one tenant's :class:`TenantResult` against its SLO.
+
+    ``offered`` overrides the engine's issued-request count with the
+    number of arrivals *generated* for the window.  The two differ only
+    when an arrival lands exactly on the horizon (the engine never
+    issues it) -- a measure-zero event for continuous arrival processes,
+    but systematic when control-plane onboarding latency clamps a late
+    tenant's arrivals to the segment boundary.  Counting those requests
+    as offered-but-missed keeps conservation exact: a request offered
+    inside the window can never silently vanish from the denominator.
+    """
     if target_cycles <= 0:
         raise ConfigError("SLO target must be positive")
     attained = sum(1 for lat in result.latencies_cycles if lat <= target_cycles)
@@ -137,7 +148,12 @@ def build_slo_report(
         name=name,
         scheme=scheme,
         target_cycles=target_cycles,
-        offered=result.offered_requests,
+        # Never below the issued count: attained <= completed <= offered.
+        offered=(
+            result.offered_requests
+            if offered is None
+            else max(offered, result.offered_requests)
+        ),
         completed=result.completed_requests,
         attained=attained,
         duration_s=duration_s,

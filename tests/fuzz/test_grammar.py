@@ -1,0 +1,89 @@
+"""Property tests over the fuzz grammar: 200 sampled specs are valid,
+serialise losslessly, and regenerate bit-identically from (seed, index).
+"""
+
+import pytest
+
+from repro.api.scenario import SCENARIO_KINDS, Scenario
+from repro.config import spawn_rng
+from repro.errors import ConfigError
+from repro.fuzz import FuzzGrammar, generate_scenario
+
+N_SPECS = 200
+
+
+def _spec(i: int, seed: int = 0) -> Scenario:
+    return generate_scenario(spawn_rng(seed, "fuzz", i), index=i)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return [_spec(i) for i in range(N_SPECS)]
+
+
+def test_all_specs_validate(specs):
+    for sc in specs:
+        sc.validate()  # raises on any invalid construction
+
+
+def test_yaml_round_trip_lossless(specs):
+    for sc in specs:
+        back = Scenario.from_yaml(sc.to_yaml())
+        assert back == sc
+        assert back.digest() == sc.digest()
+
+
+def test_json_round_trip_lossless(specs):
+    for sc in specs:
+        back = Scenario.from_json(sc.to_json())
+        assert back == sc
+        assert back.digest() == sc.digest()
+
+
+def test_generator_deterministic_in_seed_and_index(specs):
+    for i in (0, 17, 99, N_SPECS - 1):
+        assert _spec(i) == specs[i]
+    # A different campaign seed explores a different space.
+    assert any(_spec(i, seed=1) != specs[i] for i in range(20))
+
+
+def test_grammar_covers_every_kind(specs):
+    kinds = {sc.kind for sc in specs}
+    assert kinds == set(SCENARIO_KINDS) - {"figure"}
+
+
+def test_grammar_exercises_optional_blocks(specs):
+    clusters = [sc for sc in specs if sc.kind == "cluster"]
+    assert any(sc.faults for sc in clusters)
+    assert any(sc.pools for sc in clusters)
+    assert any(sc.autoscaler is not None for sc in clusters)
+    assert any(sc.virtualization is not None for sc in clusters)
+    assert any(sc.executor is not None for sc in specs)
+    assert any(sc.sweep is not None for sc in specs)
+    assert any(sc.llm is not None for sc in specs)
+
+
+def test_fault_samples_are_well_formed(specs):
+    kinds_seen = set()
+    for sc in specs:
+        for f in sc.faults:
+            kinds_seen.add(f.kind)
+            if f.kind in ("hypercall-spike", "burst-storm"):
+                assert f.duration_s > 0
+            else:
+                assert f.duration_s == 0
+            assert 0 <= f.time_s < sc.duration_s
+    assert len(kinds_seen) >= 3  # 200 draws cover most fault kinds
+
+
+def test_names_are_unique_and_indexed(specs):
+    names = [sc.name for sc in specs]
+    assert len(set(names)) == N_SPECS
+    assert names[7] == "fuzz-0007"
+
+
+def test_grammar_validates_weights():
+    with pytest.raises(ConfigError):
+        FuzzGrammar(kinds=("open_loop",), kind_weights=(0.5, 0.5))
+    with pytest.raises(ConfigError):
+        FuzzGrammar(kinds=())

@@ -1,0 +1,165 @@
+"""The fuzz loop end to end, including the headline mutation test: plant
+a conservation bug, watch the fuzzer catch it, and check the shrinker
+emits a small repro YAML that replays deterministically."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import load_scenario, run_scenario
+from repro.api.scenario import Scenario, ScenarioTenant
+from repro.fuzz import (
+    FuzzConfig,
+    fuzz_run,
+    generate_scenario,
+    shrink_scenario,
+    write_repro,
+)
+from repro.fuzz.invariants import INV_CONSERVATION, Violation, check_scenario
+
+
+def test_smoke_budget_is_clean_and_deterministic():
+    a = fuzz_run(FuzzConfig(seed=0, budget=8, deep_every=0))
+    b = fuzz_run(FuzzConfig(seed=0, budget=8, deep_every=0))
+    assert a.ok and b.ok
+    assert a.scenarios == b.scenarios == 8
+    assert a.kind_counts == b.kind_counts
+    assert a.to_dict()["violations"] == b.to_dict()["violations"] == []
+
+
+def _buggy_checker(scenario, rng, tolerance=0.1, deep=False, workdir=None):
+    """The invariant catalog run against a mutated engine: open-loop
+    results claim one more completion than was ever offered."""
+
+    def buggy_run(sc):
+        result = run_scenario(sc)
+        if sc.kind == "open_loop":
+            for t in result.metrics.get("tenants", ()):
+                t["completed"] = t["offered"] + 1
+        return result
+
+    return check_scenario(
+        scenario, rng, tolerance=tolerance, deep=False,
+        workdir=workdir, run=buggy_run,
+    )
+
+
+def test_planted_conservation_bug_is_caught_and_shrunk(tmp_path):
+    report = fuzz_run(
+        FuzzConfig(
+            seed=0, budget=12, deep_every=0, shrink=True,
+            out_dir=tmp_path,
+        ),
+        checker=_buggy_checker,
+    )
+    assert not report.ok
+    assert all(v.invariant == INV_CONSERVATION for v in report.violations)
+    assert report.repro_paths
+
+    repro_path = Path(report.repro_paths[0])
+    text = repro_path.read_text()
+    spec_lines = [
+        ln for ln in text.splitlines()
+        if ln.strip() and not ln.lstrip().startswith("#")
+    ]
+    assert len(spec_lines) <= 15, text
+
+    # The shrunk repro replays: same digest twice, and the planted bug
+    # still fires on it.
+    scenario = load_scenario(repro_path)
+    assert run_scenario(scenario).to_dict() == run_scenario(scenario).to_dict()
+    from repro.config import spawn_rng
+
+    outcome = _buggy_checker(scenario, spawn_rng(0, "replay"))
+    assert any(
+        v.invariant == INV_CONSERVATION for v in outcome.violations
+    )
+    # Shrinking stripped every droppable block.
+    assert len(scenario.tenants) == 1
+    assert scenario.sweep is None and scenario.executor is None
+
+
+def test_fuzz_cli_smoke(capsys):
+    from repro.cli import main
+
+    assert main(["fuzz", "--seed", "0", "--budget", "3",
+                 "--deep-every", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "fuzz ok: 3 scenario(s)" in out
+
+
+def test_fuzz_cli_json(capsys):
+    import json
+
+    from repro.cli import main
+
+    assert main(["fuzz", "--seed", "0", "--budget", "2",
+                 "--deep-every", "0", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is True
+    assert payload["scenarios"] == 2
+    assert payload["checks_run"] > 0
+
+
+# ----------------------------------------------------------------------
+# Shrinker unit behavior
+# ----------------------------------------------------------------------
+def _rich_scenario() -> Scenario:
+    from repro.config import spawn_rng
+
+    # Deterministically find a generated cluster spec with plenty to cut.
+    for i in range(200):
+        sc = generate_scenario(spawn_rng(11, "fuzz", i), index=i)
+        if sc.kind == "cluster" and sc.faults and sc.pools:
+            return sc
+    raise AssertionError("grammar stopped generating rich cluster specs")
+
+
+def test_shrink_fixed_point_drops_everything_droppable():
+    sc = _rich_scenario()
+    small = shrink_scenario(sc, lambda _sc: True)
+    assert small.faults == ()
+    assert small.pools == ()
+    assert small.autoscaler is None and small.virtualization is None
+    assert small.scheme == "neu10" and small.seed == 0
+    arrivals = [e for e in small.churn if e.action == "arrive"]
+    assert len(arrivals) == 1
+    assert small.hosts == 1
+
+
+def test_shrink_preserves_the_failure_condition():
+    sc = _rich_scenario()
+    # The "bug" needs at least one fault to reproduce.
+    small = shrink_scenario(sc, lambda cand: bool(cand.faults))
+    assert len(small.faults) == 1
+    assert small.pools == ()  # everything irrelevant still dropped
+
+
+def test_shrink_returns_input_when_predicate_never_fails():
+    sc = _rich_scenario()
+    assert shrink_scenario(sc, lambda _sc: False) == sc
+
+
+def test_shrink_treats_raising_predicate_as_not_failing():
+    sc = _rich_scenario()
+
+    def explodes(cand):
+        if cand is not sc:
+            raise RuntimeError("candidate cannot even run")
+        return True
+
+    assert shrink_scenario(sc, explodes) == sc
+
+
+def test_write_repro_emits_commented_yaml(tmp_path):
+    sc = Scenario(
+        name="w", kind="open_loop", scheme="neu10",
+        tenants=(ScenarioTenant(model="MNIST", batch=8),),
+        load=0.5, duration_s=0.0008,
+    )
+    v = Violation(INV_CONSERVATION, "w", "why it failed", sc)
+    path = write_repro(sc, v, tmp_path)
+    text = path.read_text()
+    assert text.startswith("# fuzz repro")
+    assert "why it failed" in text
+    assert load_scenario(path) == sc

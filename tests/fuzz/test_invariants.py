@@ -1,0 +1,153 @@
+"""Unit tests of the invariant catalog: each check passes on a healthy
+engine and trips on a deliberately corrupted result (mutation-style)."""
+
+import copy
+
+import pytest
+
+from repro.api import run_scenario
+from repro.api.scenario import (
+    Scenario,
+    ScenarioLlm,
+    ScenarioLlmTenant,
+    ScenarioTenant,
+)
+from repro.config import spawn_rng
+from repro.fuzz.invariants import (
+    INV_CONSERVATION,
+    INV_DETERMINISM,
+    INV_ROUNDTRIP,
+    check_conservation,
+    check_determinism,
+    check_fast_path,
+    check_megabatch,
+    check_resume,
+    check_roundtrip,
+    check_scenario,
+)
+
+
+def _open_loop(drain: bool = True) -> Scenario:
+    return Scenario(
+        name="inv-ol", kind="open_loop", scheme="neu10",
+        tenants=(ScenarioTenant(model="MNIST", batch=8),),
+        load=0.6, duration_s=0.0008, seed=3, drain=drain,
+    )
+
+
+def _llm() -> Scenario:
+    return Scenario(
+        name="inv-llm", kind="llm", scheme="neu10",
+        load=0.5, duration_s=0.001, seed=5, drain=True,
+        llm=ScenarioLlm(
+            tenants=(ScenarioLlmTenant(
+                name="t0", prompt_tokens=64, decode_tokens=16),),
+            batch_tokens=256, m_total=1024,
+            step_overhead_cycles=2000.0, cycles_per_token=20.0,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def ol_result():
+    return run_scenario(_open_loop())
+
+
+@pytest.fixture(scope="module")
+def llm_result():
+    return run_scenario(_llm())
+
+
+def test_roundtrip_clean(ol_result):
+    assert check_roundtrip(_open_loop()) == []
+
+
+def test_conservation_clean_open_loop(ol_result):
+    assert check_conservation(_open_loop(), ol_result) == []
+
+
+def test_conservation_clean_llm(llm_result):
+    assert check_conservation(_llm(), llm_result) == []
+
+
+def test_conservation_catches_inflated_completed(ol_result):
+    bad = copy.deepcopy(ol_result)
+    bad.metrics["tenants"][0]["completed"] = (
+        bad.metrics["tenants"][0]["offered"] + 1
+    )
+    violations = check_conservation(_open_loop(), bad)
+    assert violations and violations[0].invariant == INV_CONSERVATION
+
+
+def test_conservation_catches_drain_leak(ol_result):
+    bad = copy.deepcopy(ol_result)
+    t = bad.metrics["tenants"][0]
+    t["offered"] = t["completed"] + 2  # a request vanished at drain
+    t["attainment"] = t["attained"] / t["offered"]
+    violations = check_conservation(_open_loop(drain=True), bad)
+    assert any("drain leak" in v.detail for v in violations)
+
+
+def test_conservation_catches_llm_tenant_sum_mismatch(llm_result):
+    bad = copy.deepcopy(llm_result)
+    name = next(iter(bad.metrics["tenants"]))
+    bad.metrics["tenants"][name]["completed"] += 1
+    violations = check_conservation(_llm(), bad)
+    assert violations and violations[0].invariant == INV_CONSERVATION
+
+
+def test_determinism_clean(ol_result):
+    assert check_determinism(_open_loop(), ol_result) == []
+
+
+def test_determinism_catches_result_drift(ol_result):
+    bad = copy.deepcopy(ol_result)
+    bad.metrics["tenants"][0]["attained"] += 0  # no-op; now poison digest
+    bad.metadata["poisoned"] = True
+    violations = check_determinism(_open_loop(), bad)
+    assert violations and violations[0].invariant == INV_DETERMINISM
+
+
+def test_engine_toggle_differentials_clean(ol_result, llm_result):
+    assert check_megabatch(_open_loop(), ol_result) == []
+    assert check_fast_path(_open_loop(), ol_result) == []
+    assert check_fast_path(_llm(), llm_result) == []
+
+
+def test_resume_after_torn_journal(tmp_path):
+    rng = spawn_rng(0, "inv", "resume")
+    assert check_resume(_open_loop(), rng, workdir=tmp_path) == []
+
+
+def test_check_scenario_counts_checks(tmp_path):
+    rng = spawn_rng(0, "inv", "drive")
+    outcome = check_scenario(
+        _open_loop(), rng, deep=False, workdir=tmp_path
+    )
+    assert outcome.violations == []
+    assert outcome.checks_run == 3  # roundtrip, conservation, determinism
+
+
+def test_check_scenario_reports_engine_crash(tmp_path):
+    rng = spawn_rng(0, "inv", "crash")
+
+    def exploding_run(_sc):
+        raise RuntimeError("planted engine crash")
+
+    outcome = check_scenario(
+        _open_loop(), rng, deep=False, workdir=tmp_path, run=exploding_run
+    )
+    assert len(outcome.violations) == 1
+    v = outcome.violations[0]
+    assert v.invariant == INV_CONSERVATION
+    assert "planted engine crash" in v.detail
+    assert v.scenario == _open_loop()
+
+
+def test_violation_to_dict_embeds_spec():
+    from repro.fuzz.invariants import Violation
+
+    v = Violation(INV_ROUNDTRIP, "x", "detail", _open_loop())
+    payload = v.to_dict()
+    assert payload["invariant"] == INV_ROUNDTRIP
+    assert payload["spec"]["name"] == "inv-ol"

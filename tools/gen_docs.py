@@ -39,8 +39,9 @@ registered at runtime extend these tables without any documentation
 edit -- see [architecture.md](architecture.md) for how the registries
 fit together, [autoscaling.md](autoscaling.md) for the autoscaler
 how-to, [llm-serving.md](llm-serving.md) for the LLM serving
-subsystem and [sweeps.md](sweeps.md) for checkpointed, fault-tolerant
-sweeps.
+subsystem, [sweeps.md](sweeps.md) for checkpointed, fault-tolerant
+sweeps and [fuzzing.md](fuzzing.md) for the metamorphic fuzz harness
+and fault injection.
 """
 
 
@@ -184,6 +185,23 @@ def generate() -> str:
     lines.extend(_table(
         ("field", "meaning"),
         [(name, blurb) for name, blurb in EXECUTOR_FIELD_DOCS.items()],
+    ))
+
+    from repro.api import FAULT_FIELD_DOCS
+    from repro.cluster.virt import FAULT_KINDS
+
+    lines.append("\n## Fault injection (`faults:`)\n")
+    lines.append("Cluster scenarios may declare a `faults:` list of "
+                 "injected failures (" +
+                 ", ".join(f"`{k}`" for k in FAULT_KINDS) +
+                 "); each applied fault lands in the result's "
+                 "`fault_events` audit log, and an empty list keeps "
+                 "results bit-identical to fault-free releases (see "
+                 "[fuzzing.md](fuzzing.md) for the adversarial harness "
+                 "built on top):\n")
+    lines.extend(_table(
+        ("field", "meaning"),
+        [(name, blurb) for name, blurb in FAULT_FIELD_DOCS.items()],
     ))
 
     lines.append("")
