@@ -62,12 +62,14 @@ from repro.api.result import (
 )
 from repro.api.runner import (
     SweepReport,
+    cluster_inputs,
     run_scenario,
     sweep_scenario,
     sweep_scenario_report,
     sweep_variants,
 )
 from repro.api.scenario import (
+    CHECKPOINT_FIELD_DOCS,
     EXECUTOR_FIELD_DOCS,
     FAULT_FIELD_DOCS,
     LLM_FIELD_DOCS,
@@ -75,6 +77,7 @@ from repro.api.scenario import (
     VIRTUALIZATION_FIELD_DOCS,
     Scenario,
     ScenarioAutoscaler,
+    ScenarioCheckpoint,
     ScenarioChurn,
     ScenarioExecutor,
     ScenarioFault,
@@ -95,6 +98,7 @@ __all__ = [
     "AUTOSCALERS",
     "ArrivalInfo",
     "AutoscalerInfo",
+    "CHECKPOINT_FIELD_DOCS",
     "EXECUTORS",
     "EXECUTOR_FIELD_DOCS",
     "ExecutorInfo",
@@ -111,6 +115,7 @@ __all__ = [
     "SCHEDULERS",
     "Scenario",
     "ScenarioAutoscaler",
+    "ScenarioCheckpoint",
     "ScenarioChurn",
     "ScenarioExecutor",
     "ScenarioFault",
@@ -127,6 +132,7 @@ __all__ = [
     "all_scheme_names",
     "arrival_kind_names",
     "autoscaler_names",
+    "cluster_inputs",
     "default_scheme_names",
     "executor_names",
     "figure_names",

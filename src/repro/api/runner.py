@@ -170,23 +170,23 @@ def _open_loop_run_result(scenario: Scenario, result) -> RunResult:
     return _wrap(scenario, metrics, metadata)
 
 
-def _run_cluster(scenario: Scenario) -> RunResult:
-    from repro.traffic.cluster_sim import (
-        ChurnEvent,
-        ClusterTrafficConfig,
-        run_cluster_traffic,
-    )
+def cluster_inputs(scenario: Scenario):
+    """The ``(events, cfg)`` pair a cluster scenario simulates.
 
+    The single translation every cluster front-end shares: ``repro
+    run`` (plain, checkpointed and resumed), ``repro serve`` and the
+    fuzz harness's deep checks all build their
+    :class:`~repro.traffic.cluster_sim.ClusterSimulation` from this, so
+    a checkpoint taken by one is restorable by the others.
+    """
+    from repro.traffic.cluster_sim import ClusterTrafficConfig
+
+    if scenario.kind != "cluster":
+        raise ConfigError(
+            f"scenario {scenario.name!r} is kind {scenario.kind!r}; "
+            "cluster inputs only exist for kind: cluster"
+        )
     events = [_to_churn_event(e) for e in scenario.churn]
-    autoscaler = (
-        scenario.autoscaler.make() if scenario.autoscaler is not None
-        else None
-    )
-    virtualization = (
-        scenario.virtualization.to_spec()
-        if scenario.virtualization is not None
-        else None
-    )
     cfg = ClusterTrafficConfig(
         num_hosts=scenario.hosts,
         cores_per_host=scenario.cores_per_host,
@@ -197,13 +197,21 @@ def _run_cluster(scenario: Scenario) -> RunResult:
         end_s=scenario.duration_s,
         seed=scenario.seed,
         pools=tuple(p.to_spec() for p in scenario.pools),
-        autoscaler=autoscaler,
+        autoscaler=(
+            scenario.autoscaler.make()
+            if scenario.autoscaler is not None
+            else None
+        ),
         autoscale_interval_s=(
             scenario.autoscaler.interval_s
             if scenario.autoscaler is not None
             else None
         ),
-        virtualization=virtualization,
+        virtualization=(
+            scenario.virtualization.to_spec()
+            if scenario.virtualization is not None
+            else None
+        ),
         executor=(
             scenario.executor.to_spec()
             if scenario.executor is not None
@@ -211,7 +219,20 @@ def _run_cluster(scenario: Scenario) -> RunResult:
         ),
         faults=tuple(f.to_spec() for f in scenario.faults),
     )
+    return events, cfg
+
+
+def _run_cluster(scenario: Scenario) -> RunResult:
+    from repro.traffic.cluster_sim import run_cluster_traffic
+
+    events, cfg = cluster_inputs(scenario)
     result = run_cluster_traffic(events, cfg)
+    return _cluster_run_result(scenario, cfg, result)
+
+
+def _cluster_run_result(scenario: Scenario, cfg, result) -> RunResult:
+    autoscaler = cfg.autoscaler
+    virtualization = cfg.virtualization
     metrics: Dict[str, Any] = {
         "tenants": [
             _slo_report_metrics(result.reports[name])
@@ -260,9 +281,11 @@ def _run_cluster(scenario: Scenario) -> RunResult:
                 }
                 for p in scenario.pools
             ]
-    if scenario.faults:
+    if scenario.faults or result.fault_events:
         # Only stamped when faults are injected, so fault-free results
         # stay bit-identical to releases without fault injection.
+        # ``result.fault_events`` without a ``faults:`` block means
+        # live injection (repro serve), which must surface too.
         metrics.setdefault("cluster_attainment", result.cluster_attainment)
         metrics["fault_events"] = [dict(e) for e in result.fault_events]
         metadata["faults"] = [
@@ -396,7 +419,13 @@ def _wrap(
 # ----------------------------------------------------------------------
 # Public entry points
 # ----------------------------------------------------------------------
-def run_scenario(scenario: Scenario) -> RunResult:
+def run_scenario(
+    scenario: Scenario,
+    *,
+    resume: bool = False,
+    checkpoint=None,
+    on_segment=None,
+) -> RunResult:
     """Run one scenario and return its structured result.
 
     The one dispatch every front-end shares: validates the spec
@@ -405,6 +434,15 @@ def run_scenario(scenario: Scenario) -> RunResult:
     ``scenario.kind`` to the matching engine, and wraps the outcome in
     a :class:`~repro.api.result.RunResult` stamped with provenance
     (seed, canonical scenario digest, library version, fast-path flag).
+
+    Cluster scenarios additionally take the stepped driver's knobs:
+    ``checkpoint`` (a :class:`~repro.api.scenario.ScenarioCheckpoint`,
+    overriding the scenario's own ``checkpoint:`` block) journals a
+    segment snapshot every ``every`` segments, ``resume=True`` restores
+    from the furthest recorded snapshot and continues, and
+    ``on_segment(done, total, observation)`` fires after every
+    simulated segment.  None of them changes the metrics: a resumed or
+    checkpointed run is bit-identical to an uninterrupted plain one.
 
     Deterministic: same spec, same library version -> same metrics,
     byte for byte.  Example::
@@ -420,6 +458,27 @@ def run_scenario(scenario: Scenario) -> RunResult:
     Raises :class:`repro.errors.ConfigError` on an invalid spec.
     """
     scenario.validate()
+    block = checkpoint if checkpoint is not None else scenario.checkpoint
+    if scenario.kind == "cluster":
+        if block is not None or resume or on_segment is not None:
+            from repro.traffic.cluster_sim import run_cluster_checkpointed
+
+            events, cfg = cluster_inputs(scenario)
+            result = run_cluster_checkpointed(
+                events,
+                cfg,
+                directory=block.directory if block is not None else None,
+                resume=resume,
+                every=block.every if block is not None else 1,
+                on_segment=on_segment,
+            )
+            return _cluster_run_result(scenario, cfg, result)
+    elif block is not None or resume or on_segment is not None:
+        raise ConfigError(
+            f"scenario {scenario.name!r} is kind {scenario.kind!r}; "
+            "checkpoint/resume/per-segment progress only apply to "
+            "kind: cluster"
+        )
     runner = _KIND_RUNNERS.get(scenario.kind)
     if runner is None:  # _validate_shape guards this; belt and braces
         raise ConfigError(f"unknown scenario kind {scenario.kind!r}")
@@ -535,7 +594,9 @@ def sweep_variants(
             )
     if not values:
         raise ConfigError("sweep needs at least one value")
-    base = scenario.replaced(sweep=None)
+    # Variants must not share one checkpoint journal (each has its own
+    # config digest; the journal would refuse all but the first).
+    base = scenario.replaced(sweep=None, checkpoint=None)
     return [
         base.replaced(
             **{param: value, "name": f"{scenario.name}@{param}={value}"}

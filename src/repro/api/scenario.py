@@ -473,6 +473,40 @@ class ScenarioExecutor:
         return make_executor(self.to_spec())
 
 
+#: One-line docs per ``checkpoint:`` field, rendered by ``repro list``
+#: and ``tools/gen_docs.py``; a test pins its keys to the
+#: :class:`ScenarioCheckpoint` fields so they cannot drift.
+CHECKPOINT_FIELD_DOCS = {
+    "directory": "journal directory for segment checkpoints (created "
+                 "on first run; 'repro run --resume' restores from it)",
+    "every": "record a checkpoint every N completed segments "
+             "(default 1)",
+}
+
+
+@dataclass(frozen=True)
+class ScenarioCheckpoint:
+    """Declarative ``checkpoint:`` block: journaled segment snapshots.
+
+    A cluster run with this block records a
+    :class:`repro.traffic.stepper.ClusterCheckpoint` into a
+    :class:`repro.exec.SweepJournal` under ``directory`` every
+    ``every`` completed segments; ``repro run --resume`` restores from
+    the furthest one and continues, and the completed run is
+    bit-identical to an uninterrupted one.  The block configures
+    persistence only -- metrics never depend on it.
+    """
+
+    directory: str
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise ConfigError("checkpoint block needs a directory")
+        if self.every < 1:
+            raise ConfigError("checkpoint cadence ('every') must be >= 1")
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """Declarative sweep: vary one scenario field over several values."""
@@ -510,9 +544,10 @@ class Scenario:
     - ``cluster``: ``churn``, ``hosts``/``cores_per_host`` (or
       ``pools``), ``arrival``, ``load``, ``duration_s``, the optional
       ``autoscaler`` control loop, the optional ``virtualization``
-      control plane (VF budgets, hypercall cost), and optional injected
+      control plane (VF budgets, hypercall cost), optional injected
       ``faults`` (host crashes, VF loss, hypercall spikes, burst
-      storms);
+      storms), and the optional ``checkpoint`` block (journaled
+      segment snapshots for ``repro run --resume``);
     - ``llm``: the ``llm`` block (tenants, token budgets, preemption),
       plus ``arrival``, ``load``, ``duration_s``, ``drain``;
     - ``figure``: ``figure`` (the experiment name) and ``params``.
@@ -569,6 +604,9 @@ class Scenario:
     #: Sweep fan-out backend (None = legacy in-process sweep path,
     #: bit-identical to pre-executor runs; results never depend on it).
     executor: Optional[ScenarioExecutor] = None
+    #: Journaled segment checkpoints (cluster kind; None = no snapshots
+    #: are written.  Persistence only: metrics never depend on it).
+    checkpoint: Optional[ScenarioCheckpoint] = None
     #: Figure experiment name (kind == "figure").
     figure: Optional[str] = None
     #: Extra keyword parameters for the figure runner.
@@ -633,12 +671,12 @@ class Scenario:
             raise ConfigError("cluster needs at least one host and core")
         if self.kind != "cluster" and (
             self.pools or self.autoscaler or self.virtualization
-            or self.faults
+            or self.faults or self.checkpoint
         ):
             raise ConfigError(
                 f"{self.kind} scenario {self.name!r}: 'pools', "
-                "'autoscaler', 'virtualization' and 'faults' only "
-                "apply to kind: cluster"
+                "'autoscaler', 'virtualization', 'faults' and "
+                "'checkpoint' only apply to kind: cluster"
             )
         pool_names = [p.name for p in self.pools]
         if len(set(pool_names)) != len(pool_names):
@@ -776,6 +814,10 @@ class Scenario:
             out["executor"] = _nondefault_dict(self.executor) | {
                 "backend": self.executor.backend
             }
+        if self.checkpoint is not None:
+            out["checkpoint"] = _nondefault_dict(self.checkpoint) | {
+                "directory": self.checkpoint.directory
+            }
         if self.hardware:
             out["hardware"] = dict(self.hardware)
         if self.params:
@@ -854,6 +896,14 @@ class Scenario:
             if executor_raw is not None
             else None
         )
+        checkpoint_raw = data.pop("checkpoint", None)
+        checkpoint = (
+            _from_mapping(
+                ScenarioCheckpoint, dict(checkpoint_raw), "checkpoint"
+            )
+            if checkpoint_raw is not None
+            else None
+        )
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
@@ -868,7 +918,7 @@ class Scenario:
             tenants=tenants, churn=churn, sweep=sweep,
             pools=pools, autoscaler=autoscaler,
             virtualization=virtualization, faults=faults,
-            llm=llm, executor=executor,
+            llm=llm, executor=executor, checkpoint=checkpoint,
             **data,
         )
 

@@ -3,7 +3,9 @@
 Subcommands (``python -m repro.cli ...`` or the installed ``repro``)::
 
     run scenario.yaml [--json]        # run the scenario(s) in a file
+    run scenario.yaml --checkpoint DIR [--resume] [--progress]
     sweep scenario.yaml --param load --values 0.5,0.8,1.1
+    serve scenario.yaml [--port 0] [--tick 0.5]  # live HTTP control
     list [--json]                     # figures, schemes, arrivals, models
     fig fig19 fig22 [--json]          # paper-figure experiments
     fig --all                         # every figure (nonzero on failure)
@@ -36,7 +38,9 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import Neu10Error
 
-SUBCOMMANDS = ("run", "sweep", "list", "fig", "bench", "fuzz", "traffic")
+SUBCOMMANDS = (
+    "run", "sweep", "serve", "list", "fig", "bench", "fuzz", "traffic",
+)
 #: Legacy positional tokens accepted for backwards compatibility.
 LEGACY_EXTRA = ("all", "quickstart")
 
@@ -168,8 +172,71 @@ def _select_scenarios(args: argparse.Namespace) -> List:
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.api import run_scenario
 
-    results = [run_scenario(s) for s in _select_scenarios(args)]
+    scenarios = _select_scenarios(args)
+    if (args.checkpoint is not None or args.resume) and len(scenarios) != 1:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            "--checkpoint/--resume drive exactly one scenario; "
+            "pick one with --scenario NAME"
+        )
+    # Per-segment ticks are opt-in and never mix into --json output.
+    progress = bool(args.progress) and not args.json
+
+    def on_segment(done: int, total: int, observation) -> None:
+        if observation is None:
+            print(f"  resuming {done}/{total} segment(s) from checkpoint",
+                  file=sys.stderr)
+            return
+        print(f"  [{done}/{total}] segment t={observation.time_s:.6g}s "
+              f"hosts={observation.active_hosts} "
+              f"offered={observation.offered} "
+              f"attained={observation.attained}", file=sys.stderr)
+
+    checkpoint = None
+    if args.checkpoint is not None:
+        from repro.api import ScenarioCheckpoint
+
+        checkpoint = ScenarioCheckpoint(
+            directory=args.checkpoint, every=args.checkpoint_every
+        )
+    results = []
+    for scenario in scenarios:
+        hook = on_segment if progress and scenario.kind == "cluster" else None
+        if checkpoint is not None or args.resume or hook is not None:
+            results.append(run_scenario(
+                scenario, resume=args.resume, checkpoint=checkpoint,
+                on_segment=hook,
+            ))
+        else:
+            # The exact historical call, bit-identical results included.
+            results.append(run_scenario(scenario))
     _emit(results, args.json, args.output)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Subcommand: serve
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.api import load_scenario
+    from repro.serve import make_server, serve_forever
+
+    scenario = load_scenario(args.scenario_file, name=args.scenario)
+    server = make_server(
+        scenario, host=args.host, port=args.port, tick_s=args.tick
+    )
+    host, port = server.server_address[:2]
+    # One machine-readable line so wrappers can discover the bound
+    # (possibly ephemeral) port before the server blocks.
+    print(json.dumps({
+        "host": host, "port": port, "scenario": scenario.name,
+        "tick_s": args.tick,
+    }), flush=True)
+    try:
+        serve_forever(server)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -261,6 +328,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     from repro.api import (
         ARRIVALS,
         AUTOSCALERS,
+        CHECKPOINT_FIELD_DOCS,
         EXECUTORS,
         EXECUTOR_FIELD_DOCS,
         FAULT_FIELD_DOCS,
@@ -301,6 +369,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
             "llm": LLM_FIELD_DOCS,
             "executor": EXECUTOR_FIELD_DOCS,
             "faults": FAULT_FIELD_DOCS,
+            "checkpoint": CHECKPOINT_FIELD_DOCS,
         }, indent=2))
         return 0
     print("Scenario kinds (for `repro run <file.yaml>`):")
@@ -340,6 +409,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
         print(f"  {field_name:20s} {blurb}")
     print("Fault injection (cluster scenarios, `faults:` list):")
     for field_name, blurb in FAULT_FIELD_DOCS.items():
+        print(f"  {field_name:20s} {blurb}")
+    print("Checkpoint block fields (`checkpoint:` block, cluster "
+          "scenarios; also `run --checkpoint DIR`):")
+    for field_name, blurb in CHECKPOINT_FIELD_DOCS.items():
         print(f"  {field_name:20s} {blurb}")
     print("Legacy: traffic  (open-loop flags; prefer `run` with an "
           "open_loop scenario)")
@@ -571,16 +644,63 @@ def _build_parser() -> argparse.ArgumentParser:
             "  repro run examples/scenarios/smoke.yaml --json\n"
             "  repro run examples/scenarios/showcase.yaml"
             " --scenario cluster-autoscale-demo\n"
+            "  repro run cluster.yaml --checkpoint /tmp/ck --progress\n"
+            "  repro run cluster.yaml --checkpoint /tmp/ck --resume\n"
             "scenario files are YAML/JSON Scenario specs (kind: serving |\n"
             "open_loop | cluster | llm | figure); "
-            "see docs/scenario-reference.md"
+            "see docs/scenario-reference.md\n"
+            "segment checkpoints and resume: docs/live-control.md"
         ),
     )
     p_run.add_argument("scenario_file")
     p_run.add_argument("--scenario", default=None,
                        help="pick one scenario by name from a multi-file")
+    p_run.add_argument("--checkpoint", default=None, metavar="DIR",
+                       help="journal a segment-level cluster checkpoint to "
+                            "DIR as the run advances (cluster scenarios; "
+                            "overrides the file's `checkpoint:` block)")
+    p_run.add_argument("--checkpoint-every", type=int, default=1,
+                       metavar="N",
+                       help="with --checkpoint, record every N completed "
+                            "segments (default 1)")
+    p_run.add_argument("--resume", action="store_true",
+                       help="restore from the newest checkpoint in the "
+                            "journal and finish the run; the result is "
+                            "bit-identical to an uninterrupted run")
+    p_run.add_argument("--progress", action="store_true",
+                       help="per-segment completion ticks on stderr for "
+                            "cluster scenarios (off under --json)")
     add_io_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_serve = sub.add_parser(
+        "serve", help="drive one cluster scenario live over HTTP",
+        formatter_class=raw,
+        epilog=(
+            "examples:\n"
+            "  repro serve cluster.yaml --port 8123\n"
+            "  repro serve cluster.yaml --port 0 --tick 0.5\n"
+            "prints one JSON line ({\"host\": ..., \"port\": ...}) on stdout\n"
+            "once bound, then blocks.  Endpoints: GET /status /metrics\n"
+            "/snapshot /segments?since=N; POST /advance /pause /start\n"
+            "/restore /inject.  With --tick the run starts paused and\n"
+            "auto-steps one segment per interval after POST /start.\n"
+            "see docs/live-control.md"
+        ),
+    )
+    p_serve.add_argument("scenario_file")
+    p_serve.add_argument("--scenario", default=None,
+                         help="pick one scenario by name from a multi-file")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="bind port; 0 picks an ephemeral port "
+                              "(reported on stdout)")
+    p_serve.add_argument("--tick", type=float, default=None,
+                         metavar="SECONDS",
+                         help="auto-step one segment per interval "
+                              "(starts paused; POST /start begins)")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_sweep = sub.add_parser(
         "sweep", help="run one scenario across several parameter values",

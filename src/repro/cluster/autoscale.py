@@ -37,6 +37,7 @@ CLI edits.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
@@ -133,6 +134,12 @@ class SegmentObservation:
         if self.vf_capacity <= 0:
             return 0.0
         return self.vf_in_use / self.vf_capacity
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (streamed by ``repro serve`` and ``--progress``)."""
+        out = dataclasses.asdict(self)
+        out["pool_hosts"] = dict(self.pool_hosts)
+        return out
 
     @property
     def attainment(self) -> float:

@@ -8,7 +8,6 @@ host via the configured policy and drives that host's hypervisor.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -22,9 +21,12 @@ from repro.cluster.virt import (
     REJECT_HYPERCALL,
     REJECT_VF_EXHAUSTED,
 )
+from repro.config import MonotonicIds
 from repro.errors import AllocationError, HypercallError
 
-_request_ids = itertools.count(1)
+#: Process-wide placement-request id source; checkpoint restore
+#: repositions it (see :class:`repro.config.MonotonicIds`).
+_request_ids = MonotonicIds(1)
 
 
 @dataclass

@@ -17,14 +17,15 @@ control-plane bugs surface as :class:`~repro.errors.LifecycleError`.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.config import NpuCoreConfig
+from repro.config import MonotonicIds, NpuCoreConfig
 from repro.errors import ConfigError, LifecycleError
 
-_vnpu_ids = itertools.count(1)
+#: Process-wide vNPU id source; checkpoint restore repositions it
+#: (see :class:`repro.config.MonotonicIds`).
+_vnpu_ids = MonotonicIds(1)
 
 
 @dataclass(frozen=True)

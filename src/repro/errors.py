@@ -18,6 +18,29 @@ class ConfigError(Neu10Error):
     """An invalid hardware or vNPU configuration was supplied."""
 
 
+class ValidationError(ConfigError):
+    """A user-supplied field failed validation.
+
+    Carries the offending ``field`` name and ``value`` so callers (and
+    error messages) can point at exactly what to fix, rather than
+    guessing from a free-form string.
+    """
+
+    def __init__(self, field: str, value: object, message: str) -> None:
+        super().__init__(f"{field}={value!r}: {message}")
+        self.field = field
+        self.value = value
+
+
+class CheckpointError(Neu10Error):
+    """A simulation checkpoint is corrupt, stale, or mismatched.
+
+    Raised when a :class:`repro.traffic.stepper.ClusterCheckpoint`
+    fails its digest/version verification or was taken under a
+    different scenario configuration than the one restoring it.
+    """
+
+
 class AllocationError(Neu10Error):
     """The vNPU allocator or manager could not satisfy a request."""
 

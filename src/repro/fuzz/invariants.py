@@ -19,6 +19,9 @@ fields of one run:
   doubles -- within a tolerance that absorbs re-drawn arrival noise.
 - **resume**: an executor sweep checkpoint truncated at a random byte
   (a simulated SIGKILL mid-write) resumes to bit-identical results.
+- **snapshot-restore**: a cluster run snapshotted at a random segment
+  boundary and restored *in a fresh process* finishes with metrics
+  bit-identical to the uninterrupted run.
 
 Checks that need extra simulations are gated behind ``deep`` so a small
 smoke budget stays fast; the harness samples deep scenarios evenly.
@@ -48,6 +51,7 @@ INV_WORKERS = "worker-differential"
 INV_LOAD_MONOTONE = "load-monotonicity"
 INV_KV_MONOTONE = "kv-monotonicity"
 INV_RESUME = "resume-bit-equality"
+INV_SNAPSHOT = "snapshot-restore"
 
 
 @dataclass
@@ -424,6 +428,67 @@ def check_resume(
     return []
 
 
+def _finish_from_checkpoint(
+    scenario_dict: Dict[str, object], checkpoint_dict: Dict[str, object]
+) -> str:
+    """Restore a cluster checkpoint and finish the run (child process).
+
+    Module-level so the ``spawn`` context can import it by name; the
+    fresh interpreter proves no hidden process state (module-global
+    counters, RNG, caches) leaks into the checkpoint contract.
+    """
+    from repro.api.runner import _cluster_run_result, cluster_inputs
+    from repro.traffic.cluster_sim import ClusterSimulation
+    from repro.traffic.stepper import ClusterCheckpoint
+
+    scenario = Scenario.from_dict(scenario_dict)
+    events, cfg = cluster_inputs(scenario)
+    sim = ClusterSimulation.restore(
+        ClusterCheckpoint.from_dict(checkpoint_dict), events, cfg
+    )
+    result = sim.run()
+    return _metrics_digest(_cluster_run_result(scenario, cfg, result))
+
+
+def check_snapshot_restore(
+    scenario: Scenario, result: RunResult, rng: random.Random
+) -> List[Violation]:
+    """A mid-run snapshot restores bit-identically across processes.
+
+    Steps a cluster simulation to a random interior segment boundary,
+    snapshots, then restores and completes the run in a *fresh spawned
+    interpreter*; its metrics digest must match the uninterrupted
+    run's.
+    """
+    if scenario.kind != "cluster":
+        return []
+    import multiprocessing
+
+    from repro.api.runner import cluster_inputs
+    from repro.traffic.cluster_sim import ClusterSimulation
+
+    events, cfg = cluster_inputs(scenario)
+    sim = ClusterSimulation(events, cfg)
+    if sim.config_digest is None or sim.total_segments < 2:
+        return []
+    cut = rng.randrange(1, sim.total_segments)
+    while sim.segments_completed < cut and not sim.done:
+        sim.step_segment()
+    checkpoint = sim.snapshot().to_dict()
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        digest = pool.apply(
+            _finish_from_checkpoint, (scenario.to_dict(), checkpoint)
+        )
+    if digest != _metrics_digest(result):
+        return [Violation(
+            INV_SNAPSHOT, scenario.name,
+            f"run restored at segment {cut}/{sim.total_segments} in a "
+            "fresh process diverged from the uninterrupted run", scenario,
+        )]
+    return []
+
+
 # ----------------------------------------------------------------------
 # Catalog driver
 # ----------------------------------------------------------------------
@@ -467,4 +532,6 @@ def check_scenario(
         if scenario.kind in ("open_loop", "llm"):
             record(check_workers(scenario))
             record(check_resume(scenario, rng, workdir))
+        if scenario.kind == "cluster":
+            record(check_snapshot_restore(scenario, result, rng))
     return outcome

@@ -12,13 +12,15 @@ indices; overflow and malformed commands raise
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.config import MonotonicIds
 from repro.errors import CommandRingError
 
-_seq = itertools.count(1)
+#: Process-wide command sequence-number source; checkpoint restore
+#: repositions it (see :class:`repro.config.MonotonicIds`).
+_seq = MonotonicIds(1)
 
 
 class CommandOpcode(enum.Enum):

@@ -1,0 +1,28 @@
+"""Live control of cluster simulations over HTTP (``repro serve``).
+
+Built on the steppable :class:`repro.traffic.cluster_sim.ClusterSimulation`
+core: :class:`~repro.serve.controller.ServeController` wraps one
+simulation behind a lock, and :class:`~repro.serve.server.ServeServer`
+exposes it as stdlib-only JSON endpoints -- advance, pause, snapshot,
+restore, metrics, and live injection of tenants and traffic spikes.
+Snapshots are the same versioned :class:`~repro.traffic.stepper.ClusterCheckpoint`
+payloads the checkpointed ``repro run`` path journals, so a run can
+move between the CLI and a live server mid-flight.
+"""
+
+from repro.serve.controller import INJECT_KINDS, ServeController
+from repro.serve.server import (
+    DEFAULT_TICK_S,
+    ServeServer,
+    make_server,
+    serve_forever,
+)
+
+__all__ = [
+    "DEFAULT_TICK_S",
+    "INJECT_KINDS",
+    "ServeController",
+    "ServeServer",
+    "make_server",
+    "serve_forever",
+]

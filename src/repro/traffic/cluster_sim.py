@@ -41,9 +41,12 @@ offered load.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cluster import orchestrator as _orchestrator_module
 from repro.cluster.autoscale import (
     ACTION_ADD,
     ACTION_DRAIN,
@@ -70,12 +73,27 @@ from repro.cluster.virt import (
     remove_free_vfs,
 )
 from repro.config import DEFAULT_CORE, DEFAULT_SEED, NpuCoreConfig, spawn_rng
-from repro.errors import ConfigError
+from repro.core import vnpu as _vnpu_module
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    SimulationError,
+    ValidationError,
+)
 from repro.megabatch import megabatch_default
 from repro.parallel import parallel_map
+from repro.runtime import command as _command_module
 from repro.api.registries import SCHEDULERS, scheme_isa
 from repro.serving.server import make_scheduler
 from repro.sim.engine import Simulator, Tenant
+from repro.traffic.stepper import (
+    EVENT_CHURN,
+    EVENT_FAULT,
+    ClusterCheckpoint,
+    Timeline,
+    build_timeline,
+    merge_boundaries,
+)
 from repro.traffic.openloop import (
     OpenLoopConfig,
     TrafficTenantSpec,
@@ -102,11 +120,19 @@ class ChurnEvent:
 
     def __post_init__(self) -> None:
         if self.time_s < 0:
-            raise ConfigError("churn events cannot happen before t=0")
+            raise ValidationError(
+                "time_s", self.time_s, "churn events cannot happen before t=0"
+            )
         if self.action not in (ACTION_ARRIVE, ACTION_DEPART):
-            raise ConfigError(f"unknown churn action {self.action!r}")
+            raise ValidationError(
+                "action", self.action,
+                f"unknown churn action (expected {ACTION_ARRIVE!r} or "
+                f"{ACTION_DEPART!r})",
+            )
         if self.action == ACTION_ARRIVE and self.spec is None:
-            raise ConfigError(f"arrive event for {self.name!r} needs a spec")
+            raise ValidationError(
+                "spec", None, f"arrive event for {self.name!r} needs a spec"
+            )
 
 
 @dataclass
@@ -160,17 +186,32 @@ class ClusterTrafficConfig:
     faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.num_hosts < 1 or self.cores_per_host < 1:
-            raise ConfigError("cluster needs at least one host and core")
+        if self.num_hosts < 1:
+            raise ValidationError(
+                "num_hosts", self.num_hosts,
+                "a cluster needs at least one host",
+            )
+        if self.cores_per_host < 1:
+            raise ValidationError(
+                "cores_per_host", self.cores_per_host,
+                "hosts need at least one core",
+            )
         if self.end_s <= 0:
-            raise ConfigError("cluster run needs a positive end time")
+            raise ValidationError(
+                "end_s", self.end_s, "cluster run needs a positive end time"
+            )
         self.pools = tuple(self.pools)
         self.faults = tuple(self.faults)
         names = [p.name for p in self.pools]
         if len(set(names)) != len(names):
-            raise ConfigError("host pool names must be unique")
+            raise ValidationError(
+                "pools", names, "host pool names must be unique"
+            )
         if self.autoscale_interval_s is not None and self.autoscale_interval_s <= 0:
-            raise ConfigError("autoscale interval must be positive")
+            raise ValidationError(
+                "autoscale_interval_s", self.autoscale_interval_s,
+                "autoscale interval must be positive",
+            )
 
 
 @dataclass
@@ -403,37 +444,9 @@ def _executor_fan_out(
     return [o.value for o in outcomes]
 
 
-def _segment_boundaries(
-    events: Sequence[ChurnEvent],
-    end_s: float,
-    interval_s: Optional[float] = None,
-    extra_cuts: Sequence[float] = (),
-) -> List[float]:
-    cuts = {0.0, end_s}
-    for ev in events:
-        if ev.time_s < end_s:
-            cuts.add(ev.time_s)
-    for t in extra_cuts:
-        # Fault fire times and window edges cut the timeline exactly
-        # like churn events, so a fault never lands mid-segment.
-        if 0.0 < t < end_s:
-            cuts.add(t)
-    if interval_s is not None:
-        # Multiply rather than accumulate, and drop ticks that land
-        # within float jitter of an existing cut: a phantom ~0-width
-        # segment would otherwise reach the autoscaler as a fully idle
-        # observation and trigger spurious drains.
-        eps = end_s * 1e-9
-        exact = sorted(cuts)
-        i = 1
-        while True:
-            t = i * interval_s
-            if t >= end_s - eps:
-                break
-            if all(abs(t - c) > eps for c in exact):
-                cuts.add(t)
-            i += 1
-    return sorted(cuts)
+#: The boundary merge now lives in :mod:`repro.traffic.stepper` (it is
+#: property-tested there); this alias keeps the historical name.
+_segment_boundaries = merge_boundaries
 
 
 class _Fleet:
@@ -720,48 +733,291 @@ def run_cluster_traffic(
     boundaries (before that boundary's churn events) based on the
     previous segment's observation; the action log, host-count timeline
     and time-weighted mean fleet size land on the result.
+
+    Thin wrapper over :class:`ClusterSimulation`: constructing the
+    state machine and running it straight to the horizon is exactly the
+    code path earlier releases took, so results are bit-identical.
     """
-    cfg = cfg if cfg is not None else ClusterTrafficConfig()
-    #: Demand reference: arrival rates and SLO targets are calibrated
-    #: against this nominal host, independent of actual placement.
-    nominal_core = cfg.core.with_engines(
-        cfg.core.num_mes * cfg.cores_per_host,
-        cfg.core.num_ves * cfg.cores_per_host,
-    )
-    pools = _default_pools(cfg)
-    virt = cfg.virtualization
-    if virt is not None:
-        unknown = set(virt.pool_num_vfs) - {p.name for p in pools}
-        if unknown:
-            known = ", ".join(sorted(p.name for p in pools))
-            raise ConfigError(
-                f"virtualization names unknown pool(s) {sorted(unknown)}; "
-                f"known: {known}"
+    return ClusterSimulation(events, cfg).run()
+
+
+#: Progress callback for stepped cluster runs:
+#: ``(segments_completed, total_segments, observation)``; the
+#: observation is ``None`` for the initial resumed-count notification.
+SegmentHook = Callable[[int, int, Optional[SegmentObservation]], None]
+
+#: Every mutable attribute a checkpoint captures, pickled as one dict so
+#: shared object identity (a resident's ``host`` *is* the fleet's host,
+#: which *is* an orchestrator entry) survives the round trip.
+_STATE_ATTRS = (
+    # The live churn/fault scripts (injection can extend them mid-run).
+    "churn",
+    "faults",
+    # Fleet + orchestration state (hosts, hypervisors, placements).
+    "fleet",
+    "residents",
+    "rejected",
+    "rejection_causes",
+    "onboard_until",
+    "onboarding_delay_s",
+    # Accumulated metrics.
+    "reports",
+    "busy",
+    "segments",
+    "simulated_cycles",
+    "autoscale_events",
+    "host_count_timeline",
+    "host_seconds",
+    "fault_events",
+    "vf_timeline",
+    "last_hypercalls",
+    # Controller state between segments.
+    "autoscaler",
+    "seg_stats",
+    "rejected_before_segment",
+    # Streaming per-segment observations (serve replay).
+    "segment_log",
+)
+
+
+class ClusterSimulation:
+    """Steppable cluster-simulation state machine.
+
+    The timeline (churn, faults, autoscale ticks, load-phase edges) is
+    built once as a unified sorted :class:`~repro.traffic.stepper.Timeline`;
+    :meth:`step_segment` consumes it one segment at a time --
+    apply the previous segment's autoscale observation, apply the
+    opening boundary's churn and point faults, simulate every live
+    host's resident tenants to the next boundary, merge the per-tenant
+    reports.  :meth:`run` steps to the horizon and scores, which is the
+    exact code path (and bit-identical output) of the historical
+    one-shot ``run_cluster_traffic``.
+
+    Between segments the entire mutable state can be captured with
+    :meth:`snapshot` and rebuilt -- in this process or a fresh one --
+    with :meth:`restore`, so interrupted runs resume bit-identically.
+    Per-(tenant, segment) RNG streams are derived from the seed and
+    never persist across segments, so the checkpoint carries no RNG
+    state; the three process-wide id streams (placement requests,
+    vNPUs, ring commands) are repositioned on restore instead.
+
+    A live run can also be steered: :meth:`inject_churn` /
+    :meth:`inject_fault` splice new events into the not-yet-simulated
+    part of the timeline (``repro serve`` maps tenant and traffic-spike
+    injection onto these).
+    """
+
+    def __init__(
+        self,
+        events: Sequence[ChurnEvent],
+        cfg: Optional[ClusterTrafficConfig] = None,
+    ) -> None:
+        cfg = cfg if cfg is not None else ClusterTrafficConfig()
+        self.cfg = cfg
+        #: Demand reference: arrival rates and SLO targets are calibrated
+        #: against this nominal host, independent of actual placement.
+        self.nominal_core = cfg.core.with_engines(
+            cfg.core.num_mes * cfg.cores_per_host,
+            cfg.core.num_ves * cfg.cores_per_host,
+        )
+        pools = _default_pools(cfg)
+        virt = cfg.virtualization
+        if virt is not None:
+            unknown = set(virt.pool_num_vfs) - {p.name for p in pools}
+            if unknown:
+                known = ", ".join(sorted(p.name for p in pools))
+                raise ConfigError(
+                    f"virtualization names unknown pool(s) {sorted(unknown)}; "
+                    f"known: {known}"
+                )
+        self.virt = virt
+        self.virt_cost = virt.hypercall_cost_s if virt is not None else 0.0
+        self.fleet = _Fleet(pools, cfg.core, cfg.policy, virt)
+        self.orch = self.fleet.orch
+
+        self.fault_events: List[Dict[str, object]] = []
+        self.residents: Dict[str, _Resident] = {}
+        self.rejected: List[str] = []
+        self.rejection_causes: Dict[str, str] = {}
+        #: Simulated time until which a tenant's arrivals are held back
+        #: by control-plane latency (admission / migration hypercalls).
+        self.onboard_until: Dict[str, float] = {}
+        self.onboarding_delay_s = 0.0
+        self.reports: Dict[str, SloReport] = {}
+        self.busy: Dict[str, Tuple[float, float]] = {
+            h.name: (0.0, 0.0) for h in self.fleet.ever_active
+        }
+        SCHEDULERS.get(cfg.scheme)  # helpful unknown-scheme error up front
+
+        self.autoscaler = cfg.autoscaler
+        self.interval = (
+            cfg.autoscale_interval_s if cfg.autoscaler is not None else None
+        )
+        #: Deterministic application order: time, departs before arrives.
+        ordered = sorted(
+            events, key=lambda e: (e.time_s, e.action != ACTION_DEPART)
+        )
+        #: Deterministic fault order: fire time, then kind, then target.
+        faults = sorted(
+            cfg.faults, key=lambda f: (f.time_s, f.kind, f.host or "", f.count)
+        )
+        self._install_script(ordered, faults)
+        for fault in self.storms + self.spikes:
+            if fault.time_s < cfg.end_s:
+                self.fault_events.append({
+                    "time_s": fault.time_s, "kind": fault.kind,
+                    "applied": True,
+                    "duration_s": fault.duration_s, "factor": fault.factor,
+                })
+
+        self.segments = 0
+        self.simulated_cycles = 0.0
+        self.autoscale_events: List[AutoscaleEvent] = []
+        self.host_count_timeline: List[Tuple[float, int]] = []
+        self.host_seconds = 0.0
+        #: Stats of the segment just simulated, consumed by the controller.
+        self.seg_stats: Optional[Dict[str, object]] = None
+        self.rejected_before_segment = 0
+        self.first_pool = next(iter(self.fleet.pools))
+        #: Control-plane telemetry is only consumed by the virtualization
+        #: summary and the autoscaler's observations; skip the per-segment
+        #: fleet walks entirely on the plain path.
+        self.track_control_plane = virt is not None or cfg.autoscaler is not None
+        #: Fleet-wide hypercall reading at the previous segment start, for
+        #: per-segment deltas (boundary churn is attributed to the segment
+        #: it opens).
+        self.last_hypercalls = 0
+        self.vf_timeline: List[Tuple[float, int, int]] = []
+        self.segment_log: List[SegmentObservation] = []
+        self._next = 0
+        #: Identity of this (events, config) pair, stamped into every
+        #: checkpoint.  Computed before any stepping: the configured
+        #: autoscaler's *internal* state mutates as the run advances, so
+        #: the digest is only stable at construction time.  ``None``
+        #: when the configuration is not picklable (e.g. an ad-hoc local
+        #: autoscaler class): such runs simulate fine, they just cannot
+        #: be checkpointed.
+        try:
+            self.config_digest: Optional[str] = hashlib.sha256(
+                pickle.dumps((ordered, cfg), protocol=4)
+            ).hexdigest()
+        except (AttributeError, TypeError, pickle.PicklingError):
+            self.config_digest = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def total_segments(self) -> int:
+        return len(self.boundaries) - 1
+
+    @property
+    def segments_completed(self) -> int:
+        return self._next
+
+    @property
+    def done(self) -> bool:
+        return self._next >= self.total_segments
+
+    @property
+    def time_s(self) -> float:
+        """Current simulated time (the boundary opening the next segment)."""
+        return self.boundaries[self._next]
+
+    # ------------------------------------------------------------------
+    # Timeline installation (construction, restore, live injection)
+    # ------------------------------------------------------------------
+    def _install_script(
+        self, churn: Sequence[ChurnEvent], faults: Sequence[FaultSpec]
+    ) -> None:
+        """(Re)build the unified timeline from churn + fault scripts."""
+        self.churn = list(churn)
+        self.faults = list(faults)
+        self.storms = [f for f in self.faults if f.kind == FAULT_BURST_STORM]
+        self.spikes = [
+            f for f in self.faults if f.kind == FAULT_HYPERCALL_SPIKE
+        ]
+        self.point_faults = [
+            f for f in self.faults
+            if f.kind in (FAULT_HOST_CRASH, FAULT_VF_LOSS)
+        ]
+        self.timeline: Timeline = build_timeline(
+            self.churn, self.faults, self.cfg.end_s, self.interval
+        )
+        self.boundaries = list(self.timeline.boundaries)
+
+    def inject_churn(self, event: ChurnEvent) -> None:
+        """Splice a live churn event into the remaining timeline."""
+        self._inject(churn=(event,))
+
+    def inject_fault(self, fault: FaultSpec) -> None:
+        """Splice a live fault into the remaining timeline."""
+        self._inject(faults=(fault,))
+
+    def _inject(
+        self,
+        churn: Sequence[ChurnEvent] = (),
+        faults: Sequence[FaultSpec] = (),
+    ) -> None:
+        if self.done:
+            raise SimulationError(
+                "cannot inject into a finished simulation"
             )
-    virt_cost = virt.hypercall_cost_s if virt is not None else 0.0
-    fleet = _Fleet(pools, cfg.core, cfg.policy, virt)
-    orch = fleet.orch
+        now = self.time_s
+        for item in list(churn) + list(faults):
+            if item.time_s <= now:
+                raise ValidationError(
+                    "time_s", item.time_s,
+                    f"injected events must land strictly after t={now}",
+                )
+            if item.time_s >= self.cfg.end_s:
+                raise ValidationError(
+                    "time_s", item.time_s,
+                    "injected events must land before the horizon "
+                    f"end_s={self.cfg.end_s}",
+                )
+        old_churn, old_faults = self.churn, self.faults
+        old_prefix = self.boundaries[: self._next + 1]
+        new_churn = sorted(
+            list(self.churn) + list(churn),
+            key=lambda e: (e.time_s, e.action != ACTION_DEPART),
+        )
+        new_faults = sorted(
+            list(self.faults) + list(faults),
+            key=lambda f: (f.time_s, f.kind, f.host or "", f.count),
+        )
+        self._install_script(new_churn, new_faults)
+        if self.boundaries[: self._next + 1] != old_prefix:
+            # A new cut within float-epsilon of an already-consumed
+            # autoscale tick would rewrite history; refuse it.
+            self._install_script(old_churn, old_faults)
+            raise ValidationError(
+                "time_s", [item.time_s for item in list(churn) + list(faults)],
+                "injection would perturb already-simulated boundaries",
+            )
+        for fault in faults:
+            if (
+                fault.kind in (FAULT_BURST_STORM, FAULT_HYPERCALL_SPIKE)
+                and fault.time_s < self.cfg.end_s
+            ):
+                self.fault_events.append({
+                    "time_s": fault.time_s, "kind": fault.kind,
+                    "applied": True,
+                    "duration_s": fault.duration_s, "factor": fault.factor,
+                })
 
-    #: Deterministic fault order: fire time, then kind, then target.
-    faults = sorted(
-        cfg.faults, key=lambda f: (f.time_s, f.kind, f.host or "", f.count)
-    )
-    storms = [f for f in faults if f.kind == FAULT_BURST_STORM]
-    spikes = [f for f in faults if f.kind == FAULT_HYPERCALL_SPIKE]
-    point_faults = [
-        f for f in faults if f.kind in (FAULT_HOST_CRASH, FAULT_VF_LOSS)
-    ]
-    fault_events: List[Dict[str, object]] = []
-
-    def hypercall_cost_at(at: float) -> float:
+    # ------------------------------------------------------------------
+    # Boundary application
+    # ------------------------------------------------------------------
+    def _hypercall_cost_at(self, at: float) -> float:
         """Control-plane latency per hypercall at time ``at``."""
-        cost = virt_cost
-        for spike in spikes:
+        cost = self.virt_cost
+        for spike in self.spikes:
             if spike.covers(at):
                 cost *= spike.factor
         return cost
 
-    def load_multiplier(t0: float, t1: float) -> float:
+    def _load_multiplier(self, t0: float, t1: float) -> float:
         """Offered-load factor for the segment ``[t0, t1)``.
 
         Storm edges cut the timeline, so a segment is either fully
@@ -770,154 +1026,116 @@ def run_cluster_traffic(
         """
         mid = 0.5 * (t0 + t1)
         mult = 1.0
-        for storm in storms:
+        for storm in self.storms:
             if storm.covers(mid):
                 mult *= storm.factor
         return mult
 
-    def apply_faults(at: float) -> None:
-        """Fire point faults scheduled at boundary ``at``."""
-        for fault in point_faults:
-            if fault.time_s != at:
-                continue
-            if fault.kind == FAULT_HOST_CRASH:
-                live = fleet.active_hosts()
-                victim = None
-                if fault.host is not None:
-                    victim = next(
-                        (h for h in live if h.name == fault.host), None
-                    )
-                elif len(live) > 1:
-                    # Most-loaded live host; name-order tiebreak.
-                    victim = max(live, key=lambda h: (h.load, h.name))
-                if victim is None or len(live) <= 1:
-                    # Never crash the last live host (the run could not
-                    # continue) or a host that is not live.
-                    fault_events.append({
-                        "time_s": at, "kind": fault.kind,
-                        "host": fault.host, "applied": False,
-                    })
-                    continue
-                migrated, evicted = fleet.crash(victim.name, residents)
-                for name in evicted:
-                    onboard_until.pop(name, None)
-                if virt_cost > 0:
-                    # Every re-placed tenant pays destroy + create.
-                    cost = hypercall_cost_at(at)
-                    for tenant, _src, _dst in migrated:
-                        onboard_until[tenant] = max(
-                            onboard_until.get(tenant, 0.0), at + 2 * cost
-                        )
-                fault_events.append({
-                    "time_s": at, "kind": fault.kind, "host": victim.name,
-                    "applied": True,
-                    "migrated": [list(m) for m in migrated],
-                    "evicted": list(evicted),
-                })
-            elif fault.kind == FAULT_VF_LOSS:
-                live = fleet.active_hosts()
-                victim = None
-                if fault.host is not None:
-                    victim = next(
-                        (h for h in live if h.name == fault.host), None
-                    )
-                elif live:
-                    # Host with the most free VFs; name-order tiebreak.
-                    victim = max(live, key=lambda h: (h.free_vfs, h.name))
-                removed = (
-                    remove_free_vfs(victim, fault.count)
-                    if victim is not None
-                    else 0
+    def _apply_churn(self, ev: ChurnEvent, at: float) -> None:
+        if ev.action == ACTION_ARRIVE:
+            if ev.name in self.residents:
+                raise ConfigError(f"tenant {ev.name!r} is already resident")
+            request = PlacementRequest(
+                owner=ev.name, num_mes=ev.num_mes, num_ves=ev.num_ves
+            )
+            placement = self.orch.submit(request)
+            if placement is None:
+                self.rejected.append(ev.name)
+                self.rejection_causes[ev.name] = self.orch.rejection_causes.get(
+                    request.request_id, REJECT_CAPACITY
                 )
-                fault_events.append({
-                    "time_s": at, "kind": fault.kind,
-                    "host": victim.name if victim is not None else fault.host,
-                    "applied": removed > 0,
-                    "removed": removed,
-                })
+                return
+            self.residents[ev.name] = _Resident(
+                request_id=placement.request.request_id,
+                host=placement.host,
+                spec=ev.spec,
+                num_mes=ev.num_mes,
+                num_ves=ev.num_ves,
+            )
+            if self.virt_cost > 0:
+                # One create hypercall stands between admission and
+                # the tenant's first served request.
+                self.onboard_until[ev.name] = at + self._hypercall_cost_at(at)
+        else:
+            resident = self.residents.pop(ev.name, None)
+            if resident is None:
+                if ev.name in self.rejected:
+                    return  # never admitted; nothing to release
+                raise ConfigError(f"tenant {ev.name!r} is not resident")
+            self.orch.release(resident.request_id)
+            self.onboard_until.pop(ev.name, None)
 
-    for fault in storms + spikes:
-        if fault.time_s < cfg.end_s:
-            fault_events.append({
-                "time_s": fault.time_s, "kind": fault.kind, "applied": True,
-                "duration_s": fault.duration_s, "factor": fault.factor,
+    def _apply_fault(self, fault: FaultSpec, at: float) -> None:
+        """Fire one point fault at boundary ``at``."""
+        fleet = self.fleet
+        if fault.kind == FAULT_HOST_CRASH:
+            live = fleet.active_hosts()
+            victim = None
+            if fault.host is not None:
+                victim = next(
+                    (h for h in live if h.name == fault.host), None
+                )
+            elif len(live) > 1:
+                # Most-loaded live host; name-order tiebreak.
+                victim = max(live, key=lambda h: (h.load, h.name))
+            if victim is None or len(live) <= 1:
+                # Never crash the last live host (the run could not
+                # continue) or a host that is not live.
+                self.fault_events.append({
+                    "time_s": at, "kind": fault.kind,
+                    "host": fault.host, "applied": False,
+                })
+                return
+            migrated, evicted = fleet.crash(victim.name, self.residents)
+            for name in evicted:
+                self.onboard_until.pop(name, None)
+            if self.virt_cost > 0:
+                # Every re-placed tenant pays destroy + create.
+                cost = self._hypercall_cost_at(at)
+                for tenant, _src, _dst in migrated:
+                    self.onboard_until[tenant] = max(
+                        self.onboard_until.get(tenant, 0.0), at + 2 * cost
+                    )
+            self.fault_events.append({
+                "time_s": at, "kind": fault.kind, "host": victim.name,
+                "applied": True,
+                "migrated": [list(m) for m in migrated],
+                "evicted": list(evicted),
+            })
+        elif fault.kind == FAULT_VF_LOSS:
+            live = fleet.active_hosts()
+            victim = None
+            if fault.host is not None:
+                victim = next(
+                    (h for h in live if h.name == fault.host), None
+                )
+            elif live:
+                # Host with the most free VFs; name-order tiebreak.
+                victim = max(live, key=lambda h: (h.free_vfs, h.name))
+            removed = (
+                remove_free_vfs(victim, fault.count)
+                if victim is not None
+                else 0
+            )
+            self.fault_events.append({
+                "time_s": at, "kind": fault.kind,
+                "host": victim.name if victim is not None else fault.host,
+                "applied": removed > 0,
+                "removed": removed,
             })
 
-    ordered = sorted(events, key=lambda e: (e.time_s, e.action != ACTION_DEPART))
-    residents: Dict[str, _Resident] = {}
-    rejected: List[str] = []
-    rejection_causes: Dict[str, str] = {}
-    #: Simulated time until which a tenant's arrivals are held back by
-    #: control-plane latency (admission / migration hypercalls).
-    onboard_until: Dict[str, float] = {}
-    onboarding_delay_s = 0.0
-    reports: Dict[str, SloReport] = {}
-    busy: Dict[str, Tuple[float, float]] = {
-        h.name: (0.0, 0.0) for h in fleet.ever_active
-    }
-    SCHEDULERS.get(cfg.scheme)  # helpful unknown-scheme error up front
-
-    def apply_events(at: float) -> None:
-        for ev in ordered:
-            if ev.time_s != at:
-                continue
-            if ev.action == ACTION_ARRIVE:
-                if ev.name in residents:
-                    raise ConfigError(f"tenant {ev.name!r} is already resident")
-                request = PlacementRequest(
-                    owner=ev.name, num_mes=ev.num_mes, num_ves=ev.num_ves
-                )
-                placement = orch.submit(request)
-                if placement is None:
-                    rejected.append(ev.name)
-                    rejection_causes[ev.name] = orch.rejection_causes.get(
-                        request.request_id, REJECT_CAPACITY
-                    )
-                    continue
-                residents[ev.name] = _Resident(
-                    request_id=placement.request.request_id,
-                    host=placement.host,
-                    spec=ev.spec,
-                    num_mes=ev.num_mes,
-                    num_ves=ev.num_ves,
-                )
-                if virt_cost > 0:
-                    # One create hypercall stands between admission and
-                    # the tenant's first served request.
-                    onboard_until[ev.name] = at + hypercall_cost_at(at)
-            else:
-                resident = residents.pop(ev.name, None)
-                if resident is None:
-                    if ev.name in rejected:
-                        continue  # never admitted; nothing to release
-                    raise ConfigError(f"tenant {ev.name!r} is not resident")
-                orch.release(resident.request_id)
-                onboard_until.pop(ev.name, None)
-
-    interval = cfg.autoscale_interval_s if cfg.autoscaler is not None else None
-    fault_cuts = [f.time_s for f in faults] + [
-        f.end_s for f in storms + spikes
-    ]
-    boundaries = _segment_boundaries(ordered, cfg.end_s, interval, fault_cuts)
-    segments = 0
-    simulated_cycles = 0.0
-    autoscale_events: List[AutoscaleEvent] = []
-    host_count_timeline: List[Tuple[float, int]] = []
-    host_seconds = 0.0
-    #: Stats of the segment just simulated, consumed by the controller.
-    seg_stats: Optional[Dict[str, object]] = None
-    rejected_before_segment = 0
-
-    first_pool = next(iter(fleet.pools))
-
-    def apply_actions(actions: Sequence[ScalingAction], at: float) -> None:
+    def _apply_actions(
+        self, actions: Sequence[ScalingAction], at: float
+    ) -> None:
+        fleet = self.fleet
         for act in actions:
             if act.action == ACTION_REBALANCE:
                 fleet.rebalance(
-                    act.count, at, act.reason, residents, autoscale_events
+                    act.count, at, act.reason, self.residents,
+                    self.autoscale_events,
                 )
                 continue
-            pool = act.pool or first_pool
+            pool = act.pool or self.first_pool
             if pool not in fleet.pools:
                 known = ", ".join(sorted(fleet.pools))
                 raise ConfigError(
@@ -926,35 +1144,50 @@ def run_cluster_traffic(
                 )
             for _ in range(act.count):
                 done = (
-                    fleet.activate(pool, at, act.reason, autoscale_events)
+                    fleet.activate(
+                        pool, at, act.reason, self.autoscale_events
+                    )
                     if act.action == ACTION_ADD
                     else fleet.drain(
-                        pool, at, act.reason, residents, autoscale_events
+                        pool, at, act.reason, self.residents,
+                        self.autoscale_events,
                     )
                 )
                 if not done:
                     break
 
-    #: Control-plane telemetry is only consumed by the virtualization
-    #: summary and the autoscaler's observations; skip the per-segment
-    #: fleet walks entirely on the plain path.
-    track_control_plane = virt is not None or cfg.autoscaler is not None
-    #: Fleet-wide hypercall reading at the previous segment start, for
-    #: per-segment deltas (boundary churn is attributed to the segment
-    #: it opens).
-    last_hypercalls = 0
-    vf_timeline: List[Tuple[float, int, int]] = []
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step_segment(self) -> Optional[SegmentObservation]:
+        """Simulate the next segment; return its observation.
 
-    for seg_index, (t0, t1) in enumerate(zip(boundaries, boundaries[1:])):
-        if cfg.autoscaler is not None and seg_stats is not None:
+        Applies the previous segment's autoscale observation, the
+        opening boundary's churn and point faults, then simulates every
+        live host to the next boundary and merges the results.  Returns
+        ``None`` only for a (defensively handled) zero-width segment;
+        raises :class:`~repro.errors.SimulationError` past the horizon
+        -- check :attr:`done` first.
+        """
+        if self.done:
+            raise SimulationError(
+                "cluster simulation already reached its horizon"
+            )
+        cfg = self.cfg
+        fleet = self.fleet
+        seg_index = self._next
+        t0 = self.boundaries[seg_index]
+        t1 = self.boundaries[seg_index + 1]
+        if self.autoscaler is not None and self.seg_stats is not None:
+            seg_stats = self.seg_stats
             obs = SegmentObservation(
                 segment_index=seg_index - 1,
                 time_s=t0,
                 duration_s=seg_stats["seg_s"],
                 active_hosts=int(seg_stats["active_hosts"]),
                 pool_hosts=seg_stats["pool_hosts"],
-                resident_tenants=len(residents),
-                rejections=len(rejected) - rejected_before_segment,
+                resident_tenants=len(self.residents),
+                rejections=len(self.rejected) - self.rejected_before_segment,
                 me_utilization=seg_stats["me_utilization"],
                 ve_utilization=seg_stats["ve_utilization"],
                 offered=int(seg_stats["offered"]),
@@ -964,53 +1197,56 @@ def run_cluster_traffic(
                 vf_capacity=int(seg_stats["vf_capacity"]),
                 iommu_mappings=int(seg_stats["iommu_mappings"]),
             )
-            events_before = len(autoscale_events)
-            apply_actions(cfg.autoscaler.observe(obs), t0)
-            if virt_cost > 0:
+            events_before = len(self.autoscale_events)
+            self._apply_actions(self.autoscaler.observe(obs), t0)
+            if self.virt_cost > 0:
                 # A migration is one destroy plus one create hypercall;
                 # the moved tenant is off the air for both.
-                for aev in autoscale_events[events_before:]:
+                for aev in self.autoscale_events[events_before:]:
                     for tenant, _src, _dst in aev.migrations:
-                        if tenant in residents:
-                            onboard_until[tenant] = max(
-                                onboard_until.get(tenant, 0.0),
-                                t0 + 2 * hypercall_cost_at(t0),
+                        if tenant in self.residents:
+                            self.onboard_until[tenant] = max(
+                                self.onboard_until.get(tenant, 0.0),
+                                t0 + 2 * self._hypercall_cost_at(t0),
                             )
-        rejected_before_segment = len(rejected)
-        apply_events(t0)
-        if point_faults:
-            apply_faults(t0)
+        self.rejected_before_segment = len(self.rejected)
+        for tev in self.timeline.events_at.get(t0, ()):
+            if tev.kind == EVENT_CHURN:
+                self._apply_churn(tev.payload, t0)
+            elif tev.kind == EVENT_FAULT:
+                self._apply_fault(tev.payload, t0)
+        self._next = seg_index + 1
         seg_s = t1 - t0
-        if seg_s <= 0:
-            continue
-        segments += 1
+        if seg_s <= 0:  # defensive: boundaries are strictly increasing
+            return None
+        self.segments += 1
         active = fleet.active_hosts()
-        host_count_timeline.append((t0, len(active)))
-        host_seconds += len(active) * seg_s
+        self.host_count_timeline.append((t0, len(active)))
+        self.host_seconds += len(active) * seg_s
         seg_vf_in_use = seg_vf_capacity = seg_iommu = seg_hypercalls = 0
-        if track_control_plane:
+        if self.track_control_plane:
             # Control-plane occupancy over the live hosts at segment
             # start; hypercall delta over the whole fleet.
             seg_vf_in_use = sum(h.hypervisor.vf_in_use for h in active)
             seg_vf_capacity = sum(h.hypervisor.vf_capacity for h in active)
             seg_iommu = sum(h.hypervisor.iommu_mapping_count for h in active)
-            if virt is not None:  # only the summary consumes the timeline
-                vf_timeline.append((t0, seg_vf_in_use, seg_vf_capacity))
+            if self.virt is not None:  # only the summary consumes the timeline
+                self.vf_timeline.append((t0, seg_vf_in_use, seg_vf_capacity))
             hypercalls_now = sum(
                 h.hypervisor.hypercall_count for h in fleet.all_hosts()
             )
-            seg_hypercalls = hypercalls_now - last_hypercalls
-            last_hypercalls = hypercalls_now
+            seg_hypercalls = hypercalls_now - self.last_hypercalls
+            self.last_hypercalls = hypercalls_now
         seg_cycles = cfg.core.seconds_to_cycles(seg_s)
         by_host: Dict[str, List[Tuple[str, _Resident]]] = {}
-        for name, resident in residents.items():
+        for name, resident in self.residents.items():
             by_host.setdefault(resident.host.name, []).append((name, resident))
 
         seg_load = cfg.load
-        if storms:
-            seg_load = cfg.load * load_multiplier(t0, t1)
+        if self.storms:
+            seg_load = cfg.load * self._load_multiplier(t0, t1)
         ol_cfg = OpenLoopConfig(
-            core=nominal_core,
+            core=self.nominal_core,
             duration_s=seg_s,
             load=seg_load,
             arrival=cfg.arrival,
@@ -1026,12 +1262,12 @@ def run_cluster_traffic(
                 spec = resident.spec
                 svc = _calibrate_cached(
                     spec.model, spec.batch, resident.num_mes, resident.num_ves,
-                    cfg.scheme, nominal_core,
+                    cfg.scheme, self.nominal_core,
                 )
                 process = arrival_process_for(spec, ol_cfg, svc, seg_cycles)
                 rng = spawn_rng(cfg.seed, name, seg_index)
                 arrivals = process.generate(seg_cycles, rng)
-                hold_s = onboard_until.get(name, 0.0) - t0
+                hold_s = self.onboard_until.get(name, 0.0) - t0
                 if hold_s > 0:
                     # Requests landing while the control plane is still
                     # onboarding the tenant queue until it comes up:
@@ -1039,7 +1275,7 @@ def run_cluster_traffic(
                     hold_s = min(hold_s, seg_s)
                     hold_cycles = cfg.core.seconds_to_cycles(hold_s)
                     arrivals = [max(a, hold_cycles) for a in arrivals]
-                    onboarding_delay_s += hold_s
+                    self.onboarding_delay_s += hold_s
                 tenant_jobs.append(
                     _TenantJob(
                         name=name,
@@ -1093,19 +1329,21 @@ def run_cluster_traffic(
         seg_me = seg_ve = 0.0
         seg_offered = seg_attained = 0
         for host_name, me_seconds, ve_seconds, cycles, host_reports in outcomes:
-            me_s, ve_s = busy.get(host_name, (0.0, 0.0))
-            busy[host_name] = (me_s + me_seconds, ve_s + ve_seconds)
-            simulated_cycles += cycles
+            me_s, ve_s = self.busy.get(host_name, (0.0, 0.0))
+            self.busy[host_name] = (me_s + me_seconds, ve_s + ve_seconds)
+            self.simulated_cycles += cycles
             seg_me += me_seconds
             seg_ve += ve_seconds
             for name, report in host_reports:
                 seg_offered += report.offered
                 seg_attained += report.attained
-                reports[name] = (
-                    reports[name].merged_with(report) if name in reports else report
+                self.reports[name] = (
+                    self.reports[name].merged_with(report)
+                    if name in self.reports
+                    else report
                 )
         denom = max(1, len(active)) * seg_s
-        seg_stats = {
+        self.seg_stats = {
             "seg_s": seg_s,
             "active_hosts": len(active),
             "pool_hosts": fleet.pool_counts(),
@@ -1118,62 +1356,275 @@ def run_cluster_traffic(
             "vf_capacity": seg_vf_capacity,
             "iommu_mappings": seg_iommu,
         }
+        observation = SegmentObservation(
+            segment_index=seg_index,
+            time_s=t1,
+            duration_s=seg_s,
+            active_hosts=len(active),
+            pool_hosts=self.seg_stats["pool_hosts"],
+            resident_tenants=len(self.residents),
+            rejections=len(self.rejected) - self.rejected_before_segment,
+            me_utilization=self.seg_stats["me_utilization"],
+            ve_utilization=self.seg_stats["ve_utilization"],
+            offered=seg_offered,
+            attained=seg_attained,
+            hypercalls=seg_hypercalls,
+            vf_in_use=seg_vf_in_use,
+            vf_capacity=seg_vf_capacity,
+            iommu_mappings=seg_iommu,
+        )
+        self.segment_log.append(observation)
+        return observation
 
-    virt_summary: Optional[VirtualizationSummary] = None
-    if virt is not None:
-        hypercalls: Dict[str, int] = {"create": 0, "reconfigure": 0, "destroy": 0}
-        for host in fleet.all_hosts():
+    def advance(self, until_s: float) -> List[SegmentObservation]:
+        """Step every segment that ends at or before ``until_s``."""
+        out: List[SegmentObservation] = []
+        while not self.done and self.boundaries[self._next + 1] <= until_s:
+            observation = self.step_segment()
+            if observation is not None:
+                out.append(observation)
+        return out
+
+    def run(self) -> ClusterTrafficResult:
+        """Step to the horizon and score (the classic one-shot path)."""
+        while not self.done:
+            self.step_segment()
+        return self.result()
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _virtualization_summary(self) -> Optional[VirtualizationSummary]:
+        virt = self.virt
+        if virt is None:
+            return None
+        hypercalls: Dict[str, int] = {
+            "create": 0, "reconfigure": 0, "destroy": 0
+        }
+        for host in self.fleet.all_hosts():
             for kind, count in host.hypervisor.hypercall_counts.items():
                 hypercalls[kind] = hypercalls.get(kind, 0) + count
-        virt_summary = VirtualizationSummary(
+        return VirtualizationSummary(
             hypercalls=hypercalls,
-            vf_occupancy_timeline=vf_timeline,
-            peak_vf_in_use=max((used for _, used, _ in vf_timeline), default=0),
+            vf_occupancy_timeline=self.vf_timeline,
+            peak_vf_in_use=max(
+                (used for _, used, _ in self.vf_timeline), default=0
+            ),
             # Counted per rejected *request* (a tenant retried after a
             # rejection counts each attempt, matching ``rejected``);
             # ``rejection_causes`` keeps the last cause per tenant name.
-            vf_exhaustion_rejections=orch.rejection_cause_counts().get(
+            vf_exhaustion_rejections=self.orch.rejection_cause_counts().get(
                 REJECT_VF_EXHAUSTED, 0
             ),
-            rejection_causes=dict(rejection_causes),
+            rejection_causes=dict(self.rejection_causes),
             iommu_windows_attached=sum(
                 h.hypervisor.iommu.windows_attached_total
-                for h in fleet.all_hosts()
+                for h in self.fleet.all_hosts()
             ),
             iommu_dma_registrations=sum(
                 h.hypervisor.iommu.dma_registrations_total
-                for h in fleet.all_hosts()
+                for h in self.fleet.all_hosts()
             ),
             final_iommu_mappings=sum(
-                h.hypervisor.iommu_mapping_count for h in fleet.all_hosts()
+                h.hypervisor.iommu_mapping_count
+                for h in self.fleet.all_hosts()
             ),
             final_vf_in_use=sum(
-                h.hypervisor.vf_in_use for h in fleet.all_hosts()
+                h.hypervisor.vf_in_use for h in self.fleet.all_hosts()
             ),
-            onboarding_delay_s=onboarding_delay_s,
+            onboarding_delay_s=self.onboarding_delay_s,
             hypercall_cost_s=virt.hypercall_cost_s,
         )
 
-    total_s = cfg.end_s
-    return ClusterTrafficResult(
-        reports=reports,
-        host_me_utilization={
-            h.name: busy.get(h.name, (0.0, 0.0))[0] / total_s
-            for h in fleet.ever_active
-        },
-        host_ve_utilization={
-            h.name: busy.get(h.name, (0.0, 0.0))[1] / total_s
-            for h in fleet.ever_active
-        },
-        admission_rate=orch.admission_rate(),
-        rejected=rejected,
-        segments=segments,
-        simulated_cycles=simulated_cycles,
-        autoscale_events=autoscale_events,
-        host_count_timeline=host_count_timeline,
-        mean_active_hosts=host_seconds / total_s,
-        virtualization=virt_summary,
-        fault_events=sorted(
-            fault_events, key=lambda e: (e["time_s"], str(e["kind"]))
-        ),
-    )
+    def result(self) -> ClusterTrafficResult:
+        """Score the run so far into a :class:`ClusterTrafficResult`.
+
+        Callable mid-run: every aggregate (per-tenant reports, host
+        busy-seconds, control-plane counters) is maintained as
+        mergeable partial state, so a paused or restored simulation
+        reports consistent partial metrics.  After the final segment
+        the result is bit-identical to the one-shot path's.
+        """
+        total_s = self.cfg.end_s
+        return ClusterTrafficResult(
+            reports=self.reports,
+            host_me_utilization={
+                h.name: self.busy.get(h.name, (0.0, 0.0))[0] / total_s
+                for h in self.fleet.ever_active
+            },
+            host_ve_utilization={
+                h.name: self.busy.get(h.name, (0.0, 0.0))[1] / total_s
+                for h in self.fleet.ever_active
+            },
+            admission_rate=self.orch.admission_rate(),
+            rejected=self.rejected,
+            segments=self.segments,
+            simulated_cycles=self.simulated_cycles,
+            autoscale_events=self.autoscale_events,
+            host_count_timeline=self.host_count_timeline,
+            mean_active_hosts=self.host_seconds / total_s,
+            virtualization=self._virtualization_summary(),
+            fault_events=sorted(
+                self.fault_events, key=lambda e: (e["time_s"], str(e["kind"]))
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> ClusterCheckpoint:
+        """Capture the complete between-segments state.
+
+        One pickle over every mutable piece -- fleet (hosts,
+        hypervisors, orchestrator), residents, accumulated metrics, the
+        autoscaler's internal state, the live churn/fault scripts, and
+        the positions of the three process-wide id streams -- so
+        :meth:`restore` continues bit-identically, in this process or a
+        fresh one.  Per-(tenant, segment) RNG streams are derived from
+        the seed and need no state here.
+        """
+        if self.config_digest is None:
+            raise CheckpointError(
+                "this configuration is not picklable (custom autoscaler "
+                "or executor?); checkpointing is unavailable for it"
+            )
+        state: Dict[str, object] = {
+            name: getattr(self, name) for name in _STATE_ATTRS
+        }
+        state["ids"] = {
+            "request": _orchestrator_module._request_ids.peek(),
+            "vnpu": _vnpu_module._vnpu_ids.peek(),
+            "command": _command_module._seq.peek(),
+        }
+        return ClusterCheckpoint.create(
+            state, self.config_digest, self._next, self.time_s
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        checkpoint: ClusterCheckpoint,
+        events: Sequence[ChurnEvent],
+        cfg: Optional[ClusterTrafficConfig] = None,
+    ) -> "ClusterSimulation":
+        """Rebuild a simulation from a :meth:`snapshot` checkpoint.
+
+        ``events`` and ``cfg`` must be the same script and
+        configuration the snapshot was taken under (enforced via the
+        config digest).  Repositions the process-wide id streams to the
+        snapshot's positions -- the restoring process must not have
+        other live simulations issuing from them.
+        """
+        sim = cls(events, cfg)
+        if checkpoint.config_digest != sim.config_digest:
+            raise CheckpointError(
+                "checkpoint was taken under a different scenario (config "
+                f"digest {checkpoint.config_digest[:12]}... != this run's "
+                f"{sim.config_digest[:12]}...)"
+            )
+        state = checkpoint.state()
+        try:
+            ids = state["ids"]
+            for name in _STATE_ATTRS:
+                setattr(sim, name, state[name])
+            request_pos = ids["request"]
+            vnpu_pos = ids["vnpu"]
+            command_pos = ids["command"]
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"checkpoint state is incomplete: {exc}"
+            ) from exc
+        sim.orch = sim.fleet.orch
+        sim._install_script(sim.churn, sim.faults)
+        index = int(checkpoint.segment_index)
+        if not 0 <= index <= sim.total_segments:
+            raise CheckpointError(
+                f"checkpoint segment index {index} is outside the "
+                f"{sim.total_segments}-segment timeline"
+            )
+        if sim.boundaries[index] != checkpoint.time_s:
+            raise CheckpointError(
+                f"checkpoint time {checkpoint.time_s} does not match "
+                f"boundary {sim.boundaries[index]} at segment {index}"
+            )
+        sim._next = index
+        # Continue the process-wide id streams exactly where the
+        # snapshot left off: restored bookkeeping holds earlier ids, and
+        # exact continuation keeps a resumed run's ids identical to an
+        # uninterrupted run's.
+        _orchestrator_module._request_ids.jump_to(request_pos)
+        _vnpu_module._vnpu_ids.jump_to(vnpu_pos)
+        _command_module._seq.jump_to(command_pos)
+        return sim
+
+
+def _segment_key(index: int) -> str:
+    """Journal shard key of the checkpoint after ``index`` segments."""
+    return f"segment-{index:06d}"
+
+
+def run_cluster_checkpointed(
+    events: Sequence[ChurnEvent],
+    cfg: Optional[ClusterTrafficConfig] = None,
+    *,
+    directory: Optional[str] = None,
+    resume: bool = False,
+    every: int = 1,
+    on_segment: Optional[SegmentHook] = None,
+) -> ClusterTrafficResult:
+    """Run a cluster simulation with journaled segment checkpoints.
+
+    With ``directory`` set, a :class:`repro.exec.journal.SweepJournal`
+    under it records a :class:`ClusterCheckpoint` every ``every``
+    completed segments (shard keys ``segment-NNNNNN``; the manifest
+    digest is the simulation's config digest, so a directory from a
+    different run is refused).  ``resume=True`` restores from the
+    furthest recorded checkpoint and continues: the completed run is
+    bit-identical to an uninterrupted one.  Without a directory this is
+    the plain stepped path, useful for ``on_segment`` progress alone.
+    """
+    cfg = cfg if cfg is not None else ClusterTrafficConfig()
+    if every < 1:
+        raise ValidationError(
+            "every", every, "checkpoint cadence must be >= 1"
+        )
+    if resume and directory is None:
+        raise ConfigError("resuming a cluster run needs a checkpoint directory")
+    sim = ClusterSimulation(events, cfg)
+    total = sim.total_segments
+    journal = None
+    if directory is not None:
+        if sim.config_digest is None:
+            raise CheckpointError(
+                "this configuration is not picklable (custom autoscaler "
+                "or executor?); checkpointing is unavailable for it"
+            )
+        from repro.exec.journal import SweepJournal
+
+        keys = [_segment_key(i) for i in range(1, total + 1)]
+        journal = SweepJournal(
+            directory, sim.config_digest, keys, resume=resume
+        )
+        if resume and journal.completed:
+            latest = max(
+                journal.completed,
+                key=lambda k: int(k.rsplit("-", 1)[1]),
+            )
+            cp = ClusterCheckpoint.from_dict(journal.completed[latest])
+            sim = ClusterSimulation.restore(cp, events, cfg)
+    try:
+        if on_segment is not None and sim.segments_completed:
+            on_segment(sim.segments_completed, total, None)
+        while not sim.done:
+            observation = sim.step_segment()
+            done_count = sim.segments_completed
+            if journal is not None and (done_count % every == 0 or sim.done):
+                key = _segment_key(done_count)
+                if key not in journal.completed:
+                    journal.record(key, sim.snapshot().to_dict())
+            if on_segment is not None:
+                on_segment(done_count, total, observation)
+        return sim.result()
+    finally:
+        if journal is not None:
+            journal.close()

@@ -215,3 +215,48 @@ def test_sweep_without_block_or_param_is_an_error():
 def test_sweep_unknown_param_is_an_error():
     with pytest.raises(ConfigError, match="unknown scenario field"):
         sweep_variants(_open_loop_scenario(), param="laod", values=[1])
+
+
+# ----------------------------------------------------------------------
+# Checkpoint block
+# ----------------------------------------------------------------------
+def test_checkpoint_block_round_trips():
+    from repro.api import ScenarioCheckpoint
+
+    scenario = _cluster_scenario().replaced(
+        checkpoint=ScenarioCheckpoint(directory="/tmp/ck", every=3)
+    )
+    back = Scenario.from_dict(scenario.to_dict())
+    assert back == scenario
+    assert back.checkpoint.directory == "/tmp/ck"
+    assert back.checkpoint.every == 3
+    assert back.digest() == scenario.digest()
+
+
+def test_checkpoint_block_rejected_on_non_cluster_kinds():
+    from repro.api import ScenarioCheckpoint
+
+    with pytest.raises(ConfigError, match="checkpoint"):
+        _open_loop_scenario().replaced(
+            checkpoint=ScenarioCheckpoint(directory="/tmp/ck")
+        )
+
+
+def test_checkpoint_block_validates_fields():
+    from repro.api import ScenarioCheckpoint
+
+    with pytest.raises(ConfigError):
+        ScenarioCheckpoint(directory="")
+    with pytest.raises(ConfigError):
+        ScenarioCheckpoint(directory="/tmp/ck", every=0)
+
+
+def test_checkpoint_block_is_stripped_from_sweep_variants():
+    from repro.api import ScenarioCheckpoint
+
+    scenario = _cluster_scenario().replaced(
+        checkpoint=ScenarioCheckpoint(directory="/tmp/ck"),
+        sweep=SweepSpec(param="load", values=(0.4, 0.6)),
+    )
+    for variant in sweep_variants(scenario):
+        assert variant.checkpoint is None

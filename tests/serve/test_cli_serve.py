@@ -1,0 +1,136 @@
+"""CLI plumbing for the steppable core: run --checkpoint/--resume/
+--progress and the serve subcommand's argument surface."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+
+CLUSTER_SCENARIO = {
+    "name": "cli-cluster",
+    "kind": "cluster",
+    "scheme": "neu10",
+    "duration_s": 0.002,
+    "load": 0.6,
+    "seed": 7,
+    "hosts": 2,
+    "cores_per_host": 1,
+    "autoscaler": {"policy": "threshold", "interval_s": 0.0005},
+    "churn": [
+        {"time_s": 0.0, "action": "arrive", "name": "a",
+         "model": "MNIST", "batch": 4, "num_mes": 2, "num_ves": 2},
+    ],
+}
+
+TWO_SCENARIOS = [
+    CLUSTER_SCENARIO,
+    {**CLUSTER_SCENARIO, "name": "cli-cluster-2", "seed": 8},
+]
+
+
+@pytest.fixture
+def cluster_file(tmp_path):
+    path = tmp_path / "cluster.json"
+    path.write_text(json.dumps(CLUSTER_SCENARIO), encoding="utf-8")
+    return str(path)
+
+
+@pytest.fixture
+def multi_file(tmp_path):
+    path = tmp_path / "multi.json"
+    path.write_text(json.dumps(TWO_SCENARIOS), encoding="utf-8")
+    return str(path)
+
+
+def test_run_checkpoint_then_resume_is_bit_identical(
+    cluster_file, tmp_path, capsys
+):
+    assert cli_main(["run", cluster_file, "--json"]) == 0
+    plain = capsys.readouterr().out
+    journal_dir = str(tmp_path / "ck")
+    assert cli_main(
+        ["run", cluster_file, "--json", "--checkpoint", journal_dir]
+    ) == 0
+    first = capsys.readouterr().out
+    assert (Path(journal_dir) / "journal.jsonl").exists()
+    assert cli_main(
+        ["run", cluster_file, "--json", "--checkpoint", journal_dir,
+         "--resume"]
+    ) == 0
+    resumed = capsys.readouterr().out
+    assert first == plain
+    assert resumed == plain
+
+
+def test_run_progress_ticks_on_stderr(cluster_file, capsys):
+    assert cli_main(["run", cluster_file, "--progress"]) == 0
+    captured = capsys.readouterr()
+    assert "segment" in captured.err
+    assert "[1/" in captured.err
+
+
+def test_run_progress_is_silenced_under_json(cluster_file, capsys):
+    assert cli_main(["run", cluster_file, "--progress", "--json"]) == 0
+    captured = capsys.readouterr()
+    assert captured.err == ""
+    json.loads(captured.out)
+
+
+def test_run_checkpoint_needs_exactly_one_scenario(
+    multi_file, tmp_path, capsys
+):
+    assert cli_main([
+        "run", multi_file, "--checkpoint", str(tmp_path / "ck"),
+    ]) == 1
+    assert "exactly one scenario" in capsys.readouterr().err
+
+
+def test_run_checkpoint_rejects_non_cluster(tmp_path):
+    path = tmp_path / "open.json"
+    path.write_text(json.dumps({
+        "name": "open", "kind": "open_loop", "scheme": "neu10",
+        "duration_s": 0.0003, "load": 0.8, "seed": 7,
+        "tenants": [{"model": "MNIST", "batch": 8}],
+    }), encoding="utf-8")
+    assert cli_main([
+        "run", str(path), "--checkpoint", str(tmp_path / "ck"),
+    ]) == 1
+
+
+def test_scenario_checkpoint_block_drives_run(tmp_path, capsys):
+    spec = dict(CLUSTER_SCENARIO)
+    spec["checkpoint"] = {"directory": str(tmp_path / "ck"), "every": 2}
+    path = tmp_path / "with_ck.json"
+    path.write_text(json.dumps(spec), encoding="utf-8")
+    assert cli_main(["run", str(path), "--json"]) == 0
+    json.loads(capsys.readouterr().out)
+    assert (tmp_path / "ck" / "journal.jsonl").exists()
+
+
+def test_serve_requires_a_cluster_scenario(tmp_path, capsys):
+    path = tmp_path / "open.json"
+    path.write_text(json.dumps({
+        "name": "open", "kind": "open_loop", "scheme": "neu10",
+        "duration_s": 0.0003, "load": 0.8, "seed": 7,
+        "tenants": [{"model": "MNIST", "batch": 8}],
+    }), encoding="utf-8")
+    assert cli_main(["serve", str(path)]) == 1
+    assert "cluster" in capsys.readouterr().err
+
+
+def test_list_mentions_checkpoint_block(capsys):
+    assert cli_main(["list", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["checkpoint"]) == {"directory", "every"}
+    assert cli_main(["list"]) == 0
+    assert "checkpoint" in capsys.readouterr().out.lower()
+
+
+def test_help_advertises_serve(capsys):
+    with pytest.raises(SystemExit):
+        cli_main(["--help"])
+    assert "serve" in capsys.readouterr().out

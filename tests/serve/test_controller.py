@@ -1,0 +1,168 @@
+"""ServeController: live stepping, checkpointing, and injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import run_scenario
+from repro.api.scenario import Scenario
+from repro.errors import CheckpointError, ConfigError, ValidationError
+from repro.serve import INJECT_KINDS, ServeController
+
+
+def _scenario(**overrides) -> Scenario:
+    spec = {
+        "name": "serve-under-test",
+        "kind": "cluster",
+        "scheme": "neu10",
+        "duration_s": 0.002,
+        "load": 0.6,
+        "seed": 7,
+        "hosts": 2,
+        "cores_per_host": 1,
+        "autoscaler": {"policy": "threshold", "interval_s": 0.0005},
+        "churn": [
+            {"time_s": 0.0, "action": "arrive", "name": "a",
+             "model": "MNIST", "batch": 4, "num_mes": 2, "num_ves": 2},
+            {"time_s": 0.001, "action": "arrive", "name": "b",
+             "model": "NCF", "batch": 4, "num_mes": 2, "num_ves": 2},
+        ],
+    }
+    spec.update(overrides)
+    return Scenario.from_dict(spec)
+
+
+def test_controller_rejects_non_cluster_scenarios():
+    spec = {
+        "name": "not-cluster", "kind": "open_loop", "scheme": "neu10",
+        "duration_s": 0.001, "load": 0.5, "seed": 1,
+        "tenants": [{"model": "MNIST", "batch": 8}],
+    }
+    with pytest.raises(ConfigError, match="cluster"):
+        ServeController(Scenario.from_dict(spec))
+
+
+def test_advance_to_completion_matches_repro_run():
+    scenario = _scenario()
+    controller = ServeController(scenario)
+    status = controller.status()
+    assert status["done"] is False and status["segments_completed"] == 0
+    observations = controller.advance(until_s=scenario.duration_s)
+    assert len(observations) == status["total_segments"]
+    assert controller.status()["done"] is True
+    assert controller.metrics() == run_scenario(scenario).to_dict()
+
+
+def test_segment_stream_grows_with_steps():
+    controller = ServeController(_scenario())
+    controller.advance(segments=2)
+    assert [o["segment_index"] for o in controller.segments()] == [0, 1]
+    assert [o["segment_index"] for o in controller.segments(since=1)] == [1]
+    with pytest.raises(ValidationError):
+        controller.advance(segments=-1)
+
+
+def test_snapshot_restore_round_trip_preserves_metrics():
+    scenario = _scenario()
+    controller = ServeController(scenario)
+    controller.advance(segments=2)
+    snapshot = controller.snapshot()
+    controller.advance(until_s=scenario.duration_s)
+    reference = controller.metrics()
+    status = controller.restore(snapshot)
+    assert status["segments_completed"] == 2 and status["done"] is False
+    controller.advance(until_s=scenario.duration_s)
+    assert controller.metrics() == reference
+
+
+def test_restore_refuses_corrupt_snapshot():
+    controller = ServeController(_scenario())
+    controller.advance(segments=1)
+    snapshot = controller.snapshot()
+    snapshot["payload"] = snapshot["payload"][:-8] + "AAAAAAA="
+    with pytest.raises(CheckpointError):
+        controller.restore(snapshot)
+
+
+def test_tick_respects_pause_and_done():
+    controller = ServeController(_scenario())
+    assert controller.tick() in (True, False)
+    controller.pause()
+    before = controller.status()["segments_completed"]
+    assert controller.tick() is False
+    assert controller.status()["segments_completed"] == before
+    controller.start()
+    while controller.tick():
+        pass
+    assert controller.status()["done"] is True
+
+
+def test_inject_traffic_spike_changes_the_outcome():
+    scenario = _scenario()
+    reference = run_scenario(scenario).to_dict()
+    controller = ServeController(scenario)
+    controller.advance(segments=1)
+    status = controller.inject({
+        "kind": "traffic-spike",
+        "time_s": 0.0012,
+        "duration_s": 0.0006,
+        "factor": 6.0,
+    })
+    assert status["total_segments"] >= controller.status()["total_segments"]
+    controller.advance(until_s=scenario.duration_s)
+    spiked = controller.metrics()
+    assert spiked != reference
+    assert any(
+        f["kind"] == "burst-storm" for f in spiked["metrics"]["fault_events"]
+    )
+
+
+def test_inject_tenant_arrive_and_depart():
+    # No autoscaler: the threshold policy would scale the idle second
+    # host in before 0.0011s and the late tenant would be rejected.
+    scenario = _scenario(autoscaler=None)
+    controller = ServeController(scenario)
+    controller.advance(segments=1)
+    controller.inject({
+        "kind": "tenant-arrive", "time_s": 0.0011, "name": "late",
+        "model": "MNIST", "batch": 4, "num_mes": 2, "num_ves": 2,
+    })
+    controller.inject({
+        "kind": "tenant-depart", "time_s": 0.0016, "name": "late",
+    })
+    controller.advance(until_s=scenario.duration_s)
+    tenants = {t["name"] for t in controller.metrics()["metrics"]["tenants"]}
+    assert "late" in tenants
+
+
+@pytest.mark.parametrize("payload, field", [
+    ({"kind": "nonsense", "time_s": 0.001}, "kind"),
+    ({"kind": "traffic-spike"}, "time_s"),
+    ({"kind": "traffic-spike", "time_s": 0.001}, "duration_s"),
+    ({"kind": "tenant-arrive", "time_s": 0.001}, "name"),
+    ({"kind": "tenant-arrive", "time_s": 0.001, "name": "x"}, "model"),
+    ({"kind": "tenant-depart", "time_s": 0.001, "name": "a",
+      "bogus": 1}, "payload"),
+])
+def test_inject_validation_names_the_field(payload, field):
+    controller = ServeController(_scenario())
+    with pytest.raises(ValidationError) as excinfo:
+        controller.inject(payload)
+    assert excinfo.value.field == field
+
+
+def test_inject_refuses_past_times():
+    controller = ServeController(_scenario())
+    controller.advance(segments=2)
+    now = controller.status()["time_s"]
+    with pytest.raises(ValidationError):
+        controller.inject({
+            "kind": "traffic-spike", "time_s": now / 2, "duration_s": 0.0005,
+        })
+
+
+def test_inject_kinds_catalog_is_exhaustive():
+    assert set(INJECT_KINDS) == {
+        "tenant-arrive", "tenant-depart", "traffic-spike",
+        "hypercall-spike", "host-crash", "vf-loss",
+    }

@@ -1,0 +1,129 @@
+"""HTTP surface of ``repro serve`` (in-process server, real sockets)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import run_scenario
+from repro.api.scenario import Scenario
+from repro.serve import make_server
+
+
+def _scenario() -> Scenario:
+    return Scenario.from_dict({
+        "name": "serve-http-under-test",
+        "kind": "cluster",
+        "scheme": "neu10",
+        "duration_s": 0.002,
+        "load": 0.6,
+        "seed": 7,
+        "hosts": 2,
+        "cores_per_host": 1,
+        "autoscaler": {"policy": "threshold", "interval_s": 0.0005},
+        "churn": [
+            {"time_s": 0.0, "action": "arrive", "name": "a",
+             "model": "MNIST", "batch": 4, "num_mes": 2, "num_ves": 2},
+        ],
+    })
+
+
+@pytest.fixture
+def server():
+    srv = make_server(_scenario())
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)
+
+
+def _get(server, path):
+    host, port = server.server_address[:2]
+    with urllib.request.urlopen(f"http://{host}:{port}{path}") as resp:
+        return json.load(resp)
+
+
+def _post(server, path, body=None):
+    host, port = server.server_address[:2]
+    request = urllib.request.Request(
+        f"http://{host}:{port}{path}",
+        data=json.dumps(body or {}).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as resp:
+        return json.load(resp)
+
+
+def test_status_advance_metrics_round_trip(server):
+    status = _get(server, "/status")
+    assert status["scenario"] == "serve-http-under-test"
+    assert status["done"] is False
+    reply = _post(server, "/advance", {"segments": 2})
+    assert len(reply["segments"]) == 2
+    assert reply["status"]["segments_completed"] == 2
+    streamed = _get(server, "/segments?since=1")
+    assert [o["segment_index"] for o in streamed] == [1]
+    _post(server, "/advance", {"until_s": 1.0})
+    assert _get(server, "/status")["done"] is True
+    assert _get(server, "/metrics") == run_scenario(_scenario()).to_dict()
+
+
+def test_snapshot_restore_over_http(server):
+    _post(server, "/advance", {"segments": 1})
+    snapshot = _get(server, "/snapshot")
+    _post(server, "/advance", {"until_s": 1.0})
+    reference = _get(server, "/metrics")
+    status = _post(server, "/restore", snapshot)
+    assert status["segments_completed"] == 1 and status["done"] is False
+    _post(server, "/advance", {"until_s": 1.0})
+    assert _get(server, "/metrics") == reference
+
+
+def test_inject_and_error_statuses(server):
+    _post(server, "/inject", {
+        "kind": "traffic-spike", "time_s": 0.0012,
+        "duration_s": 0.0005, "factor": 5.0,
+    })
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(server, "/inject", {"kind": "nonsense", "time_s": 0.001})
+    assert excinfo.value.code == 400
+    assert "error" in json.load(excinfo.value)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, "/nope")
+    assert excinfo.value.code == 404
+    _post(server, "/advance", {"segments": 1})
+    snapshot = _get(server, "/snapshot")
+    snapshot["payload"] = snapshot["payload"][:-8] + "AAAAAAA="
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(server, "/restore", snapshot)
+    assert excinfo.value.code == 409
+
+
+def test_auto_tick_starts_paused_then_runs():
+    srv = make_server(_scenario(), tick_s=0.02)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    srv.start_ticker()
+    try:
+        time.sleep(0.1)
+        assert _get(srv, "/status")["segments_completed"] == 0  # paused
+        _post(srv, "/start")
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            if _get(srv, "/status")["done"]:
+                break
+            time.sleep(0.05)
+        assert _get(srv, "/status")["done"] is True
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        thread.join(timeout=5)

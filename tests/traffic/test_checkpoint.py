@@ -1,0 +1,274 @@
+"""Snapshot/restore and checkpointed-run bit-identity.
+
+The acceptance bar for the steppable core: a cluster run snapshotted
+at any segment boundary -- in this process or restored in a *fresh*
+one -- must finish bit-identical to the uninterrupted run, for
+adversarial scenarios with autoscalers, faults, and virtualization all
+enabled at once.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+
+import pytest
+
+from repro.api import (
+    ScenarioAutoscaler,
+    ScenarioVirtualization,
+    load_scenario,
+    run_scenario,
+)
+from repro.api.result import canonical_digest
+from repro.api.runner import cluster_inputs
+from repro.errors import CheckpointError, ConfigError, ValidationError
+from repro.traffic.cluster_sim import (
+    ClusterSimulation,
+    run_cluster_checkpointed,
+    run_cluster_traffic,
+)
+from repro.traffic.stepper import ClusterCheckpoint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+ADVERSARIAL = REPO_ROOT / "examples" / "scenarios" / "adversarial"
+
+
+def _adversarial(name: str):
+    """Load an adversarial scenario, hardened to exercise *everything*.
+
+    The round-trip contract must hold with autoscaler + faults + virt
+    all live, so scenarios missing a block get one grafted on.
+    """
+    scenario = load_scenario(ADVERSARIAL / f"{name}.yaml")
+    assert scenario.faults, name
+    replacements = {}
+    if scenario.autoscaler is None:
+        replacements["autoscaler"] = ScenarioAutoscaler(
+            policy="threshold", interval_s=scenario.duration_s / 3
+        )
+    if scenario.virtualization is None:
+        replacements["virtualization"] = ScenarioVirtualization(
+            num_vfs=4, hypercall_cost_s=0.00002
+        )
+    if replacements:
+        scenario = scenario.replaced(**replacements)
+    return scenario
+
+
+SCENARIOS = [
+    "burst_storm",
+    "crash_mid_segment",
+    "multi_region_diurnal",
+    "priority_tiers",
+]
+
+
+def _result_digest(result) -> str:
+    import dataclasses
+
+    return canonical_digest(dataclasses.asdict(result))
+
+
+# ----------------------------------------------------------------------
+# In-process round-trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_restore_at_every_boundary_is_bit_identical(name):
+    scenario = _adversarial(name)
+    events, cfg = cluster_inputs(scenario)
+    reference = _result_digest(run_cluster_traffic(events, cfg))
+
+    probe = ClusterSimulation(*cluster_inputs(scenario))
+    total = probe.total_segments
+    assert total >= 3, "adversarial scenarios must have several segments"
+    for cut in range(1, total):
+        sim = ClusterSimulation(*cluster_inputs(scenario))
+        while sim.segments_completed < cut:
+            sim.step_segment()
+        checkpoint = sim.snapshot()
+        # The snapshot itself survives serialisation.
+        checkpoint = ClusterCheckpoint.from_dict(checkpoint.to_dict())
+        restored = ClusterSimulation.restore(
+            checkpoint, *cluster_inputs(scenario)
+        )
+        assert restored.segments_completed == cut
+        assert _result_digest(restored.run()) == reference, (
+            f"{name}: restore at segment {cut}/{total} diverged"
+        )
+
+
+def test_snapshot_does_not_perturb_the_donor_run():
+    scenario = _adversarial("multi_region_diurnal")
+    events, cfg = cluster_inputs(scenario)
+    reference = _result_digest(run_cluster_traffic(events, cfg))
+    sim = ClusterSimulation(*cluster_inputs(scenario))
+    while not sim.done:
+        sim.snapshot()
+        sim.step_segment()
+    assert _result_digest(sim.result()) == reference
+
+
+# ----------------------------------------------------------------------
+# Cross-process round-trips (spawn: nothing may hide in process state)
+# ----------------------------------------------------------------------
+def _finish_in_child(scenario_dict, checkpoint_dict):
+    from repro.api.scenario import Scenario
+
+    scenario = Scenario.from_dict(scenario_dict)
+    sim = ClusterSimulation.restore(
+        ClusterCheckpoint.from_dict(checkpoint_dict),
+        *cluster_inputs(scenario),
+    )
+    return _result_digest(sim.run())
+
+
+@pytest.mark.parametrize(
+    "name", ["burst_storm", "crash_mid_segment", "multi_region_diurnal"]
+)
+def test_restore_in_fresh_process_is_bit_identical(name):
+    scenario = _adversarial(name)
+    reference = _result_digest(
+        run_cluster_traffic(*cluster_inputs(scenario))
+    )
+    sim = ClusterSimulation(*cluster_inputs(scenario))
+    cut = sim.total_segments // 2
+    while sim.segments_completed < cut:
+        sim.step_segment()
+    checkpoint = sim.snapshot().to_dict()
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(1) as pool:
+        digest = pool.apply(
+            _finish_in_child, (scenario.to_dict(), checkpoint)
+        )
+    assert digest == reference
+
+
+# ----------------------------------------------------------------------
+# Restore rejects the wrong inputs
+# ----------------------------------------------------------------------
+def _mid_run_checkpoint(scenario):
+    sim = ClusterSimulation(*cluster_inputs(scenario))
+    sim.step_segment()
+    return sim.snapshot()
+
+
+def test_restore_refuses_a_different_configuration():
+    checkpoint = _mid_run_checkpoint(_adversarial("burst_storm"))
+    other = _adversarial("crash_mid_segment")
+    with pytest.raises(CheckpointError, match="different scenario"):
+        ClusterSimulation.restore(checkpoint, *cluster_inputs(other))
+
+
+def test_restore_refuses_tampered_payload():
+    checkpoint = _mid_run_checkpoint(_adversarial("burst_storm"))
+    raw = checkpoint.to_dict()
+    raw["payload"] = raw["payload"][:-8] + "AAAAAAA="
+    scenario = _adversarial("burst_storm")
+    with pytest.raises(CheckpointError):
+        ClusterSimulation.restore(
+            ClusterCheckpoint.from_dict(raw), *cluster_inputs(scenario)
+        )
+
+
+def test_unpicklable_config_refuses_snapshot_but_still_runs():
+    class Rogue:
+        def observe(self, obs):
+            return []
+
+    scenario = _adversarial("burst_storm")
+    events, cfg = cluster_inputs(scenario)
+    import dataclasses
+
+    cfg = dataclasses.replace(cfg, autoscaler=Rogue())
+    sim = ClusterSimulation(events, cfg)
+    assert sim.config_digest is None
+    sim.step_segment()
+    with pytest.raises(CheckpointError, match="not picklable"):
+        sim.snapshot()
+    sim.run()  # the simulation itself is unaffected
+
+
+# ----------------------------------------------------------------------
+# Journalled runs (run_cluster_checkpointed)
+# ----------------------------------------------------------------------
+def test_checkpointed_run_matches_plain_and_resumes(tmp_path):
+    scenario = _adversarial("multi_region_diurnal")
+    reference = _result_digest(
+        run_cluster_traffic(*cluster_inputs(scenario))
+    )
+    events, cfg = cluster_inputs(scenario)
+    journalled = run_cluster_checkpointed(
+        events, cfg, directory=tmp_path / "ck"
+    )
+    assert _result_digest(journalled) == reference
+    journal = (tmp_path / "ck" / "journal.jsonl").read_text()
+    assert journal.count("\n") >= 3
+    # Resume from the completed journal: nothing left to simulate, but
+    # the result must still be bit-identical.
+    resumed = run_cluster_checkpointed(
+        *cluster_inputs(scenario), directory=tmp_path / "ck", resume=True
+    )
+    assert _result_digest(resumed) == reference
+
+
+def test_resume_from_truncated_journal(tmp_path):
+    """Drop the tail of the journal (simulated crash), resume, compare."""
+    scenario = _adversarial("crash_mid_segment")
+    reference = _result_digest(
+        run_cluster_traffic(*cluster_inputs(scenario))
+    )
+    run_cluster_checkpointed(
+        *cluster_inputs(scenario), directory=tmp_path / "ck"
+    )
+    journal = tmp_path / "ck" / "journal.jsonl"
+    lines = journal.read_text().splitlines(keepends=True)
+    assert len(lines) >= 3
+    journal.write_text("".join(lines[: len(lines) // 2]))
+    ticks = []
+    resumed = run_cluster_checkpointed(
+        *cluster_inputs(scenario), directory=tmp_path / "ck", resume=True,
+        on_segment=lambda done, total, obs: ticks.append((done, total, obs)),
+    )
+    assert _result_digest(resumed) == reference
+    # The first tick reports the resume point (no observation yet).
+    assert ticks[0][2] is None and ticks[0][0] > 0
+    assert ticks[-1][0] == ticks[-1][1]
+
+
+def test_checkpoint_every_n_segments(tmp_path):
+    scenario = _adversarial("burst_storm")
+    run_cluster_checkpointed(
+        *cluster_inputs(scenario), directory=tmp_path / "ck", every=2
+    )
+    probe = ClusterSimulation(*cluster_inputs(scenario))
+    total = probe.total_segments
+    journal = (tmp_path / "ck" / "journal.jsonl").read_text()
+    recorded = journal.count('"shard"')
+    # Every 2nd segment, plus the final one regardless of parity.
+    assert recorded == total // 2 + (1 if total % 2 else 0)
+
+
+def test_checkpointed_run_rejects_bad_arguments(tmp_path):
+    scenario = _adversarial("burst_storm")
+    with pytest.raises(ValidationError):
+        run_cluster_checkpointed(
+            *cluster_inputs(scenario), directory=tmp_path / "ck", every=0
+        )
+    with pytest.raises(ConfigError):
+        run_cluster_checkpointed(*cluster_inputs(scenario), resume=True)
+
+
+# ----------------------------------------------------------------------
+# Scenario-level plumbing (run_scenario resume path)
+# ----------------------------------------------------------------------
+def test_run_scenario_checkpoint_block_round_trip(tmp_path):
+    from repro.api import ScenarioCheckpoint
+
+    scenario = _adversarial("multi_region_diurnal")
+    plain = run_scenario(scenario).to_dict()
+    block = ScenarioCheckpoint(directory=str(tmp_path / "ck"))
+    first = run_scenario(scenario, checkpoint=block).to_dict()
+    resumed = run_scenario(scenario, checkpoint=block, resume=True).to_dict()
+    assert first == plain
+    assert resumed == plain

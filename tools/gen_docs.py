@@ -204,6 +204,22 @@ def generate() -> str:
         [(name, blurb) for name, blurb in FAULT_FIELD_DOCS.items()],
     ))
 
+    from repro.api import CHECKPOINT_FIELD_DOCS
+
+    lines.append("\n## Segment checkpoints (`checkpoint:`)\n")
+    lines.append("Cluster scenarios may declare a `checkpoint:` block "
+                 "(or pass `repro run --checkpoint DIR`): the run "
+                 "journals a versioned, digest-stamped snapshot at "
+                 "segment boundaries, and `repro run --resume` restores "
+                 "the newest one and finishes bit-identically to an "
+                 "uninterrupted run.  The same snapshots drive "
+                 "`repro serve` live control (see "
+                 "[live-control.md](live-control.md)):\n")
+    lines.extend(_table(
+        ("field", "meaning"),
+        [(name, blurb) for name, blurb in CHECKPOINT_FIELD_DOCS.items()],
+    ))
+
     lines.append("")
     return "\n".join(lines)
 
