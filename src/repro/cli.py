@@ -219,19 +219,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
 # Subcommand: serve
 # ----------------------------------------------------------------------
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
     from repro.api import load_scenario
     from repro.serve import make_server, serve_forever
 
     scenario = load_scenario(args.scenario_file, name=args.scenario)
+    restore_key = args.restore_key or os.environ.get("REPRO_SERVE_KEY")
     server = make_server(
-        scenario, host=args.host, port=args.port, tick_s=args.tick
+        scenario, host=args.host, port=args.port, tick_s=args.tick,
+        restore_key=restore_key,
     )
     host, port = server.server_address[:2]
     # One machine-readable line so wrappers can discover the bound
-    # (possibly ephemeral) port before the server blocks.
+    # (possibly ephemeral) port before the server blocks.  The restore
+    # key rides along so a wrapper can start a replacement server that
+    # accepts this one's snapshots; anyone who can read it can POST
+    # /restore, which executes pickled state -- treat it as a secret.
     print(json.dumps({
         "host": host, "port": port, "scenario": scenario.name,
         "tick_s": args.tick,
+        "restore_key": server.controller.restore_key,
     }), flush=True)
     try:
         serve_forever(server)
@@ -700,6 +708,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="auto-step one segment per interval "
                               "(starts paused; POST /start begins)")
+    p_serve.add_argument("--restore-key", default=None, metavar="KEY",
+                         help="HMAC key authenticating POST /restore "
+                              "payloads (default: $REPRO_SERVE_KEY, else "
+                              "a fresh random key announced in the "
+                              "address line); start a replacement server "
+                              "with the dead server's key to restore its "
+                              "snapshots")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_sweep = sub.add_parser(

@@ -10,7 +10,11 @@ payloads the checkpointed ``repro run`` path journals, so a run can
 move between the CLI and a live server mid-flight.
 """
 
-from repro.serve.controller import INJECT_KINDS, ServeController
+from repro.serve.controller import (
+    INJECT_KINDS,
+    ServeController,
+    sign_checkpoint,
+)
 from repro.serve.server import (
     DEFAULT_TICK_S,
     ServeServer,
@@ -25,4 +29,5 @@ __all__ = [
     "ServeServer",
     "make_server",
     "serve_forever",
+    "sign_checkpoint",
 ]

@@ -17,6 +17,10 @@ Everything the controller returns is a JSON-safe dict; the HTTP layer
 
 from __future__ import annotations
 
+import hashlib
+import hmac
+import json
+import secrets
 import threading
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -29,7 +33,7 @@ from repro.cluster.virt import (
     FAULT_VF_LOSS,
     FaultSpec,
 )
-from repro.errors import ConfigError, ValidationError
+from repro.errors import CheckpointError, ConfigError, ValidationError
 from repro.traffic.cluster_sim import (
     ACTION_ARRIVE,
     ACTION_DEPART,
@@ -59,6 +63,40 @@ _FAULT_KIND_MAP = {
 }
 
 
+def _checkpoint_hmac(payload: Mapping[str, Any], key: str) -> str:
+    """HMAC-SHA256 of a checkpoint payload (sans ``auth``) under ``key``."""
+    try:
+        canonical = json.dumps(
+            {k: v for k, v in payload.items() if k != "auth"},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+    return hmac.new(
+        key.encode("utf-8"), canonical.encode("utf-8"), hashlib.sha256
+    ).hexdigest()
+
+
+def sign_checkpoint(
+    payload: Mapping[str, Any], key: str
+) -> Dict[str, Any]:
+    """Return ``payload`` with the ``auth`` HMAC a server holding ``key``
+    accepts.
+
+    A checkpoint payload embeds pickled simulator state, and unpickling
+    attacker-supplied bytes executes arbitrary code -- so ``POST
+    /restore`` only unpickles payloads whose ``auth`` field carries a
+    valid HMAC under the server's restore key.  Snapshots minted by
+    ``GET /snapshot`` arrive pre-signed; use this helper to push an
+    unsigned journal checkpoint (``repro run --checkpoint``) into a
+    live server whose key you hold.
+    """
+    signed = {k: v for k, v in payload.items() if k != "auth"}
+    signed["auth"] = _checkpoint_hmac(signed, key)
+    return signed
+
+
 class ServeController:
     """One scenario, one live simulation, one lock.
 
@@ -67,7 +105,9 @@ class ServeController:
     access to the underlying :class:`ClusterSimulation`.
     """
 
-    def __init__(self, scenario: Scenario) -> None:
+    def __init__(
+        self, scenario: Scenario, restore_key: Optional[str] = None
+    ) -> None:
         if scenario.kind != "cluster":
             raise ConfigError(
                 f"scenario {scenario.name!r} is kind {scenario.kind!r}; "
@@ -79,6 +119,12 @@ class ServeController:
         self._events, self._cfg = cluster_inputs(scenario)
         self.sim = ClusterSimulation(self._events, self._cfg)
         self.paused = False
+        #: HMAC key gating ``restore`` -- the one verb that unpickles
+        #: its input.  Anyone holding the key can run code as the
+        #: server, so it never appears in any endpoint's output.
+        self.restore_key = (
+            restore_key if restore_key else secrets.token_hex(32)
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -165,9 +211,25 @@ class ServeController:
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
-            return self.sim.snapshot().to_dict()
+            return sign_checkpoint(
+                self.sim.snapshot().to_dict(), self.restore_key
+            )
 
     def restore(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        # Authenticate before anything else touches the payload: the
+        # checkpoint embeds a pickle, and unpickling unauthenticated
+        # input would hand remote clients arbitrary code execution.
+        provided = payload.get("auth")
+        expected = _checkpoint_hmac(payload, self.restore_key)
+        if not isinstance(provided, str) or not hmac.compare_digest(
+            provided, expected
+        ):
+            raise CheckpointError(
+                "restore payload is not authenticated: checkpoints embed "
+                "pickled simulator state, so restore only accepts "
+                "payloads whose 'auth' HMAC matches this server's "
+                "restore key (see repro.serve.sign_checkpoint)"
+            )
         checkpoint = ClusterCheckpoint.from_dict(payload)
         with self._lock:
             # Rebuild the inputs from the scenario rather than reusing
@@ -176,10 +238,12 @@ class ServeController:
             # digest check needs the pristine configuration.  The
             # checkpoint itself carries any events injected before it
             # was taken.
-            self._events, self._cfg = cluster_inputs(self.scenario)
-            self.sim = ClusterSimulation.restore(
-                checkpoint, self._events, self._cfg
-            )
+            events, cfg = cluster_inputs(self.scenario)
+            sim = ClusterSimulation.restore(checkpoint, events, cfg)
+            # Adopt the rebuilt inputs only after restore succeeds: a
+            # refused checkpoint (digest mismatch -> 409) must leave
+            # the controller on the live simulation and its config.
+            self._events, self._cfg, self.sim = events, cfg, sim
             return self.status()
 
     # ------------------------------------------------------------------

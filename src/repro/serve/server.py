@@ -15,12 +15,17 @@ Endpoints (all JSON in, JSON out):
 ``POST /advance``           ``{"segments": N}`` or ``{"until_s": T}``
 ``POST /pause``             stop the auto-tick
 ``POST /start``             resume the auto-tick
-``POST /restore``           body = a ``/snapshot`` payload
+``POST /restore``           body = a ``/snapshot`` payload (HMAC-gated)
 ``POST /inject``            live tenant / traffic-spike / fault event
 ==========================  ===========================================
 
 Errors return ``{"error": ...}`` with a 4xx status; an invalid
-injection or a corrupt checkpoint never kills the server.
+injection, a malformed parameter, or a corrupt checkpoint never kills
+the server.  ``/restore`` is the one endpoint that unpickles its
+input, so it only accepts payloads carrying a valid ``auth`` HMAC
+under the server's restore key (see
+:func:`repro.serve.controller.sign_checkpoint` and
+``docs/live-control.md`` for the trust model).
 """
 
 from __future__ import annotations
@@ -91,6 +96,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._reply({"error": f"unknown path {parsed.path!r}"}, 404)
         except Neu10Error as exc:
             self._reply({"error": str(exc)}, 400)
+        except (ValueError, TypeError) as exc:
+            # Parameter coercion (int("abc"), float(None), ...) raises
+            # bare built-ins; they are client errors, not crashes.
+            self._reply({"error": f"invalid parameter: {exc}"}, 400)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
         parsed = urlparse(self.path)
@@ -119,6 +128,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._reply({"error": str(exc)}, 409)
         except Neu10Error as exc:
             self._reply({"error": str(exc)}, 400)
+        except (ValueError, TypeError) as exc:
+            self._reply({"error": f"invalid parameter: {exc}"}, 400)
 
 
 class ServeServer(ThreadingHTTPServer):
@@ -163,14 +174,20 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     tick_s: Optional[float] = None,
+    restore_key: Optional[str] = None,
 ) -> ServeServer:
     """Build (but do not run) a serve server for one cluster scenario.
 
     ``port=0`` binds an ephemeral port; read the bound address back
     from ``server.server_address``.  ``tick_s`` enables the auto-tick
     thread once :meth:`ServeServer.start_ticker` is called.
+    ``restore_key`` is the HMAC key authenticating ``POST /restore``
+    payloads (``None`` generates a fresh random key, readable back from
+    ``server.controller.restore_key``); a fresh server restoring a
+    snapshot from a dead one must be started with the dead server's
+    key.
     """
-    controller = ServeController(scenario)
+    controller = ServeController(scenario, restore_key=restore_key)
     if tick_s is not None:
         # A ticking server starts paused so a client can attach and
         # decide before any segment is consumed.

@@ -986,6 +986,8 @@ class ClusterSimulation:
             list(self.faults) + list(faults),
             key=lambda f: (f.time_s, f.kind, f.host or "", f.count),
         )
+        for event in churn:
+            self._validate_injected_churn(event, new_churn)
         self._install_script(new_churn, new_faults)
         if self.boundaries[: self._next + 1] != old_prefix:
             # A new cut within float-epsilon of an already-consumed
@@ -1006,9 +1008,84 @@ class ClusterSimulation:
                     "duration_s": fault.duration_s, "factor": fault.factor,
                 })
 
+    def _validate_injected_churn(
+        self, event: ChurnEvent, new_churn: Sequence[ChurnEvent]
+    ) -> None:
+        """Refuse a churn injection that could blow up at its boundary.
+
+        Projects the tenant's residency through the pending (not yet
+        simulated) part of the new script.  An arrival's admit/reject
+        outcome depends on future capacity and cannot be known here, so
+        anything that *might* make :meth:`_apply_churn` raise is
+        refused up front -- a live injection must never corrupt the run
+        it steers.
+        """
+        now = self.time_s
+        if event.name in self.residents:
+            state = "resident"
+        elif event.name in self.rejected:
+            state = "rejected"
+        else:
+            state = "absent"
+        for ev in new_churn:
+            if ev is event:
+                break
+            if ev.time_s < now or ev.name != event.name:
+                continue
+            if ev.action == ACTION_ARRIVE:
+                state = "maybe-resident"
+            elif state == "resident":
+                state = "absent"
+            elif state == "maybe-resident":
+                state = "maybe-gone"
+        if event.action == ACTION_ARRIVE and state in (
+            "resident", "maybe-resident"
+        ):
+            raise ValidationError(
+                "name", event.name,
+                f"tenant is (or may still be) resident at t={event.time_s}; "
+                "schedule a depart first",
+            )
+        if event.action == ACTION_DEPART and state in (
+            "absent", "maybe-gone"
+        ):
+            raise ValidationError(
+                "name", event.name,
+                f"tenant is not (or may not be) resident at t={event.time_s}",
+            )
+
     # ------------------------------------------------------------------
     # Boundary application
     # ------------------------------------------------------------------
+    def _check_boundary_churn(self, at: float) -> None:
+        """Pre-flight a boundary's churn before anything mutates.
+
+        Raises the exact :class:`ConfigError` :meth:`_apply_churn`
+        would, but *before* the autoscaler acts or any earlier event at
+        the boundary lands, so a failing :meth:`step_segment` leaves
+        the simulation untouched and retryable instead of half-applied.
+        (An arrival's admit/reject outcome cannot be predicted without
+        simulating, so a same-boundary re-arrival of one name passes
+        here; :meth:`_inject` refuses to produce one.)
+        """
+        resident = set(self.residents)
+        rejected = set(self.rejected)
+        arrived: set = set()
+        for tev in self.timeline.events_at.get(at, ()):
+            if tev.kind != EVENT_CHURN:
+                continue
+            ev = tev.payload
+            if ev.action == ACTION_ARRIVE:
+                if ev.name in resident:
+                    raise ConfigError(
+                        f"tenant {ev.name!r} is already resident"
+                    )
+                arrived.add(ev.name)
+            elif ev.name in resident:
+                resident.discard(ev.name)
+            elif ev.name not in rejected and ev.name not in arrived:
+                raise ConfigError(f"tenant {ev.name!r} is not resident")
+
     def _hypercall_cost_at(self, at: float) -> float:
         """Control-plane latency per hypercall at time ``at``."""
         cost = self.virt_cost
@@ -1178,6 +1255,10 @@ class ClusterSimulation:
         seg_index = self._next
         t0 = self.boundaries[seg_index]
         t1 = self.boundaries[seg_index + 1]
+        # All-or-nothing boundary application: reject a bad boundary
+        # before the autoscaler or any of its events touch state, so a
+        # caller observing the error holds an intact, retryable run.
+        self._check_boundary_churn(t0)
         if self.autoscaler is not None and self.seg_stats is not None:
             seg_stats = self.seg_stats
             obs = SegmentObservation(
@@ -1516,6 +1597,11 @@ class ClusterSimulation:
         other live simulations issuing from them.
         """
         sim = cls(events, cfg)
+        if sim.config_digest is None:
+            raise CheckpointError(
+                "this configuration is not picklable (custom autoscaler "
+                "or executor?); checkpoints cannot restore under it"
+            )
         if checkpoint.config_digest != sim.config_digest:
             raise CheckpointError(
                 "checkpoint was taken under a different scenario (config "

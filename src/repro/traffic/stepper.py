@@ -20,6 +20,15 @@ HTTP alike.  The payload is one pickle of the simulation's entire
 mutable state, taken in a single ``pickle.dumps`` call so shared
 object identity (a resident's host *is* the fleet's host) survives the
 round trip.
+
+Because the payload is a pickle, restoring a checkpoint executes
+whatever its bytes describe: :meth:`ClusterCheckpoint.verify` only
+proves integrity (the payload matches its own recorded digest), never
+provenance.  Only restore checkpoints from sources you trust -- your
+own journal directory, your own process.  Network-facing paths must
+authenticate first: ``repro serve`` refuses ``POST /restore`` payloads
+that do not carry a valid HMAC under the server's restore key (see
+:mod:`repro.serve.controller`).
 """
 
 from __future__ import annotations

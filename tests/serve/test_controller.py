@@ -7,7 +7,7 @@ import pytest
 from repro.api import run_scenario
 from repro.api.scenario import Scenario
 from repro.errors import CheckpointError, ConfigError, ValidationError
-from repro.serve import INJECT_KINDS, ServeController
+from repro.serve import INJECT_KINDS, ServeController, sign_checkpoint
 
 
 def _scenario(**overrides) -> Scenario:
@@ -84,6 +84,51 @@ def test_restore_refuses_corrupt_snapshot():
         controller.restore(snapshot)
 
 
+def test_restore_authenticates_with_the_shared_key():
+    scenario = _scenario()
+    first = ServeController(scenario, restore_key="s3cret")
+    first.advance(segments=2)
+    snapshot = first.snapshot()
+    # A replacement controller holding the same key accepts the
+    # snapshot; one with a different (random) key refuses it unseen.
+    second = ServeController(scenario, restore_key="s3cret")
+    assert second.restore(snapshot)["segments_completed"] == 2
+    stranger = ServeController(scenario)
+    with pytest.raises(CheckpointError, match="auth"):
+        stranger.restore(snapshot)
+    with pytest.raises(CheckpointError, match="auth"):
+        second.restore({k: v for k, v in snapshot.items() if k != "auth"})
+
+
+def test_sign_checkpoint_admits_unsigned_journal_payloads():
+    controller = ServeController(_scenario(), restore_key="k")
+    controller.advance(segments=1)
+    unsigned = {
+        k: v for k, v in controller.snapshot().items() if k != "auth"
+    }
+    signed = sign_checkpoint(unsigned, "k")
+    assert controller.restore(signed)["segments_completed"] == 1
+
+
+def test_failed_restore_leaves_the_live_run_untouched():
+    controller = ServeController(_scenario())
+    controller.advance(segments=2)
+    before = controller.metrics()
+    other = ServeController(_scenario(seed=8))
+    other.advance(segments=1)
+    # Correctly signed for this controller, but from a different
+    # scenario: the digest check must refuse it *without* swapping the
+    # controller onto fresh inputs.
+    foreign = sign_checkpoint(
+        {k: v for k, v in other.snapshot().items() if k != "auth"},
+        controller.restore_key,
+    )
+    with pytest.raises(CheckpointError, match="different scenario"):
+        controller.restore(foreign)
+    assert controller.status()["segments_completed"] == 2
+    assert controller.metrics() == before
+
+
 def test_tick_respects_pause_and_done():
     controller = ServeController(_scenario())
     assert controller.tick() in (True, False)
@@ -149,6 +194,39 @@ def test_inject_validation_names_the_field(payload, field):
     with pytest.raises(ValidationError) as excinfo:
         controller.inject(payload)
     assert excinfo.value.field == field
+
+
+def test_inject_refuses_conflicting_tenant_events():
+    controller = ServeController(_scenario())
+    controller.advance(segments=1)
+    # "a" arrived at t=0 with no scheduled depart: a second arrival
+    # would raise mid-boundary, so the injection is refused up front.
+    with pytest.raises(ValidationError, match="resident"):
+        controller.inject({
+            "kind": "tenant-arrive", "time_s": 0.0016, "name": "a",
+            "model": "MNIST",
+        })
+    with pytest.raises(ValidationError, match="not"):
+        controller.inject({
+            "kind": "tenant-depart", "time_s": 0.0016, "name": "ghost",
+        })
+    # The refusals left the run intact.
+    controller.advance(until_s=1.0)
+    assert controller.status()["done"] is True
+
+
+def test_inject_rearrival_after_scheduled_depart_is_allowed():
+    scenario = _scenario()
+    controller = ServeController(scenario)
+    controller.inject({
+        "kind": "tenant-depart", "time_s": 0.0011, "name": "a",
+    })
+    controller.inject({
+        "kind": "tenant-arrive", "time_s": 0.0016, "name": "a",
+        "model": "MNIST", "batch": 4, "num_mes": 2, "num_ves": 2,
+    })
+    controller.advance(until_s=scenario.duration_s)
+    assert controller.status()["done"] is True
 
 
 def test_inject_refuses_past_times():

@@ -108,6 +108,44 @@ def test_inject_and_error_statuses(server):
     assert excinfo.value.code == 409
 
 
+def test_malformed_parameters_return_400_not_a_dead_socket(server):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(server, "/segments?since=abc")
+    assert excinfo.value.code == 400
+    assert "error" in json.load(excinfo.value)
+    for path, body in [
+        ("/advance", {"until_s": "abc"}),
+        ("/advance", {"segments": "abc"}),
+        ("/inject", {"kind": "traffic-spike", "time_s": "soon",
+                     "duration_s": 0.0005}),
+        ("/inject", {"kind": "traffic-spike", "time_s": 0.0015,
+                     "duration_s": "long"}),
+    ]:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, path, body)
+        assert excinfo.value.code == 400, (path, body)
+        assert "error" in json.load(excinfo.value)
+    # The server survived every one of them.
+    assert _get(server, "/status")["scenario"] == "serve-http-under-test"
+
+
+def test_restore_requires_the_auth_hmac(server):
+    _post(server, "/advance", {"segments": 1})
+    snapshot = _get(server, "/snapshot")
+    assert "auth" in snapshot
+    unsigned = {k: v for k, v in snapshot.items() if k != "auth"}
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(server, "/restore", unsigned)
+    assert excinfo.value.code == 409
+    forged = dict(snapshot, auth="0" * 64)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(server, "/restore", forged)
+    assert excinfo.value.code == 409
+    # The genuine signed snapshot still restores.
+    status = _post(server, "/restore", snapshot)
+    assert status["segments_completed"] == 1
+
+
 def test_auto_tick_starts_paused_then_runs():
     srv = make_server(_scenario(), tick_s=0.02)
     thread = threading.Thread(target=srv.serve_forever, daemon=True)

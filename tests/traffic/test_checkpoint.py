@@ -171,6 +171,22 @@ def test_restore_refuses_tampered_payload():
         )
 
 
+def test_restore_refuses_unpicklable_configuration():
+    class Rogue:
+        def observe(self, obs):
+            return []
+
+    checkpoint = _mid_run_checkpoint(_adversarial("burst_storm"))
+    events, cfg = cluster_inputs(_adversarial("burst_storm"))
+    import dataclasses
+
+    cfg = dataclasses.replace(cfg, autoscaler=Rogue())
+    # The digest of an unpicklable config is None; restore must report
+    # that, not crash formatting the mismatch message.
+    with pytest.raises(CheckpointError, match="not picklable"):
+        ClusterSimulation.restore(checkpoint, events, cfg)
+
+
 def test_unpicklable_config_refuses_snapshot_but_still_runs():
     class Rogue:
         def observe(self, obs):

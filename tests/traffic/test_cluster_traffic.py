@@ -11,8 +11,36 @@ from repro.traffic import (
     run_cluster_traffic,
 )
 
+from repro.traffic.cluster_sim import ClusterSimulation
+
 MNIST = TrafficTenantSpec(model="MNIST", batch=8)
 DLRM = TrafficTenantSpec(model="DLRM", batch=8)
+
+
+def test_failed_boundary_leaves_the_simulation_intact():
+    """A boundary that cannot apply must apply *nothing*.
+
+    The depart of "b" and the conflicting re-arrival of "a" share one
+    boundary; the bad arrival must be rejected before the depart lands,
+    so the run stays consistent and the error is retry-stable instead
+    of double-applying the depart.
+    """
+    events = [
+        ChurnEvent(0.0, "arrive", "a", spec=MNIST),
+        ChurnEvent(0.0, "arrive", "b", spec=MNIST),
+        ChurnEvent(0.0005, "depart", "b"),
+        ChurnEvent(0.0005, "arrive", "a", spec=MNIST),
+    ]
+    cfg = ClusterTrafficConfig(num_hosts=2, load=0.5, end_s=0.001, seed=4)
+    sim = ClusterSimulation(events, cfg)
+    sim.step_segment()
+    assert set(sim.residents) == {"a", "b"}
+    before = sim.segments_completed
+    for _ in range(2):  # the retry fails identically
+        with pytest.raises(ConfigError, match="already resident"):
+            sim.step_segment()
+        assert set(sim.residents) == {"a", "b"}
+        assert sim.segments_completed == before
 
 
 def _script(end_s: float):

@@ -65,11 +65,19 @@ def _env() -> dict:
     return env
 
 
-def _start_server(scenario_file: Path, env: dict):
-    """Start ``repro serve`` and return (proc, base_url)."""
+def _start_server(scenario_file: Path, env: dict, restore_key=None):
+    """Start ``repro serve``; return (proc, base_url, restore_key).
+
+    ``restore_key`` lets a replacement server accept snapshots signed
+    by a dead one; without it the server mints (and announces) a fresh
+    key.
+    """
+    command = [sys.executable, "-m", "repro.cli", "serve",
+               str(scenario_file), "--port", "0"]
+    if restore_key is not None:
+        command += ["--restore-key", restore_key]
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", str(scenario_file),
-         "--port", "0"],
+        command,
         env=env, cwd=REPO, start_new_session=True,
         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
     )
@@ -77,7 +85,8 @@ def _start_server(scenario_file: Path, env: dict):
     if not line:
         raise RuntimeError("serve printed no address line")
     address = json.loads(line)
-    return proc, f"http://{address['host']}:{address['port']}"
+    base = f"http://{address['host']}:{address['port']}"
+    return proc, base, address["restore_key"]
 
 
 def _kill(proc) -> None:
@@ -127,7 +136,7 @@ def main(argv=None) -> int:
     print("reference run complete")
 
     # 2. Serve, advance part-way, snapshot, SIGKILL.
-    proc, base = _start_server(scenario_file, env)
+    proc, base, restore_key = _start_server(scenario_file, env)
     try:
         status = _get(base, "/status")
         total = status["total_segments"]
@@ -143,8 +152,9 @@ def main(argv=None) -> int:
         _kill(proc)
     print(f"SIGKILLed the server at segment {snapshot['segment_index']}")
 
-    # 3. Fresh server, restore, finish, diff.
-    proc, base = _start_server(scenario_file, env)
+    # 3. Fresh server sharing the dead one's restore key (the snapshot
+    # is signed with it), restore, finish, diff.
+    proc, base, _ = _start_server(scenario_file, env, restore_key)
     try:
         restored = _post(base, "/restore", snapshot)
         if restored["segments_completed"] != snapshot["segment_index"]:
